@@ -1,0 +1,258 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation —
+   Figure 1 plus the per-theorem experiments E2..E10 indexed in
+   DESIGN.md — by running the structures in the PDM simulator and
+   printing measured parallel-I/O counts next to the paper's bounds.
+
+   Part 2 runs Bechamel wall-clock microbenchmarks (one Test.make per
+   operation of each structure, plus one per experiment driver) so the
+   implementation's constant factors are visible too. *)
+
+open Pdm_experiments
+module Pdm = Pdm_sim.Pdm
+module Basic = Pdm_dictionary.Basic_dict
+module Fragmented = Pdm_dictionary.Fragmented
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Hash_table = Pdm_baselines.Hash_table
+module Cuckoo = Pdm_baselines.Cuckoo
+module Btree = Pdm_baselines.Btree
+module Greedy = Pdm_loadbalance.Greedy
+module Seeded = Pdm_expander.Seeded
+module Bipartite = Pdm_expander.Bipartite
+module Sampling = Pdm_util.Sampling
+module Prng = Pdm_util.Prng
+
+let print_experiments () =
+  Format.printf "#### Part 1: paper reproduction (parallel-I/O tables) ####@.";
+  Table.print (Figure1.to_table (Figure1.run ()));
+  Table.print (Load_balance.to_table (Load_balance.run ()));
+  Table.print (Unique_neighbors.to_table (Unique_neighbors.run ()));
+  Table.print (One_probe_exp.to_table (One_probe_exp.run ()));
+  Table.print (Dynamic_exp.to_table (Dynamic_exp.run ()));
+  Table.print (Basic_exp.to_table (Basic_exp.run ()));
+  Table.print (Btree_compare.to_table (Btree_compare.run ()));
+  Table.print (Explicit_exp.to_table (Explicit_exp.run ()));
+  Table.print (Rebuild_exp.to_table (Rebuild_exp.run ()));
+  Table.print (Bandwidth_exp.to_table (Bandwidth_exp.run ()));
+  List.iter Table.print (Ablation_exp.to_tables (Ablation_exp.run ()));
+  Table.print (Extensions_exp.to_table (Extensions_exp.run ()));
+  Table.print (Scale_exp.to_table (Scale_exp.run ()));
+  Table.print (Realtime_exp.to_table (Realtime_exp.run ()));
+  Table.print (Cache_exp.to_table (Cache_exp.run ()))
+
+(* --- wall-clock microbenchmarks --- *)
+
+let universe = 1 lsl 22
+let n = 1000
+let block_words = 64
+let disks = 8
+
+let keys = lazy (Sampling.distinct (Prng.create 1) ~universe ~count:n)
+
+let val8 = Common.value_bytes_of 8
+
+let cursor = ref 0
+
+let next_key () =
+  let ks = Lazy.force keys in
+  let k = ks.(!cursor) in
+  cursor := (!cursor + 1) mod Array.length ks;
+  k
+
+let basic_dict =
+  lazy
+    (let cfg =
+       Basic.plan ~universe ~capacity:n ~block_words ~degree:disks
+         ~value_bytes:8 ~seed:2 ()
+     in
+     let machine =
+       Pdm.create ~disks ~block_size:block_words
+         ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+     in
+     let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+     Array.iter (fun k -> Basic.insert d k (val8 k)) (Lazy.force keys);
+     d)
+
+let fragmented =
+  lazy
+    (let cfg =
+       Fragmented.plan ~universe ~capacity:n ~block_words ~degree:disks
+         ~sigma_bits:128 ~seed:3 ()
+     in
+     let machine =
+       Pdm.create ~disks ~block_size:block_words
+         ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
+     in
+     let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+     Array.iter
+       (fun k -> Fragmented.insert d k (Common.sigma_payload ~sigma_bits:128 k))
+       (Lazy.force keys);
+     d)
+
+let cascade =
+  lazy
+    (let t =
+       Cascade.create ~block_words
+         { Cascade.universe; capacity = n; degree = 15; sigma_bits = 128;
+           epsilon = 1.0; v_factor = 3; seed = 4 }
+     in
+     Array.iter
+       (fun k -> Cascade.insert t k (Common.sigma_payload ~sigma_bits:128 k))
+       (Lazy.force keys);
+     t)
+
+let hash_table =
+  lazy
+    (let cfg =
+       Hash_table.plan ~universe ~capacity:n ~block_words ~disks
+         ~value_bytes:8 ~seed:5 ()
+     in
+     let machine =
+       Pdm.create ~disks ~block_size:block_words
+         ~blocks_per_disk:cfg.Hash_table.superblocks ()
+     in
+     let h = Hash_table.create ~machine cfg in
+     Array.iter (fun k -> Hash_table.insert h k (val8 k)) (Lazy.force keys);
+     h)
+
+let cuckoo =
+  lazy
+    (let cfg =
+       Cuckoo.plan ~universe ~capacity:n ~block_words ~disks ~value_bytes:8
+         ~seed:6 ()
+     in
+     let machine =
+       Pdm.create ~disks ~block_size:block_words
+         ~blocks_per_disk:cfg.Cuckoo.buckets ()
+     in
+     let c = Cuckoo.create ~machine cfg in
+     Array.iter (fun k -> Cuckoo.insert c k (val8 k)) (Lazy.force keys);
+     c)
+
+let btree =
+  lazy
+    (let superblocks = 4096 in
+     let machine =
+       Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:superblocks ()
+     in
+     let t =
+       Btree.create ~machine
+         { Btree.universe; value_bytes = 8; cache_levels = 0; superblocks }
+     in
+     Array.iter (fun k -> Btree.insert t k (val8 k)) (Lazy.force keys);
+     t)
+
+let balancer =
+  lazy
+    (let graph = Seeded.striped ~seed:7 ~u:universe ~v:(8 * 1024) ~d:8 in
+     Greedy.create ~graph ~k:1 ())
+
+let expander = lazy (Seeded.striped ~seed:8 ~u:universe ~v:(8 * 1024) ~d:8)
+
+let op_tests =
+  let open Bechamel in
+  [ Test.make ~name:"basic_dict.find"
+      (Staged.stage (fun () ->
+           ignore (Basic.find (Lazy.force basic_dict) (next_key ()))));
+    Test.make ~name:"basic_dict.insert_delete"
+      (Staged.stage (fun () ->
+           let d = Lazy.force basic_dict in
+           let k = next_key () in
+           ignore (Basic.delete d k);
+           Basic.insert d k (val8 k)));
+    Test.make ~name:"fragmented.find"
+      (Staged.stage (fun () ->
+           ignore (Fragmented.find (Lazy.force fragmented) (next_key ()))));
+    Test.make ~name:"cascade.find"
+      (Staged.stage (fun () ->
+           ignore (Cascade.find (Lazy.force cascade) (next_key ()))));
+    Test.make ~name:"hash_table.find"
+      (Staged.stage (fun () ->
+           ignore (Hash_table.find (Lazy.force hash_table) (next_key ()))));
+    Test.make ~name:"cuckoo.find"
+      (Staged.stage (fun () ->
+           ignore (Cuckoo.find (Lazy.force cuckoo) (next_key ()))));
+    Test.make ~name:"btree.find"
+      (Staged.stage (fun () ->
+           ignore (Btree.find (Lazy.force btree) (next_key ()))));
+    Test.make ~name:"load_balancer.insert"
+      (Staged.stage (fun () ->
+           ignore (Greedy.insert (Lazy.force balancer) (next_key ()))));
+    Test.make ~name:"expander.neighbors"
+      (Staged.stage (fun () ->
+           ignore (Bipartite.neighbors (Lazy.force expander) (next_key ())))) ]
+
+(* One Test.make per experiment driver (reduced scale), so regressions
+   in whole-experiment wall time are visible. *)
+let experiment_tests =
+  let open Bechamel in
+  [ Test.make ~name:"exp.figure1"
+      (Staged.stage (fun () -> ignore (Figure1.run ~n:200 ())));
+    Test.make ~name:"exp.lemma3"
+      (Staged.stage (fun () ->
+           ignore (Load_balance.run ~sweep:[ (1024, 256, 8, 1) ] ())));
+    Test.make ~name:"exp.lemmas45"
+      (Staged.stage (fun () ->
+           ignore (Unique_neighbors.run ~trials:2 ~sweep:[ (200, 2, 8) ] ())));
+    Test.make ~name:"exp.theorem6"
+      (Staged.stage (fun () -> ignore (One_probe_exp.run ~ns:[ 200 ] ())));
+    Test.make ~name:"exp.theorem7"
+      (Staged.stage (fun () ->
+           ignore (Dynamic_exp.run ~n:200 ~epsilons:[ 1.0 ] ())));
+    Test.make ~name:"exp.basic41"
+      (Staged.stage (fun () ->
+           ignore (Basic_exp.run ~n:300 ~block_sizes:[ 64 ] ())));
+    Test.make ~name:"exp.btree"
+      (Staged.stage (fun () -> ignore (Btree_compare.run ~ns:[ 2000 ] ())));
+    Test.make ~name:"exp.section5"
+      (Staged.stage (fun () ->
+           ignore
+             (Explicit_exp.run ~trials:2 ~sweep:[ (1 lsl 16, 32, 0.25) ] ())));
+    Test.make ~name:"exp.rebuild"
+      (Staged.stage (fun () -> ignore (Rebuild_exp.run ~operations:500 ())));
+    Test.make ~name:"exp.bandwidth"
+      (Staged.stage (fun () -> ignore (Bandwidth_exp.run ~n:200 ())));
+    Test.make ~name:"exp.extensions"
+      (Staged.stage (fun () -> ignore (Extensions_exp.run ()))) ]
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" tests) in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_bechamel title results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Bechamel.Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; Printf.sprintf "%.0f" est; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Table.print
+    (Table.make ~title ~header:[ "benchmark"; "time (ns/op)"; "r^2" ] rows)
+
+let () =
+  print_experiments ();
+  Format.printf "#### Part 2: wall-clock microbenchmarks (Bechamel) ####@.";
+  print_bechamel "simulated structure operations (includes simulator overhead)"
+    (run_bechamel op_tests);
+  print_bechamel "whole-experiment drivers (reduced scale)"
+    (run_bechamel experiment_tests)

@@ -1,0 +1,241 @@
+(* Command-line driver: run any experiment from DESIGN.md's index
+   individually, or the whole suite. *)
+
+open Cmdliner
+open Pdm_experiments
+
+(* Output format shared by the experiment runners. *)
+let emit = ref Table.print
+
+let print_table t = !emit ?out:None t
+
+type spec = {
+  id : string;
+  doc : string;
+  exec : n:int option -> block_words:int option -> seed:int option -> unit;
+}
+
+let experiments =
+  [ { id = "figure1"; doc = "Figure 1: dictionary comparison table (E1)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          print_table
+            (Figure1.to_table (Figure1.run ?n ?block_words ?seed ()))) };
+    { id = "lemma3"; doc = "Lemma 3: deterministic load balancing (E2)";
+      exec =
+        (fun ~n:_ ~block_words:_ ~seed ->
+          print_table (Load_balance.to_table (Load_balance.run ?seed ()))) };
+    { id = "lemmas45"; doc = "Lemmas 4-5: unique neighbors (E3)";
+      exec =
+        (fun ~n:_ ~block_words:_ ~seed ->
+          print_table
+            (Unique_neighbors.to_table (Unique_neighbors.run ?seed ()))) };
+    { id = "theorem6"; doc = "Theorem 6: one-probe static dictionary (E4)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          let ns = Option.map (fun n -> [ n ]) n in
+          print_table
+            (One_probe_exp.to_table
+               (One_probe_exp.run ?block_words ?seed ?ns ()))) };
+    { id = "theorem7"; doc = "Theorem 7: dynamic cascade (E5)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          print_table
+            (Dynamic_exp.to_table (Dynamic_exp.run ?n ?block_words ?seed ()))) };
+    { id = "basic41"; doc = "Section 4.1 basic dictionary across B (E6)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          Table.print (Basic_exp.to_table (Basic_exp.run ?n ?seed ()))) };
+    { id = "btree"; doc = "B-tree vs dictionary on an FS workload (E7)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          let ns = Option.map (fun n -> [ n ]) n in
+          print_table
+            (Btree_compare.to_table
+               (Btree_compare.run ?block_words ?seed ?ns ()))) };
+    { id = "section5"; doc = "Section 5 semi-explicit expanders (E8)";
+      exec =
+        (fun ~n:_ ~block_words:_ ~seed ->
+          Table.print (Explicit_exp.to_table (Explicit_exp.run ?seed ()))) };
+    { id = "rebuild"; doc = "Global rebuilding overhead (E9)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          print_table
+            (Rebuild_exp.to_table
+               (Rebuild_exp.run ?block_words ?seed ?operations:n ()))) };
+    { id = "bandwidth"; doc = "Bandwidth per parallel I/O (E10)";
+      exec =
+        (fun ~n ~block_words ~seed ->
+          print_table
+            (Bandwidth_exp.to_table (Bandwidth_exp.run ?n ?block_words ?seed ()))) };
+    { id = "ablations"; doc = "Design-choice ablations (E11)";
+      exec =
+        (fun ~n:_ ~block_words:_ ~seed ->
+          List.iter print_table (Ablation_exp.to_tables (Ablation_exp.run ?seed ()))) };
+    { id = "extensions"; doc = "Extension structures (E12)";
+      exec =
+        (fun ~n:_ ~block_words:_ ~seed ->
+          print_table (Extensions_exp.to_table (Extensions_exp.run ?seed ()))) };
+    { id = "scale"; doc = "Worst-case bounds at scale (E13)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          let ns = Option.map (fun n -> [ n ]) n in
+          Table.print (Scale_exp.to_table (Scale_exp.run ?seed ?ns ()))) };
+    { id = "realtime"; doc = "Latency percentiles: det. vs whp (E14)";
+      exec =
+        (fun ~n ~block_words:_ ~seed:_ ->
+          print_table
+            (Realtime_exp.to_table (Realtime_exp.run ?trace_ops:n ()))) };
+    { id = "caching"; doc = "LRU buffer cache: who it helps (E15)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          Table.print (Cache_exp.to_table (Cache_exp.run ?n ?seed ()))) } ]
+
+let run_one id ~n ~block_words ~seed =
+  match List.find_opt (fun s -> s.id = id) experiments with
+  | Some s ->
+    s.exec ~n ~block_words ~seed;
+    `Ok ()
+  | None when id = "all" ->
+    List.iter (fun s -> s.exec ~n ~block_words ~seed) experiments;
+    `Ok ()
+  | None ->
+    `Error
+      (false,
+       Printf.sprintf "unknown experiment %S; try one of: all %s" id
+         (String.concat " " (List.map (fun s -> s.id) experiments)))
+
+let exp_arg =
+  let doc = "Experiment id (see $(b,list)), or $(b,all)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+
+let n_arg =
+  let doc = "Number of keys (experiment-specific meaning)." in
+  Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+
+let block_arg =
+  let doc = "Block size B in machine words." in
+  Arg.(value & opt (some int) None & info [ "b"; "block-words" ] ~docv:"B" ~doc)
+
+let seed_arg =
+  let doc = "Seed for all pseudo-random choices (runs are reproducible)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Log internal events (rebuild hand-overs, cuckoo rehashes)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let csv_arg =
+  let doc = "Emit CSV instead of aligned text tables." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let run_cmd =
+  let doc = "run one experiment (or 'all')" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const (fun id n block_words seed csv verbose ->
+             setup_logs verbose;
+             if csv then emit := Table.print_csv;
+             run_one id ~n ~block_words ~seed)
+        $ exp_arg $ n_arg $ block_arg $ seed_arg $ csv_arg $ verbose_arg))
+
+let list_cmd =
+  let doc = "list available experiments" in
+  Cmd.v
+    (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun s -> Printf.printf "%-10s %s\n" s.id s.doc)
+            experiments)
+      $ const ())
+
+let plan_cmd =
+  let doc = "print the planned on-disk geometry of each dictionary" in
+  let universe_arg =
+    Arg.(value & opt int (1 lsl 22) & info [ "u"; "universe" ] ~docv:"U"
+           ~doc:"Key universe size.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 10_000 & info [ "n"; "capacity" ] ~docv:"N"
+           ~doc:"Capacity in keys.")
+  in
+  let block_arg' =
+    Arg.(value & opt int 64 & info [ "b"; "block-words" ] ~docv:"B"
+           ~doc:"Block size in words.")
+  in
+  let run universe capacity block_words =
+    let module Basic = Pdm_dictionary.Basic_dict in
+    let module Fragmented = Pdm_dictionary.Fragmented in
+    let module Cascade = Pdm_dictionary.Dynamic_cascade in
+    let module Hash = Pdm_baselines.Hash_table in
+    let rows = ref [] in
+    let add name disks blocks note =
+      rows := [ name; string_of_int disks; string_of_int blocks; note ] :: !rows
+    in
+    (try
+       let cfg =
+         Basic.plan ~universe ~capacity ~block_words ~degree:8 ~value_bytes:8
+           ~seed:0 ()
+       in
+       add "basic (4.1)" 8
+         (Basic.blocks_per_disk cfg)
+         (Printf.sprintf "v = %d one-block buckets"
+            (8 * cfg.Basic.buckets_per_stripe))
+     with Invalid_argument m -> add "basic (4.1)" 0 0 ("infeasible: " ^ m));
+    (try
+       let cfg =
+         Fragmented.plan ~universe ~capacity ~block_words ~degree:8
+           ~sigma_bits:128 ~seed:0 ()
+       in
+       add "fragmented (k=d/2)" 8
+         (Fragmented.blocks_per_disk cfg)
+         (Printf.sprintf "v = %d, sigma = 128 bits"
+            (8 * cfg.Fragmented.buckets_per_stripe))
+     with Invalid_argument m -> add "fragmented" 0 0 ("infeasible: " ^ m));
+    (try
+       let t =
+         Cascade.create ~block_words
+           { Cascade.universe; capacity; degree = 15; sigma_bits = 128;
+             epsilon = 1.0; v_factor = 3; seed = 0 }
+       in
+       add "cascade (4.3)" 30
+         (Pdm_sim.Pdm.blocks_per_disk (Cascade.machine t))
+         (Printf.sprintf "%d levels, %d bits total" (Cascade.levels t)
+            (Cascade.space_bits t))
+     with Invalid_argument m -> add "cascade" 0 0 ("infeasible: " ^ m));
+    (try
+       let cfg =
+         Hash.plan ~universe ~capacity ~block_words ~disks:8 ~value_bytes:8
+           ~seed:0 ()
+       in
+       add "hash table" 8 cfg.Hash.superblocks "striped, utilization 0.5"
+     with Invalid_argument m -> add "hash table" 0 0 ("infeasible: " ^ m));
+    print_table
+      (Table.make
+         ~title:
+           (Printf.sprintf "Planned geometry at u = %d, n = %d, B = %d words"
+              universe capacity block_words)
+         ~header:[ "structure"; "disks"; "blocks/disk"; "notes" ]
+         (List.rev !rows))
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(const run $ universe_arg $ capacity_arg $ block_arg')
+
+let main =
+  let doc =
+    "deterministic dictionaries in the parallel disk model — experiment \
+     driver"
+  in
+  Cmd.group
+    (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
+    [ run_cmd; list_cmd; plan_cmd ]
+
+let () = exit (Cmd.eval main)

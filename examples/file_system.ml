@@ -1,0 +1,104 @@
+(* The Section 1.2 file-system scenario.
+
+   "A dictionary can be used to implement the basic functionality of a
+   file system: let keys consist of a file name and a block number,
+   and associate them with the contents of the given block."
+
+   This example builds a synthetic volume, serves it once from a
+   striped B-tree (what commercial systems do) and once from the
+   expander dictionary, and measures random block reads — the 3-vs-1
+   disk-access story of the introduction — plus a sequential scan,
+   where the B-tree's leaf chain keeps it competitive.
+
+   Run with:  dune exec examples/file_system.exe *)
+
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Basic = Pdm_dictionary.Basic_dict
+module Btree = Pdm_baselines.Btree
+module Fs = Pdm_workload.Fs_workload
+module Prng = Pdm_util.Prng
+
+let block_words = 32
+let disks = 8
+let payload_bytes = 8
+
+let () =
+  let rng = Prng.create 2026 in
+  let vol = Fs.generate ~rng ~files:2_000 ~max_blocks_per_file:32 in
+  let keys = Fs.all_keys vol in
+  let n = Array.length keys in
+  Printf.printf "volume: %d files, %d blocks total\n"
+    (Array.length (Fs.files vol)) n;
+
+  let payload k = Pdm_util.Prng.mix64 k |> fun h ->
+    Bytes.init payload_bytes (fun i -> Char.chr ((h lsr (8 * (i mod 7))) land 0xff))
+  in
+
+  (* The incumbent: a B-tree with its root resident in memory. *)
+  let superblocks = max 64 (4 * n / block_words) in
+  let bt_machine =
+    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:superblocks ()
+  in
+  let bt =
+    Btree.create ~machine:bt_machine
+      { Btree.universe = Fs.universe vol; value_bytes = payload_bytes;
+        cache_levels = 1; superblocks }
+  in
+  Array.iter (fun k -> Btree.insert bt k (payload k)) keys;
+  Printf.printf "B-tree: height %d (root cached in RAM)\n" (Btree.height bt);
+
+  (* The challenger: the Section 4.1 dictionary. *)
+  let cfg =
+    Basic.plan ~universe:(Fs.universe vol) ~capacity:n ~block_words
+      ~degree:disks ~value_bytes:payload_bytes ~seed:7 ()
+  in
+  let d_machine =
+    Pdm.create ~disks ~block_size:block_words
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+  let dict = Basic.create ~machine:d_machine ~disk_offset:0 ~block_offset:0 cfg in
+  Array.iter (fun k -> Basic.insert dict k (payload k)) keys;
+
+  (* Random block reads: an arbitrary set of users requesting small
+     pieces of arbitrary files. *)
+  let reads = Fs.random_reads vol ~rng ~count:5_000 in
+  let ((), bt_cost) =
+    Stats.measure (Pdm.stats bt_machine) (fun () ->
+        Array.iter (fun k -> ignore (Btree.find bt k)) reads)
+  in
+  let ((), dict_cost) =
+    Stats.measure (Pdm.stats d_machine) (fun () ->
+        Array.iter (fun k -> ignore (Basic.find dict k)) reads)
+  in
+  let per x = float_of_int (Stats.parallel_ios x) /. 5000.0 in
+  Printf.printf "random reads:   B-tree %.2f I/Os per block, dictionary %.2f\n"
+    (per bt_cost) (per dict_cost);
+  Printf.printf "                -> the dictionary answers every random read \
+                 in one disk round trip\n";
+
+  (* Sequential scan of the largest file: the caveat from the paper —
+     for scans, B-tree overhead is negligible. *)
+  let largest =
+    Array.fold_left
+      (fun best f -> if f.Fs.blocks > best.Fs.blocks then f else best)
+      (Fs.files vol).(0) (Fs.files vol)
+  in
+  let scan = Fs.sequential_scan vol ~file_id:largest.Fs.file_id in
+  let lo = scan.(0) and hi = scan.(Array.length scan - 1) in
+  let ((), bt_scan) =
+    Stats.measure (Pdm.stats bt_machine) (fun () ->
+        ignore (Btree.range bt ~lo ~hi))
+  in
+  let ((), dict_scan) =
+    Stats.measure (Pdm.stats d_machine) (fun () ->
+        Array.iter (fun k -> ignore (Basic.find dict k)) scan)
+  in
+  Printf.printf
+    "sequential scan of a %d-block file: B-tree %d I/Os, dictionary %d\n"
+    largest.Fs.blocks
+    (Stats.parallel_ios bt_scan)
+    (Stats.parallel_ios dict_scan);
+  print_endline
+    "                -> scans favour the B-tree, exactly as Section 1.2 \
+     concedes"

@@ -1,0 +1,60 @@
+(* Quickstart: a deterministic dictionary on 8 simulated disks.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Basic = Pdm_dictionary.Basic_dict
+
+let () =
+  (* 1. Plan a dictionary: universe of 2^20 keys, room for 10k of
+     them, blocks of 64 words, expander degree 8 (= 8 disks). *)
+  let cfg =
+    Basic.plan ~universe:(1 lsl 20) ~capacity:10_000 ~block_words:64
+      ~degree:8 ~value_bytes:16 ~seed:42 ()
+  in
+
+  (* 2. Build the simulated machine it needs and the dictionary on it. *)
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+  let dict = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+
+  (* 3. Insert a few records. Every operation's I/O is counted. *)
+  Basic.insert dict 17 (Bytes.of_string "the answer is 42");
+  Basic.insert dict 99 (Bytes.of_string "hello, disks!");
+  Printf.printf "stored %d records\n" (Basic.size dict);
+
+  (* 4. Look up — one parallel I/O, guaranteed, worst case. *)
+  let (value, cost) =
+    Stats.measure (Pdm.stats machine) (fun () -> Basic.find dict 17)
+  in
+  (match value with
+   | Some v -> Printf.printf "find 17 -> %S\n" (Bytes.to_string v)
+   | None -> print_endline "find 17 -> not found?!");
+  Printf.printf "lookup cost: %d parallel I/O(s)\n" (Stats.parallel_ios cost);
+
+  let (absent, cost) =
+    Stats.measure (Pdm.stats machine) (fun () -> Basic.find dict 1234)
+  in
+  Printf.printf "find 1234 -> %s (cost %d parallel I/O)\n"
+    (match absent with Some _ -> "found" | None -> "absent")
+    (Stats.parallel_ios cost);
+
+  (* 5. Updates cost one read round + one write round. *)
+  let ((), cost) =
+    Stats.measure (Pdm.stats machine) (fun () ->
+        Basic.insert dict 17 (Bytes.of_string "updated in place"))
+  in
+  Printf.printf "update cost: %d parallel I/Os (1 read + 1 write)\n"
+    (Stats.parallel_ios cost);
+
+  (* 6. Deletion frees the slot. *)
+  ignore (Basic.delete dict 99);
+  Printf.printf "after delete: %d records, 99 present = %b\n"
+    (Basic.size dict) (Basic.mem dict 99);
+
+  (* 7. Everything is deterministic: same seed, same layout, no
+     randomness at operation time. *)
+  print_endline "done — every number above reproduces exactly on re-run"

@@ -1,0 +1,70 @@
+(* Crash recovery without a directory.
+
+   Section 1.1: "There is no notion of an index structure or central
+   directory of keys. Lookups and updates go directly to the relevant
+   blocks, without any knowledge of the current data other than the
+   size of the data structure and the size of the universe."
+
+   This example makes that property executable: a dictionary's handle
+   is dropped ("the server crashed"), and a fresh process rebuilds a
+   fully operational handle from the configuration constants alone —
+   one scan over the structure's blocks, no journal, no metadata.
+
+   Run with:  dune exec examples/recovery.exe *)
+
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Basic = Pdm_dictionary.Basic_dict
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let () =
+  (* The only state a process ever needs: these constants. *)
+  let cfg =
+    Basic.plan ~universe:(1 lsl 20) ~capacity:5_001 ~block_words:64 ~degree:8
+      ~value_bytes:16 ~seed:2026 ()
+  in
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+
+  (* Process 1 fills the dictionary... *)
+  let before_crash =
+    let dict = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+    let rng = Prng.create 1 in
+    let keys = Sampling.distinct rng ~universe:(1 lsl 20) ~count:5_000 in
+    (* one slot of headroom is reserved for the post-crash write *)
+    Array.iter
+      (fun k ->
+        Basic.insert dict k (Bytes.of_string (Printf.sprintf "payload %06d!" k)))
+      keys;
+    Printf.printf "process 1: stored %d records, then crashed\n"
+      (Basic.size dict);
+    keys
+  in
+  (* ...and its handle is gone. Only the disks and the constants
+     survive. *)
+
+  (* Process 2 recovers. *)
+  Stats.reset (Pdm.stats machine);
+  let dict = Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  let scan_cost = Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)) in
+  Printf.printf
+    "process 2: recovered %d records in %d parallel I/Os (one scan; %d \
+     blocks per disk)\n"
+    (Basic.size dict) scan_cost (Basic.blocks_per_disk cfg);
+
+  (* The recovered handle serves reads immediately — and the layout is
+     the same because placement is deterministic in the seed. *)
+  let sample = before_crash.(42) in
+  (match Basic.find dict sample with
+   | Some v -> Printf.printf "lookup %d -> %S (1 parallel I/O)\n" sample (Bytes.to_string v)
+   | None -> print_endline "recovery lost data?!");
+
+  (* And writes. *)
+  Basic.insert dict 123_456 (Bytes.of_string "post-crash write");
+  Printf.printf "insert after recovery: size %d\n" (Basic.size dict);
+
+  print_endline
+    "-> no journal, no index rebuild: the expander IS the directory"

@@ -1,0 +1,110 @@
+(* The Section 1.2 webmail/http-server scenario.
+
+   "These typically have to retrieve small quantities of information
+   at a time, typically fitting within a block, but from a very large
+   data set, in a highly random fashion (depending on the desires of
+   an arbitrary set of users)."
+
+   A mailbox-index store: message ids map to 512-bit headers. The
+   dynamic cascade (Section 4.3) serves a Zipf-skewed read-mostly
+   trace with firm per-operation guarantees — the real-time property
+   the paper argues file-system-level services need — next to a
+   striped hash table whose guarantees are only probabilistic.
+
+   Run with:  dune exec examples/webmail.exe *)
+
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Hash_table = Pdm_baselines.Hash_table
+module Trace = Pdm_workload.Trace
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+module Summary = Pdm_util.Summary
+
+let universe = 1 lsl 30 (* message-id space *)
+let mailboxes = 3_000
+let sigma_bits = 512
+let block_words = 64
+
+let header_of k =
+  Bytes.init (sigma_bits / 8) (fun i ->
+      Char.chr (Prng.hash2 ~seed:11 k i land 0xff))
+
+let () =
+  let rng = Prng.create 99 in
+  let ids = Sampling.distinct rng ~universe ~count:mailboxes in
+
+  (* Deterministic store: Section 4.3 cascade, epsilon = 1/2. *)
+  let cascade =
+    Cascade.create ~block_words
+      { Cascade.universe; capacity = mailboxes; degree = 24; sigma_bits;
+        epsilon = 0.5; v_factor = 3; seed = 1 }
+  in
+  Array.iter (fun k -> Cascade.insert cascade k (header_of k)) ids;
+
+  (* Randomized baseline: striped hash table on 8 disks. *)
+  let cfg =
+    Hash_table.plan ~universe ~capacity:mailboxes ~block_words ~disks:8
+      ~value_bytes:(sigma_bits / 8) ~seed:2 ()
+  in
+  let h_machine =
+    Pdm.create ~disks:8 ~block_size:block_words
+      ~blocks_per_disk:cfg.Hash_table.superblocks ()
+  in
+  let hash = Hash_table.create ~machine:h_machine cfg in
+  Array.iter (fun k -> Hash_table.insert hash k (header_of k)) ids;
+
+  (* A skewed read trace: a handful of hot mailboxes, a long tail. *)
+  let trace = Trace.zipf_lookups ~rng ~keys:ids ~count:20_000 ~s:1.1 in
+
+  let drive name stats find =
+    let costs = Summary.create () in
+    let hits =
+      Trace.apply
+        ~find:(fun k ->
+          let r, c = Stats.measure stats (fun () -> find k) in
+          Summary.add_int costs (Stats.parallel_ios c);
+          r)
+        ~insert:(fun _ _ -> ())
+        ~delete:(fun _ -> false)
+        trace
+    in
+    Printf.printf
+      "%-22s %d/%d hits, %.3f avg parallel I/Os, worst %d, p99 %.0f\n" name
+      hits (Array.length trace) (Summary.mean costs)
+      (int_of_float (Summary.max costs))
+      (Summary.percentile costs 99.0)
+  in
+  Printf.printf "serving %d Zipf lookups over %d mailboxes:\n"
+    (Array.length trace) mailboxes;
+  drive "cascade (det.)"
+    (Pdm.stats (Cascade.machine cascade))
+    (Cascade.find cascade);
+  drive "hash table (rand.)" (Pdm.stats h_machine) (Hash_table.find hash);
+
+  (* The firm-guarantee angle: unsuccessful lookups (mailbox not on
+     this shard) are exactly one I/O on the cascade. *)
+  let misses = Trace.negative_lookups ~rng ~universe ~avoid:ids ~count:2_000 in
+  let costs = Summary.create () in
+  ignore
+    (Trace.apply
+       ~find:(fun k ->
+         let r, c =
+           Stats.measure
+             (Pdm.stats (Cascade.machine cascade))
+             (fun () -> Cascade.find cascade k)
+         in
+         Summary.add_int costs (Stats.parallel_ios c);
+         r)
+       ~insert:(fun _ _ -> ())
+       ~delete:(fun _ -> false)
+       misses);
+  Printf.printf
+    "cascade, absent ids:   every lookup cost exactly %.0f parallel I/O \
+     (worst %d)\n"
+    (Summary.mean costs)
+    (int_of_float (Summary.max costs));
+  print_endline
+    "-> the deterministic structure gives firm per-request bounds; the hash \
+     table is only fast with high probability"

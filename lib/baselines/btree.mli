@@ -1,0 +1,56 @@
+(** A striped B-tree: the structure the paper's dictionaries are an
+    alternative to (Sections 1 and 1.2).
+
+    Nodes are superblocks (fan-out Θ(BD)), so a lookup costs the tree
+    height Θ(log_BD n) parallel I/Os — striping does not reduce the
+    number of round trips below the height, which is the point the
+    paper makes against B-trees for random accesses. [cache_levels]
+    simulates keeping the top levels of the tree resident in internal
+    memory (as every real file system does with the root): reads of
+    those levels are not charged, reproducing the "3 disk accesses in
+    most settings" figure of Section 1.2.
+
+    Insertions split nodes on the way back up; deletions are by
+    tombstone-free removal from the leaf without rebalancing
+    (underfull leaves persist — standard for benchmarking file-system
+    style workloads and irrelevant to the lookup-cost comparison).
+    Leaves are chained for range scans. *)
+
+type config = {
+  universe : int;
+  value_bytes : int;
+  cache_levels : int;
+  superblocks : int;   (** capacity of the node arena *)
+}
+
+type t
+
+val create : machine:int Pdm_sim.Pdm.t -> config -> t
+
+val config : t -> config
+
+val size : t -> int
+
+val height : t -> int
+(** Levels from root to leaf inclusive; lookups cost
+    max(0, height − cache_levels) parallel I/Os. *)
+
+val nodes : t -> int
+(** Superblocks allocated. *)
+
+val path : t -> int -> int list
+(** Uncounted diagnostic: the superblock indices a lookup of [key]
+    visits, root first — used to replay lookups through a buffer
+    cache (experiment E15). *)
+
+val find : t -> int -> Bytes.t option
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> Bytes.t -> unit
+
+val delete : t -> int -> bool
+
+val range : t -> lo:int -> hi:int -> (int * Bytes.t) list
+(** All entries with lo ≤ key ≤ hi, via the leaf chain (sequential
+    scan — the access pattern where B-trees shine). *)

@@ -1,0 +1,64 @@
+(** Cuckoo hashing in the parallel disk model (the [13] row of
+    Figure 1).
+
+    Two tables of buckets, T₁ striped over the first D/2 disks and T₂
+    over the other D/2, so reading T₁[h₁(x)] and T₂[h₂(x)] together is
+    {b one} parallel I/O and the usable bandwidth is BD/2 — the
+    trade-off the paper quotes. Lookups are worst-case 1 I/O;
+    insertions are amortized expected O(1) but evict chains can grow
+    long, and a failed chain forces a full rehash whose cost is linear
+    — the behaviour the deterministic structures eliminate.
+
+    This is a bucketized cuckoo: each table slot is a bucket of
+    records filling half a stripe group's block row. Eviction picks a
+    rotating victim; randomness comes from a seeded stream, so runs
+    are reproducible. *)
+
+type config = {
+  universe : int;
+  capacity : int;
+  value_bytes : int;
+  buckets : int;    (** per table *)
+  max_kicks : int;
+  seed : int;
+}
+
+type t
+
+val plan :
+  ?utilization:float ->
+  universe:int ->
+  capacity:int ->
+  block_words:int ->
+  disks:int ->
+  value_bytes:int ->
+  seed:int ->
+  unit ->
+  config
+(** Default utilization 0.4 (bucketized cuckoo is safe well above
+    this; the default keeps rehashes rare at bench scale). [disks]
+    must be even. *)
+
+val create : machine:int Pdm_sim.Pdm.t -> config -> t
+
+val config : t -> config
+
+val size : t -> int
+
+val rehashes : t -> int
+(** Full-table rehashes triggered so far. *)
+
+val find : t -> int -> Bytes.t option
+(** Exactly 1 parallel I/O. *)
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> Bytes.t -> unit
+(** Amortized expected O(1); a single call can cost O(max_kicks) or —
+    on rehash — O(table size) I/Os. *)
+
+val delete : t -> int -> bool
+
+val bandwidth_bits : t -> int
+(** Largest value this geometry can carry: half a superblock minus the
+    key word. *)

@@ -1,0 +1,63 @@
+(** The striped hash table baseline (Section 1.1).
+
+    The D disks are treated as one disk with block size BD (striping);
+    the table is an array of superblocks and key x hashes to
+    superblock h(x). With BD = Ω(log n) and a suitable constant on the
+    linear space, no superblock overflows with high probability, so
+    lookups take 1 parallel I/O and updates 2 {e whp} — but only with
+    high probability: overflowing superblocks spill to their linear-
+    probing successors, and adversarial or unlucky key sets degrade.
+    This is the randomized structure the deterministic dictionaries
+    are measured against in Figure 1.
+
+    Deletions use tombstones (linear probing must not break chains);
+    tombstoned slots are reused by later inserts. *)
+
+type config = {
+  universe : int;
+  capacity : int;
+  value_bytes : int;
+  superblocks : int;
+  base : int;       (** first superblock of the table's window *)
+  seed : int;
+}
+
+type t
+
+val plan :
+  ?utilization:float ->
+  universe:int ->
+  capacity:int ->
+  block_words:int ->
+  disks:int ->
+  value_bytes:int ->
+  seed:int ->
+  unit ->
+  config
+(** Size the table for the given load factor (default 0.5) in record
+    slots. *)
+
+val create : machine:int Pdm_sim.Pdm.t -> config -> t
+(** Uses the whole machine through striping. *)
+
+val config : t -> config
+
+val size : t -> int
+
+val find : t -> int -> Bytes.t option
+(** 1 I/O + 1 per overflow hop. *)
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> Bytes.t -> unit
+(** Read-probe then one write. *)
+
+val delete : t -> int -> bool
+
+val overflowing_lookups : t -> int array -> int
+(** Diagnostic: how many of these keys' lookups need more than one
+    I/O right now. *)
+
+val max_probe_distance : t -> int
+(** Uncounted diagnostic: longest current probe chain (0 = everything
+    home). *)

@@ -1,0 +1,413 @@
+module Pdm = Pdm_sim.Pdm
+module Bipartite = Pdm_expander.Bipartite
+module Seeded = Pdm_expander.Seeded
+module Expansion = Pdm_expander.Expansion
+module Imath = Pdm_util.Imath
+
+type config = {
+  universe : int;
+  capacity : int;
+  degree : int;
+  buckets_per_stripe : int;
+  value_bytes : int;
+  bucket_blocks : int;
+  tombstone : bool;
+  seed : int;
+}
+
+type t = {
+  cfg : config;
+  machine : int Pdm.t;
+  disk_offset : int;
+  block_offset : int;
+  graph : Bipartite.t;
+  width : int;               (* record width in words *)
+  slots_per_block : int;
+  mutable size : int;
+  mutable tombstones : int;
+}
+
+exception Overflow of int
+
+let record_width_of cfg = 1 + Codec.words_for_bits (8 * cfg.value_bytes)
+
+let blocks_per_disk cfg = cfg.buckets_per_stripe * cfg.bucket_blocks
+
+let plan ?(load_slack = 1.25) ?(bucket_blocks = 1) ?(tombstone = false)
+    ~universe ~capacity ~block_words ~degree ~value_bytes ~seed () =
+  if degree < 2 then invalid_arg "Basic_dict.plan: degree must be >= 2";
+  if bucket_blocks < 1 then invalid_arg "Basic_dict.plan: bucket_blocks >= 1";
+  let width = 1 + Codec.words_for_bits (8 * value_bytes) in
+  let slots = block_words / width * bucket_blocks in
+  if slots < 1 then invalid_arg "Basic_dict.plan: a record must fit a block";
+  (* Find the least v (multiple of degree) whose Lemma 3 bound, padded
+     by the slack factor, fits in a one-block bucket. *)
+  let fits v =
+    match
+      Expansion.lemma3_bound ~n:capacity ~v ~d:degree ~k:1 ~eps:(1.0 /. 12.0)
+        ~delta:(1.0 /. 12.0)
+    with
+    | bound -> load_slack *. bound <= float_of_int slots
+    | exception Invalid_argument _ -> false
+  in
+  let rec search w =
+    if w > 16 * (capacity + degree) then
+      invalid_arg "Basic_dict.plan: no feasible bucket count (B too small?)"
+    else if fits (degree * w) then w
+    else search (max (w + 1) (w * 3 / 2))
+  in
+  let buckets_per_stripe = search 1 in
+  { universe; capacity; degree; buckets_per_stripe; value_bytes;
+    bucket_blocks; tombstone; seed }
+
+let create ~machine ~disk_offset ~block_offset cfg =
+  if cfg.degree < 2 then invalid_arg "Basic_dict.create: degree";
+  if disk_offset < 0 || disk_offset + cfg.degree > Pdm.disks machine then
+    invalid_arg "Basic_dict.create: disk range out of machine";
+  if block_offset < 0
+     || block_offset + blocks_per_disk cfg > Pdm.blocks_per_disk machine
+  then invalid_arg "Basic_dict.create: block range out of machine";
+  let width = record_width_of cfg in
+  let slots_per_block = Pdm.block_size machine / width in
+  if slots_per_block < 1 then
+    invalid_arg "Basic_dict.create: a record must fit a block";
+  let v = cfg.degree * cfg.buckets_per_stripe in
+  let graph =
+    Seeded.striped ~seed:cfg.seed ~u:cfg.universe ~v ~d:cfg.degree
+  in
+  { cfg; machine; disk_offset; block_offset; graph; width; slots_per_block;
+    size = 0; tombstones = 0 }
+
+let recover ~machine ~disk_offset ~block_offset cfg =
+  let t = create ~machine ~disk_offset ~block_offset cfg in
+  (* One counted pass over the structure's blocks: blocks_per_disk
+     rounds (all d disks are read in parallel each round). *)
+  for b = 0 to blocks_per_disk cfg - 1 do
+    let addrs =
+      List.init cfg.degree (fun i ->
+          { Pdm.disk = disk_offset + i; block = block_offset + b })
+    in
+    List.iter
+      (fun (_, block) ->
+        let slots =
+          Codec.Slots.per_block ~block_words:(Array.length block) ~width:t.width
+        in
+        for s = 0 to slots - 1 do
+          match Codec.Slots.read block ~width:t.width s with
+          | Some r when r.(0) = cfg.universe ->
+            t.tombstones <- t.tombstones + 1
+          | Some _ -> t.size <- t.size + 1
+          | None -> ()
+        done)
+      (Pdm.read machine addrs)
+  done;
+  t
+
+let config t = t.cfg
+
+let graph t = t.graph
+
+let machine t = t.machine
+
+let size t = t.size
+
+let record_width t = t.width
+
+let slots_per_bucket t = t.slots_per_block * t.cfg.bucket_blocks
+
+(* Bucket (stripe i, local j) occupies blocks
+   [block_offset + j·bucket_blocks, …+bucket_blocks) of disk
+   disk_offset + i. *)
+let bucket_addrs t ~stripe ~local =
+  List.init t.cfg.bucket_blocks (fun b ->
+      { Pdm.disk = t.disk_offset + stripe;
+        block = t.block_offset + (local * t.cfg.bucket_blocks) + b })
+
+let bucket_of_key t key i =
+  let stripe, local = Bipartite.neighbor_in_stripe t.graph key i in
+  (stripe, local)
+
+let addresses t key =
+  List.concat
+    (List.init t.cfg.degree (fun i ->
+         let stripe, local = bucket_of_key t key i in
+         bucket_addrs t ~stripe ~local))
+
+(* In-memory image of one bucket: the list of its blocks, outer index =
+   block within bucket. *)
+let bucket_image blocks_by_addr t ~stripe ~local =
+  List.map
+    (fun a ->
+      match List.assoc_opt a blocks_by_addr with
+      | Some b -> (a, b)
+      | None -> invalid_arg "Basic_dict: missing block in supplied fetch")
+    (bucket_addrs t ~stripe ~local)
+
+let value_of_record t record =
+  Codec.bytes_of_words_len
+    (Array.sub record 1 (t.width - 1))
+    ~len:t.cfg.value_bytes
+
+(* Search one bucket image for a key: (block addr, block, slot). *)
+let find_slot_in_bucket t image key =
+  let rec loop = function
+    | [] -> None
+    | (addr, block) :: rest ->
+      (match Codec.Slots.find_key block ~width:t.width ~key with
+       | Some s -> Some (addr, block, s)
+       | None -> loop rest)
+  in
+  loop image
+
+let find_in t key blocks =
+  let rec over_buckets i =
+    if i >= t.cfg.degree then None
+    else begin
+      let stripe, local = bucket_of_key t key i in
+      let image = bucket_image blocks t ~stripe ~local in
+      match find_slot_in_bucket t image key with
+      | Some (_, block, s) ->
+        (match Codec.Slots.read block ~width:t.width s with
+         | Some record -> Some (value_of_record t record)
+         | None -> assert false)
+      | None -> over_buckets (i + 1)
+    end
+  in
+  over_buckets 0
+
+let fetch t key = Pdm.read t.machine (addresses t key)
+
+let find t key = find_in t key (fetch t key)
+
+let mem t key = find t key <> None
+
+let record_of t key value =
+  if Bytes.length value > t.cfg.value_bytes then
+    invalid_arg "Basic_dict: value too large";
+  let padded = Bytes.make t.cfg.value_bytes '\000' in
+  Bytes.blit value 0 padded 0 (Bytes.length value);
+  Array.append [| key |] (Codec.words_of_bytes padded)
+
+let bucket_load t image =
+  List.fold_left
+    (fun acc (_, block) -> acc + Codec.Slots.count block ~width:t.width)
+    0 image
+
+let prepare_insert t key value blocks =
+  let record = record_of t key value in
+  let images =
+    List.init t.cfg.degree (fun i ->
+        let stripe, local = bucket_of_key t key i in
+        bucket_image blocks t ~stripe ~local)
+  in
+  (* Update in place when present. *)
+  let existing =
+    List.fold_left
+      (fun acc image ->
+        match acc with
+        | Some _ -> acc
+        | None -> find_slot_in_bucket t image key)
+      None images
+  in
+  match existing with
+  | Some (addr, block, s) ->
+    Codec.Slots.write block ~width:t.width s (Some record);
+    (addr, block)
+  | None ->
+    if t.size >= t.cfg.capacity then
+      invalid_arg "Basic_dict.insert: at capacity";
+    (* Greedy k = 1: least-loaded neighbor bucket, ties to stripe 0. *)
+    let best = ref None in
+    List.iter
+      (fun image ->
+        let load = bucket_load t image in
+        match !best with
+        | Some (_, l) when l <= load -> ()
+        | Some _ | None -> best := Some (image, load))
+      images;
+    (match !best with
+     | None -> assert false
+     | Some (image, _) ->
+       let rec place = function
+         | [] -> raise (Overflow key)
+         | (addr, block) :: rest ->
+           (match Codec.Slots.first_free block ~width:t.width with
+            | Some s ->
+              Codec.Slots.write block ~width:t.width s (Some record);
+              t.size <- t.size + 1;
+              (addr, block)
+            | None -> place rest)
+       in
+       place image)
+
+let insert t key value =
+  let blocks = fetch t key in
+  let addr, block = prepare_insert t key value blocks in
+  Pdm.write t.machine [ (addr, block) ]
+
+let bulk_load t data =
+  if t.size > 0 then invalid_arg "Basic_dict.bulk_load: dictionary not empty";
+  let seen = Hashtbl.create (Array.length data) in
+  Array.iter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then
+        invalid_arg "Basic_dict.bulk_load: duplicate key";
+      Hashtbl.add seen k ())
+    data;
+  if Array.length data > t.cfg.capacity then
+    invalid_arg "Basic_dict.bulk_load: over capacity";
+  (* Greedy placement in memory, mirroring insert's choice exactly. *)
+  let v = t.cfg.degree * t.cfg.buckets_per_stripe in
+  let loads = Array.make v 0 in
+  let cap = slots_per_bucket t in
+  let images : (Pdm.addr, int option array) Hashtbl.t = Hashtbl.create 64 in
+  let image_of addr =
+    match Hashtbl.find_opt images addr with
+    | Some b -> b
+    | None ->
+      let b = Array.make (Pdm.block_size t.machine) None in
+      Hashtbl.add images addr b;
+      b
+  in
+  Array.iter
+    (fun (key, value) ->
+      let record = record_of t key value in
+      let nbrs = Bipartite.neighbors t.graph key in
+      let best = ref nbrs.(0) in
+      Array.iter (fun b -> if loads.(b) < loads.(!best) then best := b) nbrs;
+      if loads.(!best) >= cap then raise (Overflow key);
+      let slot = loads.(!best) in
+      loads.(!best) <- slot + 1;
+      (* Slot -> (block within bucket, slot within block). *)
+      let stripe, local = Bipartite.stripe_of t.graph !best in
+      let block_in_bucket = slot / t.slots_per_block in
+      let addr =
+        { Pdm.disk = t.disk_offset + stripe;
+          block =
+            t.block_offset + (local * t.cfg.bucket_blocks) + block_in_bucket }
+      in
+      Codec.Slots.write (image_of addr) ~width:t.width
+        (slot mod t.slots_per_block)
+        (Some record);
+      t.size <- t.size + 1)
+    data;
+  let blocks = Hashtbl.fold (fun a b acc -> (a, b) :: acc) images [] in
+  if blocks <> [] then Pdm.write t.machine blocks
+
+let tombstones t = t.tombstones
+
+(* Tombstone sentinel: the universe size is never a legal key. *)
+let tombstone_record t =
+  let r = Array.make t.width 0 in
+  r.(0) <- t.cfg.universe;
+  r
+
+let prepare_delete t key blocks =
+  let rec over_buckets i =
+    if i >= t.cfg.degree then None
+    else begin
+      let stripe, local = bucket_of_key t key i in
+      let image = bucket_image blocks t ~stripe ~local in
+      match find_slot_in_bucket t image key with
+      | Some (addr, block, s) ->
+        if t.cfg.tombstone then begin
+          Codec.Slots.write block ~width:t.width s (Some (tombstone_record t));
+          t.tombstones <- t.tombstones + 1
+        end
+        else Codec.Slots.write block ~width:t.width s None;
+        t.size <- t.size - 1;
+        Some (addr, block)
+      | None -> over_buckets (i + 1)
+    end
+  in
+  over_buckets 0
+
+let delete t key =
+  match prepare_delete t key (fetch t key) with
+  | Some (addr, block) ->
+    Pdm.write t.machine [ (addr, block) ];
+    true
+  | None -> false
+
+let records_of_blocks t blocks =
+  List.concat_map
+    (fun (_, block) ->
+      let out = ref [] in
+      let n = Codec.Slots.per_block ~block_words:(Array.length block) ~width:t.width in
+      for s = n - 1 downto 0 do
+        match Codec.Slots.read block ~width:t.width s with
+        | Some record when record.(0) <> t.cfg.universe ->
+          out := (record.(0), value_of_record t record) :: !out
+        | Some _ | None -> ()
+      done;
+      !out)
+    blocks
+
+let bucket_count t = t.cfg.degree * t.cfg.buckets_per_stripe
+
+let global_bucket_addrs t g =
+  let stripe = g / t.cfg.buckets_per_stripe in
+  let local = g mod t.cfg.buckets_per_stripe in
+  bucket_addrs t ~stripe ~local
+
+let read_bucket_entries t g =
+  if g < 0 || g >= bucket_count t then
+    invalid_arg "Basic_dict.read_bucket_entries: bucket out of range";
+  let addrs = global_bucket_addrs t g in
+  records_of_blocks t (Pdm.read t.machine addrs)
+
+let drain_bucket t g =
+  if g < 0 || g >= bucket_count t then
+    invalid_arg "Basic_dict.drain_bucket: bucket out of range";
+  let addrs = global_bucket_addrs t g in
+  let blocks = Pdm.read t.machine addrs in
+  (* Draining physically empties the bucket, releasing tombstones. *)
+  let dead = ref 0 in
+  List.iter
+    (fun (_, block) ->
+      let slots = Codec.Slots.per_block ~block_words:(Array.length block) ~width:t.width in
+      for s = 0 to slots - 1 do
+        match Codec.Slots.read block ~width:t.width s with
+        | Some r when r.(0) = t.cfg.universe -> incr dead
+        | Some _ | None -> ()
+      done)
+    blocks;
+  let records = records_of_blocks t blocks in
+  if records <> [] || !dead > 0 then begin
+    let empty = Array.make (Pdm.block_size t.machine) None in
+    Pdm.write t.machine (List.map (fun a -> (a, Array.copy empty)) addrs);
+    t.size <- t.size - List.length records;
+    t.tombstones <- t.tombstones - !dead
+  end;
+  records
+
+let entries t =
+  let out = ref [] in
+  for g = bucket_count t - 1 downto 0 do
+    let blocks =
+      List.map (fun a -> (a, Pdm.peek t.machine a)) (global_bucket_addrs t g)
+    in
+    out := records_of_blocks t blocks @ !out
+  done;
+  !out
+
+let clear t =
+  let empty = Array.make (Pdm.block_size t.machine) None in
+  for g = 0 to bucket_count t - 1 do
+    List.iter (fun a -> Pdm.poke t.machine a empty) (global_bucket_addrs t g)
+  done;
+  t.size <- 0;
+  t.tombstones <- 0
+
+let bucket_loads t =
+  Array.init
+    (t.cfg.degree * t.cfg.buckets_per_stripe)
+    (fun g ->
+      let stripe = g / t.cfg.buckets_per_stripe in
+      let local = g mod t.cfg.buckets_per_stripe in
+      List.fold_left
+        (fun acc a -> acc + Codec.Slots.count (Pdm.peek t.machine a) ~width:t.width)
+        0
+        (bucket_addrs t ~stripe ~local))
+
+let max_load t = Array.fold_left max 0 (bucket_loads t)

@@ -1,0 +1,53 @@
+(** One-probe static membership by bit vector (the [5] of the related
+    work: Buhrman, Miltersen, Radhakrishnan, Venkatesh, "Are
+    bitvectors optimal?").
+
+    The paper credits [5] with the first expander-based static
+    dictionary answering in one parallel I/O. The simplest variant of
+    that idea stores only membership: a bit array of v = O(nd) bits,
+    with bit y set iff y ∈ Γ(S). A query for x reads the d bits of
+    Γ(x) — one block per disk, one parallel I/O — and answers yes iff
+    {e all} of them are set.
+
+    Guarantees: no false negatives ever; false positives only for x
+    whose entire neighborhood happens to fall inside Γ(S), which
+    expansion makes rare — the measured rate drops geometrically with
+    the space factor (tested, and reported by {!false_positive_rate}).
+    Compare with the exact structures of Section 4: this one needs
+    only {e bits} (no identifiers or fragments) but answers
+    approximately — the classic space/exactness trade the paper's
+    Figure 1 sits on the other side of.
+
+    Bits are packed 32 per word; stripe i lives on disk i. *)
+
+type t
+
+val build :
+  machine:int Pdm_sim.Pdm.t ->
+  disk_offset:int ->
+  block_offset:int ->
+  universe:int ->
+  degree:int ->
+  v_factor:int ->
+  seed:int ->
+  int array ->
+  t
+(** [build ... keys] sets the bits of Γ(keys) on a right side of
+    v = v_factor × |keys| × degree bits (rounded up; at least one
+    block row). The fill costs ⌈blocks/d⌉ write rounds. *)
+
+val blocks_per_disk_needed :
+  universe:int -> degree:int -> v_factor:int -> block_words:int -> n:int ->
+  int
+
+val mem : t -> int -> bool
+(** One parallel I/O. *)
+
+val space_bits : t -> int
+(** v: the whole structure, in bits. *)
+
+val ones : t -> int
+(** Bits currently set (≤ d·n). *)
+
+val false_positive_rate : t -> trials:int -> seed:int -> float
+(** Measured on uniform non-member queries (uncounted; diagnostic). *)

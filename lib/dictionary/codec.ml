@@ -1,0 +1,94 @@
+module Imath = Pdm_util.Imath
+
+let bits_per_word = 32
+
+let words_for_bits nbits = Imath.cdiv nbits bits_per_word
+
+let get_bit bytes i =
+  let byte = i lsr 3 and off = i land 7 in
+  if byte >= Bytes.length bytes then false
+  else Char.code (Bytes.get bytes byte) land (0x80 lsr off) <> 0
+
+let set_bit bytes i =
+  let byte = i lsr 3 and off = i land 7 in
+  Bytes.set bytes byte
+    (Char.chr (Char.code (Bytes.get bytes byte) lor (0x80 lsr off)))
+
+let words_of_bits bytes ~nbits =
+  if nbits < 0 then invalid_arg "Codec.words_of_bits";
+  let nwords = words_for_bits nbits in
+  Array.init nwords (fun w ->
+      let acc = ref 0 in
+      for b = 0 to bits_per_word - 1 do
+        let i = (w * bits_per_word) + b in
+        acc := (!acc lsl 1) lor (if i < nbits && get_bit bytes i then 1 else 0)
+      done;
+      !acc)
+
+let bytes_of_words words ~nbits =
+  if nbits < 0 || words_for_bits nbits > Array.length words then
+    invalid_arg "Codec.bytes_of_words";
+  let out = Bytes.make (Imath.cdiv nbits 8) '\000' in
+  for i = 0 to nbits - 1 do
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    if words.(w) lsr (bits_per_word - 1 - b) land 1 = 1 then set_bit out i
+  done;
+  out
+
+let words_of_bytes bytes = words_of_bits bytes ~nbits:(8 * Bytes.length bytes)
+
+let bytes_of_words_len words ~len = bytes_of_words words ~nbits:(8 * len)
+
+module Slots = struct
+  let per_block ~block_words ~width =
+    if width < 1 then invalid_arg "Codec.Slots.per_block: width";
+    block_words / width
+
+  let read block ~width i =
+    let base = i * width in
+    match block.(base) with
+    | None -> None
+    | Some _ ->
+      Some
+        (Array.init width (fun j ->
+             match block.(base + j) with
+             | Some w -> w
+             | None -> invalid_arg "Codec.Slots.read: corrupt slot"))
+
+  let write block ~width i record =
+    let base = i * width in
+    (match record with
+     | None -> for j = 0 to width - 1 do block.(base + j) <- None done
+     | Some words ->
+       if Array.length words <> width then
+         invalid_arg "Codec.Slots.write: record has wrong width";
+       for j = 0 to width - 1 do block.(base + j) <- Some words.(j) done)
+
+  let count block ~width =
+    let n = per_block ~block_words:(Array.length block) ~width in
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if block.(i * width) <> None then incr c
+    done;
+    !c
+
+  let find_key block ~width ~key =
+    let n = per_block ~block_words:(Array.length block) ~width in
+    let rec loop i =
+      if i >= n then None
+      else
+        match block.(i * width) with
+        | Some k when k = key -> Some i
+        | Some _ | None -> loop (i + 1)
+    in
+    loop 0
+
+  let first_free block ~width =
+    let n = per_block ~block_words:(Array.length block) ~width in
+    let rec loop i =
+      if i >= n then None
+      else if block.(i * width) = None then Some i
+      else loop (i + 1)
+    in
+    loop 0
+end

@@ -1,0 +1,58 @@
+(** Word- and record-level encodings shared by the dictionaries.
+
+    The simulated disks store one machine word (an [int]) per cell;
+    block size B is measured in words, as in the paper ("a data item
+    is assumed to be sufficiently large to hold a pointer value or a
+    key value"). Satellite data enters and leaves the public dictionary
+    APIs as [Bytes.t]; internally it is packed into 32-bit words so
+    that space accounting stays exact.
+
+    Two layouts are provided:
+
+    - packed bit strings ↔ word arrays ({!words_of_bits},
+      {!bytes_of_words}) for the bit-exact fields of Section 4.2;
+    - fixed-width records inside a block ({!Slots}) for the bucket
+      dictionaries: a record of [width] words occupies [width]
+      consecutive cells, the first cell holding the key; an empty slot
+      has its first cell equal to [None]. *)
+
+val bits_per_word : int
+(** 32: each stored word carries 32 bits of packed payload. *)
+
+val words_for_bits : int -> int
+(** ⌈bits / 32⌉. *)
+
+val words_of_bits : Bytes.t -> nbits:int -> int array
+(** Pack the first [nbits] bits of the buffer (most significant bit of
+    byte 0 first) into 32-bit words. *)
+
+val bytes_of_words : int array -> nbits:int -> Bytes.t
+(** Inverse of {!words_of_bits}; the result has ⌈nbits/8⌉ bytes with
+    any trailing pad bits cleared. *)
+
+val words_of_bytes : Bytes.t -> int array
+(** Pack a whole byte string ([nbits] = 8 × length). *)
+
+val bytes_of_words_len : int array -> len:int -> Bytes.t
+(** Unpack exactly [len] bytes. *)
+
+module Slots : sig
+  val per_block : block_words:int -> width:int -> int
+  (** Records of [width] words that fit in one block (remainder cells
+      are wasted, as on a real device). *)
+
+  val read : int option array -> width:int -> int -> int array option
+  (** [read block ~width i] is record [i], or [None] for an empty
+      slot. Raises if the slot is corrupt (partially filled). *)
+
+  val write : int option array -> width:int -> int -> int array option -> unit
+  (** Store or clear record [i] in the in-memory block image. *)
+
+  val count : int option array -> width:int -> int
+  (** Occupied slots in the block. *)
+
+  val find_key : int option array -> width:int -> key:int -> int option
+  (** Index of the slot whose first word is [key], if any. *)
+
+  val first_free : int option array -> width:int -> int option
+end

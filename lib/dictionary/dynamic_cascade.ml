@@ -1,0 +1,268 @@
+module Pdm = Pdm_sim.Pdm
+module Bipartite = Pdm_expander.Bipartite
+module Seeded = Pdm_expander.Seeded
+module Imath = Pdm_util.Imath
+
+type config = {
+  universe : int;
+  capacity : int;
+  degree : int;
+  sigma_bits : int;
+  epsilon : float;
+  v_factor : int;
+  seed : int;
+}
+
+type t = {
+  cfg : config;
+  machine : int Pdm.t;
+  membership : Basic_dict.t;
+  arrays : Field_store.t array;  (* A_1 .. A_l *)
+  m : int;                       (* fields per key, 2d/3 *)
+  field_bits : int;
+  mutable size : int;
+}
+
+exception Overflow of int
+
+let frag_count cfg = 2 * cfg.degree / 3
+
+let field_bits_of cfg = Imath.cdiv cfg.sigma_bits (frag_count cfg) + 4
+
+(* 6ε < 1/(1 + 1/ɛ), and ε <= 1/12 to keep the expanders in the regime
+   Lemma 5 needs. *)
+let shrink_ratio cfg = min 0.5 (0.95 /. (1.0 +. (1.0 /. cfg.epsilon)))
+
+let level_count cfg =
+  let r = shrink_ratio cfg in
+  max 1
+    (int_of_float
+       (ceil (log (float_of_int (max 2 cfg.capacity)) /. log (1.0 /. r))))
+
+let min_stripe = 16
+
+let level_sizes cfg =
+  let r = shrink_ratio cfg in
+  let d = cfg.degree in
+  let v1 = float_of_int (cfg.v_factor * cfg.capacity * d) in
+  Array.init (level_count cfg) (fun i ->
+      let v = v1 *. (r ** float_of_int i) in
+      max (d * min_stripe) (Imath.round_up_to ~multiple:d (int_of_float v)))
+
+let membership_value_bytes = 2 (* level byte, head-stripe byte *)
+
+let validate cfg =
+  if cfg.degree < 5 then invalid_arg "Dynamic_cascade: degree too small";
+  if 2 * frag_count cfg <= cfg.degree then
+    invalid_arg "Dynamic_cascade: 2 * (2d/3) must exceed d";
+  if cfg.epsilon <= 0.0 then invalid_arg "Dynamic_cascade: epsilon > 0";
+  if float_of_int cfg.degree <= 6.0 *. (1.0 +. (1.0 /. cfg.epsilon)) then
+    invalid_arg "Dynamic_cascade: Theorem 7 needs d > 6(1 + 1/epsilon)";
+  if cfg.degree > 255 then
+    invalid_arg "Dynamic_cascade: head pointer is one byte";
+  if level_count cfg > 255 then
+    invalid_arg "Dynamic_cascade: level index is one byte";
+  if cfg.v_factor < 2 then invalid_arg "Dynamic_cascade: v_factor >= 2"
+
+let create ~block_words cfg =
+  validate cfg;
+  let d = cfg.degree in
+  let field_bits = field_bits_of cfg in
+  let field_words = Codec.words_for_bits field_bits in
+  let fields_per_block = block_words / field_words in
+  if fields_per_block < 1 then
+    invalid_arg "Dynamic_cascade: field exceeds block";
+  let sizes = level_sizes cfg in
+  let level_blocks =
+    Array.map (fun v -> Imath.cdiv (v / d) fields_per_block) sizes
+  in
+  let fields_total_blocks = Array.fold_left ( + ) 0 level_blocks in
+  let mem_cfg =
+    Basic_dict.plan ~universe:cfg.universe ~capacity:cfg.capacity ~block_words
+      ~degree:d ~value_bytes:membership_value_bytes ~seed:(cfg.seed + 1000) ()
+  in
+  let blocks_per_disk =
+    max fields_total_blocks (Basic_dict.blocks_per_disk mem_cfg)
+  in
+  let machine =
+    Pdm.create ~disks:(2 * d) ~block_size:block_words ~blocks_per_disk ()
+  in
+  let membership =
+    Basic_dict.create ~machine ~disk_offset:d ~block_offset:0 mem_cfg
+  in
+  let offset = ref 0 in
+  let arrays =
+    Array.mapi
+      (fun i v ->
+        let graph = Seeded.striped ~seed:(cfg.seed + i) ~u:cfg.universe ~v ~d in
+        let fs =
+          Field_store.create ~machine ~disk_offset:0 ~block_offset:!offset
+            ~graph ~field_bits
+        in
+        offset := !offset + level_blocks.(i);
+        fs)
+      sizes
+  in
+  { cfg; machine; membership; arrays; m = frag_count cfg; field_bits; size = 0 }
+
+let config t = t.cfg
+let machine t = t.machine
+let levels t = Array.length t.arrays
+let level_fields t = Array.map (fun fs -> Bipartite.v (Field_store.graph fs)) t.arrays
+let size t = t.size
+
+let decode_membership bytes =
+  (Char.code (Bytes.get bytes 0), Char.code (Bytes.get bytes 1))
+
+let encode_membership ~level ~head =
+  let b = Bytes.make membership_value_bytes '\000' in
+  Bytes.set b 0 (Char.chr level);
+  Bytes.set b 1 (Char.chr head);
+  b
+
+(* The first read round: membership buckets + A_1 candidate blocks,
+   on disjoint disk groups — one parallel I/O. *)
+let first_round_addrs t key =
+  Basic_dict.addresses t.membership key @ Field_store.addresses t.arrays.(0) key
+
+let getter t level blocks key i =
+  let fs = t.arrays.(level - 1) in
+  Field_store.field_in fs blocks (Bipartite.neighbor (Field_store.graph fs) key i)
+
+let find t key =
+  let blocks = Pdm.read t.machine (first_round_addrs t key) in
+  match Basic_dict.find_in t.membership key blocks with
+  | None -> None
+  | Some v ->
+    let level, head = decode_membership v in
+    let blocks =
+      if level = 1 then blocks
+      else Pdm.read t.machine (Field_store.addresses t.arrays.(level - 1) key)
+    in
+    Field_codec.decode_a ~field_bits:t.field_bits ~head
+      ~sigma_bits:t.cfg.sigma_bits (getter t level blocks key)
+
+let mem t key =
+  let blocks = Pdm.read t.machine (first_round_addrs t key) in
+  Basic_dict.find_in t.membership key blocks <> None
+
+let level_of t key =
+  (* Uncounted diagnostic: peek the membership buckets. *)
+  let addrs = Basic_dict.addresses t.membership key in
+  let blocks = List.map (fun a -> (a, Pdm.peek t.machine a)) addrs in
+  Option.map
+    (fun v -> fst (decode_membership v))
+    (Basic_dict.find_in t.membership key blocks)
+
+(* Stripes of currently-empty candidate fields at a level, ascending. *)
+let empty_stripes t level blocks key =
+  let get = getter t level blocks key in
+  List.filter (fun i -> get i = None) (List.init t.cfg.degree (fun i -> i))
+
+let insert t key satellite =
+  if 8 * Bytes.length satellite < t.cfg.sigma_bits then
+    invalid_arg "Dynamic_cascade.insert: satellite shorter than sigma_bits";
+  let round1 = Pdm.read t.machine (first_round_addrs t key) in
+  match Basic_dict.find_in t.membership key round1 with
+  | Some v ->
+    (* Update in place: rewrite the key's existing fields. *)
+    let level, head = decode_membership v in
+    let fs = t.arrays.(level - 1) in
+    let blocks =
+      if level = 1 then round1 else Pdm.read t.machine (Field_store.addresses fs key)
+    in
+    (match
+       Field_codec.indices_a ~field_bits:t.field_bits ~head
+         (getter t level blocks key)
+     with
+     | None -> invalid_arg "Dynamic_cascade: corrupt pointer chain"
+     | Some stripes ->
+       let enc =
+         Field_codec.encode_a ~field_bits:t.field_bits ~indices:stripes
+           ~satellite ~sigma_bits:t.cfg.sigma_bits
+       in
+       let graph = Field_store.graph fs in
+       let updates =
+         List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
+       in
+       Field_store.write_fields_in fs ~images:blocks updates)
+  | None ->
+    if t.size >= t.cfg.capacity then
+      invalid_arg "Dynamic_cascade.insert: at capacity";
+    (* First-fit level search. *)
+    let l = Array.length t.arrays in
+    let rec place level blocks =
+      let empties = empty_stripes t level blocks key in
+      if List.length empties >= t.m then begin
+        let stripes = List.filteri (fun i _ -> i < t.m) empties in
+        let enc =
+          Field_codec.encode_a ~field_bits:t.field_bits ~indices:stripes
+            ~satellite ~sigma_bits:t.cfg.sigma_bits
+        in
+        let fs = t.arrays.(level - 1) in
+        let graph = Field_store.graph fs in
+        let updates =
+          List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
+        in
+        let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
+        let head = List.hd stripes in
+        let mem_block =
+          Basic_dict.prepare_insert t.membership key
+            (encode_membership ~level ~head)
+            round1
+        in
+        (* One combined write round: field blocks (disks [0,d)) and the
+           membership bucket (disks [d,2d)). *)
+        Pdm.write t.machine (mem_block :: field_blocks);
+        t.size <- t.size + 1
+      end
+      else if level >= l then raise (Overflow key)
+      else begin
+        let next = level + 1 in
+        let blocks =
+          Pdm.read t.machine (Field_store.addresses t.arrays.(next - 1) key)
+        in
+        place next blocks
+      end
+    in
+    place 1 round1
+
+let delete t key =
+  let round1 = Pdm.read t.machine (first_round_addrs t key) in
+  match Basic_dict.find_in t.membership key round1 with
+  | None -> false
+  | Some v ->
+    let level, head = decode_membership v in
+    let fs = t.arrays.(level - 1) in
+    let blocks =
+      if level = 1 then round1
+      else Pdm.read t.machine (Field_store.addresses fs key)
+    in
+    (match
+       Field_codec.indices_a ~field_bits:t.field_bits ~head
+         (getter t level blocks key)
+     with
+     | None -> invalid_arg "Dynamic_cascade: corrupt pointer chain"
+     | Some stripes ->
+       let graph = Field_store.graph fs in
+       let updates =
+         List.map (fun i -> (Bipartite.neighbor graph key i, None)) stripes
+       in
+       let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
+       (match Basic_dict.prepare_delete t.membership key round1 with
+        | None -> assert false
+        | Some mem_block ->
+          (* Fields live on disks [0, d), membership on [d, 2d): one
+             combined write round. *)
+          Pdm.write t.machine (mem_block :: field_blocks);
+          t.size <- t.size - 1;
+          true))
+
+let space_bits t =
+  let fields =
+    Array.fold_left (fun acc fs -> acc + Field_store.total_bits fs) 0 t.arrays
+  in
+  let mc = Basic_dict.config t.membership in
+  fields
+  + Basic_dict.blocks_per_disk mc * mc.Basic_dict.degree
+    * Pdm.block_size t.machine * Codec.bits_per_word

@@ -1,0 +1,55 @@
+(** The case (b) dynamization Theorem 7 alludes to ("a slightly weaker
+    result is possible in the more general case as well").
+
+    Without the B = Ω(log n) assumption there is no membership
+    sub-dictionary; the cascade's levels use the identifier fields of
+    Theorem 6(b) instead. A lookup probes A₁, A₂, … until some level's
+    majority vote succeeds; insertion is the same first-fit as the
+    case (a) cascade.
+
+    The weakening, measured in experiment E12's companion test:
+
+    - {e successful} searches still average 1 + ɛ I/Os (geometric
+      level decay), worst case l;
+    - {e unsuccessful} searches cost l I/Os — every level must fail
+      its majority — instead of the case (a) structure's guaranteed 1;
+    - d disks instead of 2d, and no per-key head pointers.
+
+    Identifiers are ⌈lg N⌉-bit values issued from an insertion
+    counter; as in Theorem 6, expansion (no two keys share more than
+    εd neighbors) makes the majority unambiguous, which the tests
+    check empirically. Updates rewrite in place; deletions clear the
+    key's fields. *)
+
+type config = {
+  universe : int;
+  capacity : int;
+  degree : int;
+  sigma_bits : int;
+  epsilon : float;
+  v_factor : int;
+  seed : int;
+}
+
+type t
+
+exception Overflow of int
+
+val create : block_words:int -> config -> t
+
+val config : t -> config
+
+val machine : t -> int Pdm_sim.Pdm.t
+
+val levels : t -> int
+
+val size : t -> int
+
+val find : t -> int -> Bytes.t option
+(** ≤ levels I/Os; 1 + ɛ on average over stored keys. *)
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> Bytes.t -> unit
+
+val delete : t -> int -> bool

@@ -1,0 +1,84 @@
+(** The two field layouts of Theorem 6.
+
+    A stored key's satellite data (σ bits) is split across m assigned
+    fields of a {!Field_store}. Two encodings are used:
+
+    {b Case (b)} — small blocks: every field carries an identifier of
+    [id_bits] = ⌈lg n⌉ bits followed by a fixed-size data chunk. On
+    lookup, the identifier appearing in more than half of the d
+    fetched fields marks the fields to merge; expansion guarantees the
+    majority is unambiguous.
+
+    {b Case (a)} — large blocks: fields carry no identifier. Instead
+    each field starts with the unary-coded relative pointer to the
+    next assigned field (delta ones then a zero; the tail field starts
+    with the zero alone), and the satellite bit stream fills whatever
+    space each field has left — so the pointer overhead per key is
+    under 2d bits total, at the cost of needing the head pointer
+    (⌈lg d⌉ bits, kept in the membership sub-dictionary) to start
+    decoding.
+
+    All functions are pure; field contents are byte strings of
+    ⌈field_bits/8⌉ bytes as stored by {!Field_store}. *)
+
+type encoded = (int * Bytes.t) list
+(** (assigned index, field content) pairs. The index is whatever
+    keyspace the caller uses — stripe index i for lookups via Γ(x, i),
+    or a global field index during construction. *)
+
+val encode_b :
+  field_bits:int ->
+  id_bits:int ->
+  id:int ->
+  satellite:Bytes.t ->
+  sigma_bits:int ->
+  indices:int list ->
+  encoded
+(** Case (b). Splits [sigma_bits] of satellite into
+    [List.length indices] chunks of [field_bits - id_bits] bits (the
+    last chunk zero-padded), prefixing each with [id]. Raises
+    [Invalid_argument] when the capacity is insufficient or the id
+    does not fit. *)
+
+val decode_b :
+  field_bits:int ->
+  id_bits:int ->
+  sigma_bits:int ->
+  d:int ->
+  (int -> Bytes.t option) ->
+  (int * Bytes.t) option
+(** Case (b) lookup over the d candidate fields ([get i] = field at
+    Γ(x, i), [None] = empty). Returns the majority identifier (> d/2
+    occurrences) and the merged satellite, or [None] when there is no
+    majority — i.e. the key is absent. *)
+
+val encode_a :
+  field_bits:int ->
+  indices:int list ->
+  satellite:Bytes.t ->
+  sigma_bits:int ->
+  encoded
+(** Case (a). [indices] must be strictly increasing (positions within
+    [0, d)). Raises [Invalid_argument] when a unary pointer does not
+    fit its field or the total capacity is short. *)
+
+val decode_a :
+  field_bits:int ->
+  head:int ->
+  sigma_bits:int ->
+  (int -> Bytes.t option) ->
+  Bytes.t option
+(** Case (a) lookup: follow the pointer list starting at index [head],
+    concatenating each visited field's data remainder. Returns [None]
+    if a visited field is empty or the stream ends short — both mean
+    the structure does not hold the key (callers consult the
+    membership dictionary first, so this is defensive). *)
+
+val indices_a :
+  field_bits:int -> head:int -> (int -> Bytes.t option) -> int list option
+(** Follow only the unary pointers from [head], returning the full
+    index list (used to rewrite a stored key's satellite in place). *)
+
+val a_capacity_bits : field_bits:int -> indices:int list -> int
+(** Data bits case (a) can store in these fields (capacity minus
+    pointer overhead); useful for sizing checks and tests. *)

@@ -1,0 +1,104 @@
+(** The array A of Section 4.2: v small fields packed into disk blocks.
+
+    Stripe i of a striped expander indexes the fields stored on disk
+    [disk_offset + i], so fetching the d candidate fields A[Γ(x)] of a
+    key — one per disk — is a single parallel I/O even though each
+    block holds many fields.
+
+    A field is a fixed-size bit string ([field_bits] bits, stored as
+    ⌈field_bits/32⌉ words); an empty field (the paper's "empty-field
+    marker") is represented by its first word being unset. Writes are
+    read-modify-write at block granularity, as on a real device; the
+    batch operations below group fields by block so composite
+    structures pay the minimal number of rounds.
+
+    Fields larger than a block are spread across ⌈field_words/B⌉
+    {e groups} of disks — the paper's "if the size of the satellite
+    data is too large, more disks are needed to transfer the data in
+    one probe... the number of disks should be a multiple of d". The
+    store then uses d × groups disks, and every lookup is still one
+    parallel round. *)
+
+type t
+
+val plan_groups : block_words:int -> field_bits:int -> int
+(** Disk groups a field of this size needs: ⌈field words / B⌉. *)
+
+val create :
+  machine:int Pdm_sim.Pdm.t ->
+  disk_offset:int ->
+  block_offset:int ->
+  graph:Pdm_expander.Bipartite.t ->
+  field_bits:int ->
+  t
+(** The graph must be striped; its right side indexes the fields. The
+    store occupies disks
+    [disk_offset, disk_offset + d × plan_groups ...). *)
+
+val graph : t -> Pdm_expander.Bipartite.t
+
+val field_bits : t -> int
+
+val field_words : t -> int
+
+val fields_per_block : t -> int
+
+val groups : t -> int
+(** Disks (= blocks) per field. *)
+
+val disk_span : t -> int
+(** d × groups: total disks the store occupies. *)
+
+val blocks_per_disk : t -> int
+(** Blocks this store occupies on each of its d disks. *)
+
+val total_bits : t -> int
+(** v × field_bits: the space usage Theorem 6 accounts. *)
+
+val addresses : t -> int -> Pdm_sim.Pdm.addr list
+(** The d × groups blocks containing A[Γ(key)], one per disk. *)
+
+val addr_of_field : t -> int -> Pdm_sim.Pdm.addr
+(** First block of a given field (its occupancy marker). *)
+
+val addrs_of_field : t -> int -> Pdm_sim.Pdm.addr list
+(** All [groups] blocks of a field. *)
+
+val field_in :
+  t -> (Pdm_sim.Pdm.addr * int option array) list -> int -> Bytes.t option
+(** Decode field [y] from fetched blocks ([None] = empty). Raises when
+    the containing block is not among those supplied. *)
+
+val read_fields : t -> int list -> (int * Bytes.t option) list
+(** Fetch the given fields, reading each containing block once. *)
+
+val prepare_updates :
+  t ->
+  images:(Pdm_sim.Pdm.addr * int option array) list ->
+  (int * Bytes.t option) list ->
+  (Pdm_sim.Pdm.addr * int option array) list
+(** Apply field updates to already-fetched block images and return the
+    touched blocks {b without writing them} — the caller folds them
+    into a combined write round. *)
+
+val write_fields_in :
+  t ->
+  images:(Pdm_sim.Pdm.addr * int option array) list ->
+  (int * Bytes.t option) list ->
+  unit
+(** Update fields inside already-fetched block images and write the
+    touched blocks back (one write request; rounds as scheduled by the
+    machine). Use after a read of {!addresses} for read-modify-write
+    costing 1 + 1 rounds. *)
+
+val write_fields : t -> (int * Bytes.t option) list -> unit
+(** Read-modify-write without pre-fetched images. *)
+
+val bulk_write : t -> (int * Bytes.t) list -> unit
+(** Construction-time fill: group all fields by block, then write every
+    touched block in one request (≈ blocks/d parallel write rounds,
+    plus one read round for partially-updated blocks). Fields must be
+    distinct. *)
+
+val count_occupied : t -> int
+(** Uncounted diagnostic: occupied fields. *)

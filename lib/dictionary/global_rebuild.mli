@@ -1,0 +1,61 @@
+(** Global rebuilding (Section 4 preamble): a fully dynamic dictionary
+    without a fixed capacity, from capacity-bounded instances.
+
+    The capacity-bounded basic dictionary (Section 4.1) is wrapped in
+    the standard worst-case global rebuilding technique of Overmars
+    and van Leeuwen, with the paper's parallel-disk twists:
+
+    - {b two structures active at any time}, on disjoint disk groups
+      of one machine, so a lookup queries both in a single combined
+      parallel I/O;
+    - when the active instance passes half its capacity, a shadow of
+      twice the capacity starts on the other group, and every
+      subsequent update migrates a bounded number of entries
+      ([transfer_per_op]), so no operation ever stalls on a full
+      rebuild — worst-case O(1) I/Os per operation;
+    - when occupancy falls below 1/8 of capacity, a half-size shadow
+      starts instead, reclaiming space after deletion waves (the
+      1/8-vs-1/2 hysteresis prevents grow/shrink thrashing);
+    - inserts go to the shadow while it exists (fresh data wins);
+      deletes are applied to both. *)
+
+type config = {
+  universe : int;
+  degree : int;            (** d; each instance uses d disks *)
+  value_bytes : int;
+  block_words : int;
+  initial_capacity : int;
+  max_capacity : int;      (** disk space is provisioned for this *)
+  transfer_per_op : int;   (** entries migrated per update (≥ 1) *)
+  seed : int;
+}
+
+type t
+
+val create : config -> t
+
+val machine : t -> int Pdm_sim.Pdm.t
+
+val config : t -> config
+
+val size : t -> int
+
+val capacity : t -> int
+(** Current active instance's capacity bound. *)
+
+val rebuilds : t -> int
+(** Completed hand-overs so far. *)
+
+val rebuilding : t -> bool
+
+val find : t -> int -> Bytes.t option
+(** One parallel I/O, rebuild in progress or not. *)
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> Bytes.t -> unit
+(** O(1) worst-case I/Os: the operation itself plus at most
+    [transfer_per_op] migrated entries. Raises [Invalid_argument] once
+    the structure would outgrow [max_capacity]. *)
+
+val delete : t -> int -> bool

@@ -1,0 +1,218 @@
+module Pdm = Pdm_sim.Pdm
+module Bipartite = Pdm_expander.Bipartite
+module Seeded = Pdm_expander.Seeded
+module Imath = Pdm_util.Imath
+
+type config = {
+  universe : int;
+  capacity : int;
+  degree : int;
+  sigma_bits : int;
+  levels : int;
+  v_factor : int;
+  seed : int;
+}
+
+type t = {
+  cfg : config;
+  machine : int Pdm.t;
+  membership : Basic_dict.t;    (* disks [0, d) *)
+  arrays : Field_store.t array; (* level i on disks [(i+1)d, (i+2)d) *)
+  m : int;
+  field_bits : int;
+  mutable size : int;
+}
+
+exception Overflow of int
+
+let frag_count cfg = 2 * cfg.degree / 3
+
+let field_bits_of cfg = Imath.cdiv cfg.sigma_bits (frag_count cfg) + 4
+
+let min_stripe = 16
+
+let level_sizes cfg =
+  let d = cfg.degree in
+  let v1 = float_of_int (cfg.v_factor * cfg.capacity * d) in
+  Array.init cfg.levels (fun i ->
+      let v = v1 *. (0.5 ** float_of_int i) in
+      max (d * min_stripe) (Imath.round_up_to ~multiple:d (int_of_float v)))
+
+let membership_value_bytes = 2
+
+let create ~block_words cfg =
+  if cfg.degree < 5 || 2 * frag_count cfg <= cfg.degree then
+    invalid_arg "One_probe_dynamic: degree";
+  if cfg.levels < 1 || cfg.levels > 254 then
+    invalid_arg "One_probe_dynamic: levels";
+  if cfg.degree > 255 then invalid_arg "One_probe_dynamic: degree > 255";
+  let d = cfg.degree in
+  let field_bits = field_bits_of cfg in
+  let field_words = Codec.words_for_bits field_bits in
+  let fields_per_block = block_words / field_words in
+  if fields_per_block < 1 then
+    invalid_arg "One_probe_dynamic: field exceeds block";
+  let sizes = level_sizes cfg in
+  let level_blocks =
+    Array.map (fun v -> Imath.cdiv (v / d) fields_per_block) sizes
+  in
+  let mem_cfg =
+    Basic_dict.plan ~universe:cfg.universe ~capacity:cfg.capacity
+      ~block_words ~degree:d ~value_bytes:membership_value_bytes
+      ~seed:(cfg.seed + 1000) ()
+  in
+  let blocks_per_disk =
+    max
+      (Array.fold_left max 1 level_blocks)
+      (Basic_dict.blocks_per_disk mem_cfg)
+  in
+  let machine =
+    Pdm.create ~disks:((cfg.levels + 1) * d) ~block_size:block_words
+      ~blocks_per_disk ()
+  in
+  let membership =
+    Basic_dict.create ~machine ~disk_offset:0 ~block_offset:0 mem_cfg
+  in
+  let arrays =
+    Array.mapi
+      (fun i v ->
+        let graph = Seeded.striped ~seed:(cfg.seed + i) ~u:cfg.universe ~v ~d in
+        Field_store.create ~machine ~disk_offset:((i + 1) * d) ~block_offset:0
+          ~graph ~field_bits)
+      sizes
+  in
+  { cfg; machine; membership; arrays; m = frag_count cfg; field_bits;
+    size = 0 }
+
+let config t = t.cfg
+let machine t = t.machine
+let disks t = Pdm.disks t.machine
+let size t = t.size
+
+let decode_membership bytes =
+  (Char.code (Bytes.get bytes 0), Char.code (Bytes.get bytes 1))
+
+let encode_membership ~level ~head =
+  let b = Bytes.make membership_value_bytes '\000' in
+  Bytes.set b 0 (Char.chr level);
+  Bytes.set b 1 (Char.chr head);
+  b
+
+(* Every operation's single read round: membership + every level's
+   candidate blocks — all on pairwise disjoint disk groups. *)
+let all_addresses t key =
+  Basic_dict.addresses t.membership key
+  @ List.concat_map
+      (fun fs -> Field_store.addresses fs key)
+      (Array.to_list t.arrays)
+
+let getter t level blocks key i =
+  let fs = t.arrays.(level - 1) in
+  Field_store.field_in fs blocks (Bipartite.neighbor (Field_store.graph fs) key i)
+
+let find t key =
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  match Basic_dict.find_in t.membership key blocks with
+  | None -> None
+  | Some v ->
+    let level, head = decode_membership v in
+    Field_codec.decode_a ~field_bits:t.field_bits ~head
+      ~sigma_bits:t.cfg.sigma_bits (getter t level blocks key)
+
+let mem t key =
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  Basic_dict.find_in t.membership key blocks <> None
+
+let level_of t key =
+  let addrs = Basic_dict.addresses t.membership key in
+  let blocks = List.map (fun a -> (a, Pdm.peek t.machine a)) addrs in
+  Option.map
+    (fun v -> fst (decode_membership v))
+    (Basic_dict.find_in t.membership key blocks)
+
+let empty_stripes t level blocks key =
+  let get = getter t level blocks key in
+  List.filter (fun i -> get i = None) (List.init t.cfg.degree (fun i -> i))
+
+let insert t key satellite =
+  if 8 * Bytes.length satellite < t.cfg.sigma_bits then
+    invalid_arg "One_probe_dynamic.insert: satellite shorter than sigma_bits";
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  match Basic_dict.find_in t.membership key blocks with
+  | Some v ->
+    (* Rewrite in place on the key's level. *)
+    let level, head = decode_membership v in
+    let fs = t.arrays.(level - 1) in
+    (match
+       Field_codec.indices_a ~field_bits:t.field_bits ~head
+         (getter t level blocks key)
+     with
+     | None -> invalid_arg "One_probe_dynamic: corrupt pointer chain"
+     | Some stripes ->
+       let enc =
+         Field_codec.encode_a ~field_bits:t.field_bits ~indices:stripes
+           ~satellite ~sigma_bits:t.cfg.sigma_bits
+       in
+       let graph = Field_store.graph fs in
+       let updates =
+         List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
+       in
+       Field_store.write_fields_in fs ~images:blocks updates)
+  | None ->
+    if t.size >= t.cfg.capacity then
+      invalid_arg "One_probe_dynamic.insert: at capacity";
+    (* First-fit over the levels — all images already in hand. *)
+    let rec place level =
+      if level > Array.length t.arrays then raise (Overflow key)
+      else begin
+        let empties = empty_stripes t level blocks key in
+        if List.length empties >= t.m then begin
+          let stripes = List.filteri (fun i _ -> i < t.m) empties in
+          let enc =
+            Field_codec.encode_a ~field_bits:t.field_bits ~indices:stripes
+              ~satellite ~sigma_bits:t.cfg.sigma_bits
+          in
+          let fs = t.arrays.(level - 1) in
+          let graph = Field_store.graph fs in
+          let updates =
+            List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
+          in
+          let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
+          let head = List.hd stripes in
+          let mem_block =
+            Basic_dict.prepare_insert t.membership key
+              (encode_membership ~level ~head)
+              blocks
+          in
+          Pdm.write t.machine (mem_block :: field_blocks);
+          t.size <- t.size + 1
+        end
+        else place (level + 1)
+      end
+    in
+    place 1
+
+let delete t key =
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  match Basic_dict.find_in t.membership key blocks with
+  | None -> false
+  | Some v ->
+    let level, head = decode_membership v in
+    let fs = t.arrays.(level - 1) in
+    (match
+       Field_codec.indices_a ~field_bits:t.field_bits ~head
+         (getter t level blocks key)
+     with
+     | None -> invalid_arg "One_probe_dynamic: corrupt pointer chain"
+     | Some stripes ->
+       let graph = Field_store.graph fs in
+       let updates =
+         List.map (fun i -> (Bipartite.neighbor graph key i, None)) stripes
+       in
+       let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
+       (match Basic_dict.prepare_delete t.membership key blocks with
+        | None -> assert false
+        | Some mem_block ->
+          Pdm.write t.machine (mem_block :: field_blocks);
+          t.size <- t.size - 1;
+          true))

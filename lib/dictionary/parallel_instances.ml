@@ -1,0 +1,123 @@
+module Pdm = Pdm_sim.Pdm
+
+type config = {
+  instances : int;
+  universe : int;
+  capacity : int;
+  degree : int;
+  value_bytes : int;
+  block_words : int;
+  seed : int;
+}
+
+type t = {
+  cfg : config;
+  machine : int Pdm.t;
+  members : Basic_dict.t array;
+}
+
+let create cfg =
+  if cfg.instances < 1 then
+    invalid_arg "Parallel_instances.create: instances >= 1";
+  let per_instance =
+    (cfg.capacity / cfg.instances) + cfg.capacity (* slack: routing is
+      by batch position, so one instance may take more than its share *)
+  in
+  let plan i =
+    Basic_dict.plan ~universe:cfg.universe ~capacity:per_instance
+      ~block_words:cfg.block_words ~degree:cfg.degree
+      ~value_bytes:cfg.value_bytes ~seed:(cfg.seed + i) ()
+  in
+  let plans = Array.init cfg.instances plan in
+  let blocks_per_disk =
+    Array.fold_left
+      (fun acc p -> max acc (Basic_dict.blocks_per_disk p))
+      1 plans
+  in
+  let machine =
+    Pdm.create ~disks:(cfg.instances * cfg.degree)
+      ~block_size:cfg.block_words ~blocks_per_disk ()
+  in
+  let members =
+    Array.mapi
+      (fun i p ->
+        Basic_dict.create ~machine ~disk_offset:(i * cfg.degree)
+          ~block_offset:0 p)
+      plans
+  in
+  { cfg; machine; members }
+
+let machine t = t.machine
+let config t = t.cfg
+
+let size t =
+  Array.fold_left (fun acc d -> acc + Basic_dict.size d) 0 t.members
+
+let all_addresses t key =
+  List.concat_map
+    (fun d -> Basic_dict.addresses d key)
+    (Array.to_list t.members)
+
+(* Which instance holds the key, given a combined fetch. *)
+let locate t key blocks =
+  let rec loop i =
+    if i >= Array.length t.members then None
+    else
+      match Basic_dict.find_in t.members.(i) key blocks with
+      | Some v -> Some (i, v)
+      | None -> loop (i + 1)
+  in
+  loop 0
+
+let find t key =
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  Option.map snd (locate t key blocks)
+
+let mem t key = find t key <> None
+
+let insert_batch t entries =
+  let c = t.cfg.instances in
+  if List.length entries > c then
+    invalid_arg "Parallel_instances.insert_batch: batch exceeds instances";
+  let keys = List.map fst entries in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Parallel_instances.insert_batch: duplicate keys in batch";
+  (* One combined read round: batch key j's candidate buckets in
+     instance j — each instance contributes blocks on its own disk
+     group, so the whole request is a single parallel I/O. *)
+  let addrs =
+    List.concat
+      (List.mapi (fun j (k, _) -> Basic_dict.addresses t.members.(j) k) entries)
+  in
+  let blocks = Pdm.read t.machine addrs in
+  (* One combined write round: each instance modifies one block. *)
+  let writes =
+    List.mapi
+      (fun j (k, v) -> Basic_dict.prepare_insert t.members.(j) k v blocks)
+      entries
+  in
+  if writes <> [] then Pdm.write t.machine writes
+
+let insert t key value =
+  (* Single inserts are duplicate-safe: the combined read sees every
+     instance, so an existing copy is updated wherever it lives. *)
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  match locate t key blocks with
+  | Some (i, _) ->
+    let w = Basic_dict.prepare_insert t.members.(i) key value blocks in
+    Pdm.write t.machine [ w ]
+  | None ->
+    (* Place into the least-loaded instance (by size). *)
+    let best = ref 0 in
+    Array.iteri
+      (fun i d ->
+        if Basic_dict.size d < Basic_dict.size t.members.(!best) then best := i)
+      t.members;
+    let w = Basic_dict.prepare_insert t.members.(!best) key value blocks in
+    Pdm.write t.machine [ w ]
+
+let delete t key =
+  let blocks = Pdm.read t.machine (all_addresses t key) in
+  match locate t key blocks with
+  | None -> false
+  | Some (i, _) -> Basic_dict.delete t.members.(i) key

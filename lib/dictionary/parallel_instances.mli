@@ -1,0 +1,51 @@
+(** Parallel dictionary instances (Section 4 preamble).
+
+    "We can make any constant number of parallel instances of our
+    dictionaries. This allows insertions of a constant number of
+    elements in the same number of parallel I/Os as one insertion, and
+    does not influence lookup time."
+
+    [c] basic dictionaries live on disjoint disk groups of one
+    machine. A batch of up to [c] insertions routes one key to each
+    instance and executes as {b one} combined read round plus {b one}
+    combined write round. A lookup reads all instances' candidate
+    blocks in one round and decodes each; deletion likewise. Space and
+    disks grow by the factor [c], exactly as the paper says. *)
+
+type config = {
+  instances : int;        (** c ≥ 1 *)
+  universe : int;
+  capacity : int;         (** total keys across all instances *)
+  degree : int;           (** d per instance; disks used = c·d *)
+  value_bytes : int;
+  block_words : int;
+  seed : int;
+}
+
+type t
+
+val create : config -> t
+(** Builds its own machine with [instances × degree] disks. *)
+
+val machine : t -> int Pdm_sim.Pdm.t
+
+val config : t -> config
+
+val size : t -> int
+
+val find : t -> int -> Bytes.t option
+(** One parallel I/O, regardless of [instances]. *)
+
+val mem : t -> int -> bool
+
+val insert_batch : t -> (int * Bytes.t) list -> unit
+(** Insert up to [instances] distinct keys in 2 parallel I/Os total
+    (1 read round + 1 write round). Keys already present are updated
+    in place in whichever instance holds them. Raises
+    [Invalid_argument] on oversized or duplicate-key batches. *)
+
+val insert : t -> int -> Bytes.t -> unit
+(** [insert_batch] of one. *)
+
+val delete : t -> int -> bool
+(** One read round + at most one write round. *)

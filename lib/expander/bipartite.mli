@@ -1,0 +1,54 @@
+(** Bipartite left-regular graphs given by their neighbor function.
+
+    A graph G = (U, V, E) with |U| = [u], |V| = [v] and left degree [d]
+    is represented by its neighbor function F : U × [d] → V (the
+    representation used throughout Section 5 of the paper). Evaluating
+    F costs no I/O — this is exactly the paper's requirement on an
+    expander usable by external-memory algorithms.
+
+    A graph is *striped* when V is partitioned into [d] equal
+    contiguous stripes and the i-th neighbor of every left vertex lands
+    in stripe [i] (Section 2). Striped graphs have no multi-edges, and
+    the dictionary constructions place stripe [i] on disk [i] so that
+    fetching all d neighbors of a key is one parallel I/O. *)
+
+type t
+
+val create :
+  ?striped:bool -> u:int -> v:int -> d:int -> (int -> int -> int) -> t
+(** [create ~striped ~u ~v ~d f] wraps neighbor function [f]; [f x i]
+    must return a vertex in [0, v) for all [x] in [0, u) and [i] in
+    [0, d). When [striped] is [true] (default [false]), [d] must
+    divide [v] and [f x i] must lie in stripe [i] — this is checked
+    lazily on every evaluation. *)
+
+val u : t -> int
+(** Size of the left part (the key universe). *)
+
+val v : t -> int
+(** Size of the right part (the bucket/field array). *)
+
+val d : t -> int
+(** Left degree. *)
+
+val is_striped : t -> bool
+
+val stripe_width : t -> int
+(** [v / d]; only meaningful for striped graphs. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g x i] is F(x, i) as a global right-vertex index.
+    Raises [Invalid_argument] on out-of-range arguments or when a
+    striped graph's function leaves its stripe. *)
+
+val neighbors : t -> int -> int array
+(** All d neighbors of [x], in stripe order ([i] = 0..d-1). *)
+
+val neighbor_in_stripe : t -> int -> int -> int * int
+(** [neighbor_in_stripe g x i] is the pair (i, j): stripe index and
+    offset within the stripe — the "(i, j)" form required of explicit
+    striped constructions (Section 2). Only for striped graphs. *)
+
+val stripe_of : t -> int -> int * int
+(** Decompose a global right-vertex index into (stripe, offset). Only
+    for striped graphs. *)

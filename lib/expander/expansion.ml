@@ -1,0 +1,122 @@
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let gamma g s =
+  let set = Hashtbl.create (Array.length s * Bipartite.d g) in
+  Array.iter
+    (fun x ->
+      for i = 0 to Bipartite.d g - 1 do
+        Hashtbl.replace set (Bipartite.neighbor g x i) ()
+      done)
+    s;
+  set
+
+let gamma_size g s = Hashtbl.length (gamma g s)
+
+(* Right vertex -> (incident edge count from S, one left endpoint). *)
+let edge_counts g s =
+  let counts = Hashtbl.create (Array.length s * Bipartite.d g) in
+  Array.iter
+    (fun x ->
+      for i = 0 to Bipartite.d g - 1 do
+        let y = Bipartite.neighbor g x i in
+        match Hashtbl.find_opt counts y with
+        | None -> Hashtbl.add counts y (1, x)
+        | Some (c, x0) -> Hashtbl.replace counts y (c + 1, x0)
+      done)
+    s;
+  counts
+
+let unique_neighbors g s =
+  let counts = edge_counts g s in
+  let phi = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter (fun y (c, x) -> if c = 1 then Hashtbl.add phi y x) counts;
+  phi
+
+let unique_neighbor_count g s = Hashtbl.length (unique_neighbors g s)
+
+let epsilon_of_set g s =
+  let n = Array.length s in
+  if n = 0 then invalid_arg "Expansion.epsilon_of_set: empty set";
+  let dn = float_of_int (Bipartite.d g * n) in
+  1.0 -. (float_of_int (gamma_size g s) /. dn)
+
+(* Enumerate subsets of [0, u) of a given size, calling [f] on each
+   (reusing one scratch array). *)
+let iter_subsets ~u ~size f =
+  let subset = Array.make size 0 in
+  let rec fill pos lo =
+    if pos = size then f subset
+    else
+      for x = lo to u - (size - pos) do
+        subset.(pos) <- x;
+        fill (pos + 1) (x + 1)
+      done
+  in
+  if size >= 1 && size <= u then fill 0 0
+
+let binom u k =
+  let rec loop acc i =
+    if i > k then acc else loop (acc * (u - i + 1) / i) (i + 1)
+  in
+  if k < 0 || k > u then 0 else loop 1 1
+
+let check_enumerable g ~set_size fn =
+  let u = Bipartite.u g in
+  if u > 30 then invalid_arg (fn ^ ": universe too large to enumerate");
+  if binom u set_size > 10_000_000 then
+    invalid_arg (fn ^ ": too many subsets to enumerate")
+
+let exact_epsilon g ~set_size =
+  check_enumerable g ~set_size "Expansion.exact_epsilon";
+  let worst = ref neg_infinity in
+  iter_subsets ~u:(Bipartite.u g) ~size:set_size (fun s ->
+      let e = epsilon_of_set g s in
+      if e > !worst then worst := e);
+  !worst
+
+let certify g ~capacity ~eps =
+  let ok = ref true in
+  for size = 1 to capacity do
+    check_enumerable g ~set_size:size "Expansion.certify";
+    if !ok then
+      iter_subsets ~u:(Bipartite.u g) ~size (fun s ->
+          if !ok && epsilon_of_set g s > eps then ok := false)
+  done;
+  !ok
+
+let sampled_epsilon g ~rng ~set_size ~trials =
+  if trials < 1 then invalid_arg "Expansion.sampled_epsilon: trials";
+  let worst = ref neg_infinity in
+  for _ = 1 to trials do
+    let s = Sampling.distinct rng ~universe:(Bipartite.u g) ~count:set_size in
+    let e = epsilon_of_set g s in
+    if e > !worst then worst := e
+  done;
+  !worst
+
+let well_expanded_subset g ~lambda s =
+  if lambda <= 0.0 then invalid_arg "Expansion.well_expanded_subset: lambda";
+  let phi = unique_neighbors g s in
+  let d = Bipartite.d g in
+  let threshold = (1.0 -. lambda) *. float_of_int d in
+  let good x =
+    let owned = ref 0 in
+    for i = 0 to d - 1 do
+      match Hashtbl.find_opt phi (Bipartite.neighbor g x i) with
+      | Some x0 when x0 = x -> incr owned
+      | Some _ | None -> ()
+    done;
+    float_of_int !owned >= threshold
+  in
+  Array.of_list (List.filter good (Array.to_list s))
+
+let lemma3_bound ~n ~v ~d ~k ~eps ~delta =
+  if k < 1 then invalid_arg "Expansion.lemma3_bound: k >= 1";
+  let base = (1.0 -. eps) *. float_of_int d /. float_of_int k in
+  if base <= 1.0 then
+    invalid_arg "Expansion.lemma3_bound: requires (1-eps) d > k";
+  let avg =
+    float_of_int (k * n) /. ((1.0 -. delta) *. float_of_int v)
+  in
+  avg +. (log (float_of_int v) /. log base)

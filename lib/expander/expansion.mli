@@ -1,0 +1,57 @@
+(** Measured expansion properties.
+
+    The dictionaries' correctness rests on three set-expansion
+    quantities (Section 2 and Lemmas 4–5):
+
+    - Γ(S): the neighborhood of a left set S;
+    - Φ(S): the *unique neighbor* nodes — right vertices with exactly
+      one incident edge from S;
+    - S′ ⊆ S: the vertices owning at least (1−λ)d unique neighbors.
+
+    This module computes all three exactly for a given S, and
+    estimates the expansion deficiency ε̂ of a graph by sampling left
+    sets. Counts treat the edge list of each x as a multiset, so a
+    multi-edge to y makes y non-unique, matching Definition 1's
+    neighbor-set semantics for Γ. *)
+
+val gamma_size : Bipartite.t -> int array -> int
+(** |Γ(S)|. The array is a set of distinct left vertices. *)
+
+val gamma : Bipartite.t -> int array -> (int, unit) Hashtbl.t
+(** Γ(S) as a hash set keyed by right-vertex index. *)
+
+val unique_neighbors : Bipartite.t -> int array -> (int, int) Hashtbl.t
+(** Φ(S) as a map from right vertex to its unique left neighbor. *)
+
+val unique_neighbor_count : Bipartite.t -> int array -> int
+(** |Φ(S)|. Lemma 4 proves ≥ (1−2ε)d|S| on an (N, ε)-expander. *)
+
+val epsilon_of_set : Bipartite.t -> int array -> float
+(** ε̂(S) = 1 − |Γ(S)|/(d|S|): the expansion deficiency witnessed by
+    S (an (N, ε)-expander has ε̂(S) ≤ ε for all |S| ≤ N). *)
+
+val exact_epsilon : Bipartite.t -> set_size:int -> float
+(** The true ε for sets of exactly [set_size]: maximum deficiency over
+    {e all} C(u, set_size) subsets. Exponential — intended for tiny
+    graphs in tests (it refuses u > 30 or more than ~10⁷ subsets). *)
+
+val certify : Bipartite.t -> capacity:int -> eps:float -> bool
+(** [certify g ~capacity ~eps]: exhaustively check that [g] is an
+    (capacity, eps)-expander (every set of size ≤ capacity expands to
+    ≥ (1−eps)·d·|S| neighbors). Same size limits as
+    {!exact_epsilon}. *)
+
+val sampled_epsilon :
+  Bipartite.t -> rng:Pdm_util.Prng.t -> set_size:int -> trials:int -> float
+(** Worst ε̂ over [trials] uniformly sampled left sets of the given
+    size — a lower bound on the graph's true ε for that size. *)
+
+val well_expanded_subset :
+  Bipartite.t -> lambda:float -> int array -> int array
+(** Lemma 5's S′ = \{x ∈ S : |Γ(x) ∩ Φ(S)| ≥ (1−λ)d\}, as a fresh
+    array preserving input order. Lemma 5 proves |S′| ≥ (1−2ε/λ)|S|. *)
+
+val lemma3_bound :
+  n:int -> v:int -> d:int -> k:int -> eps:float -> delta:float -> float
+(** The closed-form max-load bound of Lemma 3:
+    kn/((1−δ)v) + log_{(1−ε)d/k} v, for d(1−ε) > k. *)

@@ -1,0 +1,10 @@
+module Prng = Pdm_util.Prng
+
+let striped ~seed ~u ~v ~d =
+  if v mod d <> 0 then invalid_arg "Seeded.striped: d must divide v";
+  let w = v / d in
+  Bipartite.create ~striped:true ~u ~v ~d (fun x i ->
+      (i * w) + Prng.hash_to_range ~seed x i w)
+
+let unstriped ~seed ~u ~v ~d =
+  Bipartite.create ~u ~v ~d (fun x i -> Prng.hash_to_range ~seed x i v)

@@ -1,0 +1,93 @@
+let c = 2.0
+(* The fixed constant of Corollary 1. *)
+
+type level = {
+  level_u : int;
+  level_v : int;
+  level_d : int;
+  level_memory : int;
+}
+
+type t = {
+  graph : Bipartite.t;
+  levels : level list;
+  degree : int;
+  right_size : int;
+  capacity : int;
+  epsilon : float;
+  memory_words : int;
+}
+
+let fpow_int base expo = int_of_float (ceil (float_of_int base ** expo))
+
+(* A concrete representative of Corollary 1's poly(log u / eps)
+   degree. The exponent 1/2 keeps composed degrees small enough that
+   the telescope product stays runnable at experiment scale while
+   remaining a polynomial in log u / eps. *)
+let base_degree ~u ~eps =
+  max 2 (int_of_float (ceil (sqrt (Pdm_util.Imath.log2f u /. eps))))
+
+let corollary1 ~seed ~u ~beta ~eps =
+  if u < 2 then invalid_arg "Semi_explicit.corollary1: u too small";
+  if beta <= 0.0 || beta >= 1.0 then
+    invalid_arg "Semi_explicit.corollary1: beta must be in (0, 1)";
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Semi_explicit.corollary1: eps must be in (0, 1)";
+  let v = max 2 (fpow_int u (1.0 -. (beta /. c))) in
+  let d = base_degree ~u ~eps in
+  let memory = int_of_float (ceil (float_of_int u ** beta /. (eps ** c))) in
+  let graph = Seeded.unstriped ~seed ~u ~v ~d in
+  (graph, { level_u = u; level_v = v; level_d = d; level_memory = memory })
+
+(* Simulate Lemma 11's recursion to find the level count: right sides
+   shrink as u^{(1-beta/c)^i} until within a degree factor of N. *)
+let plan_levels ~capacity ~u ~beta ~eps =
+  let rec loop cur_u d_total count =
+    if count > 64 then
+      invalid_arg "Semi_explicit.construct: recursion does not converge";
+    let v = max 2 (fpow_int cur_u (1.0 -. (beta /. c))) in
+    let d = base_degree ~u:cur_u ~eps in
+    let d_total = d_total * d in
+    let count = count + 1 in
+    if v <= capacity * d_total || v <= 2 then count else loop v d_total count
+  in
+  loop u 1 0
+
+let construct ~seed ~capacity ~u ~beta ~eps =
+  if capacity < 1 then invalid_arg "Semi_explicit.construct: capacity";
+  if u < capacity then invalid_arg "Semi_explicit.construct: u < capacity";
+  (* Split the error budget evenly: (1 - eps')^k = 1 - eps. The level
+     count depends (weakly) on eps' through the degrees, so iterate the
+     plan once with the refined error. *)
+  let per_level k = 1.0 -. ((1.0 -. eps) ** (1.0 /. float_of_int k)) in
+  let k0 = plan_levels ~capacity ~u ~beta ~eps in
+  let k = plan_levels ~capacity ~u ~beta ~eps:(per_level k0) in
+  let eps' = per_level k in
+  let rec build i cur_u seed_i graphs levels =
+    if i = k then (List.rev graphs, List.rev levels)
+    else begin
+      let graph, level = corollary1 ~seed:seed_i ~u:cur_u ~beta ~eps:eps' in
+      build (i + 1) level.level_v (seed_i + 1) (graph :: graphs)
+        (level :: levels)
+    end
+  in
+  let graphs, levels = build 0 u seed [] [] in
+  let composed =
+    match graphs with
+    | [] -> assert false
+    | first :: rest ->
+      (try List.fold_left Telescope.compose first rest
+       with Invalid_argument _ ->
+         invalid_arg
+           "Semi_explicit.construct: composed degree exceeds right side \
+            (eps too small or capacity too small for this universe)")
+  in
+  { graph = composed;
+    levels;
+    degree = Bipartite.d composed;
+    right_size = Bipartite.v composed;
+    capacity;
+    epsilon = eps;
+    memory_words = List.fold_left (fun a l -> a + l.level_memory) 0 levels }
+
+let striped_for_pdm t = Trivial_stripe.stripe t.graph

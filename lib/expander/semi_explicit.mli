@@ -1,0 +1,58 @@
+(** The semi-explicit expander construction of Section 5.
+
+    Section 5 builds, for u = poly(N) and any constant 0 < β < 1, an
+    (N, ε)-expander of degree polylog(u) whose neighbor function is
+    evaluated with no I/O using O(N^β) words of pre-processed internal
+    memory — by recursively applying the telescope product (Lemma 10)
+    to a family of slightly-unbalanced base expanders obtained from
+    Capalbo et al. (Corollary 1).
+
+    We reproduce the construction's *shape* exactly — the level
+    recursion of Lemma 11, the parameter arithmetic (degrees multiply,
+    errors compose as 1−Π(1−ε′), right sizes shrink as
+    u^{(1−β′/c)^i}, memory grows linearly in the level count) — while
+    the base expanders themselves are seeded pseudorandom graphs
+    standing in for the Capalbo et al. objects (see DESIGN.md §2).
+    Internal-memory usage is *modelled* with the Corollary 1 formula
+    O(u^β/ε^c) and charged to an {!Pdm_sim.Internal_memory}-style
+    count in the report, so Theorem 12's space claim can be checked.
+
+    The fixed constant [c] of Corollary 1 is taken to be 2. *)
+
+type level = {
+  level_u : int;       (** left size u_i of the i-th base expander *)
+  level_v : int;       (** right size u_{i+1} *)
+  level_d : int;       (** degree of the i-th base expander *)
+  level_memory : int;  (** modelled preprocessing words, ⌈u_i^β/ε^c⌉ *)
+}
+
+type t = {
+  graph : Bipartite.t;      (** the composed expander F : [u]×[d] → [v] *)
+  levels : level list;      (** base family, outermost (largest u) first *)
+  degree : int;             (** composed degree d = Π dᵢ *)
+  right_size : int;         (** composed v *)
+  capacity : int;           (** N: sets up to this size expand *)
+  epsilon : float;          (** composed error 1 − Π(1−ε′) *)
+  memory_words : int;       (** total modelled preprocessing space *)
+}
+
+val corollary1 :
+  seed:int -> u:int -> beta:float -> eps:float -> Bipartite.t * level
+(** One base expander per Corollary 1: right size ⌈u^{1−β/c}⌉, degree
+    ⌈log₂(u)/ε⌉ (a concrete representative of poly(log u / ε)), and
+    modelled space ⌈u^β/ε^c⌉ words. *)
+
+val construct :
+  seed:int -> capacity:int -> u:int -> beta:float -> eps:float -> t
+(** Theorem 12: build an (N, ε)-expander for [capacity] = N left-set
+    size, universe [u] (must satisfy u ≥ N), target error [eps].
+    Applies Lemma 11's recursion until the right side is within a
+    degree factor of N, then reports the composed object. Raises
+    [Invalid_argument] when the parameters make the recursion
+    impossible (e.g. eps so small the base degree exceeds the right
+    side). *)
+
+val striped_for_pdm : t -> Bipartite.t
+(** The trivially striped version for use in the parallel disk model
+    (factor-d space blowup, end of Section 5). In the parallel disk
+    head model, [t.graph] can be used directly. *)

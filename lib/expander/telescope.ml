@@ -1,0 +1,45 @@
+let composed_epsilon e1 e2 = 1.0 -. ((1.0 -. e1) *. (1.0 -. e2))
+
+let compose f1 f2 =
+  if Bipartite.v f1 <> Bipartite.u f2 then
+    invalid_arg "Telescope.compose: middle layers do not match";
+  let d1 = Bipartite.d f1 and d2 = Bipartite.d f2 in
+  let d = d1 * d2 in
+  let v2 = Bipartite.v f2 in
+  if d > v2 then
+    invalid_arg "Telescope.compose: degree exceeds right size";
+  (* Raw product targets of x, then deterministic multi-edge remap:
+     later duplicates probe linearly for the next target unused in this
+     x's list. *)
+  let targets_of x =
+    let raw =
+      Array.init d (fun e ->
+          let e1 = e / d2 and e2 = e mod d2 in
+          Bipartite.neighbor f2 (Bipartite.neighbor f1 x e1) e2)
+    in
+    let used = Hashtbl.create d in
+    Array.map
+      (fun y ->
+        let rec place y =
+          if Hashtbl.mem used y then place ((y + 1) mod v2)
+          else begin
+            Hashtbl.add used y ();
+            y
+          end
+        in
+        place y)
+      raw
+  in
+  let memo : (int * int array) option ref = ref None in
+  let neighbor x e =
+    let targets =
+      match !memo with
+      | Some (x0, t) when x0 = x -> t
+      | Some _ | None ->
+        let t = targets_of x in
+        memo := Some (x, t);
+        t
+    in
+    targets.(e)
+  in
+  Bipartite.create ~u:(Bipartite.u f1) ~v:v2 ~d neighbor

@@ -1,0 +1,25 @@
+(** The telescope product of two expanders (Lemma 10).
+
+    Given F₁ : U₁ × [d₁] → V₁, a (c₁v₁/d₁, ε₁)-expander, and
+    F₂ : V₁ × [d₂] → V₂, a (c₂v₂/d₂, ε₂)-expander with c₁ ≥ c₂, the
+    composition x, (e₁, e₂) ↦ F₂(F₁(x, e₁), e₂) is a
+    (c₂v₂/(d₁d₂), 1−(1−ε₁)(1−ε₂))-expander after remapping
+    multi-edges. Section 5 composes a family of these to turn slightly
+    unbalanced expanders into an arbitrarily unbalanced one.
+
+    Multi-edge remapping: the duplicate occurrences of a target are
+    redirected to the next free right vertices (linear probing from the
+    duplicate, in a fixed order). Each original target keeps one edge,
+    so — as the paper observes — the remap cannot decrease expansion.
+    Because remapping is defined over the whole neighbor list, every
+    single-neighbor evaluation internally evaluates all d₁d₂ neighbors;
+    the paper notes the same cost for its construction. A one-element
+    memo keeps [Bipartite.neighbors] at one list evaluation per x. *)
+
+val compose : Bipartite.t -> Bipartite.t -> Bipartite.t
+(** [compose f1 f2] requires [Bipartite.v f1 = Bipartite.u f2] and
+    [d1 * d2 <= v2] (so the remap can always find free targets). The
+    result has left size u₁, right size v₂ and degree d₁·d₂. *)
+
+val composed_epsilon : float -> float -> float
+(** [composed_epsilon e1 e2 = 1 − (1−e1)(1−e2)], Lemma 10's error. *)

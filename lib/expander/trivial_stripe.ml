@@ -1,0 +1,4 @@
+let stripe g =
+  let v = Bipartite.v g and d = Bipartite.d g in
+  Bipartite.create ~striped:true ~u:(Bipartite.u g) ~v:(d * v) ~d
+    (fun x i -> (i * v) + Bipartite.neighbor g x i)

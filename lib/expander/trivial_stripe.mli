@@ -1,0 +1,12 @@
+(** Trivial striping of an arbitrary expander (end of Section 5).
+
+    Explicit constructions — including the telescope product — are not
+    striped. The paper's fallback for the parallel disk model is to
+    make d copies V₀, …, V_{d−1} of the right side and send neighbor i
+    of x to the copy of F(x, i) inside V_i. This preserves expansion
+    (each copy sees the original neighbor multiset) at the cost of a
+    factor-d larger right side, hence factor-d more external space. *)
+
+val stripe : Bipartite.t -> Bipartite.t
+(** [stripe g] is striped, with right size [d * v] and the same left
+    size and degree. *)

@@ -1,0 +1,175 @@
+module Pdm = Pdm_sim.Pdm
+module Greedy = Pdm_loadbalance.Greedy
+module Seeded = Pdm_expander.Seeded
+module Basic = Pdm_dictionary.Basic_dict
+module One_probe = Pdm_dictionary.One_probe_static
+module Sampling = Pdm_util.Sampling
+module Prng = Pdm_util.Prng
+
+let value_words value_bytes = Pdm_dictionary.Codec.words_for_bits (8 * value_bytes)
+
+type tie_point = { rule : string; max_load : int }
+
+type vfactor_point = {
+  v_factor : int;
+  outcome : string;
+  peel_rounds : int;
+}
+
+type degree_point = {
+  log2_universe : int;
+  min_degree : int;
+}
+
+type adversarial_point = {
+  pattern : string;
+  expander_max_load : int;
+  low_bits_max_load : int;
+}
+
+type result = {
+  ties : tie_point list;
+  vfactors : vfactor_point list;
+  degrees : degree_point list;
+  adversarial : adversarial_point list;
+}
+
+(* --- tie-breaking --- *)
+
+let tie_study ~seed =
+  let universe = 1 lsl 22 and n = 8192 and v = 512 and d = 8 in
+  let rng = Prng.create seed in
+  let keys = Sampling.distinct rng ~universe ~count:n in
+  List.map
+    (fun (rule, tie) ->
+      let graph = Seeded.striped ~seed ~u:universe ~v ~d in
+      let lb = Greedy.create ~tie ~graph ~k:1 () in
+      Greedy.insert_all lb keys;
+      { rule; max_load = Greedy.max_load lb })
+    [ ("first stripe", Greedy.First_stripe);
+      ("last stripe", Greedy.Last_stripe);
+      ("rotating", Greedy.Rotating) ]
+
+(* --- v_factor for the one-probe construction --- *)
+
+let vfactor_study ~seed =
+  let universe = 1 lsl 22 and n = 400 and degree = 9 in
+  let rng = Prng.create (seed + 1) in
+  let members = Sampling.distinct rng ~universe ~count:n in
+  let data = Array.map (fun k -> (k, Bytes.make 16 'x')) members in
+  List.map
+    (fun v_factor ->
+      let cfg =
+        { One_probe.universe; capacity = n; degree; sigma_bits = 128;
+          v_factor; case = One_probe.Case_b; seed }
+      in
+      match One_probe.build ~block_words:64 cfg data with
+      | t ->
+        let r = One_probe.report t in
+        { v_factor;
+          outcome = Printf.sprintf "ok (%d rounds)" r.One_probe.peel_rounds;
+          peel_rounds = r.One_probe.peel_rounds }
+      | exception One_probe.Construction_failure left ->
+        { v_factor; outcome = Printf.sprintf "FAILED (%d keys left)" left;
+          peel_rounds = -1 })
+    [ 1; 2; 3; 4; 6 ]
+
+(* --- minimum degree at a fixed space budget --- *)
+
+let degree_study ~seed =
+  (* Hold the space fixed (load factor 0.8 in 5-slot one-block
+     buckets) and find the smallest degree whose greedy placement
+     never overflows. The paper's D = Omega(log u) condition
+    concerns worst-case key sets; on sampled sets the threshold is
+     flat in u — the whp behaviour of random(ized) constructions. *)
+  let n = 1000 and block_words = 16 and value_bytes = 8 in
+  let slots = block_words / (1 + value_words value_bytes) in
+  (* load factor 0.8: buckets hold 5 records, average load 4 *)
+  let total_buckets = n / (slots - 1) in
+  List.map
+    (fun log2_u ->
+      let universe = 1 lsl log2_u in
+      let rng = Prng.create (seed + log2_u) in
+      let keys = Sampling.distinct rng ~universe ~count:n in
+      let works d =
+        if total_buckets mod d <> 0 && total_buckets / d < 1 then false
+        else begin
+          let w = max 1 (total_buckets / d) in
+          let cfg =
+            { Basic.universe; capacity = n; degree = d;
+              buckets_per_stripe = w; value_bytes; bucket_blocks = 1;
+              tombstone = false; seed }
+          in
+          let machine =
+            Pdm.create ~disks:d ~block_size:block_words
+              ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+          in
+          let dict = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+          (try
+             Array.iter (fun k -> Basic.insert dict k (Bytes.make 8 'x')) keys;
+             true
+           with Basic.Overflow _ -> false)
+        end
+      in
+      let rec search d = if d > 64 then d else if works d then d else search (d + 1) in
+      { log2_universe = log2_u; min_degree = search 2 })
+    [ 14; 18; 22; 26 ]
+
+(* --- adversarial key sets --- *)
+
+let adversarial_study ~seed =
+  let universe = 1 lsl 22 and n = 4096 and v = 512 and d = 8 in
+  let rng = Prng.create (seed + 2) in
+  let run_pattern pattern keys =
+    let graph = Seeded.striped ~seed ~u:universe ~v ~d in
+    let lb = Greedy.create ~graph ~k:1 () in
+    Greedy.insert_all lb keys;
+    (* The naive deterministic alternative: bucket = key mod v. *)
+    let low = Array.make v 0 in
+    Array.iter (fun k -> low.(k mod v) <- low.(k mod v) + 1) keys;
+    { pattern;
+      expander_max_load = Greedy.max_load lb;
+      low_bits_max_load = Array.fold_left max 0 low }
+  in
+  [ run_pattern "uniform keys" (Sampling.distinct rng ~universe ~count:n);
+    run_pattern "clustered window"
+      (Sampling.clustered rng ~universe ~count:n ~span:(2 * n));
+    run_pattern "arithmetic progression (stride v)"
+      (Array.init n (fun i -> (i * v) mod universe)) ]
+
+let run ?(seed = 71) () =
+  { ties = tie_study ~seed;
+    vfactors = vfactor_study ~seed;
+    degrees = degree_study ~seed;
+    adversarial = adversarial_study ~seed }
+
+let to_tables r =
+  [ Table.make ~title:"Ablation: tie-breaking rule (n = 8192, v = 512, d = 8)"
+      ~header:[ "rule"; "max load" ]
+      ~notes:[ "Lemma 3 is tie-rule agnostic; so is the measurement" ]
+      (List.map (fun p -> [ p.rule; Table.icell p.max_load ]) r.ties);
+    Table.make ~title:"Ablation: one-probe right-side slack (v = v_factor * n * d)"
+      ~header:[ "v_factor"; "construction" ]
+      ~notes:
+        [ "Theorem 6 needs v = O(nd) with a sufficient constant; the failure \
+           row locates it empirically" ]
+      (List.map (fun p -> [ Table.icell p.v_factor; p.outcome ]) r.vfactors);
+    Table.make ~title:"Ablation: minimum degree vs universe (n = 1000)"
+      ~header:[ "log2 u"; "min d with no overflow" ]
+      ~notes:
+        [ "space fixed at load factor 0.8 in one-block buckets";
+          "worst-case sets need D = Omega(log u); sampled sets show the flat \
+           whp threshold" ]
+      (List.map
+         (fun p -> [ Table.icell p.log2_universe; Table.icell p.min_degree ])
+         r.degrees);
+    Table.make ~title:"Ablation: adversarial key patterns (n = 4096, v = 512)"
+      ~header:[ "pattern"; "expander greedy max"; "key mod v max" ]
+      ~notes:
+        [ "structured keys break naive deterministic placement; the expander \
+           is pattern-oblivious" ]
+      (List.map
+         (fun p ->
+           [ p.pattern; Table.icell p.expander_max_load;
+             Table.icell p.low_bits_max_load ])
+         r.adversarial) ]

@@ -1,0 +1,45 @@
+(** Experiment E11: ablations over the design choices DESIGN.md calls
+    out.
+
+    Four studies:
+
+    - {b tie-breaking} — Lemma 3's "breaking ties arbitrarily": the
+      greedy scheme's max load under three tie rules;
+    - {b v_factor} — Theorem 6's v = O(nd): how much right-side slack
+      the peeling construction needs (rounds, and the failure point);
+    - {b degree} — the D = Ω(log u) condition: the smallest expander
+      degree at which the basic dictionary's buckets never overflow,
+      as the universe grows;
+    - {b adversarial keys} — clustered key sets (a contiguous window
+      of the universe) against the seeded expander vs single-choice
+      hashing by low bits, the pattern that breaks naive schemes. *)
+
+type tie_point = { rule : string; max_load : int }
+
+type vfactor_point = {
+  v_factor : int;
+  outcome : string;   (** "ok(rounds=r)" or "FAILED(left=…)" *)
+  peel_rounds : int;  (** -1 on failure *)
+}
+
+type degree_point = {
+  log2_universe : int;
+  min_degree : int;   (** smallest d with no overflow at slack 1.25 *)
+}
+
+type adversarial_point = {
+  pattern : string;
+  expander_max_load : int;
+  low_bits_max_load : int;  (** single choice by key mod v *)
+}
+
+type result = {
+  ties : tie_point list;
+  vfactors : vfactor_point list;
+  degrees : degree_point list;
+  adversarial : adversarial_point list;
+}
+
+val run : ?seed:int -> unit -> result
+
+val to_tables : result -> Table.t list

@@ -1,0 +1,44 @@
+(** Uniform closures over every dictionary, for experiments that drive
+    many structures through identical workloads (E14 real-time
+    percentiles, soak tests). Each constructor builds the structure on
+    its own machine at a common (universe, capacity, block size)
+    scale; deletions are [None] where unsupported. *)
+
+type t = {
+  name : string;
+  deterministic : bool;
+  find : int -> Bytes.t option;
+  insert : int -> Bytes.t -> unit;
+  delete : (int -> bool) option;
+  size : unit -> int;
+  stats : Pdm_sim.Stats.t;
+  value_bytes : int;  (** payload size this instance stores *)
+}
+
+type scale = {
+  universe : int;
+  capacity : int;
+  block_words : int;
+  seed : int;
+}
+
+val default_scale : scale
+(** universe 2²², capacity 1000, B = 64 words, seed 42. *)
+
+val basic : ?scale:scale -> unit -> t
+val small_block : ?scale:scale -> unit -> t
+val cascade_b : ?scale:scale -> unit -> t
+val parallel_instances : ?scale:scale -> unit -> t
+val fragmented : ?scale:scale -> unit -> t
+val cascade : ?scale:scale -> unit -> t
+val one_probe_dynamic : ?scale:scale -> unit -> t
+val global_rebuild : ?scale:scale -> unit -> t
+val hash_table :
+  ?scale:scale -> ?utilization:float -> ?value_bytes:int -> unit -> t
+val cuckoo :
+  ?scale:scale -> ?utilization:float -> ?value_bytes:int -> unit -> t
+val two_level : ?scale:scale -> unit -> t
+val btree : ?scale:scale -> unit -> t
+
+val all : ?scale:scale -> unit -> t list
+(** Every structure at moderate settings. *)

@@ -1,0 +1,30 @@
+(** Experiment E10: bandwidth — satellite bits per single parallel I/O.
+
+    Section 1.1 defines a method's bandwidth as the largest satellite
+    size it can return in one parallel I/O. This experiment fixes the
+    machine geometry (B, D) and, for each structure, reports its
+    theoretical bandwidth at that geometry and {e verifies} it by
+    storing satellites at a high fraction of the limit and measuring
+    that successful lookups still cost the structure's stated I/O
+    count.
+
+    Expected shape at geometry (B, D): striped hashing and the
+    two-level trick ≈ BD; cuckoo ≈ BD/2; Section 4.1 (k = d/2)
+    ≈ BD/log n; Section 4.3 ≈ BD at 1+ɛ average I/O. *)
+
+type point = {
+  name : string;
+  paper_bandwidth : string;
+  bandwidth_bits : int;
+  tested_sigma_bits : int;
+  lookup_avg : float;
+  lookup_ok : bool;     (** measured avg within the stated bound *)
+}
+
+type result = { points : point list; block_words : int; disks : int }
+
+val run :
+  ?universe:int -> ?n:int -> ?block_words:int -> ?disks:int -> ?seed:int ->
+  unit -> result
+
+val to_table : result -> Table.t

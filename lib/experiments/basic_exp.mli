@@ -1,0 +1,35 @@
+(** Experiment E6: the Section 4.1 basic dictionary across block
+    sizes.
+
+    Sweeps B (words per block), including a small-B configuration
+    where one bucket needs several blocks (the regime the paper covers
+    with atomic-heap buckets): operations stay worst-case O(1) —
+    [bucket_blocks] read rounds and one write round — at every B, and
+    the measured maximum load respects Lemma 3.
+
+    Also verifies the two structural claims of Section 1.1: no index
+    structure (operations touch only Γ(x)'s blocks), and — in the
+    no-deletions regime — stability: a key's blocks never change after
+    insertion. *)
+
+type point = {
+  block_words : int;
+  bucket_blocks : int;
+  lookup_avg : float;
+  lookup_worst : int;
+  insert_avg : float;
+  insert_worst : int;
+  max_load : int;
+  slots_per_bucket : int;
+  bound : float;
+  stable_placement : bool;  (** blocks of early keys untouched by later inserts *)
+}
+
+type result = { points : point list; n : int }
+
+val run :
+  ?universe:int -> ?n:int -> ?degree:int -> ?seed:int ->
+  ?block_sizes:int list -> unit -> result
+(** Default block sizes: 8 (multi-block buckets), 32, 64, 128. *)
+
+val to_table : result -> Table.t

@@ -1,0 +1,30 @@
+(** Experiment E7: B-tree vs expander dictionary (Sections 1 and 1.2).
+
+    The introduction's claim: a B-tree lookup costs Θ(log_BD n)
+    parallel I/Os (about 3 in realistic file systems once the root is
+    cached), while the expander dictionary answers any random access
+    in 1 — and striping alone cannot close the gap. This experiment
+    sweeps n, measures both structures' random-read costs on the same
+    file-system volume, and also runs a sequential whole-file scan,
+    where the B-tree's leaf chain and caching make the gap
+    negligible — matching the paper's caveat that the win is about
+    {e random} access. *)
+
+type point = {
+  n : int;
+  btree_height : int;
+  btree_random_avg : float;       (** uncached *)
+  btree_cached_avg : float;       (** top level cached *)
+  dict_random_avg : float;
+  btree_scan_per_block : float;   (** sequential scan, I/Os per block *)
+  dict_scan_per_block : float;
+  speedup_random : float;         (** cached B-tree avg / dict avg *)
+}
+
+type result = { points : point list }
+
+val run :
+  ?block_words:int -> ?disks:int -> ?seed:int -> ?ns:int list -> unit ->
+  result
+
+val to_table : result -> Table.t

@@ -1,0 +1,37 @@
+(** Experiment E15: buffer caching and who it helps.
+
+    The introduction's "3 disk accesses" B-tree figure presumes a RAM
+    cache holding the hot top of the tree. This experiment replays the
+    same Zipf-skewed lookup trace against both structures through an
+    LRU block cache of varying size and reports the {e effective}
+    parallel I/Os per lookup (misses only).
+
+    Expected shape: the B-tree's cost falls in steps as the cache
+    swallows tree levels, approaching (but, for random accesses over a
+    large leaf set, not reaching) 1; the expander dictionary starts at
+    1 with {e no} cache — by design its accesses are spread uniformly
+    over all buckets, so a small cache cannot help it, and it does not
+    need one. *)
+
+type point = {
+  cache_blocks : int;
+  btree_io_per_lookup : float;
+  dict_io_per_lookup : float;
+  btree_hit_rate : float;
+  dict_hit_rate : float;
+}
+
+type result = {
+  points : point list;
+  n : int;
+  lookups : int;
+  btree_height : int;
+  total_blocks_btree : int;
+  total_blocks_dict : int;
+}
+
+val run :
+  ?universe:int -> ?n:int -> ?lookups:int -> ?zipf:float -> ?seed:int ->
+  ?cache_sizes:int list -> unit -> result
+
+val to_table : result -> Table.t

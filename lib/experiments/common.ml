@@ -1,0 +1,20 @@
+module Summary = Pdm_util.Summary
+module Stats = Pdm_sim.Stats
+
+let per_op_cost stats f keys =
+  let s = Summary.create () in
+  Array.iter
+    (fun k ->
+      let (), cost = Stats.measure stats (fun () -> f k) in
+      Summary.add_int s (Stats.parallel_ios cost))
+    keys;
+  s
+
+let value_bytes_of len k =
+  Bytes.init len (fun i -> Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
+
+let sigma_payload ~sigma_bits k = value_bytes_of ((sigma_bits + 7) / 8) k
+
+let avg = Summary.mean
+
+let worst s = int_of_float (Summary.max s)

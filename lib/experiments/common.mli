@@ -1,0 +1,19 @@
+(** Shared measurement helpers for the experiment suite. *)
+
+module Summary = Pdm_util.Summary
+
+val per_op_cost :
+  Pdm_sim.Stats.t -> (int -> unit) -> int array -> Summary.t
+(** Run one operation per key, recording each operation's parallel I/O
+    cost; returns the summary (mean/max/percentiles). *)
+
+val value_bytes_of : int -> int -> Bytes.t
+(** [value_bytes_of len k]: deterministic [len]-byte payload for key
+    [k]. *)
+
+val sigma_payload : sigma_bits:int -> int -> Bytes.t
+(** Payload sized for a sigma_bits satellite. *)
+
+val avg : Summary.t -> float
+
+val worst : Summary.t -> int

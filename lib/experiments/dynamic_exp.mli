@@ -1,0 +1,35 @@
+(** Experiment E5: the dynamic cascade (Theorem 7), sweeping ɛ.
+
+    For each performance parameter ɛ (with degree chosen to satisfy
+    d > 6(1 + 1/ɛ)), inserts n keys and measures:
+
+    - unsuccessful search cost (must be exactly 1 I/O);
+    - successful search cost, average vs the 1 + ɛ bound;
+    - insertion cost, average vs 2 + ɛ and worst case vs l + 1
+      (logarithmic, never linear);
+    - deletion cost (fields freed + membership entry dropped in one
+      combined write round);
+    - the fraction of keys resident at level 1 (first-fit success). *)
+
+type point = {
+  epsilon : float;
+  degree : int;
+  levels : int;
+  unsuccessful_avg : float;
+  successful_avg : float;
+  successful_bound : float;   (** 1 + ɛ *)
+  insert_avg : float;
+  insert_bound : float;       (** 2 + ɛ *)
+  insert_worst : int;
+  delete_avg : float;
+  level1_fraction : float;
+}
+
+type result = { points : point list; n : int }
+
+val run :
+  ?universe:int -> ?block_words:int -> ?sigma_bits:int -> ?n:int ->
+  ?seed:int -> ?epsilons:float list -> unit -> result
+(** Default ɛ sweep: 1.0, 0.5, 0.25. *)
+
+val to_table : result -> Table.t

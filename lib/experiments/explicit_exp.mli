@@ -1,0 +1,32 @@
+(** Experiment E8: the semi-explicit expander construction (§5).
+
+    For a sweep of (universe, capacity, β), builds the Theorem 12
+    telescope-product expander and reports the quantities the section
+    trades off: level count, composed degree (polylog target), right
+    size v vs the O(N·d) target, modelled preprocessing memory vs the
+    O(N^β) budget, measured expansion of the composed graph, and the
+    factor-d space blowup of trivial striping. *)
+
+type point = {
+  u : int;
+  capacity : int;
+  beta : float;
+  levels : int;
+  degree : int;
+  right_size : int;
+  v_over_nd : float;          (** v / (N·d): O(1) target *)
+  memory_words : int;
+  memory_budget : float;      (** N^β *)
+  eps_target : float;
+  eps_measured : float;       (** sampled on sets of size ≤ N *)
+  striped_v : int;            (** right size after trivial striping *)
+}
+
+type result = { points : point list }
+
+val run :
+  ?seed:int -> ?trials:int -> ?sweep:(int * int * float) list -> unit ->
+  result
+(** [sweep] lists (u, capacity, beta). *)
+
+val to_table : result -> Table.t

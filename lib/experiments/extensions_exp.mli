@@ -1,0 +1,26 @@
+(** Experiment E12: the extension structures.
+
+    Beyond-the-theorems measurements:
+
+    - the Section 6 exploration ({!Pdm_dictionary.One_probe_dynamic}):
+      worst-case 1-I/O lookups {e and} 2-I/O updates at full bandwidth,
+      for (l+1)·d disks — compared head-to-head with the Section 4.3
+      cascade on the same workload;
+    - the small-block dictionary vs flat multi-block buckets at tiny
+      B (the atomic-heap regime);
+    - parallel instances: measured cost of a batch of c insertions
+      (the Section 4 preamble's constant-batch claim);
+    - the disk-head-model dictionary driven directly by a Section 5
+      telescope-product expander, without striping copies. *)
+
+type row = {
+  name : string;
+  metric : string;
+  value : string;
+}
+
+type result = { rows : row list }
+
+val run : ?seed:int -> unit -> result
+
+val to_table : result -> Table.t

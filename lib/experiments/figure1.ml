@@ -1,0 +1,216 @@
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Basic = Pdm_dictionary.Basic_dict
+module Fragmented = Pdm_dictionary.Fragmented
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Hash_table = Pdm_baselines.Hash_table
+module Cuckoo = Pdm_baselines.Cuckoo
+module Two_level = Pdm_baselines.Two_level
+module Codec = Pdm_dictionary.Codec
+module Sampling = Pdm_util.Sampling
+module Prng = Pdm_util.Prng
+module Summary = Pdm_util.Summary
+
+type row = {
+  name : string;
+  paper_lookup : string;
+  paper_update : string;
+  lookup_avg : float;
+  lookup_worst : int;
+  update_avg : float;
+  update_worst : int;
+  bandwidth_bits : int;
+  disks : int;
+  deterministic : bool;
+}
+
+type result = { rows : row list; n : int; block_words : int }
+
+(* Measure a structure: insert all members (recording per-insert
+   cost), then look up all members (per-lookup cost). *)
+let drive stats ~insert ~find members =
+  let ins = Common.per_op_cost stats (fun k -> insert k) members in
+  let look = Common.per_op_cost stats (fun k -> ignore (find k)) members in
+  (ins, look)
+
+let mk_row ~name ~paper_lookup ~paper_update ~bandwidth_bits ~disks
+    ~deterministic (ins, look) =
+  { name; paper_lookup; paper_update;
+    lookup_avg = Common.avg look; lookup_worst = Common.worst look;
+    update_avg = Common.avg ins; update_worst = Common.worst ins;
+    bandwidth_bits; disks; deterministic }
+
+let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
+    =
+  let rng = Prng.create seed in
+  let members = Sampling.distinct rng ~universe ~count:n in
+  let val8 = Common.value_bytes_of 8 in
+  let rows = ref [] in
+  let push r = rows := r :: !rows in
+
+  (* Row: hashing with striping (the "Hashing, no overflow" row; also
+     stands in for [7], which has the same O(1)-whp profile). *)
+  let disks = 8 in
+  (let cfg =
+     Hash_table.plan ~universe ~capacity:n ~block_words ~disks ~value_bytes:8
+       ~seed ()
+   in
+   let machine =
+     Pdm.create ~disks ~block_size:block_words
+       ~blocks_per_disk:cfg.Hash_table.superblocks ()
+   in
+   let h = Hash_table.create ~machine cfg in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Hash_table.insert h k (val8 k))
+       ~find:(Hash_table.find h) members
+   in
+   let log_n = max 2 (Pdm_util.Imath.ceil_log2 n) in
+   push
+     (mk_row ~name:"hashing, striped (whp rows)" ~paper_lookup:"1 whp"
+        ~paper_update:"2 whp"
+        ~bandwidth_bits:(disks * block_words / log_n * Codec.bits_per_word)
+        ~disks ~deterministic:false costs));
+
+  (* Row: Section 4.1 basic dictionary. *)
+  (let cfg =
+     Basic.plan ~universe ~capacity:n ~block_words ~degree:disks
+       ~value_bytes:8 ~seed ()
+   in
+   let machine =
+     Pdm.create ~disks ~block_size:block_words
+       ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+   in
+   let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Basic.insert d k (val8 k))
+       ~find:(Basic.find d) members
+   in
+   push
+     (mk_row ~name:"Section 4.1 (basic, D = Omega(log u))" ~paper_lookup:"1"
+        ~paper_update:"2"
+        ~bandwidth_bits:((block_words - 1) * Codec.bits_per_word)
+        ~disks ~deterministic:true costs));
+
+  (* Row: Section 4.1 with satellite data, k = d/2 — bandwidth
+     O(BD / log n). *)
+  (let sigma_bits = 512 in
+   let cfg =
+     Fragmented.plan ~strategy:(`Average 2.5) ~universe ~capacity:n
+       ~block_words ~degree:disks ~sigma_bits ~seed ()
+   in
+   let machine =
+     Pdm.create ~disks ~block_size:block_words
+       ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
+   in
+   let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+   let payload = Common.sigma_payload ~sigma_bits in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Fragmented.insert d k (payload k))
+       ~find:(Fragmented.find d) members
+   in
+   push
+     (mk_row ~name:"Section 4.1 (k = d/2, B = Omega(log n))"
+        ~paper_lookup:"1" ~paper_update:"2"
+        ~bandwidth_bits:(Fragmented.bandwidth_bits d ~block_words)
+        ~disks ~deterministic:true costs));
+
+  (* Row: cuckoo hashing [13] — bandwidth BD/2, amortized expected
+     updates. Run warmer (higher utilization) so evictions appear. *)
+  (let cfg =
+     Cuckoo.plan ~utilization:0.8 ~universe ~capacity:n ~block_words ~disks
+       ~value_bytes:8 ~seed ()
+   in
+   let machine =
+     Pdm.create ~disks ~block_size:block_words
+       ~blocks_per_disk:cfg.Cuckoo.buckets ()
+   in
+   let c = Cuckoo.create ~machine cfg in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Cuckoo.insert c k (val8 k))
+       ~find:(Cuckoo.find c) members
+   in
+   push
+     (mk_row ~name:"cuckoo hashing [13]" ~paper_lookup:"1"
+        ~paper_update:"O(1) am.exp." ~bandwidth_bits:(Cuckoo.bandwidth_bits c)
+        ~disks ~deterministic:false costs));
+
+  (* Row: [7] + folklore trick — 1+e / 2+e average whp, bandwidth
+     O(BD). *)
+  (let cfg =
+     Two_level.plan ~universe ~capacity:n ~block_words ~disks ~value_bytes:8
+       ~seed ()
+   in
+   let machine =
+     Pdm.create ~disks ~block_size:block_words
+       ~blocks_per_disk:(Two_level.superblocks_needed cfg ~block_words ~disks)
+       ()
+   in
+   let d = Two_level.create ~machine cfg in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Two_level.insert d k (val8 k))
+       ~find:(Two_level.find d) members
+   in
+   push
+     (mk_row ~name:"[7] + trick (two-level)" ~paper_lookup:"1+e avg whp"
+        ~paper_update:"2+e avg whp"
+        ~bandwidth_bits:((disks * block_words - 1) * Codec.bits_per_word)
+        ~disks ~deterministic:false costs));
+
+  (* Row: Section 4.3 cascade — 1+e / 2+e average, deterministic. *)
+  (let sigma_bits = 512 and epsilon = 0.5 and degree = 24 in
+   let t =
+     Cascade.create ~block_words
+       { Cascade.universe; capacity = n; degree; sigma_bits; epsilon;
+         v_factor = 3; seed }
+   in
+   let machine = Cascade.machine t in
+   let payload = Common.sigma_payload ~sigma_bits in
+   let costs =
+     drive (Pdm.stats machine)
+       ~insert:(fun k -> Cascade.insert t k (payload k))
+       ~find:(Cascade.find t) members
+   in
+   let m = 2 * degree / 3 in
+   let max_sigma = m * ((Codec.bits_per_word * block_words) - 4) in
+   push
+     (mk_row ~name:"Section 4.3 (cascade)" ~paper_lookup:"1+e avg"
+        ~paper_update:"2+e avg" ~bandwidth_bits:max_sigma ~disks:(2 * degree)
+        ~deterministic:true costs));
+
+  { rows = List.rev !rows; n; block_words }
+
+let to_table r =
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Figure 1 — linear-space dictionaries, measured at n = %d, B = %d \
+          words"
+         r.n r.block_words)
+    ~header:
+      [ "method"; "lookup(paper)"; "lookup avg"; "lookup max";
+        "update(paper)"; "update avg"; "update max"; "bandwidth(bits)";
+        "disks"; "deterministic" ]
+    ~notes:
+      [ "update bounds include the read-before-write, so 2 is optimal";
+        "bandwidth = satellite bits retrievable in one parallel I/O at this \
+         geometry" ]
+    (List.map
+       (fun row ->
+         [ row.name; row.paper_lookup; Table.fcell row.lookup_avg;
+           Table.icell row.lookup_worst; row.paper_update;
+           Table.fcell row.update_avg; Table.icell row.update_worst;
+           Table.icell row.bandwidth_bits; Table.icell row.disks;
+           (if row.deterministic then "yes" else "no") ])
+       r.rows)
+
+let find_row r prefix =
+  List.find
+    (fun row ->
+      String.length row.name >= String.length prefix
+      && String.sub row.name 0 (String.length prefix) = prefix)
+    r.rows

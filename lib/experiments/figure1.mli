@@ -1,0 +1,38 @@
+(** Experiment E1: regenerate Figure 1 (the paper's only figure).
+
+    Figure 1 tabulates, for linear-space dictionaries with constant
+    time per operation: lookup I/Os, update I/Os, bandwidth and side
+    conditions. This experiment builds every row's structure in the
+    simulator at a common scale, drives identical workloads through
+    them, and reports measured average and worst-case parallel I/Os
+    next to the paper's stated bounds.
+
+    Expected shape (what EXPERIMENTS.md records): the deterministic
+    structures hit their worst-case bounds exactly (1 or 2 I/Os, or
+    1+ɛ/2+ɛ on average with an O(log n) worst case), while the
+    hashing rows match only on average — their worst cases drift with
+    load and (for cuckoo) eviction chains. *)
+
+type row = {
+  name : string;
+  paper_lookup : string;     (** the bound as stated in Figure 1 *)
+  paper_update : string;
+  lookup_avg : float;
+  lookup_worst : int;
+  update_avg : float;
+  update_worst : int;
+  bandwidth_bits : int;      (** satellite bits deliverable in 1 I/O *)
+  disks : int;
+  deterministic : bool;
+}
+
+type result = { rows : row list; n : int; block_words : int }
+
+val run :
+  ?n:int -> ?universe:int -> ?block_words:int -> ?seed:int -> unit -> result
+(** Defaults: n = 1000, universe = 2²², block_words = 64, seed 42. *)
+
+val to_table : result -> Table.t
+
+val find_row : result -> string -> row
+(** Row by (prefix of) name; raises [Not_found]. *)

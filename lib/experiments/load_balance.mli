@@ -1,0 +1,33 @@
+(** Experiment E2: the deterministic load balancing scheme (Lemma 3).
+
+    Sweeps (n, v, d, k), measures the maximum bucket load of the
+    greedy d-choice scheme on a seeded striped expander, and compares
+    it with Lemma 3's closed-form bound (evaluated at ε = δ = 1/6,
+    which the seeded graphs comfortably satisfy at these sizes — E3
+    measures the actual ε) and with the single-choice and random
+    d-choice baselines.
+
+    Expected shape: greedy max ≤ bound everywhere; greedy ≈ average
+    load + small additive term; single choice worse by a
+    log v / log log v-style gap in the lightly loaded case. *)
+
+type point = {
+  n : int;
+  v : int;
+  d : int;
+  k : int;
+  average : float;           (** kn / v *)
+  greedy_max : int;
+  bound : float;             (** Lemma 3 at ε = δ = 1/6 *)
+  single_choice_max : int;
+  random_d_choice_max : int;
+}
+
+type result = { points : point list }
+
+val run : ?universe:int -> ?seed:int -> ?sweep:(int * int * int * int) list ->
+  unit -> result
+(** [sweep] is a list of (n, v, d, k) configurations; a representative
+    default covers the lightly and heavily loaded cases and k > 1. *)
+
+val to_table : result -> Table.t

@@ -1,0 +1,39 @@
+(** Experiment E4: the one-probe static dictionary (Theorem 6).
+
+    For both layouts (case (a): membership + unary-pointer retrieval
+    on 2d disks; case (b): identifier fields on d disks), across a
+    sweep of n:
+
+    - every lookup — successful or not — must cost exactly one
+      parallel I/O;
+    - no false positives on keys outside S;
+    - the measured construction I/O against the measured cost of one
+      external sort of nd records (Theorem 6 promises a constant
+      ratio), for {e both} of the paper's construction procedures (the
+      direct O(n)-scan version and the sorting-based "improved" one);
+    - peeling depth (the geometric decrease of Lemma 5);
+    - space in bits against the Theorem 6 formulas. *)
+
+type point = {
+  case : string;
+  construction : string;  (** "sorting" or "direct" *)
+  n : int;
+  lookups_all_single_io : bool;
+  false_positives : int;
+  construction_ios : int;
+  sort_nd_ios : int;
+  ratio : float;
+  peel_rounds : int;
+  internal_memory_peak : int;
+  field_bits : int;
+  space_bits : int;
+  bits_per_key : float;
+}
+
+type result = { points : point list }
+
+val run :
+  ?universe:int -> ?block_words:int -> ?sigma_bits:int -> ?degree:int ->
+  ?seed:int -> ?ns:int list -> unit -> result
+
+val to_table : result -> Table.t

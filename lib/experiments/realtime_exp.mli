@@ -1,0 +1,34 @@
+(** Experiment E14: the real-time argument (§1.2).
+
+    "The file system often needs to offer a real-time guarantee for
+    the sake of applications, which essentially prohibits randomized
+    solutions, as well as amortized bounds."
+
+    Every structure serves the same long mixed trace (lookups,
+    updates, deletes) at meaningful utilization; per-operation
+    parallel-I/O latencies are recorded and reported as percentiles.
+    Averages hide the story — the tail is where amortized (cuckoo) and
+    whp (hashing) structures give up their guarantees while the
+    deterministic structures' p100 equals their bound. *)
+
+type row = {
+  name : string;
+  deterministic : bool;
+  ops : int;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  worst : int;
+}
+
+type result = { rows : row list; trace_ops : int }
+
+val run :
+  ?scale:Adapters.scale -> ?trace_ops:int -> ?structures:Adapters.t list ->
+  unit -> result
+(** Defaults: the four headline structures (cascade, one-probe
+    dynamic, cuckoo at 0.8 and hash table at 0.9 utilization with fat
+    records) over a 20 000-operation trace (70% lookups, ~20% updates,
+    ~10% deletes). *)
+
+val to_table : result -> Table.t

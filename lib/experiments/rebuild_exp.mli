@@ -1,0 +1,29 @@
+(** Experiment E9: global rebuilding overhead (§4 preamble).
+
+    Grows a dictionary from a small initial capacity through several
+    doublings under an insert/lookup/delete stream and reports the
+    worst-case and average per-operation I/O, the rebuild count, and
+    that lookups stay at one parallel I/O throughout — the paper's
+    claim that full dynamization costs only constant factors. *)
+
+type result = {
+  operations : int;
+  final_size : int;
+  rebuilds : int;
+  peak_capacity : int;
+  capacity_after_purge : int;  (** after deleting ~95% of the keys *)
+  insert_avg : float;
+  insert_worst : int;
+  lookup_avg : float;
+  lookup_worst : int;
+  delete_avg : float;
+  delete_worst : int;
+  baseline_insert_avg : float;  (** capacity-bounded Basic_dict inserts *)
+  overhead_factor : float;      (** insert_avg / baseline_insert_avg *)
+}
+
+val run :
+  ?universe:int -> ?block_words:int -> ?degree:int -> ?seed:int ->
+  ?operations:int -> unit -> result
+
+val to_table : result -> Table.t

@@ -1,0 +1,27 @@
+(** Experiment E13: the guarantees at scale.
+
+    The unit experiments run at n ≈ 10³ for speed; this experiment
+    pushes the two headline dictionaries to tens of thousands of keys
+    and re-verifies the worst-case I/O bounds on every single
+    operation, while also reporting simulator wall-clock throughput
+    (operations per second including simulation overhead) so scaling
+    regressions are visible. *)
+
+type point = {
+  structure : string;
+  n : int;
+  lookup_worst : int;
+  lookup_bound : int;
+  insert_worst : int;
+  insert_bound : int;
+  ops_per_sec : float;     (** lookups/s wall clock, simulator included *)
+  space_blocks : int;
+  bound_violations : int;
+}
+
+type result = { points : point list }
+
+val run : ?seed:int -> ?ns:int list -> unit -> result
+(** Default ns: 10_000, 40_000. *)
+
+val to_table : result -> Table.t

@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~header ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Table.make: row width mismatch")
+    rows;
+  { title; header; rows; notes }
+
+let print ?(out = Format.std_formatter) t =
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure t.header;
+  List.iter measure t.rows;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  let render row = String.concat "  " (List.mapi pad row) in
+  Format.fprintf out "@.== %s ==@." t.title;
+  Format.fprintf out "%s@." (render t.header);
+  Format.fprintf out "%s@."
+    (String.concat "  "
+       (List.mapi (fun i _ -> String.make widths.(i) '-') t.header));
+  List.iter (fun row -> Format.fprintf out "%s@." (render row)) t.rows;
+  List.iter (fun n -> Format.fprintf out "  note: %s@." n) t.notes;
+  Format.fprintf out "@."
+
+let fcell x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3f" x
+
+let icell = string_of_int
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let row cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (row t.header :: List.map row t.rows) ^ "\n"
+
+let print_csv ?(out = Format.std_formatter) t =
+  Format.fprintf out "%s@?" (to_csv t)

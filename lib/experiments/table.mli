@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment prints its results in the same aligned format so
+    bench output reads like the paper's tables. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+val print : ?out:Format.formatter -> t -> unit
+(** Render with column alignment, a rule under the header, and any
+    notes below. Defaults to [Format.std_formatter]. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: header row then data rows (title and notes are
+    omitted). Cells containing commas, quotes or newlines are
+    quoted. *)
+
+val print_csv : ?out:Format.formatter -> t -> unit
+
+val fcell : float -> string
+(** Format a float compactly (3 significant decimals). *)
+
+val icell : int -> string

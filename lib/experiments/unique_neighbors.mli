@@ -1,0 +1,32 @@
+(** Experiment E3: expansion and unique-neighbor lemmas (Lemmas 4–5).
+
+    For seeded striped expanders at dictionary-relevant parameters
+    (v = c·n·d), measures per sampled key set S:
+
+    - ε̂(S) = 1 − |Γ(S)|/(d|S|) — the witnessed expansion deficiency;
+    - |Φ(S)| against Lemma 4's (1 − 2ε̂)d|S|;
+    - |S′| (λ = 1/3) against Lemma 5's (1 − 2ε̂/λ)|S|.
+
+    Expected shape: ε̂ well under 1/12 at these sizes, both lemma
+    inequalities holding with slack, |S′|/|S| ≥ 1/2 (the peeling
+    guarantee behind Theorem 6's O(n) construction). *)
+
+type point = {
+  n : int;
+  v : int;
+  d : int;
+  eps_worst : float;       (** worst ε̂ over trials *)
+  phi_ratio_min : float;   (** min |Φ(S)| / ((1−2ε̂)d|S|) over trials *)
+  s'_ratio_min : float;    (** min |S′| / |S| over trials *)
+  lemma4_holds : bool;
+  lemma5_holds : bool;
+}
+
+type result = { points : point list }
+
+val run :
+  ?universe:int -> ?seed:int -> ?trials:int ->
+  ?sweep:(int * int * int) list -> unit -> result
+(** [sweep] lists (n, v_factor, d). *)
+
+val to_table : result -> Table.t

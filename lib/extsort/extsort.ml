@@ -1,0 +1,213 @@
+module Striping = Pdm_sim.Striping
+module Imath = Pdm_util.Imath
+
+type 'a t = {
+  view : 'a Striping.t;
+  compare : 'a -> 'a -> int;
+  memory_items : int;
+  sb : int;
+}
+
+let create view ~compare ~memory_items =
+  let sb = Striping.superblock_size view in
+  if memory_items < 2 * sb then
+    invalid_arg "Extsort.create: memory must hold at least two superblocks";
+  (* Rounding M down to a whole number of superblocks aligns every run
+     to a superblock boundary, so partial-block writes never clobber a
+     neighbouring run's records. *)
+  { view; compare; memory_items = memory_items / sb * sb; sb }
+
+let superblock_size t = t.sb
+
+let region_superblocks t ~items = Imath.cdiv items t.sb
+
+(* Item [i] of the region starting at superblock [region] lives in
+   superblock region + i/sb, slot i mod sb. *)
+
+let write_region t ~region items =
+  let n = Array.length items in
+  let blocks = Imath.cdiv n t.sb in
+  for b = 0 to blocks - 1 do
+    let block = Array.make t.sb None in
+    let base = b * t.sb in
+    for s = 0 to min t.sb (n - base) - 1 do
+      block.(s) <- Some items.(base + s)
+    done;
+    Striping.write t.view (region + b) block
+  done
+
+let read_region t ~region ~count =
+  let blocks = Imath.cdiv count t.sb in
+  let out = Array.make count None in
+  for b = 0 to blocks - 1 do
+    let block = Striping.read t.view (region + b) in
+    let base = b * t.sb in
+    for s = 0 to min t.sb (count - base) - 1 do
+      out.(base + s) <- block.(s)
+    done
+  done;
+  Array.map
+    (function
+      | Some x -> x
+      | None -> invalid_arg "Extsort.read_region: hole in region")
+    out
+
+(* A streaming reader over a sub-range [lo, hi) of a region, pulling
+   one superblock per refill. *)
+type 'a cursor = {
+  mutable next : int;            (* absolute item index of next record *)
+  hi : int;
+  mutable buf : 'a option array;
+  mutable buf_block : int;       (* superblock index buf came from, -1 = none *)
+}
+
+let cursor_peek t ~region cur =
+  if cur.next >= cur.hi then None
+  else begin
+    let block = region + (cur.next / t.sb) in
+    if block <> cur.buf_block then begin
+      cur.buf <- Striping.read t.view block;
+      cur.buf_block <- block
+    end;
+    match cur.buf.(cur.next mod t.sb) with
+    | Some x -> Some x
+    | None -> invalid_arg "Extsort: hole in run"
+  end
+
+let cursor_advance cur = cur.next <- cur.next + 1
+
+(* A streaming writer appending to a region from absolute item index
+   [start], flushing one superblock at a time. *)
+type 'a out_stream = {
+  mutable pos : int;
+  mutable out_buf : 'a option array;
+  o_region : int;
+}
+
+let out_create t ~region ~start =
+  ignore t;
+  { pos = start; out_buf = [||]; o_region = region }
+
+let out_push t o x =
+  if o.pos mod t.sb = 0 || Array.length o.out_buf = 0 then
+    o.out_buf <- Array.make t.sb None;
+  o.out_buf.(o.pos mod t.sb) <- Some x;
+  o.pos <- o.pos + 1;
+  if o.pos mod t.sb = 0 then begin
+    Striping.write t.view (o.o_region + ((o.pos - 1) / t.sb)) o.out_buf;
+    o.out_buf <- [||]
+  end
+
+let out_flush t o =
+  if o.pos mod t.sb <> 0 && Array.length o.out_buf > 0 then
+    Striping.write t.view (o.o_region + (o.pos / t.sb)) o.out_buf
+
+(* Merge the runs [(lo, hi); ...] of [src] into [dst] starting at item
+   [start]. Runs are sorted ranges of absolute item indices. *)
+let merge_runs t ~src ~dst ~start runs =
+  let cursors =
+    List.map (fun (lo, hi) -> { next = lo; hi; buf = [||]; buf_block = -1 }) runs
+  in
+  let o = out_create t ~region:dst ~start in
+  let rec loop () =
+    let best = ref None in
+    List.iter
+      (fun cur ->
+        match cursor_peek t ~region:src cur with
+        | None -> ()
+        | Some x ->
+          (match !best with
+           | None -> best := Some (x, cur)
+           | Some (y, _) -> if t.compare x y < 0 then best := Some (x, cur)))
+      cursors;
+    match !best with
+    | None -> ()
+    | Some (x, cur) ->
+      cursor_advance cur;
+      out_push t o x;
+      loop ()
+  in
+  loop ();
+  out_flush t o
+
+let form_runs t ~src_region ~dst_region ~items =
+  let runs = ref [] in
+  let pos = ref 0 in
+  while !pos < items do
+    let len = min t.memory_items (items - !pos) in
+    (* Runs start at multiples of memory_items, which is a multiple of
+       the superblock size, so each run owns its superblocks outright. *)
+    let lo_block = !pos / t.sb and hi_block = (!pos + len - 1) / t.sb in
+    let chunk = Array.make len None in
+    for b = lo_block to hi_block do
+      let block = Striping.read t.view (src_region + b) in
+      for s = 0 to t.sb - 1 do
+        let idx = (b * t.sb) + s in
+        if idx >= !pos && idx < !pos + len then chunk.(idx - !pos) <- block.(s)
+      done
+    done;
+    let chunk =
+      Array.map
+        (function
+          | Some x -> x
+          | None -> invalid_arg "Extsort.sort: hole in input")
+        chunk
+    in
+    Array.sort t.compare chunk;
+    let o = out_create t ~region:dst_region ~start:!pos in
+    Array.iter (fun x -> out_push t o x) chunk;
+    out_flush t o;
+    runs := (!pos, !pos + len) :: !runs;
+    pos := !pos + len
+  done;
+  List.rev !runs
+
+let rec take n = function
+  | [] -> ([], [])
+  | x :: rest when n > 0 ->
+    let got, left = take (n - 1) rest in
+    (x :: got, left)
+  | rest -> ([], rest)
+
+let sort t ~src_region ~scratch_region ~items =
+  if items < 0 then invalid_arg "Extsort.sort: items";
+  if items <= 1 then `Src
+  else begin
+    (* Run formation writes into the scratch region. *)
+    let runs = form_runs t ~src_region ~dst_region:scratch_region ~items in
+    let fan_in = max 2 ((t.memory_items / t.sb) - 1) in
+    let rec passes runs ~cur ~other =
+      match runs with
+      | [] -> assert false
+      | [ _ ] -> if cur = scratch_region then `Scratch else `Src
+      | _ ->
+        let rec merge_groups runs acc =
+          match runs with
+          | [] -> List.rev acc
+          | _ ->
+            let group, rest = take fan_in runs in
+            let lo = List.fold_left (fun a (l, _) -> min a l) max_int group in
+            let hi = List.fold_left (fun a (_, h) -> max a h) 0 group in
+            merge_runs t ~src:cur ~dst:other ~start:lo group;
+            merge_groups rest ((lo, hi) :: acc)
+        in
+        let runs' = merge_groups runs [] in
+        passes runs' ~cur:other ~other:cur
+    in
+    passes runs ~cur:scratch_region ~other:src_region
+  end
+
+let theoretical_parallel_ios ~superblock ~memory_items ~items =
+  if items <= 1 then 0
+  else begin
+    let blocks = Imath.cdiv items superblock in
+    let runs = Imath.cdiv items memory_items in
+    let fan_in = max 2 ((memory_items / superblock) - 1) in
+    let passes =
+      if runs <= 1 then 0
+      else
+        int_of_float
+          (ceil (log (float_of_int runs) /. log (float_of_int fan_in)))
+    in
+    2 * blocks * (1 + passes)
+  end

@@ -1,0 +1,53 @@
+(** External multiway merge sort in the parallel disk model.
+
+    Theorem 6 bounds the one-probe dictionary's construction time by
+    the cost of sorting nd records; this module provides that sorting
+    substrate, with all I/O charged to the underlying machine, so the
+    construction-vs-sort ratio can be measured (experiment E4).
+
+    The sorter works on the striped view (logical block size BD): run
+    formation reads [memory_items] records at a time, sorts them
+    internally, and writes sorted runs; merge passes then combine runs
+    with fan-in ⌈memory_items / BD⌉ − 1 until a single run remains.
+    This is the standard striped external sort, which costs
+    O((n/BD)·log_{M/BD}(n/M)) parallel I/Os — a factor D shy of the
+    optimal multi-disk sort, but the paper's constructions only need
+    *a* sorting bound to compare against, and we use the same sorter
+    on both sides of the comparison.
+
+    Records live in *regions*: contiguous runs of superblocks
+    addressed by their starting superblock index, packed densely
+    (item i of a region occupies slot i mod BD of superblock
+    start + i/BD). *)
+
+type 'a t
+
+val create :
+  'a Pdm_sim.Striping.t -> compare:('a -> 'a -> int) -> memory_items:int -> 'a t
+(** [memory_items] is the internal-memory capacity M in records; it
+    must be at least twice the superblock size. *)
+
+val superblock_size : 'a t -> int
+
+val region_superblocks : 'a t -> items:int -> int
+(** Superblocks needed to hold [items] records. *)
+
+val write_region : 'a t -> region:int -> 'a array -> unit
+(** Store records densely starting at superblock [region], counting
+    one parallel I/O per superblock written. *)
+
+val read_region : 'a t -> region:int -> count:int -> 'a array
+(** Fetch [count] records, one parallel I/O per superblock. *)
+
+val sort :
+  'a t -> src_region:int -> scratch_region:int -> items:int ->
+  [ `Src | `Scratch ]
+(** Sort the [items] records of the source region. The two regions
+    must not overlap and each must have room for [items] records; the
+    sorted output lands in whichever region the final pass wrote, as
+    reported by the return value. *)
+
+val theoretical_parallel_ios :
+  superblock:int -> memory_items:int -> items:int -> int
+(** The textbook cost 2·⌈n/BD⌉·(1 + ⌈log_f ⌈n/M⌉⌉) with fan-in
+    f = max(2, M/BD − 1): the yardstick experiments compare against. *)

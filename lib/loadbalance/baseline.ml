@@ -1,0 +1,27 @@
+module Prng = Pdm_util.Prng
+
+let single_choice ~seed ~v ~items =
+  if v < 1 then invalid_arg "Baseline.single_choice: v";
+  let loads = Array.make v 0 in
+  Array.iter
+    (fun x ->
+      let b = Prng.hash_to_range ~seed x 0 v in
+      loads.(b) <- loads.(b) + 1)
+    items;
+  loads
+
+let random_d_choice ~rng ~v ~d ~items =
+  if v < 1 || d < 1 then invalid_arg "Baseline.random_d_choice";
+  let loads = Array.make v 0 in
+  Array.iter
+    (fun _ ->
+      let best = ref (Prng.int rng v) in
+      for _ = 2 to d do
+        let b = Prng.int rng v in
+        if loads.(b) < loads.(!best) then best := b
+      done;
+      loads.(!best) <- loads.(!best) + 1)
+    items;
+  loads
+
+let max_load loads = Array.fold_left max 0 loads

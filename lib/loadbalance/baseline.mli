@@ -1,0 +1,19 @@
+(** Load-balancing baselines for experiment E2.
+
+    The special case the paper cites (Azar–Broder–Karlin–Upfal,
+    Berenbrink et al.): random graphs with small degree, where the
+    2-choice greedy deviates from the average load by only
+    O(log log n) whp. These baselines calibrate how the deterministic
+    expander scheme compares with one random choice and with random
+    d-choice. *)
+
+val single_choice : seed:int -> v:int -> items:int array -> int array
+(** Each item hashed to one uniform bucket; returns the bucket loads.
+    Classical maximum ≈ ln v / ln ln v above average when n = v. *)
+
+val random_d_choice :
+  rng:Pdm_util.Prng.t -> v:int -> d:int -> items:int array -> int array
+(** Each item draws d independent uniform buckets and joins a least
+    loaded one (ties to the first drawn); returns the bucket loads. *)
+
+val max_load : int array -> int

@@ -1,0 +1,60 @@
+module Bipartite = Pdm_expander.Bipartite
+
+type tie_break = First_stripe | Last_stripe | Rotating
+
+type t = {
+  graph : Bipartite.t;
+  k : int;
+  tie : tie_break;
+  loads : int array;
+  mutable items : int;
+  mutable rotation : int;
+}
+
+let create ?(tie = First_stripe) ~graph ~k () =
+  if k < 1 then invalid_arg "Greedy.create: k must be >= 1";
+  { graph; k; tie; loads = Array.make (Bipartite.v graph) 0; items = 0;
+    rotation = 0 }
+
+let graph t = t.graph
+
+let k t = t.k
+
+let insert t x =
+  let nbrs = Bipartite.neighbors t.graph x in
+  let d = Array.length nbrs in
+  let choose () =
+    let order i =
+      match t.tie with
+      | First_stripe -> i
+      | Last_stripe -> d - 1 - i
+      | Rotating -> (i + t.rotation) mod d
+    in
+    let best = ref (order 0) in
+    for i = 1 to d - 1 do
+      let c = order i in
+      if t.loads.(nbrs.(c)) < t.loads.(nbrs.(!best)) then best := c
+    done;
+    t.rotation <- (t.rotation + 1) mod d;
+    nbrs.(!best)
+  in
+  Array.init t.k (fun _ ->
+      let b = choose () in
+      t.loads.(b) <- t.loads.(b) + 1;
+      t.items <- t.items + 1;
+      b)
+
+let insert_all t xs = Array.iter (fun x -> ignore (insert t x)) xs
+
+let load t b = t.loads.(b)
+
+let loads t = Array.copy t.loads
+
+let max_load t = Array.fold_left max 0 t.loads
+
+let items t = t.items
+
+let average_load t = float_of_int t.items /. float_of_int (Array.length t.loads)
+
+let buckets_with_load_above t i =
+  Array.fold_left (fun acc l -> if l > i then acc + 1 else acc) 0 t.loads

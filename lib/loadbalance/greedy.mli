@@ -1,0 +1,58 @@
+(** Deterministic d-choice load balancing on an expander (Section 3).
+
+    An unknown set of left vertices arrives on-line; each vertex
+    carries [k] items, and every item must be assigned to one of the
+    vertex's d neighboring buckets. The greedy strategy places the k
+    items one by one, each into a currently least-loaded neighbor
+    (ties broken towards the lowest bucket index — "arbitrarily" in
+    the paper). Multiple items of one vertex may share a bucket.
+
+    Lemma 3: on a (d, ε, δ)-expander with d(1−ε) > k, the maximum
+    load is at most kn/((1−δ)v) + log_{(1−ε)d/k} v. The closed form
+    is {!Pdm_expander.Expansion.lemma3_bound}; experiment E2 compares
+    it with the measured maximum. *)
+
+type t
+
+type tie_break =
+  | First_stripe   (** lowest neighbor index wins (default) *)
+  | Last_stripe    (** highest neighbor index wins *)
+  | Rotating       (** start the scan at a rotating offset *)
+(** Lemma 3 holds for {e any} tie-breaking rule ("breaking ties
+    arbitrarily"); the ablation experiment confirms the measured max
+    load is insensitive to the choice. *)
+
+val create :
+  ?tie:tie_break -> graph:Pdm_expander.Bipartite.t -> k:int -> unit -> t
+(** Fresh balancer over the graph's right side as buckets. Requires
+    [1 <= k]. *)
+
+val graph : t -> Pdm_expander.Bipartite.t
+
+val k : t -> int
+
+val insert : t -> int -> int array
+(** [insert t x] places the k items of left vertex [x] and returns the
+    chosen bucket of each item (length k, in placement order). A
+    vertex may be inserted more than once; each insertion places k
+    fresh items (useful for weighted streams). *)
+
+val insert_all : t -> int array -> unit
+
+val load : t -> int -> int
+(** Current load of one bucket. *)
+
+val loads : t -> int array
+(** Copy of all bucket loads. *)
+
+val max_load : t -> int
+
+val items : t -> int
+(** Total items placed so far. *)
+
+val average_load : t -> float
+(** items / v. *)
+
+val buckets_with_load_above : t -> int -> int
+(** [buckets_with_load_above t i] = B(i) in Lemma 3's proof: the
+    number of buckets holding more than [i] items. *)

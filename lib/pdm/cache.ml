@@ -1,0 +1,86 @@
+type 'a entry = { mutable data : 'a option array; mutable stamp : int }
+
+type 'a t = {
+  pdm : 'a Pdm.t;
+  capacity : int;
+  table : (Pdm.addr, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create pdm ~capacity_blocks =
+  if capacity_blocks < 1 then invalid_arg "Cache.create: capacity >= 1";
+  { pdm; capacity = capacity_blocks; table = Hashtbl.create 64; clock = 0;
+    hits = 0; misses = 0 }
+
+let machine t = t.pdm
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let resident t = Hashtbl.length t.table
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+let evict_to_capacity t =
+  while Hashtbl.length t.table > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun addr e ->
+        match !victim with
+        | Some (_, s) when s <= e.stamp -> ()
+        | Some _ | None -> victim := Some (addr, e.stamp))
+      t.table;
+    match !victim with
+    | Some (addr, _) -> Hashtbl.remove t.table addr
+    | None -> ()
+  done
+
+let insert t addr data =
+  let e = { data; stamp = 0 } in
+  touch t e;
+  Hashtbl.replace t.table addr e;
+  evict_to_capacity t
+
+let read t addrs =
+  let addrs = List.sort_uniq compare addrs in
+  (* Serve hits first (touching them), then fetch the misses in one
+     machine request. A cache smaller than the batch may evict some
+     just-fetched blocks immediately; the results are taken from the
+     fetch itself, so correctness does not depend on residency. *)
+  let hits, missing =
+    List.partition (fun a -> Hashtbl.mem t.table a) addrs
+  in
+  t.hits <- t.hits + List.length hits;
+  t.misses <- t.misses + List.length missing;
+  let served =
+    List.map
+      (fun addr ->
+        let e = Hashtbl.find t.table addr in
+        touch t e;
+        (addr, Array.copy e.data))
+      hits
+  in
+  let fetched = if missing = [] then [] else Pdm.read t.pdm missing in
+  List.iter (fun (addr, data) -> insert t addr (Array.copy data)) fetched;
+  served @ fetched
+
+let read_one t addr =
+  match read t [ addr ] with
+  | [ (_, data) ] -> data
+  | _ -> assert false
+
+let write t blocks =
+  Pdm.write t.pdm blocks;
+  List.iter
+    (fun (addr, data) ->
+      match Hashtbl.find_opt t.table addr with
+      | Some e ->
+        e.data <- Array.copy data;
+        touch t e
+      | None -> insert t addr (Array.copy data))
+    blocks
+
+let flush t = Hashtbl.reset t.table

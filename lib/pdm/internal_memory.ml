@@ -1,0 +1,34 @@
+type t = {
+  capacity : int option;
+  mutable in_use : int;
+  mutable peak : int;
+}
+
+let create ~capacity_words =
+  if capacity_words < 0 then invalid_arg "Internal_memory.create";
+  { capacity = Some capacity_words; in_use = 0; peak = 0 }
+
+let unbounded () = { capacity = None; in_use = 0; peak = 0 }
+
+let alloc t ~words =
+  if words < 0 then invalid_arg "Internal_memory.alloc: negative size";
+  let next = t.in_use + words in
+  (match t.capacity with
+   | Some cap when next > cap ->
+     invalid_arg
+       (Printf.sprintf
+          "Internal_memory.alloc: %d words requested, %d available" words
+          (cap - t.in_use))
+   | Some _ | None -> ());
+  t.in_use <- next;
+  if next > t.peak then t.peak <- next
+
+let free t ~words =
+  if words < 0 || words > t.in_use then invalid_arg "Internal_memory.free";
+  t.in_use <- t.in_use - words
+
+let in_use t = t.in_use
+
+let peak t = t.peak
+
+let capacity t = t.capacity

@@ -1,0 +1,28 @@
+(** Internal-memory accounting.
+
+    The paper assumes internal memory holds O(log n) keys (enough for
+    the hash-function descriptions of the baselines, and for the
+    semi-explicit expander of Section 5 it allows O(N^β) words of
+    pre-processed tables). Algorithms register their resident state
+    here so experiments can report — and tests can bound — how much
+    internal memory each structure actually needs. *)
+
+type t
+
+val create : capacity_words:int -> t
+(** Budgeted arena: {!alloc} beyond the capacity raises
+    [Invalid_argument]. *)
+
+val unbounded : unit -> t
+(** Accounting without a limit (still tracks peak usage). *)
+
+val alloc : t -> words:int -> unit
+
+val free : t -> words:int -> unit
+
+val in_use : t -> int
+
+val peak : t -> int
+(** High-water mark of {!in_use} since creation. *)
+
+val capacity : t -> int option

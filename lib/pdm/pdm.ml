@@ -1,0 +1,151 @@
+module Imath = Pdm_util.Imath
+
+type model = Independent_disks | Parallel_heads
+
+type addr = { disk : int; block : int }
+
+type 'a t = {
+  disks : int;
+  block_size : int;
+  blocks_per_disk : int;
+  model : model;
+  stats : Stats.t;
+  store : 'a option array option array array;  (* disk -> block -> slots *)
+  mutable allocated : int;
+}
+
+let create ?(model = Independent_disks) ?stats ~disks ~block_size
+    ~blocks_per_disk () =
+  if disks < 1 then invalid_arg "Pdm.create: disks must be >= 1";
+  if block_size < 1 then invalid_arg "Pdm.create: block_size must be >= 1";
+  if blocks_per_disk < 1 then invalid_arg "Pdm.create: blocks_per_disk >= 1";
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  { disks; block_size; blocks_per_disk; model; stats;
+    store = Array.init disks (fun _ -> Array.make blocks_per_disk None);
+    allocated = 0 }
+
+let disks t = t.disks
+let block_size t = t.block_size
+let blocks_per_disk t = t.blocks_per_disk
+let model t = t.model
+let stats t = t.stats
+
+let check_addr t { disk; block } =
+  if disk < 0 || disk >= t.disks then invalid_arg "Pdm: disk out of range";
+  if block < 0 || block >= t.blocks_per_disk then
+    invalid_arg "Pdm: block out of range"
+
+let dedup addrs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun a ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.add seen a ();
+        true
+      end)
+    addrs
+
+(* Minimal number of rounds to transfer the given distinct blocks. *)
+let rounds_of_distinct t addrs =
+  match addrs with
+  | [] -> 0
+  | _ ->
+    (match t.model with
+     | Parallel_heads -> Imath.cdiv (List.length addrs) t.disks
+     | Independent_disks ->
+       let per_disk = Array.make t.disks 0 in
+       List.iter (fun a -> per_disk.(a.disk) <- per_disk.(a.disk) + 1) addrs;
+       Array.fold_left max 0 per_disk)
+
+let rounds_for t addrs =
+  List.iter (check_addr t) addrs;
+  rounds_of_distinct t (dedup addrs)
+
+let block_copy t = function
+  | None -> Array.make t.block_size None
+  | Some slots -> Array.copy slots
+
+let read t addrs =
+  List.iter (check_addr t) addrs;
+  let addrs = dedup addrs in
+  let rounds = rounds_of_distinct t addrs in
+  Stats.add_read_round t.stats ~blocks:(List.length addrs) ~rounds;
+  List.map (fun a -> (a, block_copy t t.store.(a.disk).(a.block))) addrs
+
+let read_one t a =
+  match read t [ a ] with
+  | [ (_, slots) ] -> slots
+  | _ -> assert false
+
+let store_block t a slots =
+  if Array.length slots <> t.block_size then
+    invalid_arg "Pdm.write: block has wrong length";
+  if t.store.(a.disk).(a.block) = None then t.allocated <- t.allocated + 1;
+  t.store.(a.disk).(a.block) <- Some (Array.copy slots)
+
+let write t blocks =
+  List.iter (fun (a, _) -> check_addr t a) blocks;
+  let addrs = List.map fst blocks in
+  if List.length (dedup addrs) <> List.length addrs then
+    invalid_arg "Pdm.write: duplicate address in one request";
+  let rounds = rounds_of_distinct t addrs in
+  Stats.add_write_round t.stats ~blocks:(List.length blocks) ~rounds;
+  List.iter (fun (a, slots) -> store_block t a slots) blocks
+
+let write_one t a slots = write t [ (a, slots) ]
+
+let peek t a =
+  check_addr t a;
+  block_copy t t.store.(a.disk).(a.block)
+
+let poke t a slots =
+  check_addr t a;
+  if Array.length slots <> t.block_size then
+    invalid_arg "Pdm.poke: block has wrong length";
+  store_block t a slots
+
+let allocated_blocks t = t.allocated
+
+let capacity_items t = t.disks * t.blocks_per_disk * t.block_size
+
+let iter_allocated t f =
+  for d = 0 to t.disks - 1 do
+    for b = 0 to t.blocks_per_disk - 1 do
+      match t.store.(d).(b) with
+      | None -> ()
+      | Some slots -> f { disk = d; block = b } slots
+    done
+  done
+
+(* Persistence: geometry and store only; counters restart at zero. *)
+type 'a snapshot_on_disk = {
+  s_disks : int;
+  s_block_size : int;
+  s_blocks_per_disk : int;
+  s_model : model;
+  s_store : 'a option array option array array;
+  s_allocated : int;
+}
+
+let save_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Marshal.to_channel oc
+        { s_disks = t.disks; s_block_size = t.block_size;
+          s_blocks_per_disk = t.blocks_per_disk; s_model = t.model;
+          s_store = t.store; s_allocated = t.allocated }
+        [])
+
+let load_from_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let s : 'a snapshot_on_disk = Marshal.from_channel ic in
+      { disks = s.s_disks; block_size = s.s_block_size;
+        blocks_per_disk = s.s_blocks_per_disk; model = s.s_model;
+        stats = Stats.create (); store = s.s_store;
+        allocated = s.s_allocated })

@@ -1,0 +1,94 @@
+(** The parallel disk model machine (Vitter–Shriver).
+
+    A machine has [disks] = D storage devices, each an array of
+    [blocks_per_disk] blocks holding [block_size] = B items of type
+    ['a]. One parallel I/O transfers at most one block per disk
+    (independent-disks model) or at most D blocks in total (parallel
+    disk *head* model, Aggarwal–Vitter, used by Section 5's striping
+    discussion). Costs are charged to a {!Stats.t}.
+
+    A request touching two blocks on the same disk in the
+    independent-disks model is legal but costs two rounds; the
+    simulator schedules the request into the fewest rounds possible and
+    charges that many. Duplicate block addresses within one request are
+    coalesced.
+
+    Blocks are exposed as ['a option array] copies: [None] marks an
+    empty slot. Mutating a returned block does not change the disk; all
+    updates go through {!write}, so every byte that reaches a disk is
+    counted. [peek] and [poke] bypass accounting and exist for tests
+    and construction-time bulk loading only — production code paths
+    never use them. *)
+
+type model =
+  | Independent_disks  (** one block per disk per round (the PDM) *)
+  | Parallel_heads     (** any D blocks per round (disk head model) *)
+
+type 'a t
+
+type addr = { disk : int; block : int }
+(** Address of one block. *)
+
+val create :
+  ?model:model ->
+  ?stats:Stats.t ->
+  disks:int ->
+  block_size:int ->
+  blocks_per_disk:int ->
+  unit ->
+  'a t
+(** Fresh machine with all slots empty. Defaults: [model =
+    Independent_disks], a private stats object. *)
+
+val disks : 'a t -> int
+val block_size : 'a t -> int
+val blocks_per_disk : 'a t -> int
+val model : 'a t -> model
+val stats : 'a t -> Stats.t
+
+val read : 'a t -> addr list -> (addr * 'a option array) list
+(** [read t addrs] fetches the requested blocks, charging the minimal
+    number of parallel read rounds. Unwritten blocks read as all-empty.
+    The result lists each distinct requested address exactly once, in
+    unspecified order. *)
+
+val read_one : 'a t -> addr -> 'a option array
+(** Read a single block: exactly one parallel I/O. *)
+
+val write : 'a t -> (addr * 'a option array) list -> unit
+(** [write t blocks] stores the given blocks, charging the minimal
+    number of parallel write rounds. Each array must have length
+    [block_size]; duplicate addresses are an error. *)
+
+val write_one : 'a t -> addr -> 'a option array -> unit
+
+val rounds_for : 'a t -> addr list -> int
+(** Number of parallel I/Os {!read} would charge for these addresses
+    (after coalescing duplicates), without performing the access. *)
+
+val peek : 'a t -> addr -> 'a option array
+(** Uncounted read — tests and invariant checks only. *)
+
+val poke : 'a t -> addr -> 'a option array -> unit
+(** Uncounted write — tests and bulk initialisation only. *)
+
+val allocated_blocks : 'a t -> int
+(** Number of blocks that have ever been written (space usage). *)
+
+val capacity_items : 'a t -> int
+(** D × blocks_per_disk × B. *)
+
+val iter_allocated : 'a t -> (addr -> 'a option array -> unit) -> unit
+(** Uncounted iteration over written blocks (live arrays, do not
+    mutate) — used by verification code and rebuild bulk readers that
+    account for their I/O separately. *)
+
+val save_to_file : 'a t -> string -> unit
+(** Persist the machine (geometry + every block) to a file with
+    [Marshal]. I/O counters are reset on load; the usual [Marshal]
+    caveats apply (same program version, matching element type). *)
+
+val load_from_file : string -> 'a t
+(** Inverse of {!save_to_file}. The caller is responsible for the
+    element type matching what was saved (as with any [Marshal]
+    use). *)

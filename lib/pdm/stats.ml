@@ -1,0 +1,63 @@
+type snapshot = {
+  parallel_reads : int;
+  parallel_writes : int;
+  block_reads : int;
+  block_writes : int;
+}
+
+type t = {
+  mutable r_rounds : int;
+  mutable w_rounds : int;
+  mutable r_blocks : int;
+  mutable w_blocks : int;
+}
+
+let create () = { r_rounds = 0; w_rounds = 0; r_blocks = 0; w_blocks = 0 }
+
+let reset t =
+  t.r_rounds <- 0;
+  t.w_rounds <- 0;
+  t.r_blocks <- 0;
+  t.w_blocks <- 0
+
+let add_read_round t ~blocks ~rounds =
+  t.r_blocks <- t.r_blocks + blocks;
+  t.r_rounds <- t.r_rounds + rounds
+
+let add_write_round t ~blocks ~rounds =
+  t.w_blocks <- t.w_blocks + blocks;
+  t.w_rounds <- t.w_rounds + rounds
+
+let snapshot t =
+  { parallel_reads = t.r_rounds;
+    parallel_writes = t.w_rounds;
+    block_reads = t.r_blocks;
+    block_writes = t.w_blocks }
+
+let diff ~after ~before =
+  { parallel_reads = after.parallel_reads - before.parallel_reads;
+    parallel_writes = after.parallel_writes - before.parallel_writes;
+    block_reads = after.block_reads - before.block_reads;
+    block_writes = after.block_writes - before.block_writes }
+
+let parallel_ios s = s.parallel_reads + s.parallel_writes
+
+let zero =
+  { parallel_reads = 0; parallel_writes = 0; block_reads = 0; block_writes = 0 }
+
+let add a b =
+  { parallel_reads = a.parallel_reads + b.parallel_reads;
+    parallel_writes = a.parallel_writes + b.parallel_writes;
+    block_reads = a.block_reads + b.block_reads;
+    block_writes = a.block_writes + b.block_writes }
+
+let pp ppf s =
+  Format.fprintf ppf "%d parallel I/Os (%dR + %dW rounds; %d + %d blocks)"
+    (parallel_ios s) s.parallel_reads s.parallel_writes s.block_reads
+    s.block_writes
+
+let measure t f =
+  let before = snapshot t in
+  let result = f () in
+  let after = snapshot t in
+  (result, diff ~after ~before)

@@ -1,0 +1,48 @@
+(** I/O accounting for the parallel disk model.
+
+    The performance measure of the model — and of every bound in the
+    paper — is the number of *parallel I/Os*: rounds in which each of
+    the D disks transfers at most one block (or, in the parallel disk
+    head model, rounds of at most D blocks in total). This module
+    counts those rounds, and also raw block transfers, so experiments
+    can report both.
+
+    Counters are mutable; {!snapshot} captures an immutable view so the
+    cost of a single operation can be measured as a difference. *)
+
+type t
+
+type snapshot = {
+  parallel_reads : int;   (** read rounds *)
+  parallel_writes : int;  (** write rounds *)
+  block_reads : int;      (** individual blocks read *)
+  block_writes : int;     (** individual blocks written *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add_read_round : t -> blocks:int -> rounds:int -> unit
+(** Record [rounds] parallel read I/Os transferring [blocks] blocks in
+    total. Used by the simulator; not normally called by clients. *)
+
+val add_write_round : t -> blocks:int -> rounds:int -> unit
+
+val snapshot : t -> snapshot
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Component-wise subtraction. *)
+
+val parallel_ios : snapshot -> int
+(** Total parallel I/Os: read rounds + write rounds. *)
+
+val zero : snapshot
+
+val add : snapshot -> snapshot -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit
+
+val measure : t -> (unit -> 'a) -> 'a * snapshot
+(** [measure stats f] runs [f] and returns its result together with the
+    I/O counted during the call. *)

@@ -1,0 +1,40 @@
+(** Striping: the D disks viewed as one logical disk with block size
+    B·D.
+
+    This is the classical way to exploit disk parallelism (Section 1):
+    logical superblock [j] consists of physical block [j] on every
+    disk, so reading or writing one superblock is exactly one parallel
+    I/O. The hashing baselines and the B-tree store their nodes in
+    superblocks.
+
+    Within a superblock of length B·D, slots [i·B, (i+1)·B) live on
+    disk [i]. *)
+
+type 'a t
+
+val create : 'a Pdm.t -> 'a t
+(** View an existing machine through striping. I/O is charged to the
+    machine's stats as usual. *)
+
+val machine : 'a t -> 'a Pdm.t
+
+val superblock_size : 'a t -> int
+(** B·D items. *)
+
+val superblocks : 'a t -> int
+(** Number of logical superblocks (= blocks per disk). *)
+
+val read : 'a t -> int -> 'a option array
+(** [read s j] fetches superblock [j] in one parallel I/O. *)
+
+val write : 'a t -> int -> 'a option array -> unit
+(** [write s j block] stores superblock [j] in one parallel I/O. The
+    array must have length [superblock_size s]. *)
+
+val read_many : 'a t -> int list -> (int * 'a option array) list
+(** Fetch several superblocks; [k] distinct superblocks cost [k]
+    parallel I/Os (they collide on every disk). *)
+
+val write_many : 'a t -> (int * 'a option array) list -> unit
+(** Store several superblocks ([k] distinct ones cost [k] rounds).
+    Duplicate indices are an error. *)

@@ -1,0 +1,70 @@
+(** Bit-exact encoding buffers.
+
+    The one-probe dictionary of Section 4.2 stores, inside each array
+    field, identifiers of ⌈lg n⌉ bits (case (b)) or unary-coded relative
+    pointers terminated by a 0-bit followed by record data (case (a)).
+    Checking Theorem 6's space bounds *in bits* requires an encoder and
+    decoder that work at single-bit granularity; this module provides
+    them.
+
+    Bits are appended most-significant-first within each byte, so the
+    concatenation order of writes equals the order of reads. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val length_bits : t -> int
+  (** Number of bits written so far. *)
+
+  val add_bit : t -> bool -> unit
+
+  val add_bits : t -> value:int -> width:int -> unit
+  (** [add_bits w ~value ~width] appends the [width] low bits of
+      [value], most significant first. [0 <= width <= 62] and [value]
+      must fit in [width] bits. *)
+
+  val add_unary : t -> int -> unit
+  (** [add_unary w n] appends [n] one-bits followed by a terminating
+      zero-bit (so the empty value costs one bit). [n >= 0]. *)
+
+  val add_varint : t -> int -> unit
+  (** LEB128-style: 7 value bits per group, high bit = continuation.
+      Costs 8·⌈bits(n)/7⌉ bits; efficient for skewed small values
+      where unary would explode. [n >= 0]. *)
+
+  val contents : t -> Bytes.t
+  (** The written bits, zero-padded to a whole number of bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : Bytes.t -> t
+
+  val of_writer : Writer.t -> t
+  (** Read back exactly what was written, without copying through an
+      intermediate representation of your own. *)
+
+  val pos : t -> int
+  (** Current read position in bits. *)
+
+  val remaining : t -> int
+  (** Bits left before the end of the underlying buffer. *)
+
+  val read_bit : t -> bool
+
+  val read_bits : t -> width:int -> int
+  (** Inverse of {!Writer.add_bits}. Raises [Invalid_argument] when
+      fewer than [width] bits remain. *)
+
+  val read_unary : t -> int
+  (** Inverse of {!Writer.add_unary}. *)
+
+  val read_varint : t -> int
+  (** Inverse of {!Writer.add_varint}. *)
+
+  val seek : t -> int -> unit
+  (** [seek r pos] moves the read head to absolute bit position [pos]. *)
+end

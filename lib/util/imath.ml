@@ -1,0 +1,45 @@
+let cdiv a b =
+  if b <= 0 then invalid_arg "Imath.cdiv: divisor must be positive";
+  if a < 0 then invalid_arg "Imath.cdiv: dividend must be non-negative";
+  (a + b - 1) / b
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Imath.floor_log2";
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Imath.ceil_log2";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Imath.next_pow2";
+  1 lsl ceil_log2 n
+
+let pow b e =
+  if e < 0 then invalid_arg "Imath.pow: negative exponent";
+  let rec loop acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then loop (acc * b) (b * b) (e lsr 1)
+    else loop acc (b * b) (e lsr 1)
+  in
+  loop 1 b e
+
+let ilog ~base n =
+  if base < 2 then invalid_arg "Imath.ilog: base must be >= 2";
+  if n < 1 then invalid_arg "Imath.ilog: n must be >= 1";
+  let rec loop n acc = if n < base then acc else loop (n / base) (acc + 1) in
+  loop n 0
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let log2f n =
+  if n < 1 then invalid_arg "Imath.log2f";
+  log (float_of_int n) /. log 2.0
+
+let round_up_to ~multiple n =
+  if multiple <= 0 then invalid_arg "Imath.round_up_to";
+  cdiv n multiple * multiple

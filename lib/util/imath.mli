@@ -1,0 +1,33 @@
+(** Small integer arithmetic helpers used throughout the parameter
+    calculations of the expander and dictionary constructions. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is ⌈a / b⌉ for [a >= 0], [b > 0]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is ⌊log₂ n⌋ for [n >= 1]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is ⌈log₂ n⌉ for [n >= 1]; [ceil_log2 1 = 0]. *)
+
+val is_pow2 : int -> bool
+(** Whether [n] is a positive power of two. *)
+
+val next_pow2 : int -> int
+(** [next_pow2 n] is the least power of two ≥ [n], for [n >= 1]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b]{^ [e]} for [e >= 0] (no overflow check). *)
+
+val ilog : base:int -> int -> int
+(** [ilog ~base n] is ⌊log_base n⌋ for [n >= 1], [base >= 2]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** Clamp a value to an inclusive range. *)
+
+val log2f : int -> float
+(** [log2f n] is log₂ n as a float, for [n >= 1]. *)
+
+val round_up_to : multiple:int -> int -> int
+(** [round_up_to ~multiple n] is the least multiple of [multiple] that
+    is ≥ [n]; [multiple] must be positive. *)

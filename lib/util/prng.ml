@@ -1,0 +1,73 @@
+(* SplitMix64. State and arithmetic are Int64; outputs are truncated to
+   the 62 low bits so they fit a non-negative OCaml int on 64-bit
+   platforms. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64_i64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let to_nonneg_int z = Int64.to_int z land max_int
+
+let mix64 x = to_nonneg_int (mix64_i64 (Int64.of_int x))
+
+let create seed = { state = mix64_i64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let next_i64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64_i64 g.state
+
+let next g = to_nonneg_int (next_i64 g)
+
+let split g = { state = next_i64 g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the smallest power-of-two envelope. *)
+  let mask =
+    let rec grow m = if m >= bound - 1 then m else grow ((m lsl 1) lor 1) in
+    grow 1
+  in
+  let rec draw () =
+    let v = next g land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g x = x *. (Int64.to_float (Int64.shift_right_logical (next_i64 g) 11) /. 9007199254740992.0)
+
+let bool g = next g land 1 = 1
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let hash2 ~seed a b =
+  let z = Int64.of_int seed in
+  let z = mix64_i64 (Int64.add z (Int64.mul (Int64.of_int a) golden_gamma)) in
+  let z = mix64_i64 (Int64.add z (Int64.mul (Int64.of_int b) 0xC2B2AE3D27D4EB4FL)) in
+  to_nonneg_int z
+
+let hash3 ~seed a b c =
+  let z = Int64.of_int (hash2 ~seed a b) in
+  let z = mix64_i64 (Int64.add z (Int64.mul (Int64.of_int c) golden_gamma)) in
+  to_nonneg_int z
+
+let hash_to_range ~seed a b range =
+  if range <= 0 then invalid_arg "Prng.hash_to_range: range must be positive";
+  (* A second mixing round decorrelates the modulo classes. *)
+  mix64 (hash2 ~seed a b) mod range

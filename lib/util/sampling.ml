@@ -1,0 +1,38 @@
+let distinct_in g ~lo ~span ~count =
+  if count > span then invalid_arg "Sampling.distinct: count > universe";
+  if count * 2 >= span then begin
+    (* Dense case: shuffle the whole window and take a prefix. *)
+    let all = Array.init span (fun i -> lo + i) in
+    Prng.shuffle g all;
+    Array.sub all 0 count
+  end
+  else begin
+    let seen = Hashtbl.create (2 * count) in
+    let out = Array.make count 0 in
+    let filled = ref 0 in
+    while !filled < count do
+      let k = lo + Prng.int g span in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        out.(!filled) <- k;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let distinct g ~universe ~count =
+  if universe < 1 then invalid_arg "Sampling.distinct: empty universe";
+  distinct_in g ~lo:0 ~span:universe ~count
+
+let disjoint_pair g ~universe ~count =
+  if 2 * count > universe then
+    invalid_arg "Sampling.disjoint_pair: universe too small";
+  let both = distinct g ~universe ~count:(2 * count) in
+  (Array.sub both 0 count, Array.sub both count count)
+
+let clustered g ~universe ~count ~span =
+  if span > universe then invalid_arg "Sampling.clustered: span > universe";
+  if count > span then invalid_arg "Sampling.clustered: count > span";
+  let lo = if universe = span then 0 else Prng.int g (universe - span) in
+  distinct_in g ~lo ~span ~count

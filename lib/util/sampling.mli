@@ -1,0 +1,22 @@
+(** Sampling key sets from a large universe.
+
+    Dictionary experiments need sets of [n] *distinct* keys drawn from a
+    universe of size [u] with u ≫ n, deterministically from a seed. *)
+
+val distinct : Prng.t -> universe:int -> count:int -> int array
+(** [distinct g ~universe ~count] draws [count] distinct keys uniformly
+    from [0, universe-1]. Requires [count <= universe]. O(count)
+    expected time when [count] ≪ [universe]; falls back to a shuffled
+    prefix when the universe is small. *)
+
+val disjoint_pair :
+  Prng.t -> universe:int -> count:int -> int array * int array
+(** [disjoint_pair g ~universe ~count] draws two disjoint sets of
+    [count] distinct keys each (members vs. non-members for lookup
+    experiments). Requires [2 * count <= universe]. *)
+
+val clustered : Prng.t -> universe:int -> count:int -> span:int -> int array
+(** [clustered g ~universe ~count ~span] draws [count] distinct keys
+    confined to a random aligned window of [span] consecutive universe
+    values — an adversarial-ish input for structures that exploit key
+    locality. Requires [count <= span <= universe]. *)

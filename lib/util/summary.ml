@@ -1,0 +1,55 @@
+type t = {
+  mutable values : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { values = Array.make 16 0.0; n = 0; sum = 0.0; sumsq = 0.0;
+    vmin = infinity; vmax = neg_infinity }
+
+let add s x =
+  if s.n = Array.length s.values then begin
+    let values' = Array.make (2 * s.n) 0.0 in
+    Array.blit s.values 0 values' 0 s.n;
+    s.values <- values'
+  end;
+  s.values.(s.n) <- x;
+  s.n <- s.n + 1;
+  s.sum <- s.sum +. x;
+  s.sumsq <- s.sumsq +. (x *. x);
+  if x < s.vmin then s.vmin <- x;
+  if x > s.vmax then s.vmax <- x
+
+let add_int s x = add s (float_of_int x)
+
+let count s = s.n
+
+let total s = s.sum
+
+let mean s = if s.n = 0 then 0.0 else s.sum /. float_of_int s.n
+
+let min s = s.vmin
+
+let max s = s.vmax
+
+let stddev s =
+  if s.n = 0 then 0.0
+  else
+    let m = mean s in
+    let var = (s.sumsq /. float_of_int s.n) -. (m *. m) in
+    sqrt (Float.max 0.0 var)
+
+let percentile s p =
+  if s.n = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
+  let sorted = Array.sub s.values 0 s.n in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int s.n)) in
+  sorted.(Imath.clamp ~lo:0 ~hi:(s.n - 1) (rank - 1))
+
+let to_string s =
+  Printf.sprintf "n=%d mean=%.3f max=%.0f" s.n (mean s) (max s)

@@ -1,0 +1,38 @@
+(** Running summaries of measured quantities (I/O counts, loads).
+
+    Experiments accumulate per-operation costs here and report mean,
+    maximum and percentiles; the paper's bounds are stated either in the
+    worst case (max) or "on average over all elements" (mean), so both
+    are first-class. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** Mean of the added values; 0 when empty. *)
+
+val min : t -> float
+(** Minimum added value; [infinity] when empty. *)
+
+val max : t -> float
+(** Maximum added value; [neg_infinity] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile s p] for [p] in [0, 100], by nearest-rank on the sorted
+    sample. Raises [Invalid_argument] when empty. Costs a sort per
+    call. *)
+
+val to_string : t -> string
+(** One-line rendering: count, mean, max. *)

@@ -1,0 +1,35 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (k + 1) ** s));
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. total
+  done;
+  { n; s; cdf }
+
+let n z = z.n
+
+let exponent z = z.s
+
+let sample z g =
+  let u = Prng.float g 1.0 in
+  (* Least index k with cdf.(k) >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (z.n - 1)
+
+let pmf z k =
+  if k < 0 || k >= z.n then invalid_arg "Zipf.pmf: rank out of range";
+  if k = 0 then z.cdf.(0) else z.cdf.(k) -. z.cdf.(k - 1)

@@ -1,0 +1,23 @@
+(** Zipf-distributed sampling over ranks [0, n-1].
+
+    Used by the workload generators for the webmail/http-server access
+    patterns of Section 1.2: a very large key population accessed with a
+    heavy-tailed popularity distribution. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over [n] ranks with exponent
+    [s >= 0]. Rank [k] (0-based) has probability proportional to
+    1/(k+1){^ s}. [s = 0] degenerates to the uniform distribution.
+    Preprocessing is O(n). *)
+
+val n : t -> int
+
+val exponent : t -> float
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in O(log n) by binary search on the precomputed CDF. *)
+
+val pmf : t -> int -> float
+(** [pmf z k] is the probability of rank [k]. *)

@@ -1,0 +1,65 @@
+module Prng = Pdm_util.Prng
+module Zipf = Pdm_util.Zipf
+
+type file = { file_id : int; blocks : int }
+
+type t = {
+  files : file array;
+  max_blocks : int;
+  total : int;
+  flat : int array;  (* prefix sums for size-weighted sampling *)
+}
+
+let generate ~rng ~files ~max_blocks_per_file =
+  if files < 1 || max_blocks_per_file < 1 then
+    invalid_arg "Fs_workload.generate";
+  let z = Zipf.create ~n:max_blocks_per_file ~s:1.2 in
+  let fs =
+    Array.init files (fun file_id ->
+        { file_id; blocks = 1 + Zipf.sample z rng })
+  in
+  let flat = Array.make (files + 1) 0 in
+  Array.iteri (fun i f -> flat.(i + 1) <- flat.(i) + f.blocks) fs;
+  { files = fs; max_blocks = max_blocks_per_file; total = flat.(files); flat }
+
+let files t = t.files
+let total_blocks t = t.total
+let max_blocks_per_file t = t.max_blocks
+
+let key_of t ~file_id ~block =
+  if file_id < 0 || file_id >= Array.length t.files then
+    invalid_arg "Fs_workload.key_of: file";
+  if block < 0 || block >= t.files.(file_id).blocks then
+    invalid_arg "Fs_workload.key_of: block";
+  (file_id * t.max_blocks) + block
+
+let universe t = Array.length t.files * t.max_blocks
+
+let block_payload t ~file_id ~block ~bytes =
+  let key = key_of t ~file_id ~block in
+  Bytes.init bytes (fun i -> Char.chr (Prng.hash2 ~seed:4242 key i land 0xff))
+
+let all_keys t =
+  Array.of_list
+    (List.concat_map
+       (fun f -> List.init f.blocks (fun b -> key_of t ~file_id:f.file_id ~block:b))
+       (Array.to_list t.files))
+
+let random_reads t ~rng ~count =
+  Array.init count (fun _ ->
+      (* Draw a block uniformly over the volume via the prefix sums. *)
+      let target = Prng.int rng t.total in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if t.flat.(mid + 1) > target then search lo mid else search (mid + 1) hi
+      in
+      let file_id = search 0 (Array.length t.files - 1) in
+      let block = target - t.flat.(file_id) in
+      key_of t ~file_id ~block)
+
+let sequential_scan t ~file_id =
+  if file_id < 0 || file_id >= Array.length t.files then
+    invalid_arg "Fs_workload.sequential_scan";
+  Array.init t.files.(file_id).blocks (fun b -> key_of t ~file_id ~block:b)

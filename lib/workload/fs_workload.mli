@@ -1,0 +1,46 @@
+(** The file-system workload of Section 1.2.
+
+    "Let keys consist of a file name and a block number, and associate
+    them with the contents of the given block number of the given
+    file" — a dictionary then provides random access to any position
+    of any file, the role B-trees play in real file systems.
+
+    A synthetic volume is a set of files with heavy-tailed sizes; keys
+    pack (file id, block number) into one integer. Two access
+    patterns: random block reads (where the paper's structures shine)
+    and sequential whole-file scans (where B-tree caching catches
+    up). *)
+
+type file = { file_id : int; blocks : int }
+
+type t
+
+val generate :
+  rng:Pdm_util.Prng.t -> files:int -> max_blocks_per_file:int -> t
+(** File sizes follow a Zipf(1.2) distribution over
+    [1, max_blocks_per_file]. *)
+
+val files : t -> file array
+
+val total_blocks : t -> int
+
+val max_blocks_per_file : t -> int
+
+val key_of : t -> file_id:int -> block:int -> int
+(** Pack (file, block) into a dictionary key. *)
+
+val universe : t -> int
+(** Exclusive upper bound on packed keys. *)
+
+val block_payload : t -> file_id:int -> block:int -> bytes:int -> Bytes.t
+(** Deterministic synthetic contents of a block. *)
+
+val all_keys : t -> int array
+(** Every (file, block) key in the volume, file-major. *)
+
+val random_reads : t -> rng:Pdm_util.Prng.t -> count:int -> int array
+(** Keys of uniformly random (file, block) reads (files weighted by
+    their size, like real random access to a volume). *)
+
+val sequential_scan : t -> file_id:int -> int array
+(** The keys of one file's blocks in order. *)

@@ -1,0 +1,51 @@
+module Prng = Pdm_util.Prng
+module Zipf = Pdm_util.Zipf
+
+type op =
+  | Lookup of int
+  | Insert of int * Bytes.t
+  | Delete of int
+
+let uniform_lookups ~rng ~keys ~count =
+  if Array.length keys = 0 then invalid_arg "Trace.uniform_lookups: no keys";
+  Array.init count (fun _ -> Lookup keys.(Prng.int rng (Array.length keys)))
+
+let zipf_lookups ~rng ~keys ~count ~s =
+  if Array.length keys = 0 then invalid_arg "Trace.zipf_lookups: no keys";
+  let z = Zipf.create ~n:(Array.length keys) ~s in
+  Array.init count (fun _ -> Lookup keys.(Zipf.sample z rng))
+
+let mixed ~rng ~keys ~count ~lookup_fraction ~delete_fraction ~value_of =
+  if Array.length keys = 0 then invalid_arg "Trace.mixed: no keys";
+  if lookup_fraction < 0.0 || lookup_fraction > 1.0 then
+    invalid_arg "Trace.mixed: lookup_fraction";
+  if delete_fraction < 0.0 || delete_fraction > 1.0 then
+    invalid_arg "Trace.mixed: delete_fraction";
+  Array.init count (fun _ ->
+      let k = keys.(Prng.int rng (Array.length keys)) in
+      if Prng.float rng 1.0 < lookup_fraction then Lookup k
+      else if Prng.float rng 1.0 < delete_fraction then Delete k
+      else Insert (k, value_of k))
+
+let negative_lookups ~rng ~universe ~avoid ~count =
+  let members = Hashtbl.create (Array.length avoid) in
+  Array.iter (fun k -> Hashtbl.replace members k ()) avoid;
+  Array.init count (fun _ ->
+      let rec draw () =
+        let k = Prng.int rng universe in
+        if Hashtbl.mem members k then draw () else k
+      in
+      Lookup (draw ()))
+
+let apply ~find ~insert ~delete ops =
+  Array.fold_left
+    (fun hits op ->
+      match op with
+      | Lookup k -> if find k <> None then hits + 1 else hits
+      | Insert (k, v) ->
+        insert k v;
+        hits
+      | Delete k ->
+        ignore (delete k);
+        hits)
+    0 ops

@@ -1,0 +1,48 @@
+(** Operation traces for driving dictionaries in experiments.
+
+    A trace is a deterministic (seeded) sequence of dictionary
+    operations. Generators cover the access patterns Section 1.2
+    motivates: uniformly random point lookups over a huge key
+    population (webmail/http servers) and mixed read/write streams. *)
+
+type op =
+  | Lookup of int
+  | Insert of int * Bytes.t
+  | Delete of int
+
+val uniform_lookups :
+  rng:Pdm_util.Prng.t -> keys:int array -> count:int -> op array
+(** [count] lookups of keys drawn uniformly from [keys]. *)
+
+val zipf_lookups :
+  rng:Pdm_util.Prng.t -> keys:int array -> count:int -> s:float -> op array
+(** Popularity-skewed lookups: rank r of [keys] drawn with probability
+    ∝ 1/(r+1)^s. *)
+
+val mixed :
+  rng:Pdm_util.Prng.t ->
+  keys:int array ->
+  count:int ->
+  lookup_fraction:float ->
+  delete_fraction:float ->
+  value_of:(int -> Bytes.t) ->
+  op array
+(** A mixed stream: each step is a lookup with probability
+    [lookup_fraction], else a delete with probability
+    [delete_fraction] of the remainder, else an insert/update. Keys
+    drawn uniformly from [keys]. *)
+
+val negative_lookups :
+  rng:Pdm_util.Prng.t -> universe:int -> avoid:int array -> count:int ->
+  op array
+(** Lookups of keys guaranteed absent (not in [avoid]). *)
+
+val apply :
+  find:(int -> Bytes.t option) ->
+  insert:(int -> Bytes.t -> unit) ->
+  delete:(int -> bool) ->
+  op array ->
+  int
+(** Run a trace against dictionary callbacks; returns the number of
+    successful lookups (a checksum-style result so the work cannot be
+    optimised away). *)

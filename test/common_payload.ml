@@ -1,0 +1,5 @@
+(* Shared deterministic payload generator for tests. *)
+let payload sigma_bits k =
+  Bytes.init
+    ((sigma_bits + 7) / 8)
+    (fun i -> Char.chr (Pdm_util.Prng.hash2 ~seed:424242 k i land 0xff))

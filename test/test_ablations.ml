@@ -1,0 +1,126 @@
+(* Tests for the ablation (E11) and extension (E12) experiments, plus
+   the Greedy tie-break option they exercise. *)
+
+open Pdm_experiments
+module Greedy = Pdm_loadbalance.Greedy
+module Seeded = Pdm_expander.Seeded
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let test_tie_breaks_equivalent_quality () =
+  let r = Ablation_exp.run () in
+  let loads = List.map (fun p -> p.Ablation_exp.max_load) r.Ablation_exp.ties in
+  check "three rules" 3 (List.length loads);
+  let mn = List.fold_left min max_int loads
+  and mx = List.fold_left max 0 loads in
+  checkb "rules within 2 of each other" true (mx - mn <= 2)
+
+let test_vfactor_failure_boundary () =
+  let r = Ablation_exp.run () in
+  let at f =
+    List.find (fun p -> p.Ablation_exp.v_factor = f) r.Ablation_exp.vfactors
+  in
+  checkb "v_factor 1 fails" true ((at 1).Ablation_exp.peel_rounds = -1);
+  checkb "v_factor 3 succeeds" true ((at 3).Ablation_exp.peel_rounds > 0);
+  (* More slack -> fewer rounds. *)
+  checkb "rounds shrink with slack" true
+    ((at 6).Ablation_exp.peel_rounds <= (at 2).Ablation_exp.peel_rounds)
+
+let test_degree_threshold_flat () =
+  let r = Ablation_exp.run () in
+  let ds = List.map (fun p -> p.Ablation_exp.min_degree) r.Ablation_exp.degrees in
+  List.iter
+    (fun d -> checkb "threshold small and > 1" true (d >= 2 && d <= 8))
+    ds
+
+let test_adversarial_patterns () =
+  let r = Ablation_exp.run () in
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "%s: expander %d <= naive %d" p.Ablation_exp.pattern
+           p.Ablation_exp.expander_max_load p.Ablation_exp.low_bits_max_load)
+        true
+        (p.Ablation_exp.expander_max_load <= p.Ablation_exp.low_bits_max_load))
+    r.Ablation_exp.adversarial;
+  (* The arithmetic progression must devastate the naive scheme. *)
+  let ap =
+    List.find
+      (fun p -> p.Ablation_exp.expander_max_load < 100)
+      (List.rev r.Ablation_exp.adversarial)
+  in
+  ignore ap;
+  let worst_naive =
+    List.fold_left
+      (fun acc p -> max acc p.Ablation_exp.low_bits_max_load)
+      0 r.Ablation_exp.adversarial
+  in
+  checkb "naive collapses on structured keys" true (worst_naive >= 1000)
+
+let test_rotating_tie_changes_layout_not_quality () =
+  let u = 1 lsl 18 and v = 256 and d = 8 in
+  let keys = Array.init 2000 (fun i -> (i * 977) mod u) in
+  let run tie =
+    let lb = Greedy.create ~tie ~graph:(Seeded.striped ~seed:5 ~u ~v ~d) ~k:1 () in
+    Greedy.insert_all lb keys;
+    (Greedy.loads lb, Greedy.max_load lb)
+  in
+  let l1, m1 = run Greedy.First_stripe in
+  let l2, m2 = run Greedy.Rotating in
+  checkb "layouts differ" true (l1 <> l2);
+  checkb "quality similar" true (abs (m1 - m2) <= 2)
+
+let test_extensions_experiment_rows () =
+  let r = Extensions_exp.run () in
+  check "nine rows" 9 (List.length r.Extensions_exp.rows);
+  let find name =
+    List.find
+      (fun row ->
+        String.length row.Extensions_exp.name >= String.length name
+        && String.sub row.Extensions_exp.name 0 (String.length name) = name)
+      r.Extensions_exp.rows
+  in
+  (* Section 6 row: worst lookup 1/1, worst insert 2. *)
+  let opd = find "one-probe dynamic" in
+  checkb "1-I/O lookups and 2-I/O inserts" true
+    (String.length opd.Extensions_exp.value >= 7
+     && String.sub opd.Extensions_exp.value 0 7 = "1/1; 2;");
+  let small = find "two-probe sub-blocks" in
+  checkb "small-block wins at tiny B" true
+    (String.sub small.Extensions_exp.value 0 1 = "2");
+  let par = find "parallel instances" in
+  checkb "batch = 2 I/Os" true
+    (String.sub par.Extensions_exp.value 0 4 = "2.00")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("experiments.ablations",
+     [ tc "tie rules equivalent" `Quick test_tie_breaks_equivalent_quality;
+       tc "v_factor boundary" `Quick test_vfactor_failure_boundary;
+       tc "degree threshold" `Quick test_degree_threshold_flat;
+       tc "adversarial patterns" `Quick test_adversarial_patterns;
+       tc "rotating tie behaviour" `Quick test_rotating_tie_changes_layout_not_quality ]);
+    ("experiments.extensions",
+     [ tc "rows and headline values" `Quick test_extensions_experiment_rows ]) ]
+
+(* --- E13: scale --- *)
+
+let test_scale_no_violations () =
+  let r = Scale_exp.run ~ns:[ 3000 ] () in
+  check "two structures" 2 (List.length r.Scale_exp.points);
+  List.iter
+    (fun p ->
+      check
+        (Printf.sprintf "%s: zero violations" p.Scale_exp.structure)
+        0 p.Scale_exp.bound_violations;
+      checkb "worst within bound" true
+        (p.Scale_exp.lookup_worst <= p.Scale_exp.lookup_bound
+         && p.Scale_exp.insert_worst <= p.Scale_exp.insert_bound))
+    r.Scale_exp.points
+
+let suite =
+  suite
+  @ [ ("experiments.scale",
+       [ Alcotest.test_case "no violations at scale" `Quick
+           test_scale_no_violations ]) ]

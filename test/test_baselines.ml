@@ -1,0 +1,328 @@
+(* Tests for the randomized baselines: striped hash table, cuckoo,
+   two-level trick, and the B-tree. *)
+
+open Pdm_sim
+module Hash_table = Pdm_baselines.Hash_table
+module Cuckoo = Pdm_baselines.Cuckoo
+module Two_level = Pdm_baselines.Two_level
+module Btree = Pdm_baselines.Btree
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let universe = 1 lsl 22
+let val8 k = Bytes.of_string (Printf.sprintf "%08d" (k mod 100_000_000))
+let ios m = Stats.parallel_ios (Stats.snapshot (Pdm.stats m))
+
+(* --- Hash table --- *)
+
+let mk_hash ?(capacity = 400) ?(disks = 8) ?(block_words = 16) () =
+  let cfg =
+    Hash_table.plan ~universe ~capacity ~block_words ~disks ~value_bytes:8
+      ~seed:5 ()
+  in
+  let machine =
+    Pdm.create ~disks ~block_size:block_words
+      ~blocks_per_disk:cfg.Hash_table.superblocks ()
+  in
+  (machine, Hash_table.create ~machine cfg)
+
+let test_hash_roundtrip () =
+  let _, h = mk_hash () in
+  let rng = Prng.create 1 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:400 in
+  Array.iter (fun k -> Hash_table.insert h k (val8 k)) members;
+  check "size" 400 (Hash_table.size h);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "value" (Bytes.to_string (val8 k))
+        (Bytes.to_string (Option.get (Hash_table.find h k))))
+    members;
+  Array.iter (fun k -> checkb "absent" false (Hash_table.mem h k)) absent
+
+let test_hash_mostly_one_io () =
+  let machine, h = mk_hash ~capacity:500 () in
+  let rng = Prng.create 2 in
+  let keys = Sampling.distinct rng ~universe ~count:500 in
+  Array.iter (fun k -> Hash_table.insert h k (val8 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Hash_table.find h k)) keys;
+  let avg = float_of_int (ios machine) /. 500.0 in
+  checkb (Printf.sprintf "avg lookup %.3f close to 1" avg) true (avg < 1.2)
+
+let test_hash_update_and_delete () =
+  let _, h = mk_hash () in
+  Hash_table.insert h 10 (val8 1);
+  Hash_table.insert h 10 (val8 2);
+  check "update keeps size" 1 (Hash_table.size h);
+  Alcotest.(check string) "updated" (Bytes.to_string (val8 2))
+    (Bytes.to_string (Option.get (Hash_table.find h 10)));
+  checkb "delete" true (Hash_table.delete h 10);
+  checkb "gone" false (Hash_table.mem h 10);
+  check "empty" 0 (Hash_table.size h)
+
+let test_hash_tombstone_chains () =
+  (* Deleting a key must not hide keys that probed past it. *)
+  let _, h = mk_hash ~capacity:64 () in
+  let rng = Prng.create 3 in
+  let keys = Sampling.distinct rng ~universe ~count:64 in
+  Array.iter (fun k -> Hash_table.insert h k (val8 k)) keys;
+  (* Delete half, then verify the rest are all still reachable. *)
+  Array.iteri (fun i k -> if i mod 2 = 0 then ignore (Hash_table.delete h k)) keys;
+  Array.iteri
+    (fun i k -> if i mod 2 = 1 then checkb "survivor reachable" true (Hash_table.mem h k))
+    keys
+
+let test_hash_can_degrade () =
+  (* At very high load the probe chains grow: the whp caveat of the
+     hashing rows in Figure 1. *)
+  let cfg =
+    Hash_table.plan ~utilization:0.98 ~universe ~capacity:900 ~block_words:4
+      ~disks:2 ~value_bytes:8 ~seed:7 ()
+  in
+  let machine =
+    Pdm.create ~disks:2 ~block_size:4 ~blocks_per_disk:cfg.Hash_table.superblocks ()
+  in
+  let h = Hash_table.create ~machine cfg in
+  let rng = Prng.create 4 in
+  let keys = Sampling.distinct rng ~universe ~count:880 in
+  Array.iter (fun k -> Hash_table.insert h k (val8 k)) keys;
+  checkb "probe chains appeared" true (Hash_table.max_probe_distance h > 0)
+
+(* --- Cuckoo --- *)
+
+let mk_cuckoo ?(capacity = 300) ?(disks = 8) ?(block_words = 16) () =
+  let cfg =
+    Cuckoo.plan ~universe ~capacity ~block_words ~disks ~value_bytes:8 ~seed:9 ()
+  in
+  let machine =
+    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:cfg.Cuckoo.buckets ()
+  in
+  (machine, Cuckoo.create ~machine cfg)
+
+let test_cuckoo_roundtrip () =
+  let _, c = mk_cuckoo () in
+  let rng = Prng.create 5 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  Array.iter (fun k -> Cuckoo.insert c k (val8 k)) members;
+  check "size" 300 (Cuckoo.size c);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "value" (Bytes.to_string (val8 k))
+        (Bytes.to_string (Option.get (Cuckoo.find c k))))
+    members;
+  Array.iter (fun k -> checkb "absent" false (Cuckoo.mem c k)) absent
+
+let test_cuckoo_lookup_one_io () =
+  let machine, c = mk_cuckoo () in
+  let rng = Prng.create 6 in
+  let keys = Sampling.distinct rng ~universe ~count:300 in
+  Array.iter (fun k -> Cuckoo.insert c k (val8 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Cuckoo.find c k)) keys;
+  check "exactly 1 I/O per lookup" 300 (ios machine)
+
+let test_cuckoo_update_delete () =
+  let _, c = mk_cuckoo () in
+  Cuckoo.insert c 3 (val8 1);
+  Cuckoo.insert c 3 (val8 2);
+  check "size" 1 (Cuckoo.size c);
+  Alcotest.(check string) "updated" (Bytes.to_string (val8 2))
+    (Bytes.to_string (Option.get (Cuckoo.find c 3)));
+  checkb "delete" true (Cuckoo.delete c 3);
+  checkb "gone" false (Cuckoo.mem c 3)
+
+let test_cuckoo_survives_pressure () =
+  (* Push utilization: kicks and possibly rehashes happen, but no keys
+     are lost — at a worst-case I/O cost (the paper's point). *)
+  let cfg =
+    { (Cuckoo.plan ~universe ~capacity:300 ~block_words:4 ~disks:2
+         ~value_bytes:8 ~seed:11 ())
+      with Cuckoo.max_kicks = 8 }
+  in
+  let machine =
+    Pdm.create ~disks:2 ~block_size:4 ~blocks_per_disk:cfg.Cuckoo.buckets ()
+  in
+  let c = Cuckoo.create ~machine cfg in
+  let rng = Prng.create 7 in
+  let keys = Sampling.distinct rng ~universe ~count:280 in
+  Array.iter (fun k -> Cuckoo.insert c k (val8 k)) keys;
+  Array.iter (fun k -> checkb "kept" true (Cuckoo.mem c k)) keys
+
+(* --- Two-level --- *)
+
+let mk_two_level ?(capacity = 300) ?(disks = 8) ?(block_words = 16) () =
+  let cfg =
+    Two_level.plan ~universe ~capacity ~block_words ~disks ~value_bytes:8
+      ~seed:13 ()
+  in
+  let machine =
+    Pdm.create ~disks ~block_size:block_words
+      ~blocks_per_disk:(Two_level.superblocks_needed cfg ~block_words ~disks)
+      ()
+  in
+  (machine, Two_level.create ~machine cfg)
+
+let test_two_level_roundtrip () =
+  let _, d = mk_two_level () in
+  let rng = Prng.create 8 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  Array.iter (fun k -> Two_level.insert d k (val8 k)) members;
+  check "size" 300 (Two_level.size d);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "value" (Bytes.to_string (val8 k))
+        (Bytes.to_string (Option.get (Two_level.find d k))))
+    members;
+  Array.iter (fun k -> checkb "absent" false (Two_level.mem d k)) absent
+
+let test_two_level_avg_near_one () =
+  let machine, d = mk_two_level ~capacity:500 () in
+  let rng = Prng.create 9 in
+  let keys = Sampling.distinct rng ~universe ~count:500 in
+  Array.iter (fun k -> Two_level.insert d k (val8 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Two_level.find d k)) keys;
+  let avg = float_of_int (ios machine) /. 500.0 in
+  checkb (Printf.sprintf "avg %.3f = 1 + eps" avg) true (avg < 1.35 && avg >= 1.0)
+
+let test_two_level_collisions_redirect () =
+  let _, d = mk_two_level ~capacity:64 () in
+  (* Force collisions by inserting more keys than slot_factor spreads
+     thin; verify everything still resolves. *)
+  let rng = Prng.create 10 in
+  let keys = Sampling.distinct rng ~universe ~count:64 in
+  Array.iter (fun k -> Two_level.insert d k (val8 k)) keys;
+  Array.iter (fun k -> checkb "resolves" true (Two_level.mem d k)) keys
+
+let test_two_level_delete_keeps_marker () =
+  let _, d = mk_two_level ~capacity:200 () in
+  let rng = Prng.create 11 in
+  let keys = Sampling.distinct rng ~universe ~count:200 in
+  Array.iter (fun k -> Two_level.insert d k (val8 k)) keys;
+  (* Delete everything; remaining lookups must all miss cleanly. *)
+  Array.iter (fun k -> checkb "delete" true (Two_level.delete d k)) keys;
+  check "empty" 0 (Two_level.size d);
+  Array.iter (fun k -> checkb "gone" false (Two_level.mem d k)) keys
+
+(* --- B-tree --- *)
+
+let mk_btree ?(disks = 8) ?(block_words = 16) ?(cache_levels = 0)
+    ?(superblocks = 4096) () =
+  let machine =
+    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:superblocks ()
+  in
+  let t =
+    Btree.create ~machine
+      { Btree.universe; value_bytes = 8; cache_levels; superblocks }
+  in
+  (machine, t)
+
+let test_btree_roundtrip () =
+  let _, t = mk_btree () in
+  let rng = Prng.create 12 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:2000 in
+  Array.iter (fun k -> Btree.insert t k (val8 k)) members;
+  check "size" 2000 (Btree.size t);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "value" (Bytes.to_string (val8 k))
+        (Bytes.to_string (Option.get (Btree.find t k))))
+    members;
+  Array.iter (fun k -> checkb "absent" false (Btree.mem t k)) absent
+
+let test_btree_height_logarithmic () =
+  let _, t = mk_btree () in
+  let rng = Prng.create 13 in
+  let keys = Sampling.distinct rng ~universe ~count:5000 in
+  Array.iter (fun k -> Btree.insert t k (val8 k)) keys;
+  (* Fan-out >= (BD-3-1)/2 = 62: height should be about
+     log_62 5000 rounded up, certainly <= 4. *)
+  checkb (Printf.sprintf "height %d <= 4" (Btree.height t)) true
+    (Btree.height t <= 4);
+  checkb "height >= 2" true (Btree.height t >= 2)
+
+let test_btree_lookup_costs_height () =
+  let machine, t = mk_btree () in
+  let rng = Prng.create 14 in
+  let keys = Sampling.distinct rng ~universe ~count:3000 in
+  Array.iter (fun k -> Btree.insert t k (val8 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  ignore (Btree.find t keys.(42));
+  check "lookup = height I/Os" (Btree.height t) (ios machine)
+
+let test_btree_cache_levels () =
+  let machine, t = mk_btree ~cache_levels:1 () in
+  let rng = Prng.create 15 in
+  let keys = Sampling.distinct rng ~universe ~count:3000 in
+  Array.iter (fun k -> Btree.insert t k (val8 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  ignore (Btree.find t keys.(7));
+  check "root cached: height - 1 I/Os" (Btree.height t - 1) (ios machine)
+
+let test_btree_ordered_iteration () =
+  let _, t = mk_btree () in
+  let keys = [| 50; 10; 30; 20; 40; 60; 5 |] in
+  Array.iter (fun k -> Btree.insert t k (val8 k)) keys;
+  let got = List.map fst (Btree.range t ~lo:0 ~hi:100) in
+  Alcotest.(check (list int)) "sorted" [ 5; 10; 20; 30; 40; 50; 60 ] got;
+  let mid = List.map fst (Btree.range t ~lo:15 ~hi:45) in
+  Alcotest.(check (list int)) "window" [ 20; 30; 40 ] mid
+
+let test_btree_range_large () =
+  let _, t = mk_btree () in
+  for k = 0 to 999 do Btree.insert t (k * 3) (val8 k) done;
+  let got = Btree.range t ~lo:0 ~hi:3000 in
+  check "all present in order" 1000 (List.length got);
+  let sorted = List.map fst got in
+  Alcotest.(check (list int)) "ascending" (List.init 1000 (fun i -> 3 * i)) sorted
+
+let test_btree_update_delete () =
+  let _, t = mk_btree () in
+  Btree.insert t 5 (val8 1);
+  Btree.insert t 5 (val8 2);
+  check "update keeps size" 1 (Btree.size t);
+  Alcotest.(check string) "updated" (Bytes.to_string (val8 2))
+    (Bytes.to_string (Option.get (Btree.find t 5)));
+  checkb "delete" true (Btree.delete t 5);
+  checkb "gone" false (Btree.mem t 5);
+  checkb "re-delete misses" false (Btree.delete t 5)
+
+let test_btree_sequential_inserts () =
+  (* Ascending inserts are the worst case for naive split logic. *)
+  let _, t = mk_btree () in
+  for k = 0 to 4999 do Btree.insert t k (val8 k) done;
+  check "size" 5000 (Btree.size t);
+  for k = 0 to 4999 do
+    if not (Btree.mem t k) then Alcotest.failf "lost %d" k
+  done
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("baselines.hash_table",
+     [ tc "roundtrip" `Quick test_hash_roundtrip;
+       tc "mostly 1 I/O" `Quick test_hash_mostly_one_io;
+       tc "update and delete" `Quick test_hash_update_and_delete;
+       tc "tombstones keep chains" `Quick test_hash_tombstone_chains;
+       tc "degrades at high load" `Quick test_hash_can_degrade ]);
+    ("baselines.cuckoo",
+     [ tc "roundtrip" `Quick test_cuckoo_roundtrip;
+       tc "lookup = 1 I/O" `Quick test_cuckoo_lookup_one_io;
+       tc "update and delete" `Quick test_cuckoo_update_delete;
+       tc "survives pressure" `Quick test_cuckoo_survives_pressure ]);
+    ("baselines.two_level",
+     [ tc "roundtrip" `Quick test_two_level_roundtrip;
+       tc "avg near 1 I/O" `Quick test_two_level_avg_near_one;
+       tc "collisions redirect" `Quick test_two_level_collisions_redirect;
+       tc "delete keeps marker" `Quick test_two_level_delete_keeps_marker ]);
+    ("baselines.btree",
+     [ tc "roundtrip" `Quick test_btree_roundtrip;
+       tc "height logarithmic" `Quick test_btree_height_logarithmic;
+       tc "lookup costs height" `Quick test_btree_lookup_costs_height;
+       tc "cache levels" `Quick test_btree_cache_levels;
+       tc "ordered iteration" `Quick test_btree_ordered_iteration;
+       tc "large range" `Quick test_btree_range_large;
+       tc "update and delete" `Quick test_btree_update_delete;
+       tc "sequential inserts" `Quick test_btree_sequential_inserts ]) ]

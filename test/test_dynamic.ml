@@ -1,0 +1,393 @@
+(* Tests for the dynamic structures: the fragmented k = d/2 dictionary
+   (Section 4.1 with satellite data), the Section 4.3 cascade, and
+   global rebuilding. *)
+
+open Pdm_sim
+module Fragmented = Pdm_dictionary.Fragmented
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Rebuild = Pdm_dictionary.Global_rebuild
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let universe = 1 lsl 22
+
+let sat_of sigma_bits k =
+  Bytes.init ((sigma_bits + 7) / 8) (fun i -> Char.chr ((k + (3 * i)) land 0xff))
+
+(* --- Fragmented --- *)
+
+let mk_frag ?(capacity = 300) ?(degree = 8) ?(sigma_bits = 128)
+    ?(block_words = 64) () =
+  let cfg =
+    Fragmented.plan ~universe ~capacity ~block_words ~degree ~sigma_bits
+      ~seed:3 ()
+  in
+  let machine =
+    Pdm.create ~disks:degree ~block_size:block_words
+      ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
+  in
+  (machine, Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg)
+
+let test_frag_roundtrip () =
+  let _, d = mk_frag () in
+  let rng = Prng.create 1 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  Array.iter (fun k -> Fragmented.insert d k (sat_of 128 k)) members;
+  check "size" 300 (Fragmented.size d);
+  Array.iter
+    (fun k ->
+      match Fragmented.find d k with
+      | Some v ->
+        Alcotest.(check string) "satellite"
+          (Bytes.to_string (sat_of 128 k))
+          (Bytes.to_string v)
+      | None -> Alcotest.failf "member %d missing" k)
+    members;
+  Array.iter (fun k -> checkb "absent" false (Fragmented.mem d k)) absent
+
+let test_frag_one_io_lookup () =
+  let machine, d = mk_frag () in
+  let rng = Prng.create 2 in
+  let keys = Sampling.distinct rng ~universe ~count:200 in
+  Array.iter (fun k -> Fragmented.insert d k (sat_of 128 k)) keys;
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Fragmented.find d k)) keys;
+  check "1 I/O per lookup" 200
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_frag_insert_two_rounds () =
+  let machine, d = mk_frag () in
+  Stats.reset (Pdm.stats machine);
+  Fragmented.insert d 77 (sat_of 128 77);
+  let s = Stats.snapshot (Pdm.stats machine) in
+  check "1 read round" 1 s.Stats.parallel_reads;
+  check "1 write round" 1 s.Stats.parallel_writes
+
+let test_frag_update_in_place () =
+  let _, d = mk_frag () in
+  Fragmented.insert d 5 (sat_of 128 5);
+  Fragmented.insert d 5 (sat_of 128 99);
+  check "size stays 1" 1 (Fragmented.size d);
+  Alcotest.(check string) "updated"
+    (Bytes.to_string (sat_of 128 99))
+    (Bytes.to_string (Option.get (Fragmented.find d 5)))
+
+let test_frag_delete () =
+  let _, d = mk_frag () in
+  Fragmented.insert d 1 (sat_of 128 1);
+  Fragmented.insert d 2 (sat_of 128 2);
+  checkb "delete hit" true (Fragmented.delete d 1);
+  checkb "gone" false (Fragmented.mem d 1);
+  checkb "kept" true (Fragmented.mem d 2);
+  checkb "second delete misses" false (Fragmented.delete d 1);
+  check "size" 1 (Fragmented.size d)
+
+let test_frag_load_within_bucket () =
+  let _, d = mk_frag ~capacity:1000 () in
+  let rng = Prng.create 3 in
+  Array.iter
+    (fun k -> Fragmented.insert d k (sat_of 128 k))
+    (Sampling.distinct rng ~universe ~count:1000);
+  checkb "max load within slots" true
+    (Fragmented.max_load d <= Fragmented.slots_per_bucket d)
+
+let test_frag_bandwidth_scales_with_bd () =
+  (* The supported satellite grows ~ linearly with B·D. *)
+  let _, small = mk_frag ~block_words:64 () in
+  let _, big = mk_frag ~block_words:256 () in
+  checkb "bandwidth grows" true
+    (Fragmented.bandwidth_bits big ~block_words:256
+     > 2 * Fragmented.bandwidth_bits small ~block_words:64)
+
+(* --- Dynamic cascade --- *)
+
+let mk_cascade ?(capacity = 400) ?(degree = 16) ?(sigma_bits = 256)
+    ?(epsilon = 1.0) ?(block_words = 64) () =
+  Cascade.create ~block_words
+    { Cascade.universe; capacity; degree; sigma_bits; epsilon; v_factor = 3;
+      seed = 11 }
+
+let test_cascade_roundtrip () =
+  let t = mk_cascade () in
+  let rng = Prng.create 4 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:400 in
+  Array.iter (fun k -> Cascade.insert t k (sat_of 256 k)) members;
+  check "size" 400 (Cascade.size t);
+  Array.iter
+    (fun k ->
+      match Cascade.find t k with
+      | Some v ->
+        Alcotest.(check string) "satellite"
+          (Bytes.to_string (sat_of 256 k))
+          (Bytes.to_string v)
+      | None -> Alcotest.failf "member %d missing" k)
+    members;
+  Array.iter (fun k -> checkb "absent" false (Cascade.mem t k)) absent
+
+let test_cascade_unsuccessful_one_io () =
+  let t = mk_cascade () in
+  let rng = Prng.create 5 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  Array.iter (fun k -> Cascade.insert t k (sat_of 256 k)) members;
+  let machine = Cascade.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Cascade.find t k)) absent;
+  check "exactly 1 I/O per unsuccessful search" 300
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_cascade_successful_avg_within_eps () =
+  let epsilon = 1.0 in
+  let t = mk_cascade ~epsilon ~capacity:500 () in
+  let rng = Prng.create 6 in
+  let members = Sampling.distinct rng ~universe ~count:500 in
+  Array.iter (fun k -> Cascade.insert t k (sat_of 256 k)) members;
+  let machine = Cascade.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Cascade.find t k)) members;
+  let total = Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)) in
+  let avg = float_of_int total /. 500.0 in
+  checkb (Printf.sprintf "avg successful search %.3f <= 1 + eps" avg) true
+    (avg <= 1.0 +. epsilon);
+  checkb "searches cost at least 1" true (avg >= 1.0)
+
+let test_cascade_insert_avg_within_eps () =
+  let epsilon = 1.0 in
+  let t = mk_cascade ~epsilon ~capacity:500 () in
+  let rng = Prng.create 7 in
+  let members = Sampling.distinct rng ~universe ~count:500 in
+  let machine = Cascade.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> Cascade.insert t k (sat_of 256 k)) members;
+  let s = Stats.snapshot (Pdm.stats machine) in
+  check "one write round per insert" 500 s.Stats.parallel_writes;
+  let avg = float_of_int (Stats.parallel_ios s) /. 500.0 in
+  checkb (Printf.sprintf "avg insert %.3f <= 2 + eps" avg) true
+    (avg <= 2.0 +. epsilon)
+
+let test_cascade_worst_case_logarithmic () =
+  let t = mk_cascade ~capacity:500 () in
+  let rng = Prng.create 8 in
+  let members = Sampling.distinct rng ~universe ~count:500 in
+  let machine = Cascade.machine t in
+  let worst = ref 0 in
+  Array.iter
+    (fun k ->
+      let (), cost =
+        Stats.measure (Pdm.stats machine) (fun () ->
+            Cascade.insert t k (sat_of 256 k))
+      in
+      worst := max !worst (Stats.parallel_ios cost))
+    members;
+  checkb
+    (Printf.sprintf "worst insert %d <= levels + 1 = %d" !worst
+       (Cascade.levels t + 1))
+    true
+    (!worst <= Cascade.levels t + 1)
+
+let test_cascade_most_keys_level_one () =
+  let t = mk_cascade ~capacity:500 () in
+  let rng = Prng.create 9 in
+  let members = Sampling.distinct rng ~universe ~count:500 in
+  Array.iter (fun k -> Cascade.insert t k (sat_of 256 k)) members;
+  let level1 =
+    Array.fold_left
+      (fun acc k -> if Cascade.level_of t k = Some 1 then acc + 1 else acc)
+      0 members
+  in
+  checkb
+    (Printf.sprintf "%d/500 at level 1" level1)
+    true
+    (float_of_int level1 >= 0.5 *. 500.0)
+
+let test_cascade_level_sizes_decrease () =
+  let t = mk_cascade () in
+  let sizes = Cascade.level_fields t in
+  checkb "at least 2 levels" true (Array.length sizes >= 2);
+  for i = 0 to Array.length sizes - 2 do
+    checkb "monotone decreasing" true (sizes.(i) >= sizes.(i + 1))
+  done
+
+let test_cascade_update_in_place () =
+  let t = mk_cascade () in
+  Cascade.insert t 42 (sat_of 256 1);
+  Cascade.insert t 42 (sat_of 256 2);
+  check "size 1" 1 (Cascade.size t);
+  Alcotest.(check string) "updated"
+    (Bytes.to_string (sat_of 256 2))
+    (Bytes.to_string (Option.get (Cascade.find t 42)))
+
+let test_cascade_rejects_small_degree () =
+  checkb "theorem 7 degree constraint" true
+    (try
+       ignore (mk_cascade ~degree:8 ~epsilon:1.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Global rebuilding --- *)
+
+let mk_rebuild ?(initial = 32) ?(maxcap = 4096) ?(transfer = 4) () =
+  Rebuild.create
+    { Rebuild.universe; degree = 8; value_bytes = 8; block_words = 64;
+      initial_capacity = initial; max_capacity = maxcap;
+      transfer_per_op = transfer; seed = 21 }
+
+let val8 k = Bytes.of_string (Printf.sprintf "%08d" (k mod 100_000_000))
+
+let test_rebuild_grows_past_capacity () =
+  let t = mk_rebuild ~initial:32 () in
+  let rng = Prng.create 10 in
+  let keys = Sampling.distinct rng ~universe ~count:1000 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  check "all stored" 1000 (Rebuild.size t);
+  checkb "rebuilt at least twice" true (Rebuild.rebuilds t >= 2);
+  Array.iter
+    (fun k ->
+      match Rebuild.find t k with
+      | Some v ->
+        Alcotest.(check string) "value" (Bytes.to_string (val8 k)) (Bytes.to_string v)
+      | None -> Alcotest.failf "key %d lost across rebuilds" k)
+    keys
+
+let test_rebuild_lookup_one_io () =
+  let t = mk_rebuild () in
+  let rng = Prng.create 11 in
+  let keys = Sampling.distinct rng ~universe ~count:500 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  let machine = Rebuild.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Rebuild.find t k)) keys;
+  check "1 I/O per lookup even mid-rebuild" 500
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_rebuild_worst_case_constant () =
+  let t = mk_rebuild ~initial:32 ~transfer:4 () in
+  let rng = Prng.create 12 in
+  let keys = Sampling.distinct rng ~universe ~count:2000 in
+  let machine = Rebuild.machine t in
+  let worst = ref 0 in
+  Array.iter
+    (fun k ->
+      let (), cost =
+        Stats.measure (Pdm.stats machine) (fun () -> Rebuild.insert t k (val8 k))
+      in
+      worst := max !worst (Stats.parallel_ios cost))
+    keys;
+  (* transfer_per_op entries at (1R + 1W) each, plus the op itself and
+     a possible bucket drain: comfortably constant, never linear. *)
+  checkb (Printf.sprintf "worst insert %d is O(1)" !worst) true (!worst <= 16)
+
+let test_rebuild_updates_during_migration () =
+  let t = mk_rebuild ~initial:32 ~transfer:1 () in
+  let rng = Prng.create 13 in
+  let keys = Sampling.distinct rng ~universe ~count:200 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  (* Update every key (many while a migration is running). *)
+  Array.iter (fun k -> Rebuild.insert t k (val8 (k + 1))) keys;
+  check "no duplicates" 200 (Rebuild.size t);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "fresh value" (Bytes.to_string (val8 (k + 1)))
+        (Bytes.to_string (Option.get (Rebuild.find t k))))
+    keys
+
+let test_rebuild_deletes () =
+  let t = mk_rebuild ~initial:32 () in
+  let rng = Prng.create 14 in
+  let keys = Sampling.distinct rng ~universe ~count:300 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  Array.iteri
+    (fun i k -> if i mod 2 = 0 then checkb "delete hit" true (Rebuild.delete t k))
+    keys;
+  check "half left" 150 (Rebuild.size t);
+  Array.iteri
+    (fun i k ->
+      checkb "membership after deletes" (i mod 2 = 1) (Rebuild.mem t k))
+    keys
+
+let test_rebuild_max_capacity_enforced () =
+  let t = mk_rebuild ~initial:16 ~maxcap:64 () in
+  let rng = Prng.create 15 in
+  let keys = Sampling.distinct rng ~universe ~count:64 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  checkb "hard cap" true
+    (try
+       Rebuild.insert t 12345 (val8 1);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("dictionary.fragmented",
+     [ tc "roundtrip" `Quick test_frag_roundtrip;
+       tc "1 I/O lookups" `Quick test_frag_one_io_lookup;
+       tc "insert = 2 rounds" `Quick test_frag_insert_two_rounds;
+       tc "update in place" `Quick test_frag_update_in_place;
+       tc "delete" `Quick test_frag_delete;
+       tc "load within bucket" `Quick test_frag_load_within_bucket;
+       tc "bandwidth scales with BD" `Quick test_frag_bandwidth_scales_with_bd ]);
+    ("dictionary.cascade",
+     [ tc "roundtrip" `Quick test_cascade_roundtrip;
+       tc "unsuccessful search = 1 I/O" `Quick test_cascade_unsuccessful_one_io;
+       tc "successful search avg <= 1+eps" `Quick test_cascade_successful_avg_within_eps;
+       tc "insert avg <= 2+eps" `Quick test_cascade_insert_avg_within_eps;
+       tc "worst case logarithmic" `Quick test_cascade_worst_case_logarithmic;
+       tc "most keys at level 1" `Quick test_cascade_most_keys_level_one;
+       tc "level sizes decrease" `Quick test_cascade_level_sizes_decrease;
+       tc "update in place" `Quick test_cascade_update_in_place;
+       tc "degree constraint" `Quick test_cascade_rejects_small_degree ]);
+    ("dictionary.rebuild",
+     [ tc "grows past capacity" `Quick test_rebuild_grows_past_capacity;
+       tc "lookup is 1 I/O" `Quick test_rebuild_lookup_one_io;
+       tc "worst case constant" `Quick test_rebuild_worst_case_constant;
+       tc "updates during migration" `Quick test_rebuild_updates_during_migration;
+       tc "deletes" `Quick test_rebuild_deletes;
+       tc "max capacity enforced" `Quick test_rebuild_max_capacity_enforced ]) ]
+
+(* --- shrinking rebuilds (appended) --- *)
+
+let test_rebuild_shrinks_after_deletions () =
+  let t = mk_rebuild ~initial:32 ~maxcap:8192 () in
+  let rng = Prng.create 55 in
+  let keys = Sampling.distinct rng ~universe ~count:2000 in
+  Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+  let grown_cap = Rebuild.capacity t in
+  checkb "grew" true (grown_cap >= 2000);
+  (* Delete almost everything; shrink migrations must bring the
+     capacity back down. *)
+  Array.iteri (fun i k -> if i < 1990 then ignore (Rebuild.delete t k)) keys;
+  (* Let in-flight migrations finish. *)
+  for i = 0 to 199 do
+    ignore (Rebuild.mem t keys.(i));
+    ignore (Rebuild.delete t (universe - 1 - i))
+  done;
+  checkb
+    (Printf.sprintf "capacity %d shrank from %d" (Rebuild.capacity t) grown_cap)
+    true
+    (Rebuild.capacity t <= grown_cap / 2);
+  check "survivors intact" 10 (Rebuild.size t);
+  Array.iteri
+    (fun i k -> if i >= 1990 then checkb "survivor" true (Rebuild.mem t k))
+    keys
+
+let test_rebuild_churn () =
+  (* Grow/shrink churn must neither lose keys nor thrash. *)
+  let t = mk_rebuild ~initial:16 ~maxcap:4096 ~transfer:4 () in
+  let rng = Prng.create 56 in
+  let keys = Sampling.distinct rng ~universe ~count:600 in
+  for round = 0 to 2 do
+    Array.iter (fun k -> Rebuild.insert t k (val8 k)) keys;
+    check (Printf.sprintf "round %d full" round) 600 (Rebuild.size t);
+    Array.iter (fun k -> checkb "present" true (Rebuild.mem t k)) keys;
+    Array.iter (fun k -> ignore (Rebuild.delete t k)) keys;
+    check (Printf.sprintf "round %d empty" round) 0 (Rebuild.size t)
+  done
+
+let suite =
+  suite
+  @ [ ("dictionary.rebuild_shrink",
+       [ Alcotest.test_case "shrinks after deletions" `Quick
+           test_rebuild_shrinks_after_deletions;
+         Alcotest.test_case "grow/shrink churn" `Quick test_rebuild_churn ]) ]

@@ -1,0 +1,338 @@
+(* Tests for expander graphs: interfaces, seeded constructions, measured
+   expansion (Lemmas 4-5 checks), telescope product and Section 5. *)
+
+open Pdm_expander
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Bipartite --- *)
+
+let test_create_validates () =
+  checkb "striped needs d | v" true
+    (try
+       ignore (Bipartite.create ~striped:true ~u:10 ~v:10 ~d:3 (fun _ i -> i));
+       false
+     with Invalid_argument _ -> true)
+
+let test_neighbor_range_checked () =
+  let g = Bipartite.create ~u:4 ~v:4 ~d:2 (fun _ _ -> 7) in
+  checkb "f out of range detected" true
+    (try
+       ignore (Bipartite.neighbor g 0 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stripe_discipline_checked () =
+  let g = Bipartite.create ~striped:true ~u:4 ~v:8 ~d:2 (fun _ _ -> 0) in
+  (* neighbor 1 must land in stripe 1 = [4,8) but f returns 0. *)
+  checkb "stripe violation detected" true
+    (try
+       ignore (Bipartite.neighbor g 0 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_neighbors_and_stripes () =
+  let g =
+    Bipartite.create ~striped:true ~u:10 ~v:6 ~d:3 (fun x i -> (2 * i) + (x mod 2))
+  in
+  let ns = Bipartite.neighbors g 3 in
+  Alcotest.(check (array int)) "neighbors" [| 1; 3; 5 |] ns;
+  Alcotest.(check (pair int int)) "stripe decompose" (1, 1) (Bipartite.stripe_of g 3);
+  Alcotest.(check (pair int int)) "neighbor_in_stripe" (2, 1)
+    (Bipartite.neighbor_in_stripe g 3 2);
+  check "stripe width" 2 (Bipartite.stripe_width g)
+
+(* --- Seeded --- *)
+
+let test_seeded_striped_stays_in_stripe () =
+  let g = Seeded.striped ~seed:1 ~u:1000 ~v:60 ~d:6 in
+  for x = 0 to 200 do
+    for i = 0 to 5 do
+      let y = Bipartite.neighbor g x i in
+      check "stripe" i (y / 10)
+    done
+  done
+
+let test_seeded_deterministic () =
+  let g1 = Seeded.striped ~seed:7 ~u:100 ~v:20 ~d:4 in
+  let g2 = Seeded.striped ~seed:7 ~u:100 ~v:20 ~d:4 in
+  for x = 0 to 99 do
+    Alcotest.(check (array int)) "same graph" (Bipartite.neighbors g1 x)
+      (Bipartite.neighbors g2 x)
+  done
+
+let test_seeded_distinct_seeds () =
+  let g1 = Seeded.striped ~seed:1 ~u:100 ~v:40 ~d:4 in
+  let g2 = Seeded.striped ~seed:2 ~u:100 ~v:40 ~d:4 in
+  let differs = ref false in
+  for x = 0 to 99 do
+    if Bipartite.neighbors g1 x <> Bipartite.neighbors g2 x then differs := true
+  done;
+  checkb "seeds differ" true !differs
+
+(* --- Expansion --- *)
+
+let test_gamma_exact () =
+  (* Tiny explicit graph: x -> {x mod 2, 2 + x mod 3}. *)
+  let g =
+    Bipartite.create ~u:6 ~v:5 ~d:2 (fun x i ->
+        if i = 0 then x mod 2 else 2 + (x mod 3))
+  in
+  check "gamma {0}" 2 (Expansion.gamma_size g [| 0 |]);
+  (* S = {0,1}: neighbors {0,2} U {1,3} = 4. *)
+  check "gamma {0,1}" 4 (Expansion.gamma_size g [| 0; 1 |]);
+  (* S = {0,3}: 0 -> {0,2}, 3 -> {1,2}; gamma = {0,1,2}. *)
+  check "gamma {0,3}" 3 (Expansion.gamma_size g [| 0; 3 |])
+
+let test_unique_neighbors_exact () =
+  let g =
+    Bipartite.create ~u:6 ~v:5 ~d:2 (fun x i ->
+        if i = 0 then x mod 2 else 2 + (x mod 3))
+  in
+  (* S = {0, 2}: edges 0->{0,2}, 2->{0,4}. Vertex 0 shared; 2 and 4
+     unique. *)
+  check "phi" 2 (Expansion.unique_neighbor_count g [| 0; 2 |]);
+  let phi = Expansion.unique_neighbors g [| 0; 2 |] in
+  Alcotest.(check (option int)) "owner of 2" (Some 0) (Hashtbl.find_opt phi 2);
+  Alcotest.(check (option int)) "owner of 4" (Some 2) (Hashtbl.find_opt phi 4)
+
+let test_multi_edge_not_unique () =
+  (* Both edges of x go to vertex x: a multi-edge; Phi must be empty. *)
+  let g = Bipartite.create ~u:3 ~v:3 ~d:2 (fun x _ -> x) in
+  check "multi-edge kills uniqueness" 0
+    (Expansion.unique_neighbor_count g [| 1 |])
+
+let test_epsilon_of_set () =
+  let g = Bipartite.create ~u:4 ~v:8 ~d:2 (fun x i -> (2 * x) + i) in
+  (* Perfect expansion: gamma = d|S|. *)
+  Alcotest.(check (float 1e-9)) "eps 0" 0.0 (Expansion.epsilon_of_set g [| 0; 1 |]);
+  let g2 = Bipartite.create ~u:4 ~v:8 ~d:2 (fun _ i -> i) in
+  (* Everyone shares the same two neighbors: gamma = 2, d|S| = 4. *)
+  Alcotest.(check (float 1e-9)) "eps 1/2" 0.5 (Expansion.epsilon_of_set g2 [| 0; 1 |])
+
+let test_seeded_expander_is_good () =
+  (* A seeded striped graph with v = 4nd should have small measured
+     eps for sets of size n. *)
+  let n = 50 and d = 8 in
+  let g = Seeded.striped ~seed:3 ~u:100_000 ~v:(4 * n * d) ~d in
+  let rng = Prng.create 99 in
+  let eps = Expansion.sampled_epsilon g ~rng ~set_size:n ~trials:30 in
+  checkb (Printf.sprintf "eps=%.3f <= 1/6" eps) true (eps <= 1.0 /. 6.0)
+
+let test_lemma4_on_seeded () =
+  (* |Phi(S)| >= (1 - 2 eps) d |S| with eps measured on the same set. *)
+  let n = 60 and d = 8 in
+  let g = Seeded.striped ~seed:5 ~u:1_000_000 ~v:(4 * n * d) ~d in
+  let rng = Prng.create 123 in
+  for _ = 1 to 10 do
+    let s = Sampling.distinct rng ~universe:1_000_000 ~count:n in
+    let eps = Expansion.epsilon_of_set g s in
+    let phi = Expansion.unique_neighbor_count g s in
+    let bound = (1.0 -. (2.0 *. eps)) *. float_of_int (d * n) in
+    checkb "lemma 4" true (float_of_int phi >= bound)
+  done
+
+let test_lemma5_on_seeded () =
+  (* |S'| >= (1 - 2 eps / lambda) |S|. *)
+  let n = 60 and d = 9 in
+  let g = Seeded.striped ~seed:6 ~u:1_000_000 ~v:(4 * n * d) ~d in
+  let rng = Prng.create 321 in
+  let lambda = 1.0 /. 3.0 in
+  for _ = 1 to 10 do
+    let s = Sampling.distinct rng ~universe:1_000_000 ~count:n in
+    let eps = Expansion.epsilon_of_set g s in
+    let s' = Expansion.well_expanded_subset g ~lambda s in
+    let bound = (1.0 -. (2.0 *. eps /. lambda)) *. float_of_int n in
+    checkb "lemma 5" true (float_of_int (Array.length s') >= bound)
+  done
+
+let test_well_expanded_subset_exact () =
+  (* Disjoint neighborhoods: every x owns all its neighbors. *)
+  let g = Bipartite.create ~u:4 ~v:8 ~d:2 (fun x i -> (2 * x) + i) in
+  let s' = Expansion.well_expanded_subset g ~lambda:0.5 [| 0; 2; 3 |] in
+  Alcotest.(check (array int)) "all survive" [| 0; 2; 3 |] s'
+
+let test_lemma3_bound_formula () =
+  (* kn/((1-delta)v) + log_{(1-eps)d/k} v *)
+  let b = Expansion.lemma3_bound ~n:1000 ~v:100 ~d:8 ~k:1 ~eps:0.0 ~delta:0.0 in
+  Alcotest.(check (float 1e-6)) "formula"
+    (10.0 +. (log 100.0 /. log 8.0)) b;
+  checkb "k >= (1-eps)d rejected" true
+    (try
+       ignore (Expansion.lemma3_bound ~n:10 ~v:10 ~d:4 ~k:4 ~eps:0.0 ~delta:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Telescope --- *)
+
+let test_telescope_shape () =
+  let f1 = Seeded.unstriped ~seed:1 ~u:10_000 ~v:400 ~d:3 in
+  let f2 = Seeded.unstriped ~seed:2 ~u:400 ~v:100 ~d:4 in
+  let g = Telescope.compose f1 f2 in
+  check "u" 10_000 (Bipartite.u g);
+  check "v" 100 (Bipartite.v g);
+  check "d" 12 (Bipartite.d g)
+
+let test_telescope_no_duplicate_neighbors () =
+  let f1 = Seeded.unstriped ~seed:3 ~u:1000 ~v:50 ~d:3 in
+  let f2 = Seeded.unstriped ~seed:4 ~u:50 ~v:40 ~d:4 in
+  let g = Telescope.compose f1 f2 in
+  for x = 0 to 200 do
+    let ns = Array.to_list (Bipartite.neighbors g x) in
+    check "distinct after remap" (List.length ns)
+      (List.length (List.sort_uniq compare ns))
+  done
+
+let test_telescope_deterministic () =
+  let mk () =
+    Telescope.compose
+      (Seeded.unstriped ~seed:5 ~u:500 ~v:60 ~d:3)
+      (Seeded.unstriped ~seed:6 ~u:60 ~v:50 ~d:4)
+  in
+  let g1 = mk () and g2 = mk () in
+  for x = 0 to 100 do
+    Alcotest.(check (array int)) "same" (Bipartite.neighbors g1 x)
+      (Bipartite.neighbors g2 x)
+  done
+
+let test_telescope_mismatch_rejected () =
+  let f1 = Seeded.unstriped ~seed:1 ~u:100 ~v:50 ~d:2 in
+  let f2 = Seeded.unstriped ~seed:2 ~u:40 ~v:30 ~d:2 in
+  checkb "middle mismatch" true
+    (try
+       ignore (Telescope.compose f1 f2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_composed_epsilon () =
+  Alcotest.(check (float 1e-9)) "error composition" 0.28
+    (Telescope.composed_epsilon 0.1 0.2)
+
+(* --- Trivial striping --- *)
+
+let test_trivial_stripe () =
+  let f = Seeded.unstriped ~seed:8 ~u:500 ~v:30 ~d:4 in
+  let g = Trivial_stripe.stripe f in
+  checkb "striped" true (Bipartite.is_striped g);
+  check "v multiplied" 120 (Bipartite.v g);
+  for x = 0 to 100 do
+    for i = 0 to 3 do
+      let y = Bipartite.neighbor g x i in
+      check "stripe" i (y / 30);
+      check "copy of original" (Bipartite.neighbor f x i) (y mod 30)
+    done
+  done
+
+(* --- Semi-explicit (Section 5) --- *)
+
+let test_corollary1_shape () =
+  let graph, level = Semi_explicit.corollary1 ~seed:1 ~u:65536 ~beta:0.5 ~eps:0.25 in
+  check "level u" 65536 level.Semi_explicit.level_u;
+  check "right size" (Bipartite.v graph) level.Semi_explicit.level_v;
+  checkb "v < u" true (Bipartite.v graph < 65536);
+  checkb "memory modelled" true (level.Semi_explicit.level_memory > 0);
+  check "degree" (Bipartite.d graph) level.Semi_explicit.level_d
+
+let test_construct_shape () =
+  let t = Semi_explicit.construct ~seed:2 ~capacity:64 ~u:65536 ~beta:0.5 ~eps:0.3 in
+  check "left" 65536 (Bipartite.u t.Semi_explicit.graph);
+  checkb "levels >= 1" true (List.length t.Semi_explicit.levels >= 1);
+  check "degree = product"
+    (List.fold_left (fun a l -> a * l.Semi_explicit.level_d) 1 t.Semi_explicit.levels)
+    t.Semi_explicit.degree;
+  checkb "right side shrank" true (t.Semi_explicit.right_size < 65536)
+
+let test_construct_expands () =
+  let t = Semi_explicit.construct ~seed:3 ~capacity:32 ~u:65536 ~beta:0.5 ~eps:0.3 in
+  let g = t.Semi_explicit.graph in
+  let rng = Prng.create 777 in
+  (* Sets far below capacity should expand decently. *)
+  let eps = Expansion.sampled_epsilon g ~rng ~set_size:8 ~trials:10 in
+  checkb (Printf.sprintf "composed eps=%.3f < 0.9" eps) true (eps < 0.9)
+
+let test_striped_for_pdm () =
+  let t = Semi_explicit.construct ~seed:4 ~capacity:32 ~u:4096 ~beta:0.5 ~eps:0.3 in
+  let g = Semi_explicit.striped_for_pdm t in
+  checkb "striped" true (Bipartite.is_striped g);
+  check "space blowup = d" (t.Semi_explicit.degree * t.Semi_explicit.right_size)
+    (Bipartite.v g)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("expander.bipartite",
+     [ tc "create validates" `Quick test_create_validates;
+       tc "neighbor range checked" `Quick test_neighbor_range_checked;
+       tc "stripe discipline" `Quick test_stripe_discipline_checked;
+       tc "neighbors and stripes" `Quick test_neighbors_and_stripes ]);
+    ("expander.seeded",
+     [ tc "stays in stripe" `Quick test_seeded_striped_stays_in_stripe;
+       tc "deterministic" `Quick test_seeded_deterministic;
+       tc "distinct seeds" `Quick test_seeded_distinct_seeds ]);
+    ("expander.expansion",
+     [ tc "gamma exact" `Quick test_gamma_exact;
+       tc "unique neighbors exact" `Quick test_unique_neighbors_exact;
+       tc "multi-edge not unique" `Quick test_multi_edge_not_unique;
+       tc "epsilon of set" `Quick test_epsilon_of_set;
+       tc "seeded expander quality" `Quick test_seeded_expander_is_good;
+       tc "lemma 4 on seeded" `Quick test_lemma4_on_seeded;
+       tc "lemma 5 on seeded" `Quick test_lemma5_on_seeded;
+       tc "well-expanded exact" `Quick test_well_expanded_subset_exact;
+       tc "lemma 3 closed form" `Quick test_lemma3_bound_formula ]);
+    ("expander.telescope",
+     [ tc "shape" `Quick test_telescope_shape;
+       tc "no duplicate neighbors" `Quick test_telescope_no_duplicate_neighbors;
+       tc "deterministic" `Quick test_telescope_deterministic;
+       tc "mismatch rejected" `Quick test_telescope_mismatch_rejected;
+       tc "error composition" `Quick test_composed_epsilon ]);
+    ("expander.section5",
+     [ tc "trivial stripe" `Quick test_trivial_stripe;
+       tc "corollary 1 shape" `Quick test_corollary1_shape;
+       tc "construct shape" `Quick test_construct_shape;
+       tc "composed graph expands" `Quick test_construct_expands;
+       tc "striped for pdm" `Quick test_striped_for_pdm ]) ]
+
+(* --- exhaustive Lemma 10 verification on tiny graphs (appended) --- *)
+
+let test_telescope_expansion_composes_exhaustively () =
+  (* Tiny composition where every subset can be enumerated: the
+     composed graph's exact epsilon must respect Lemma 10's
+     1 - (1-e1)(1-e2) for set sizes within the composed capacity. *)
+  let f1 = Seeded.unstriped ~seed:31 ~u:24 ~v:16 ~d:2 in
+  let f2 = Seeded.unstriped ~seed:32 ~u:16 ~v:12 ~d:3 in
+  let g = Telescope.compose f1 f2 in
+  for size = 1 to 2 do
+    let e1 = Expansion.exact_epsilon f1 ~set_size:size in
+    let e2 = Expansion.exact_epsilon f2 ~set_size:(size * 2) in
+    let eg = Expansion.exact_epsilon g ~set_size:size in
+    (* The remap can only help, so measured composed error must not
+       exceed the Lemma 10 composition of the parts' errors. *)
+    checkb
+      (Printf.sprintf "size %d: %.3f <= compose(%.3f, %.3f)" size eg e1 e2)
+      true
+      (eg <= Telescope.composed_epsilon e1 e2 +. 1e-9)
+  done
+
+let test_certify_seeded_small () =
+  (* certify must agree exactly with the exhaustive epsilon: true just
+     above it, false just below. *)
+  let g = Seeded.striped ~seed:33 ~u:16 ~v:32 ~d:4 in
+  let eps =
+    Float.max
+      (Expansion.exact_epsilon g ~set_size:1)
+      (Expansion.exact_epsilon g ~set_size:2)
+  in
+  checkb "certified at exact eps" true
+    (Expansion.certify g ~capacity:2 ~eps:(eps +. 1e-9));
+  checkb "refused below exact eps" false
+    (Expansion.certify g ~capacity:2 ~eps:(eps -. 0.01))
+
+let suite =
+  suite
+  @ [ ("expander.exhaustive",
+       [ Alcotest.test_case "lemma 10 composes (exhaustive)" `Quick
+           test_telescope_expansion_composes_exhaustively;
+         Alcotest.test_case "certify tiny seeded graph" `Quick
+           test_certify_seeded_small ]) ]

@@ -1,0 +1,283 @@
+(* Integration tests: run every experiment at reduced scale and assert
+   the paper-shape claims EXPERIMENTS.md records. *)
+
+open Pdm_experiments
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+(* --- E1: Figure 1 --- *)
+
+let fig1 = lazy (Figure1.run ~n:600 ())
+
+let test_fig1_deterministic_rows_hit_bounds () =
+  let r = Lazy.force fig1 in
+  let basic = Figure1.find_row r "Section 4.1 (basic" in
+  checkb "basic lookup worst = 1" true (basic.Figure1.lookup_worst = 1);
+  checkb "basic update worst = 2" true (basic.Figure1.update_worst = 2);
+  let frag = Figure1.find_row r "Section 4.1 (k" in
+  checkb "fragmented lookup worst = 1" true (frag.Figure1.lookup_worst = 1);
+  checkb "fragmented update worst = 2" true (frag.Figure1.update_worst = 2)
+
+let test_fig1_cascade_averages () =
+  let r = Lazy.force fig1 in
+  let c = Figure1.find_row r "Section 4.3" in
+  checkb "cascade lookup avg <= 1.5" true (c.Figure1.lookup_avg <= 1.5);
+  checkb "cascade update avg <= 2.5" true (c.Figure1.update_avg <= 2.5);
+  checkb "cascade deterministic" true c.Figure1.deterministic
+
+let test_fig1_bandwidth_ordering () =
+  let r = Lazy.force fig1 in
+  let bw name = (Figure1.find_row r name).Figure1.bandwidth_bits in
+  checkb "cascade ~BD beats cuckoo BD/2" true
+    (bw "Section 4.3" > bw "cuckoo");
+  checkb "cuckoo BD/2 beats hashing BD/log n" true
+    (bw "cuckoo" > bw "hashing");
+  checkb "two-level ~BD beats fragmented BD/log n" true
+    (bw "[7]" > bw "Section 4.1 (k")
+
+let test_fig1_randomized_rows_not_worst_case () =
+  let r = Lazy.force fig1 in
+  let tl = Figure1.find_row r "[7]" in
+  (* The two-level structure's average is 1+e but its worst case
+     exceeds 1 — the contrast with the deterministic rows. *)
+  checkb "two-level worst above avg" true (tl.Figure1.lookup_worst >= 2);
+  checkb "two-level avg near 1" true (tl.Figure1.lookup_avg < 1.5)
+
+(* --- E2: Lemma 3 --- *)
+
+let test_lemma3_bound_never_violated () =
+  let r = Load_balance.run () in
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "n=%d v=%d d=%d k=%d: greedy %d <= bound %.1f"
+           p.Load_balance.n p.Load_balance.v p.Load_balance.d
+           p.Load_balance.k p.Load_balance.greedy_max p.Load_balance.bound)
+        true
+        (float_of_int p.Load_balance.greedy_max <= p.Load_balance.bound))
+    r.Load_balance.points
+
+let test_lemma3_greedy_close_to_average () =
+  let r = Load_balance.run () in
+  List.iter
+    (fun p ->
+      checkb "greedy within average + 4" true
+        (float_of_int p.Load_balance.greedy_max <= p.Load_balance.average +. 4.0))
+    r.Load_balance.points
+
+let test_lemma3_beats_single_choice () =
+  let r = Load_balance.run () in
+  List.iter
+    (fun p ->
+      checkb "greedy <= single choice" true
+        (p.Load_balance.greedy_max <= p.Load_balance.single_choice_max))
+    r.Load_balance.points
+
+(* --- E3: Lemmas 4-5 --- *)
+
+let test_lemmas_4_5_hold () =
+  let r = Unique_neighbors.run ~trials:5 () in
+  List.iter
+    (fun p ->
+      checkb "lemma 4" true p.Unique_neighbors.lemma4_holds;
+      checkb "lemma 5" true p.Unique_neighbors.lemma5_holds;
+      checkb "eps below 1/4" true (p.Unique_neighbors.eps_worst < 0.25))
+    r.Unique_neighbors.points
+
+(* --- E4: Theorem 6 --- *)
+
+let test_one_probe_experiment () =
+  let r = One_probe_exp.run ~ns:[ 200; 400 ] () in
+  List.iter
+    (fun p ->
+      checkb "all lookups single I/O" true p.One_probe_exp.lookups_all_single_io;
+      check "no false positives" 0 p.One_probe_exp.false_positives;
+      checkb "construction within 64x sort" true (p.One_probe_exp.ratio <= 64.0);
+      checkb "peeling shallow" true (p.One_probe_exp.peel_rounds <= 10))
+    r.One_probe_exp.points
+
+(* --- E5: Theorem 7 --- *)
+
+let test_dynamic_experiment () =
+  let r = Dynamic_exp.run ~n:400 () in
+  List.iter
+    (fun p ->
+      checkb "miss is exactly 1" true (p.Dynamic_exp.unsuccessful_avg = 1.0);
+      checkb "hit within 1+e" true
+        (p.Dynamic_exp.successful_avg <= p.Dynamic_exp.successful_bound);
+      checkb "insert within 2+e" true
+        (p.Dynamic_exp.insert_avg <= p.Dynamic_exp.insert_bound);
+      checkb "worst logarithmic" true
+        (p.Dynamic_exp.insert_worst <= p.Dynamic_exp.levels + 1))
+    r.Dynamic_exp.points
+
+(* --- E6: basic dictionary across block sizes --- *)
+
+let test_basic_experiment () =
+  let r = Basic_exp.run ~n:600 () in
+  List.iter
+    (fun p ->
+      checkb "lookup worst = blocks/bucket" true
+        (p.Basic_exp.lookup_worst = p.Basic_exp.bucket_blocks);
+      checkb "insert worst = blocks/bucket + 1" true
+        (p.Basic_exp.insert_worst <= p.Basic_exp.bucket_blocks + 1);
+      checkb "load within bucket" true
+        (p.Basic_exp.max_load <= p.Basic_exp.slots_per_bucket);
+      checkb "stable placement" true p.Basic_exp.stable_placement)
+    r.Basic_exp.points
+
+(* --- E7: B-tree comparison --- *)
+
+let test_btree_comparison () =
+  let r = Btree_compare.run ~ns:[ 2000; 8000 ] () in
+  List.iter
+    (fun p ->
+      checkb "dict random = 1" true (p.Btree_compare.dict_random_avg = 1.0);
+      checkb "btree random = height" true
+        (p.Btree_compare.btree_random_avg = float_of_int p.Btree_compare.btree_height);
+      checkb "btree scans cheap" true
+        (p.Btree_compare.btree_scan_per_block < p.Btree_compare.dict_scan_per_block))
+    r.Btree_compare.points;
+  (* The gap grows with n: at the largest n the dictionary wins by >= 2x
+     even against a root-cached B-tree. *)
+  let last = List.nth r.Btree_compare.points 1 in
+  checkb "speedup >= 2 at large n" true (last.Btree_compare.speedup_random >= 2.0)
+
+(* --- E8: Section 5 --- *)
+
+let test_explicit_experiment () =
+  let r = Explicit_exp.run ~trials:4 () in
+  List.iter
+    (fun p ->
+      checkb "at least one level" true (p.Explicit_exp.levels >= 1);
+      checkb "right side shrank" true (p.Explicit_exp.right_size < p.Explicit_exp.u);
+      checkb "striping blows up by d" true
+        (p.Explicit_exp.striped_v = p.Explicit_exp.degree * p.Explicit_exp.right_size);
+      checkb "memory modelled" true (p.Explicit_exp.memory_words > 0))
+    r.Explicit_exp.points
+
+(* --- E9: global rebuilding --- *)
+
+let test_rebuild_experiment () =
+  let r = Rebuild_exp.run ~operations:1500 () in
+  checkb "grew" true (r.Rebuild_exp.rebuilds >= 3);
+  checkb "lookups stay 1" true
+    (r.Rebuild_exp.lookup_avg = 1.0 && r.Rebuild_exp.lookup_worst = 1);
+  checkb "insert worst O(1)" true (r.Rebuild_exp.insert_worst <= 16);
+  checkb "overhead bounded" true (r.Rebuild_exp.overhead_factor <= 6.0);
+  checkb "purge shrinks capacity" true
+    (r.Rebuild_exp.capacity_after_purge < r.Rebuild_exp.peak_capacity / 2)
+
+(* --- E10: bandwidth --- *)
+
+let test_bandwidth_experiment () =
+  let r = Bandwidth_exp.run ~n:300 () in
+  check "five structures reported" 5 (List.length r.Bandwidth_exp.points);
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "%s within bound" p.Bandwidth_exp.name)
+        true p.Bandwidth_exp.lookup_ok)
+    r.Bandwidth_exp.points;
+  let bw name =
+    (List.find (fun p -> p.Bandwidth_exp.name = name) r.Bandwidth_exp.points)
+      .Bandwidth_exp.bandwidth_bits
+  in
+  checkb "cascade O(BD) dominates" true
+    (bw "Section 4.3 (cascade)" >= bw "cuckoo hashing")
+
+(* --- table rendering --- *)
+
+let test_table_rendering () =
+  let t =
+    Table.make ~title:"t" ~header:[ "a"; "bb" ] ~notes:[ "n" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let buf = Buffer.create 64 in
+  let out = Format.formatter_of_buffer buf in
+  Table.print ~out t;
+  Format.pp_print_flush out ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec scan i =
+      if i + nl > sl then false
+      else if String.sub s i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  checkb "title" true (contains "== t ==");
+  checkb "contains header" true (contains "bb");
+  checkb "contains note" true (contains "note: n");
+  checkb "pads columns" true (contains "333")
+
+let test_table_width_mismatch () =
+  checkb "row width checked" true
+    (try
+       ignore (Table.make ~title:"t" ~header:[ "a" ] [ [ "1"; "2" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("experiments.figure1",
+     [ tc "deterministic rows hit bounds" `Quick
+         test_fig1_deterministic_rows_hit_bounds;
+       tc "cascade averages" `Quick test_fig1_cascade_averages;
+       tc "bandwidth ordering" `Quick test_fig1_bandwidth_ordering;
+       tc "randomized rows drift" `Quick test_fig1_randomized_rows_not_worst_case ]);
+    ("experiments.lemma3",
+     [ tc "bound never violated" `Quick test_lemma3_bound_never_violated;
+       tc "greedy close to average" `Quick test_lemma3_greedy_close_to_average;
+       tc "beats single choice" `Quick test_lemma3_beats_single_choice ]);
+    ("experiments.lemmas45", [ tc "hold on sweep" `Quick test_lemmas_4_5_hold ]);
+    ("experiments.theorem6", [ tc "one-probe" `Quick test_one_probe_experiment ]);
+    ("experiments.theorem7", [ tc "cascade sweep" `Quick test_dynamic_experiment ]);
+    ("experiments.basic41", [ tc "block size sweep" `Quick test_basic_experiment ]);
+    ("experiments.btree", [ tc "comparison" `Quick test_btree_comparison ]);
+    ("experiments.section5", [ tc "telescope table" `Quick test_explicit_experiment ]);
+    ("experiments.rebuild", [ tc "growth" `Quick test_rebuild_experiment ]);
+    ("experiments.bandwidth", [ tc "sweep" `Quick test_bandwidth_experiment ]);
+    ("experiments.table",
+     [ tc "rendering" `Quick test_table_rendering;
+       tc "width mismatch" `Quick test_table_width_mismatch ]) ]
+
+(* --- E15: caching (appended) --- *)
+
+let test_cache_experiment_shape () =
+  let r = Cache_exp.run ~n:4000 ~lookups:2000 ~cache_sizes:[ 8; 2048 ] () in
+  (match r.Cache_exp.points with
+   | [ small; large ] ->
+     (* With a tiny cache the B-tree pays its height; the dictionary
+        is already at ~1. *)
+     checkb "tiny cache: btree pays height" true
+       (small.Cache_exp.btree_io_per_lookup
+        >= float_of_int r.Cache_exp.btree_height -. 0.5);
+     checkb "tiny cache: dict at ~1" true
+       (small.Cache_exp.dict_io_per_lookup <= 1.01);
+     checkb "big cache helps the btree" true
+       (large.Cache_exp.btree_io_per_lookup
+        < small.Cache_exp.btree_io_per_lookup /. 2.0)
+   | _ -> Alcotest.fail "expected two points")
+
+let suite =
+  suite
+  @ [ ("experiments.caching",
+       [ Alcotest.test_case "E15 shape" `Quick test_cache_experiment_shape ]) ]
+
+(* --- CSV rendering (appended) --- *)
+
+let test_table_csv () =
+  let t =
+    Table.make ~title:"x" ~header:[ "a"; "b" ]
+      [ [ "1"; "with, comma" ]; [ "q\"q"; "2" ] ]
+  in
+  Alcotest.(check string) "csv"
+    "a,b\n1,\"with, comma\"\n\"q\"\"q\",2\n" (Table.to_csv t)
+
+let suite =
+  suite
+  @ [ ("experiments.csv",
+       [ Alcotest.test_case "csv escaping" `Quick test_table_csv ]) ]

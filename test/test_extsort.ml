@@ -1,0 +1,145 @@
+(* Tests for the external multiway merge sort substrate. *)
+
+open Pdm_sim
+module Extsort = Pdm_extsort.Extsort
+module Prng = Pdm_util.Prng
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mk_sorter ?(disks = 4) ?(block_size = 4) ?(blocks = 256) ?(memory_items = 64)
+    () =
+  let pdm = Pdm.create ~disks ~block_size ~blocks_per_disk:blocks () in
+  let view = Striping.create pdm in
+  (pdm, Extsort.create view ~compare ~memory_items)
+
+let run_sort sorter items =
+  let n = Array.length items in
+  let region = Extsort.region_superblocks sorter ~items:n in
+  Extsort.write_region sorter ~region:0 items;
+  let where = Extsort.sort sorter ~src_region:0 ~scratch_region:region ~items:n in
+  let out = if where = `Src then 0 else region in
+  Extsort.read_region sorter ~region:out ~count:n
+
+let test_region_roundtrip () =
+  let _, sorter = mk_sorter () in
+  let items = Array.init 37 (fun i -> i * 3) in
+  Extsort.write_region sorter ~region:2 items;
+  Alcotest.(check (array int)) "roundtrip" items
+    (Extsort.read_region sorter ~region:2 ~count:37)
+
+let test_sort_small () =
+  let _, sorter = mk_sorter () in
+  let items = [| 5; 3; 9; 1; 4 |] in
+  Alcotest.(check (array int)) "sorted" [| 1; 3; 4; 5; 9 |] (run_sort sorter items)
+
+let test_sort_single_run () =
+  (* Fits in memory: one run, no merge passes. *)
+  let _, sorter = mk_sorter ~memory_items:64 () in
+  let g = Prng.create 1 in
+  let items = Array.init 60 (fun _ -> Prng.int g 1000) in
+  let expected = Array.copy items in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) "sorted" expected (run_sort sorter items)
+
+let test_sort_multi_pass () =
+  (* Memory = 2 superblocks (32 items), fan-in 2 at superblock 16:
+     1000 items need several merge passes. *)
+  let _, sorter = mk_sorter ~memory_items:32 ~blocks:512 () in
+  let g = Prng.create 2 in
+  let items = Array.init 1000 (fun _ -> Prng.int g 100_000) in
+  let expected = Array.copy items in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) "sorted" expected (run_sort sorter items)
+
+let test_sort_with_duplicates () =
+  let _, sorter = mk_sorter ~memory_items:32 ~blocks:512 () in
+  let g = Prng.create 3 in
+  let items = Array.init 500 (fun _ -> Prng.int g 10) in
+  let expected = Array.copy items in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) "sorted" expected (run_sort sorter items)
+
+let test_sort_already_sorted () =
+  let _, sorter = mk_sorter ~memory_items:32 ~blocks:512 () in
+  let items = Array.init 300 (fun i -> i) in
+  Alcotest.(check (array int)) "unchanged" items (run_sort sorter items)
+
+let test_sort_reverse () =
+  let _, sorter = mk_sorter ~memory_items:32 ~blocks:512 () in
+  let items = Array.init 300 (fun i -> 300 - i) in
+  let expected = Array.init 300 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "reversed" expected (run_sort sorter items)
+
+let test_sort_empty_and_singleton () =
+  let _, sorter = mk_sorter () in
+  Alcotest.(check (array int)) "empty" [||] (run_sort sorter [||]);
+  let _, sorter = mk_sorter () in
+  Alcotest.(check (array int)) "singleton" [| 7 |] (run_sort sorter [| 7 |])
+
+let test_io_cost_within_theory_factor () =
+  (* Measured I/O should be within a small constant of the textbook
+     formula (run formation reads/writes + merge passes). *)
+  let pdm, sorter = mk_sorter ~memory_items:32 ~blocks:1024 () in
+  let g = Prng.create 4 in
+  let n = 2000 in
+  let items = Array.init n (fun _ -> Prng.int g 1_000_000) in
+  let region = Extsort.region_superblocks sorter ~items:n in
+  Extsort.write_region sorter ~region:0 items;
+  Stats.reset (Pdm.stats pdm);
+  ignore (Extsort.sort sorter ~src_region:0 ~scratch_region:region ~items:n);
+  let measured = Stats.parallel_ios (Stats.snapshot (Pdm.stats pdm)) in
+  let theory =
+    Extsort.theoretical_parallel_ios ~superblock:16 ~memory_items:32 ~items:n
+  in
+  checkb
+    (Printf.sprintf "measured %d within 3x of theory %d" measured theory)
+    true
+    (measured <= 3 * theory && measured >= theory / 3)
+
+let test_custom_comparator () =
+  let pdm = Pdm.create ~disks:2 ~block_size:4 ~blocks_per_disk:128 () in
+  let view = Striping.create pdm in
+  let sorter =
+    Extsort.create view ~compare:(fun (a, _) (b, _) -> compare a b)
+      ~memory_items:16
+  in
+  let items = [| (3, "c"); (1, "a"); (2, "b") |] in
+  Extsort.write_region sorter ~region:0 items;
+  let where = Extsort.sort sorter ~src_region:0 ~scratch_region:64 ~items:3 in
+  let out = if where = `Src then 0 else 64 in
+  let sorted = Extsort.read_region sorter ~region:out ~count:3 in
+  Alcotest.(check (list string)) "stable payloads" [ "a"; "b"; "c" ]
+    (Array.to_list (Array.map snd sorted))
+
+let prop_sort_random =
+  QCheck.Test.make ~name:"extsort sorts arbitrary arrays" ~count:30
+    QCheck.(array_of_size Gen.(int_range 0 400) (int_bound 10_000))
+    (fun items ->
+      let _, sorter = mk_sorter ~memory_items:32 ~blocks:512 () in
+      let expected = Array.copy items in
+      Array.sort compare expected;
+      run_sort sorter items = expected)
+
+let test_theory_formula () =
+  check "tiny input is free" 0
+    (Extsort.theoretical_parallel_ios ~superblock:16 ~memory_items:32 ~items:1);
+  (* One memory-load: read + write each block once. *)
+  check "single run" (2 * 2)
+    (Extsort.theoretical_parallel_ios ~superblock:16 ~memory_items:32 ~items:32)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("extsort",
+     [ tc "region roundtrip" `Quick test_region_roundtrip;
+       tc "sort small" `Quick test_sort_small;
+       tc "single run" `Quick test_sort_single_run;
+       tc "multi pass" `Quick test_sort_multi_pass;
+       tc "duplicates" `Quick test_sort_with_duplicates;
+       tc "already sorted" `Quick test_sort_already_sorted;
+       tc "reverse input" `Quick test_sort_reverse;
+       tc "empty and singleton" `Quick test_sort_empty_and_singleton;
+       tc "I/O near theory" `Quick test_io_cost_within_theory_factor;
+       tc "custom comparator" `Quick test_custom_comparator;
+       tc "theory formula" `Quick test_theory_formula;
+       QCheck_alcotest.to_alcotest prop_sort_random ]) ]

@@ -1,0 +1,136 @@
+(* Model-based random-operation test for the mini file system: drive
+   random create/append/overwrite/read/delete/rename sequences against
+   Mini_fs and a reference model simultaneously. *)
+
+module Fs = Pdm_fs.Mini_fs
+
+type op =
+  | Create of string
+  | Append of string * string
+  | Overwrite of string * int * string
+  | Read of string * int
+  | Delete of string
+  | Rename of string * string
+  | Stat of string
+
+let names = [| "a"; "b"; "c"; "dd"; "ee"; "long7ch" |]
+
+let op_gen =
+  QCheck.Gen.(
+    let name = map (fun i -> names.(i)) (int_bound (Array.length names - 1)) in
+    let payload = map (fun i -> Printf.sprintf "data-%03d" i) (int_bound 999) in
+    frequency
+      [ (2, map (fun n -> Create n) name);
+        (4, map2 (fun n p -> Append (n, p)) name payload);
+        (2, map3 (fun n i p -> Overwrite (n, i, p)) name (int_bound 12) payload);
+        (5, map2 (fun n i -> Read (n, i)) name (int_bound 12));
+        (1, map (fun n -> Delete n) name);
+        (1, map2 (fun a b -> Rename (a, b)) name name);
+        (1, map (fun n -> Stat n) name) ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Create n -> "C" ^ n
+             | Append (n, _) -> "A" ^ n
+             | Overwrite (n, i, _) -> Printf.sprintf "W%s@%d" n i
+             | Read (n, i) -> Printf.sprintf "R%s@%d" n i
+             | Delete n -> "D" ^ n
+             | Rename (a, b) -> Printf.sprintf "M%s>%s" a b
+             | Stat n -> "S" ^ n)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 80) op_gen)
+
+let config =
+  { Fs.default_config with Fs.max_files = 16; max_blocks = 512;
+    blocks_per_file = 16; payload_bytes = 64 }
+
+(* The model: name -> block list (newest state). *)
+let run_both ops =
+  let t = Fs.format config in
+  let model : (string, string array) Hashtbl.t = Hashtbl.create 8 in
+  let prefix_eq expected got =
+    String.length (Bytes.to_string got) >= String.length expected
+    && String.sub (Bytes.to_string got) 0 (String.length expected) = expected
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | Create n -> (
+        match Fs.create t n with
+        | _ ->
+          if Hashtbl.mem model n then false (* should have failed *)
+          else begin
+            Hashtbl.add model n [||];
+            true
+          end
+        | exception Fs.Fs_error _ ->
+          Hashtbl.mem model n || Hashtbl.length model >= config.Fs.max_files)
+      | Append (n, p) -> (
+        match (Fs.open_file t n, Hashtbl.find_opt model n) with
+        | None, None -> true
+        | Some h, Some blocks -> (
+          match Fs.append t h (Bytes.of_string p) with
+          | idx ->
+            Hashtbl.replace model n (Array.append blocks [| p |]);
+            idx = Array.length blocks
+          | exception Fs.Fs_error _ ->
+            Array.length blocks >= config.Fs.blocks_per_file)
+        | _ -> false)
+      | Overwrite (n, i, p) -> (
+        match (Fs.open_file t n, Hashtbl.find_opt model n) with
+        | None, None -> true
+        | Some h, Some blocks when i < Array.length blocks ->
+          Fs.write_block t h i (Bytes.of_string p);
+          blocks.(i) <- p;
+          true
+        | Some h, Some blocks -> (
+          (* i >= length: only i = length is a legal append. *)
+          match Fs.write_block t h i (Bytes.of_string p) with
+          | () ->
+            if i = Array.length blocks then begin
+              Hashtbl.replace model n (Array.append blocks [| p |]);
+              true
+            end
+            else false
+          | exception Fs.Fs_error _ ->
+            i > Array.length blocks || i >= config.Fs.blocks_per_file)
+        | _ -> false)
+      | Read (n, i) -> (
+        match (Fs.open_file t n, Hashtbl.find_opt model n) with
+        | None, None -> true
+        | Some h, Some blocks -> (
+          match Fs.read_block t h i with
+          | Some got -> i < Array.length blocks && prefix_eq blocks.(i) got
+          | None -> i >= Array.length blocks)
+        | _ -> false)
+      | Delete n -> (
+        let got = Fs.delete t n in
+        let expected = Hashtbl.mem model n in
+        Hashtbl.remove model n;
+        got = expected)
+      | Rename (a, b) -> (
+        match Fs.rename t ~old_name:a ~new_name:b with
+        | () -> (
+          match Hashtbl.find_opt model a with
+          | Some blocks when (not (Hashtbl.mem model b)) && a <> b ->
+            Hashtbl.remove model a;
+            Hashtbl.add model b blocks;
+            true
+          | _ -> false)
+        | exception Fs.Fs_error _ ->
+          (not (Hashtbl.mem model a)) || Hashtbl.mem model b)
+      | Stat n ->
+        Fs.stat t n
+        = Option.map (fun b -> Array.length b) (Hashtbl.find_opt model n))
+    ops
+
+let fs_model_test =
+  QCheck.Test.make ~name:"mini_fs agrees with a reference model" ~count:80
+    ops_arbitrary run_both
+
+let suite =
+  [ ("fs.model", [ QCheck_alcotest.to_alcotest fs_model_test ]) ]

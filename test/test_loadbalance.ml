@@ -1,0 +1,157 @@
+(* Tests for the Section 3 deterministic load balancing scheme. *)
+
+open Pdm_loadbalance
+module Bipartite = Pdm_expander.Bipartite
+module Seeded = Pdm_expander.Seeded
+module Expansion = Pdm_expander.Expansion
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_insert_returns_k_buckets () =
+  let g = Seeded.striped ~seed:1 ~u:1000 ~v:40 ~d:8 in
+  let lb = Greedy.create ~graph:g ~k:3 () in
+  let chosen = Greedy.insert lb 42 in
+  check "k placements" 3 (Array.length chosen);
+  let nbrs = Array.to_list (Bipartite.neighbors g 42) in
+  Array.iter (fun b -> checkb "chosen among neighbors" true (List.mem b nbrs)) chosen;
+  check "items counted" 3 (Greedy.items lb)
+
+let test_greedy_picks_least_loaded () =
+  (* Deterministic graph: x's neighbors are buckets 0 and 1. *)
+  let g = Bipartite.create ~striped:true ~u:10 ~v:2 ~d:2 (fun _ i -> i) in
+  let lb = Greedy.create ~graph:g ~k:1 () in
+  ignore (Greedy.insert lb 0);
+  (* bucket 0 (tie) *)
+  check "bucket 0 first" 1 (Greedy.load lb 0);
+  ignore (Greedy.insert lb 1);
+  (* now bucket 1 is emptier *)
+  check "bucket 1 next" 1 (Greedy.load lb 1);
+  ignore (Greedy.insert lb 2);
+  check "back to bucket 0" 2 (Greedy.load lb 0)
+
+let test_k_items_spread () =
+  (* One vertex, k = 4 items, 4 neighbor buckets: greedy spreads them
+     one per bucket. *)
+  let g = Bipartite.create ~striped:true ~u:1 ~v:4 ~d:4 (fun _ i -> i) in
+  let lb = Greedy.create ~graph:g ~k:4 () in
+  ignore (Greedy.insert lb 0);
+  Alcotest.(check (array int)) "one per bucket" [| 1; 1; 1; 1 |] (Greedy.loads lb)
+
+let test_multiple_items_one_bucket_allowed () =
+  (* d = 2 buckets, k = 4 items: buckets get 2 each. *)
+  let g = Bipartite.create ~striped:true ~u:1 ~v:2 ~d:2 (fun _ i -> i) in
+  let lb = Greedy.create ~graph:g ~k:4 () in
+  ignore (Greedy.insert lb 0);
+  Alcotest.(check (array int)) "two per bucket" [| 2; 2 |] (Greedy.loads lb)
+
+let test_total_preserved () =
+  let g = Seeded.striped ~seed:2 ~u:10_000 ~v:64 ~d:8 in
+  let lb = Greedy.create ~graph:g ~k:2 () in
+  let rng = Prng.create 5 in
+  let keys = Sampling.distinct rng ~universe:10_000 ~count:500 in
+  Greedy.insert_all lb keys;
+  check "sum of loads" 1000 (Array.fold_left ( + ) 0 (Greedy.loads lb));
+  check "items" 1000 (Greedy.items lb)
+
+let test_lemma3_bound_holds_k1 () =
+  (* Heavily loaded case n >> v: measured max load must respect the
+     Lemma 3 bound computed from the measured expansion parameters.
+     We use the formula with eps = delta = 1/6, which the seeded graph
+     comfortably satisfies at these sizes (checked in
+     test_expander.ml). *)
+  let n = 4000 and v = 256 and d = 8 in
+  let g = Seeded.striped ~seed:3 ~u:1_000_000 ~v ~d in
+  let lb = Greedy.create ~graph:g ~k:1 () in
+  let rng = Prng.create 7 in
+  let keys = Sampling.distinct rng ~universe:1_000_000 ~count:n in
+  Greedy.insert_all lb keys;
+  let bound =
+    Expansion.lemma3_bound ~n ~v ~d ~k:1 ~eps:(1. /. 6.) ~delta:(1. /. 6.)
+  in
+  let got = Greedy.max_load lb in
+  checkb
+    (Printf.sprintf "max load %d <= bound %.1f" got bound)
+    true
+    (float_of_int got <= bound)
+
+let test_lemma3_bound_holds_k_many () =
+  let n = 1000 and v = 504 and d = 12 and k = 4 in
+  let g = Seeded.striped ~seed:4 ~u:1_000_000 ~v ~d in
+  let lb = Greedy.create ~graph:g ~k () in
+  let rng = Prng.create 9 in
+  let keys = Sampling.distinct rng ~universe:1_000_000 ~count:n in
+  Greedy.insert_all lb keys;
+  let bound =
+    Expansion.lemma3_bound ~n ~v ~d ~k ~eps:(1. /. 6.) ~delta:(1. /. 6.)
+  in
+  checkb "bound holds for k=4" true
+    (float_of_int (Greedy.max_load lb) <= bound)
+
+let test_greedy_beats_single_choice () =
+  (* With n = v the greedy d-choice max load should be far below the
+     single-choice max load. *)
+  let n = 2048 and v = 2048 and d = 8 in
+  let g = Seeded.striped ~seed:5 ~u:1_000_000 ~v ~d in
+  let lb = Greedy.create ~graph:g ~k:1 () in
+  let rng = Prng.create 11 in
+  let keys = Sampling.distinct rng ~universe:1_000_000 ~count:n in
+  Greedy.insert_all lb keys;
+  let single = Baseline.max_load (Baseline.single_choice ~seed:1 ~v ~items:keys) in
+  checkb
+    (Printf.sprintf "greedy %d < single %d" (Greedy.max_load lb) single)
+    true
+    (Greedy.max_load lb < single)
+
+let test_deterministic_replay () =
+  let build () =
+    let g = Seeded.striped ~seed:6 ~u:100_000 ~v:128 ~d:8 in
+    let lb = Greedy.create ~graph:g ~k:1 () in
+    let rng = Prng.create 13 in
+    Greedy.insert_all lb (Sampling.distinct rng ~universe:100_000 ~count:1000);
+    Greedy.loads lb
+  in
+  Alcotest.(check (array int)) "identical runs" (build ()) (build ())
+
+let test_buckets_with_load_above () =
+  let g = Bipartite.create ~striped:true ~u:4 ~v:2 ~d:2 (fun _ i -> i) in
+  let lb = Greedy.create ~graph:g ~k:1 () in
+  Greedy.insert_all lb [| 0; 1; 2; 3 |];
+  (* Loads are (2, 2). *)
+  check "B(1)" 2 (Greedy.buckets_with_load_above lb 1);
+  check "B(2)" 0 (Greedy.buckets_with_load_above lb 2)
+
+let test_baseline_counts () =
+  let items = Array.init 100 (fun i -> i) in
+  let loads = Baseline.single_choice ~seed:3 ~v:10 ~items in
+  check "all placed" 100 (Array.fold_left ( + ) 0 loads);
+  let rng = Prng.create 15 in
+  let loads2 = Baseline.random_d_choice ~rng ~v:10 ~d:2 ~items in
+  check "all placed (2-choice)" 100 (Array.fold_left ( + ) 0 loads2)
+
+let test_random_two_choice_beats_one () =
+  let items = Array.init 5000 (fun i -> i) in
+  let v = 5000 in
+  let one = Baseline.max_load (Baseline.single_choice ~seed:8 ~v ~items) in
+  let rng = Prng.create 17 in
+  let two = Baseline.max_load (Baseline.random_d_choice ~rng ~v ~d:2 ~items) in
+  checkb (Printf.sprintf "two %d <= one %d" two one) true (two <= one)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("loadbalance.greedy",
+     [ tc "insert returns k buckets" `Quick test_insert_returns_k_buckets;
+       tc "picks least loaded" `Quick test_greedy_picks_least_loaded;
+       tc "k items spread" `Quick test_k_items_spread;
+       tc "bucket sharing allowed" `Quick test_multiple_items_one_bucket_allowed;
+       tc "totals preserved" `Quick test_total_preserved;
+       tc "lemma 3 bound (k=1)" `Quick test_lemma3_bound_holds_k1;
+       tc "lemma 3 bound (k=4)" `Quick test_lemma3_bound_holds_k_many;
+       tc "beats single choice" `Quick test_greedy_beats_single_choice;
+       tc "deterministic replay" `Quick test_deterministic_replay;
+       tc "B(i) helper" `Quick test_buckets_with_load_above ]);
+    ("loadbalance.baseline",
+     [ tc "conservation" `Quick test_baseline_counts;
+       tc "two choices beat one" `Quick test_random_two_choice_beats_one ]) ]

@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "pdm_dict"
+    (List.concat [ Test_util.suite; Test_pdm.suite; Test_expander.suite;
+        Test_loadbalance.suite; Test_extsort.suite; Test_basic_dict.suite;
+        Test_one_probe.suite; Test_dynamic.suite;
+        Test_baselines.suite; Test_workload.suite;
+        Test_experiments.suite; Test_model.suite;
+        Test_extensions.suite; Test_ablations.suite;
+        Test_wave3.suite; Test_soak.suite; Test_fs.suite; Test_fs_model.suite; Test_properties.suite ])

@@ -1,0 +1,217 @@
+(* Model-based property tests: every dictionary is driven with random
+   operation sequences and compared, operation by operation, against a
+   reference Hashtbl. This catches cross-operation interactions
+   (update-after-delete, collision-marker handling, eviction bugs,
+   migration races) that the per-feature unit tests cannot. *)
+
+module Pdm = Pdm_sim.Pdm
+module Basic = Pdm_dictionary.Basic_dict
+module Fragmented = Pdm_dictionary.Fragmented
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Rebuild = Pdm_dictionary.Global_rebuild
+module Hash_table = Pdm_baselines.Hash_table
+module Cuckoo = Pdm_baselines.Cuckoo
+module Two_level = Pdm_baselines.Two_level
+module Btree = Pdm_baselines.Btree
+
+let universe = 1 lsl 16
+let key_count = 40 (* small key space -> plenty of collisions/updates *)
+
+type op = Find of int | Insert of int * int | Delete of int
+
+let op_gen =
+  QCheck.Gen.(
+    let key = map (fun i -> (i * 131) mod universe) (int_bound (key_count - 1)) in
+    frequency
+      [ (3, map (fun k -> Find k) key);
+        (4, map2 (fun k v -> Insert (k, v)) key (int_bound 255));
+        (2, map (fun k -> Delete k) key) ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Find k -> Printf.sprintf "F%d" k
+             | Insert (k, v) -> Printf.sprintf "I%d=%d" k v
+             | Delete k -> Printf.sprintf "D%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+let value_bytes = 4
+
+let encode v = Bytes.of_string (Printf.sprintf "%04d" (v mod 10_000))
+
+(* Drive [ops] against the structure and the model; any divergence
+   fails the property. [insert]/[delete] may be missing (static or
+   insert-only structures skip those ops). *)
+let agrees ~find ?insert ?delete ops =
+  let model = Hashtbl.create 64 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Find k ->
+        let expected = Hashtbl.find_opt model k in
+        let got = Option.map Bytes.to_string (find k) in
+        got = Option.map Bytes.to_string expected
+      | Insert (k, v) ->
+        (match insert with
+         | None -> true
+         | Some insert ->
+           insert k (encode v);
+           Hashtbl.replace model k (encode v);
+           true)
+      | Delete k ->
+        (match delete with
+         | None -> true
+         | Some delete ->
+           let got = delete k in
+           let expected = Hashtbl.mem model k in
+           Hashtbl.remove model k;
+           got = expected))
+    ops
+
+let mk_test name build =
+  QCheck.Test.make ~name ~count:60 ops_arbitrary (fun ops -> build ops)
+
+let basic_model =
+  mk_test "model: basic dict" (fun ops ->
+      let cfg =
+        Basic.plan ~universe ~capacity:key_count ~block_words:32 ~degree:6
+          ~value_bytes ~seed:1 ()
+      in
+      let machine =
+        Pdm.create ~disks:6 ~block_size:32
+          ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+      in
+      let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+      agrees ~find:(Basic.find d) ~insert:(Basic.insert d)
+        ~delete:(Basic.delete d) ops)
+
+let fragmented_model =
+  mk_test "model: fragmented dict" (fun ops ->
+      let cfg =
+        Fragmented.plan ~universe ~capacity:key_count ~block_words:64
+          ~degree:6 ~sigma_bits:(8 * value_bytes) ~seed:2 ()
+      in
+      let machine =
+        Pdm.create ~disks:6 ~block_size:64
+          ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
+      in
+      let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+      agrees ~find:(Fragmented.find d) ~insert:(Fragmented.insert d)
+        ~delete:(Fragmented.delete d) ops)
+
+let cascade_model =
+  mk_test "model: cascade (no deletes)" (fun ops ->
+      let t =
+        Cascade.create ~block_words:32
+          { Cascade.universe; capacity = key_count; degree = 15;
+            sigma_bits = 8 * value_bytes; epsilon = 1.0; v_factor = 3;
+            seed = 3 }
+      in
+      agrees ~find:(Cascade.find t) ~insert:(Cascade.insert t) ops)
+
+let rebuild_model =
+  mk_test "model: global rebuild" (fun ops ->
+      let t =
+        Rebuild.create
+          { Rebuild.universe; degree = 6; value_bytes; block_words = 32;
+            initial_capacity = 8; max_capacity = 4 * key_count;
+            transfer_per_op = 2; seed = 4 }
+      in
+      agrees ~find:(Rebuild.find t) ~insert:(Rebuild.insert t)
+        ~delete:(Rebuild.delete t) ops)
+
+let hash_model =
+  mk_test "model: striped hash table" (fun ops ->
+      let cfg =
+        Hash_table.plan ~universe ~capacity:key_count ~block_words:16
+          ~disks:4 ~value_bytes ~seed:5 ()
+      in
+      let machine =
+        Pdm.create ~disks:4 ~block_size:16
+          ~blocks_per_disk:cfg.Hash_table.superblocks ()
+      in
+      let h = Hash_table.create ~machine cfg in
+      agrees ~find:(Hash_table.find h) ~insert:(Hash_table.insert h)
+        ~delete:(Hash_table.delete h) ops)
+
+let cuckoo_model =
+  mk_test "model: cuckoo" (fun ops ->
+      let cfg =
+        Cuckoo.plan ~universe ~capacity:key_count ~block_words:16 ~disks:4
+          ~value_bytes ~seed:6 ()
+      in
+      let machine =
+        Pdm.create ~disks:4 ~block_size:16
+          ~blocks_per_disk:cfg.Cuckoo.buckets ()
+      in
+      let c = Cuckoo.create ~machine cfg in
+      agrees ~find:(Cuckoo.find c) ~insert:(Cuckoo.insert c)
+        ~delete:(Cuckoo.delete c) ops)
+
+let two_level_model =
+  mk_test "model: two-level trick" (fun ops ->
+      let cfg =
+        Two_level.plan ~universe ~capacity:key_count ~block_words:16 ~disks:4
+          ~value_bytes ~seed:7 ()
+      in
+      let machine =
+        Pdm.create ~disks:4 ~block_size:16
+          ~blocks_per_disk:
+            (Two_level.superblocks_needed cfg ~block_words:16 ~disks:4)
+          ()
+      in
+      let d = Two_level.create ~machine cfg in
+      agrees ~find:(Two_level.find d) ~insert:(Two_level.insert d)
+        ~delete:(Two_level.delete d) ops)
+
+let btree_model =
+  mk_test "model: b-tree" (fun ops ->
+      let machine =
+        Pdm.create ~disks:4 ~block_size:16 ~blocks_per_disk:512 ()
+      in
+      let t =
+        Btree.create ~machine
+          { Btree.universe; value_bytes; cache_levels = 0; superblocks = 512 }
+      in
+      agrees ~find:(Btree.find t) ~insert:(Btree.insert t)
+        ~delete:(Btree.delete t) ops)
+
+(* The B-tree must additionally keep its range scans consistent with
+   the model after arbitrary updates. *)
+let btree_range_model =
+  QCheck.Test.make ~name:"model: b-tree ranges" ~count:40 ops_arbitrary
+    (fun ops ->
+      let machine =
+        Pdm.create ~disks:4 ~block_size:16 ~blocks_per_disk:512 ()
+      in
+      let t =
+        Btree.create ~machine
+          { Btree.universe; value_bytes; cache_levels = 0; superblocks = 512 }
+      in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Find _ -> ()
+          | Insert (k, v) ->
+            Btree.insert t k (encode v);
+            Hashtbl.replace model k (encode v)
+          | Delete k ->
+            ignore (Btree.delete t k);
+            Hashtbl.remove model k)
+        ops;
+      let got = List.map fst (Btree.range t ~lo:0 ~hi:universe) in
+      let expected =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) model [])
+      in
+      got = expected)
+
+let suite =
+  [ ("model",
+     List.map QCheck_alcotest.to_alcotest
+       [ basic_model; fragmented_model; cascade_model; rebuild_model;
+         hash_model; cuckoo_model; two_level_model; btree_model;
+         btree_range_model ]) ]

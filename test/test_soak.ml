@@ -1,0 +1,123 @@
+(* Soak tests: every adapter-wrapped structure survives a long mixed
+   trace with periodic cross-checks against a reference model, and the
+   E14 real-time experiment's headline shape holds. *)
+
+open Pdm_experiments
+module Trace = Pdm_workload.Trace
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let scale =
+  { Adapters.universe = 1 lsl 20; capacity = 300; block_words = 64; seed = 7 }
+
+(* Drive [ops] through an adapter and a Hashtbl model simultaneously;
+   every [checkpoint] operations, cross-check a sample of keys and the
+   size. *)
+let soak (a : Adapters.t) ops keys =
+  let model = Hashtbl.create 64 in
+  let step = ref 0 in
+  let crosscheck () =
+    check
+      (Printf.sprintf "%s: size at op %d" a.Adapters.name !step)
+      (Hashtbl.length model) (a.Adapters.size ());
+    Array.iteri
+      (fun i k ->
+        if i mod 7 = 0 then
+          Alcotest.(check (option string))
+            (Printf.sprintf "%s: key %d at op %d" a.Adapters.name k !step)
+            (Option.map Bytes.to_string (Hashtbl.find_opt model k))
+            (Option.map Bytes.to_string (a.Adapters.find k)))
+      keys
+  in
+  Array.iter
+    (fun op ->
+      incr step;
+      (match op with
+       | Trace.Lookup k -> ignore (a.Adapters.find k)
+       | Trace.Insert (k, v) ->
+         a.Adapters.insert k v;
+         Hashtbl.replace model k v
+       | Trace.Delete k -> (
+         match a.Adapters.delete with
+         | Some d ->
+           let got = d k in
+           let expected = Hashtbl.mem model k in
+           Hashtbl.remove model k;
+           if got <> expected then
+             Alcotest.failf "%s: delete disagreed at op %d" a.Adapters.name
+               !step
+         | None -> ()));
+      if !step mod 1000 = 0 then crosscheck ())
+    ops;
+  crosscheck ()
+
+let mk_trace (a : Adapters.t) keys =
+  let rng = Prng.create 99 in
+  Trace.mixed ~rng ~keys ~count:4000 ~lookup_fraction:0.5
+    ~delete_fraction:0.4
+    ~value_of:(fun k -> Common.value_bytes_of a.Adapters.value_bytes k)
+
+let soak_test (mk : unit -> Adapters.t) () =
+  let a = mk () in
+  let rng = Prng.create 3 in
+  (* Key pool below capacity so the structure never fills. *)
+  let keys =
+    Sampling.distinct rng ~universe:scale.Adapters.universe ~count:200
+  in
+  soak a (mk_trace a keys) keys
+
+let test_realtime_shape () =
+  let r = Realtime_exp.run ~trace_ops:4000 () in
+  let det_worst =
+    List.fold_left
+      (fun acc row ->
+        if row.Realtime_exp.deterministic then max acc row.Realtime_exp.worst
+        else acc)
+      0 r.Realtime_exp.rows
+  in
+  let rand_worst =
+    List.fold_left
+      (fun acc row ->
+        if not row.Realtime_exp.deterministic then
+          max acc row.Realtime_exp.worst
+        else acc)
+      0 r.Realtime_exp.rows
+  in
+  checkb
+    (Printf.sprintf "deterministic tail %d <= randomized tail %d" det_worst
+       rand_worst)
+    true (det_worst <= rand_worst);
+  List.iter
+    (fun row ->
+      if row.Realtime_exp.deterministic then
+        checkb "deterministic worst stays tiny" true
+          (row.Realtime_exp.worst <= 4))
+    r.Realtime_exp.rows
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("soak",
+     [ tc "basic" `Quick (soak_test (fun () -> Adapters.basic ~scale ()));
+       tc "small-block" `Quick
+         (soak_test (fun () -> Adapters.small_block ~scale ()));
+       tc "cascade case (b)" `Quick
+         (soak_test (fun () -> Adapters.cascade_b ~scale ()));
+       tc "parallel instances" `Quick
+         (soak_test (fun () -> Adapters.parallel_instances ~scale ()));
+       tc "fragmented" `Quick
+         (soak_test (fun () -> Adapters.fragmented ~scale ()));
+       tc "cascade" `Quick (soak_test (fun () -> Adapters.cascade ~scale ()));
+       tc "one-probe dynamic" `Quick
+         (soak_test (fun () -> Adapters.one_probe_dynamic ~scale ()));
+       tc "global rebuild" `Quick
+         (soak_test (fun () -> Adapters.global_rebuild ~scale ()));
+       tc "hash table" `Quick
+         (soak_test (fun () -> Adapters.hash_table ~scale ()));
+       tc "cuckoo" `Quick (soak_test (fun () -> Adapters.cuckoo ~scale ()));
+       tc "two-level" `Quick
+         (soak_test (fun () -> Adapters.two_level ~scale ()));
+       tc "b-tree" `Quick (soak_test (fun () -> Adapters.btree ~scale ())) ]);
+    ("soak.realtime", [ tc "E14 shape" `Quick test_realtime_shape ]) ]

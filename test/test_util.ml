@@ -1,0 +1,332 @@
+(* Unit and property tests for Pdm_util. *)
+
+open Pdm_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  check "different seeds diverge" 0 !same
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    checkb "in range" true (v >= 0 && v < 10)
+  done
+
+let test_prng_int_covers () =
+  let g = Prng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Array.iteri (fun i s -> checkb (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_prng_int_in () =
+  let g = Prng.create 9 in
+  for _ = 1 to 200 do
+    let v = Prng.int_in g (-5) 5 in
+    checkb "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 11 in
+  let h = Prng.split g in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.next g = Prng.next h then incr same
+  done;
+  checkb "split streams differ" true (!same <= 1)
+
+let test_hash2_stable () =
+  check "stable" (Prng.hash2 ~seed:5 17 3) (Prng.hash2 ~seed:5 17 3);
+  checkb "seed matters" true
+    (Prng.hash2 ~seed:5 17 3 <> Prng.hash2 ~seed:6 17 3);
+  checkb "arg order matters" true
+    (Prng.hash2 ~seed:5 17 3 <> Prng.hash2 ~seed:5 3 17)
+
+let test_hash_to_range () =
+  for x = 0 to 200 do
+    let v = Prng.hash_to_range ~seed:1 x 0 7 in
+    checkb "in range" true (v >= 0 && v < 7)
+  done
+
+let test_shuffle_permutation () =
+  let g = Prng.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_float_range () =
+  let g = Prng.create 17 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g 1.0 in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+(* --- Imath --- *)
+
+let test_cdiv () =
+  check "7/2" 4 (Imath.cdiv 7 2);
+  check "8/2" 4 (Imath.cdiv 8 2);
+  check "0/5" 0 (Imath.cdiv 0 5);
+  check "1/5" 1 (Imath.cdiv 1 5)
+
+let test_logs () =
+  check "floor_log2 1" 0 (Imath.floor_log2 1);
+  check "floor_log2 7" 2 (Imath.floor_log2 7);
+  check "floor_log2 8" 3 (Imath.floor_log2 8);
+  check "ceil_log2 1" 0 (Imath.ceil_log2 1);
+  check "ceil_log2 7" 3 (Imath.ceil_log2 7);
+  check "ceil_log2 8" 3 (Imath.ceil_log2 8);
+  check "ceil_log2 9" 4 (Imath.ceil_log2 9)
+
+let test_pow2 () =
+  checkb "is_pow2 1" true (Imath.is_pow2 1);
+  checkb "is_pow2 6" false (Imath.is_pow2 6);
+  checkb "is_pow2 0" false (Imath.is_pow2 0);
+  check "next_pow2 5" 8 (Imath.next_pow2 5);
+  check "next_pow2 8" 8 (Imath.next_pow2 8)
+
+let test_pow () =
+  check "3^0" 1 (Imath.pow 3 0);
+  check "3^4" 81 (Imath.pow 3 4);
+  check "2^10" 1024 (Imath.pow 2 10)
+
+let test_ilog () =
+  check "ilog 3 27" 3 (Imath.ilog ~base:3 27);
+  check "ilog 3 26" 2 (Imath.ilog ~base:3 26);
+  check "ilog 10 1" 0 (Imath.ilog ~base:10 1)
+
+let test_round_up_to () =
+  check "12->15" 15 (Imath.round_up_to ~multiple:5 12);
+  check "15->15" 15 (Imath.round_up_to ~multiple:5 15);
+  check "0->0" 0 (Imath.round_up_to ~multiple:5 0)
+
+(* --- Bitbuf --- *)
+
+let test_bitbuf_roundtrip () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.add_bits w ~value:0b1011 ~width:4;
+  Bitbuf.Writer.add_unary w 3;
+  Bitbuf.Writer.add_bits w ~value:12345 ~width:20;
+  Bitbuf.Writer.add_unary w 0;
+  check "length" (4 + 4 + 20 + 1) (Bitbuf.Writer.length_bits w);
+  let r = Bitbuf.Reader.of_writer w in
+  check "bits" 0b1011 (Bitbuf.Reader.read_bits r ~width:4);
+  check "unary" 3 (Bitbuf.Reader.read_unary r);
+  check "bits2" 12345 (Bitbuf.Reader.read_bits r ~width:20);
+  check "unary0" 0 (Bitbuf.Reader.read_unary r)
+
+let test_bitbuf_seek () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.add_bits w ~value:0xAB ~width:8;
+  Bitbuf.Writer.add_bits w ~value:0xCD ~width:8;
+  let r = Bitbuf.Reader.of_writer w in
+  Bitbuf.Reader.seek r 8;
+  check "second byte" 0xCD (Bitbuf.Reader.read_bits r ~width:8);
+  Bitbuf.Reader.seek r 0;
+  check "first byte" 0xAB (Bitbuf.Reader.read_bits r ~width:8)
+
+let test_bitbuf_value_too_wide () =
+  let w = Bitbuf.Writer.create () in
+  Alcotest.check_raises "too wide" (Invalid_argument "Bitbuf.add_bits: value does not fit width")
+    (fun () -> Bitbuf.Writer.add_bits w ~value:4 ~width:2)
+
+let prop_bitbuf_words =
+  QCheck.Test.make ~name:"bitbuf word roundtrip" ~count:200
+    QCheck.(list (pair (int_bound ((1 lsl 16) - 1)) (int_range 1 16)))
+    (fun entries ->
+      let entries =
+        List.map (fun (v, w) -> (v land ((1 lsl w) - 1), w)) entries
+      in
+      let w = Bitbuf.Writer.create () in
+      List.iter (fun (v, wd) -> Bitbuf.Writer.add_bits w ~value:v ~width:wd) entries;
+      let r = Bitbuf.Reader.of_writer w in
+      List.for_all
+        (fun (v, wd) -> Bitbuf.Reader.read_bits r ~width:wd = v)
+        entries)
+
+let prop_bitbuf_unary =
+  QCheck.Test.make ~name:"bitbuf unary roundtrip" ~count:200
+    QCheck.(list (int_bound 40))
+    (fun ns ->
+      let w = Bitbuf.Writer.create () in
+      List.iter (Bitbuf.Writer.add_unary w) ns;
+      let r = Bitbuf.Reader.of_writer w in
+      List.for_all (fun n -> Bitbuf.Reader.read_unary r = n) ns)
+
+(* --- Zipf --- *)
+
+let test_zipf_uniform_degenerate () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  let p0 = Zipf.pmf z 0 and p9 = Zipf.pmf z 9 in
+  Alcotest.(check (float 1e-9)) "uniform" p0 p9
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  for k = 0 to 98 do
+    checkb "pmf decreasing" true (Zipf.pmf z k >= Zipf.pmf z (k + 1))
+  done
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:50 ~s:1.2 in
+  let total = ref 0.0 in
+  for k = 0 to 49 do
+    total := !total +. Zipf.pmf z k
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_sample_range_and_skew () =
+  let z = Zipf.create ~n:1000 ~s:1.1 in
+  let g = Prng.create 21 in
+  let low = ref 0 in
+  for _ = 1 to 2000 do
+    let k = Zipf.sample z g in
+    checkb "rank in range" true (k >= 0 && k < 1000);
+    if k < 10 then incr low
+  done;
+  checkb "skewed towards head" true (!low > 400)
+
+(* --- Summary --- *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add_int s) [ 1; 2; 3; 4 ];
+  check "count" 4 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Summary.max s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Summary.min s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Summary.total s)
+
+let test_summary_percentile () =
+  let s = Summary.create () in
+  for i = 1 to 100 do Summary.add_int s i done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Summary.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Summary.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Summary.percentile s 1.0)
+
+let test_summary_stddev () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 2.0; 2.0 ];
+  Alcotest.(check (float 1e-9)) "zero spread" 0.0 (Summary.stddev s)
+
+(* --- Sampling --- *)
+
+let test_sampling_distinct () =
+  let g = Prng.create 31 in
+  let keys = Sampling.distinct g ~universe:1000 ~count:200 in
+  check "count" 200 (Array.length keys);
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun k ->
+      checkb "in range" true (k >= 0 && k < 1000);
+      checkb "distinct" false (Hashtbl.mem tbl k);
+      Hashtbl.add tbl k ())
+    keys
+
+let test_sampling_dense () =
+  let g = Prng.create 33 in
+  let keys = Sampling.distinct g ~universe:10 ~count:10 in
+  let sorted = Array.copy keys in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "all of universe" (Array.init 10 (fun i -> i)) sorted
+
+let test_sampling_disjoint_pair () =
+  let g = Prng.create 35 in
+  let a, b = Sampling.disjoint_pair g ~universe:500 ~count:100 in
+  let tbl = Hashtbl.create 256 in
+  Array.iter (fun k -> Hashtbl.add tbl k ()) a;
+  Array.iter (fun k -> checkb "disjoint" false (Hashtbl.mem tbl k)) b
+
+let test_sampling_clustered () =
+  let g = Prng.create 37 in
+  let keys = Sampling.clustered g ~universe:100000 ~count:50 ~span:64 in
+  let lo = Array.fold_left min max_int keys in
+  let hi = Array.fold_left max 0 keys in
+  checkb "within a 64-window" true (hi - lo < 64)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("util.prng",
+     [ tc "deterministic" `Quick test_prng_deterministic;
+       tc "seed sensitivity" `Quick test_prng_seed_sensitivity;
+       tc "int bounds" `Quick test_prng_int_bounds;
+       tc "int covers range" `Quick test_prng_int_covers;
+       tc "int_in range" `Quick test_prng_int_in;
+       tc "split independence" `Quick test_prng_split_independent;
+       tc "hash2 stable" `Quick test_hash2_stable;
+       tc "hash_to_range bounds" `Quick test_hash_to_range;
+       tc "shuffle is a permutation" `Quick test_shuffle_permutation;
+       tc "float range" `Quick test_float_range ]);
+    ("util.imath",
+     [ tc "cdiv" `Quick test_cdiv;
+       tc "logs" `Quick test_logs;
+       tc "pow2 helpers" `Quick test_pow2;
+       tc "pow" `Quick test_pow;
+       tc "ilog" `Quick test_ilog;
+       tc "round_up_to" `Quick test_round_up_to ]);
+    ("util.bitbuf",
+     [ tc "roundtrip" `Quick test_bitbuf_roundtrip;
+       tc "seek" `Quick test_bitbuf_seek;
+       tc "width check" `Quick test_bitbuf_value_too_wide;
+       QCheck_alcotest.to_alcotest prop_bitbuf_words;
+       QCheck_alcotest.to_alcotest prop_bitbuf_unary ]);
+    ("util.zipf",
+     [ tc "s=0 is uniform" `Quick test_zipf_uniform_degenerate;
+       tc "pmf monotone" `Quick test_zipf_monotone;
+       tc "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+       tc "sample range and skew" `Quick test_zipf_sample_range_and_skew ]);
+    ("util.summary",
+     [ tc "basic stats" `Quick test_summary_basic;
+       tc "percentiles" `Quick test_summary_percentile;
+       tc "stddev" `Quick test_summary_stddev ]);
+    ("util.sampling",
+     [ tc "distinct" `Quick test_sampling_distinct;
+       tc "dense universe" `Quick test_sampling_dense;
+       tc "disjoint pair" `Quick test_sampling_disjoint_pair;
+       tc "clustered" `Quick test_sampling_clustered ]) ]
+
+(* --- varint (appended) --- *)
+
+let prop_bitbuf_varint =
+  QCheck.Test.make ~name:"bitbuf varint roundtrip" ~count:300
+    QCheck.(list (frequency [ (3, int_bound 200); (1, int_bound max_int) ]))
+    (fun ns ->
+      let w = Bitbuf.Writer.create () in
+      List.iter (Bitbuf.Writer.add_varint w) ns;
+      let r = Bitbuf.Reader.of_writer w in
+      List.for_all (fun n -> Bitbuf.Reader.read_varint r = n) ns)
+
+let test_varint_sizes () =
+  let bits n =
+    let w = Bitbuf.Writer.create () in
+    Bitbuf.Writer.add_varint w n;
+    Bitbuf.Writer.length_bits w
+  in
+  Alcotest.(check int) "small = 1 byte" 8 (bits 0);
+  Alcotest.(check int) "127 = 1 byte" 8 (bits 127);
+  Alcotest.(check int) "128 = 2 bytes" 16 (bits 128);
+  Alcotest.(check int) "2^14 = 3 bytes" 24 (bits (1 lsl 14))
+
+let suite =
+  suite
+  @ [ ("util.varint",
+       [ QCheck_alcotest.to_alcotest prop_bitbuf_varint;
+         Alcotest.test_case "encoded sizes" `Quick test_varint_sizes ]) ]

@@ -1,0 +1,459 @@
+(* Tests for the third wave of features: exhaustive expansion
+   certification, the direct Theorem 6 construction, cascade and
+   one-probe-dynamic deletions, and crash recovery. *)
+
+open Pdm_sim
+module Expansion = Pdm_expander.Expansion
+module Bipartite = Pdm_expander.Bipartite
+module Seeded = Pdm_expander.Seeded
+module Basic = Pdm_dictionary.Basic_dict
+module One_probe = Pdm_dictionary.One_probe_static
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Opd = Pdm_dictionary.One_probe_dynamic
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let universe = 1 lsl 20
+let val8 k = Bytes.of_string (Printf.sprintf "%08d" (k mod 100_000_000))
+
+(* --- exhaustive expansion --- *)
+
+let test_exact_epsilon_known_graph () =
+  (* Perfectly expanding graph: disjoint neighborhoods. *)
+  let g = Bipartite.create ~u:6 ~v:12 ~d:2 (fun x i -> (2 * x) + i) in
+  Alcotest.(check (float 1e-9)) "eps 0 at size 1" 0.0
+    (Expansion.exact_epsilon g ~set_size:1);
+  Alcotest.(check (float 1e-9)) "eps 0 at size 3" 0.0
+    (Expansion.exact_epsilon g ~set_size:3);
+  checkb "certified" true (Expansion.certify g ~capacity:3 ~eps:0.01)
+
+let test_exact_epsilon_collision_graph () =
+  (* Everyone shares the same two neighbors: sets of size 2 see
+     eps = 1 - 2/4 = 1/2. *)
+  let g = Bipartite.create ~u:5 ~v:4 ~d:2 (fun _ i -> i) in
+  Alcotest.(check (float 1e-9)) "eps exactly 1/2" 0.5
+    (Expansion.exact_epsilon g ~set_size:2);
+  checkb "not a (2, 0.4)-expander" false (Expansion.certify g ~capacity:2 ~eps:0.4);
+  checkb "is a (2, 0.6)-expander" true (Expansion.certify g ~capacity:2 ~eps:0.6)
+
+let test_exact_vs_sampled () =
+  (* Sampling can only under-estimate the exhaustive maximum. *)
+  let g = Seeded.striped ~seed:3 ~u:18 ~v:12 ~d:3 in
+  let exact = Expansion.exact_epsilon g ~set_size:3 in
+  let rng = Prng.create 4 in
+  let sampled = Expansion.sampled_epsilon g ~rng ~set_size:3 ~trials:20 in
+  checkb "sampled <= exact" true (sampled <= exact +. 1e-9)
+
+let test_exact_refuses_large () =
+  let g = Seeded.striped ~seed:5 ~u:1000 ~v:100 ~d:2 in
+  checkb "u too large" true
+    (try
+       ignore (Expansion.exact_epsilon g ~set_size:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- direct Theorem 6 construction --- *)
+
+let build_both n =
+  let cfg =
+    { One_probe.universe; capacity = n; degree = 9; sigma_bits = 128;
+      v_factor = 3; case = One_probe.Case_b; seed = 6 }
+  in
+  let rng = Prng.create 7 in
+  let members = Sampling.distinct rng ~universe ~count:n in
+  let data =
+    Array.map (fun k -> (k, Common_payload.payload 128 k)) members
+  in
+  let sorting = One_probe.build ~construction:`Sorting ~block_words:64 cfg data in
+  let direct = One_probe.build ~construction:`Direct ~block_words:64 cfg data in
+  (members, data, sorting, direct)
+
+let test_direct_construction_equivalent () =
+  let members, data, sorting, direct = build_both 300 in
+  ignore data;
+  Array.iter
+    (fun k ->
+      Alcotest.(check (option string)) "same answers"
+        (Option.map Bytes.to_string (One_probe.find sorting k))
+        (Option.map Bytes.to_string (One_probe.find direct k));
+      checkb "found" true (One_probe.mem direct k))
+    members
+
+let test_direct_construction_cheaper () =
+  let _, _, sorting, direct = build_both 400 in
+  let rs = One_probe.report sorting and rd = One_probe.report direct in
+  checkb
+    (Printf.sprintf "direct %d < sorting %d I/Os"
+       rd.One_probe.construction_ios rs.One_probe.construction_ios)
+    true
+    (rd.One_probe.construction_ios < rs.One_probe.construction_ios);
+  check "same peel depth" rs.One_probe.peel_rounds rd.One_probe.peel_rounds
+
+let test_direct_single_io_lookups () =
+  let members, _, _, direct = build_both 200 in
+  let machine = One_probe.machine direct in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (One_probe.find direct k)) members;
+  check "1 I/O each" 200 (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+(* --- cascade deletions --- *)
+
+let mk_cascade () =
+  Cascade.create ~block_words:64
+    { Cascade.universe; capacity = 300; degree = 15; sigma_bits = 128;
+      epsilon = 1.0; v_factor = 3; seed = 8 }
+
+let test_cascade_delete_roundtrip () =
+  let t = mk_cascade () in
+  let rng = Prng.create 9 in
+  let keys = Sampling.distinct rng ~universe ~count:300 in
+  let payload k = Common_payload.payload 128 k in
+  Array.iter (fun k -> Cascade.insert t k (payload k)) keys;
+  Array.iteri
+    (fun i k -> if i mod 2 = 0 then checkb "delete hits" true (Cascade.delete t k))
+    keys;
+  check "half left" 150 (Cascade.size t);
+  Array.iteri
+    (fun i k ->
+      if i mod 2 = 0 then checkb "gone" false (Cascade.mem t k)
+      else
+        Alcotest.(check string) "survivor intact"
+          (Bytes.to_string (payload k))
+          (Bytes.to_string (Option.get (Cascade.find t k))))
+    keys;
+  checkb "re-delete misses" false (Cascade.delete t keys.(0))
+
+let test_cascade_delete_frees_fields () =
+  (* Deleted keys' fields must be reusable: fill, delete all, refill. *)
+  let t = mk_cascade () in
+  let rng = Prng.create 10 in
+  let a, b = Sampling.disjoint_pair rng ~universe ~count:300 in
+  let payload k = Common_payload.payload 128 k in
+  Array.iter (fun k -> Cascade.insert t k (payload k)) a;
+  Array.iter (fun k -> ignore (Cascade.delete t k)) a;
+  check "empty" 0 (Cascade.size t);
+  Array.iter (fun k -> Cascade.insert t k (payload k)) b;
+  check "refilled" 300 (Cascade.size t);
+  Array.iter (fun k -> checkb "fresh keys live" true (Cascade.mem t k)) b
+
+let test_cascade_delete_cost () =
+  let t = mk_cascade () in
+  Cascade.insert t 7 (Common_payload.payload 128 7);
+  let machine = Cascade.machine t in
+  Stats.reset (Pdm.stats machine);
+  checkb "hit" true (Cascade.delete t 7);
+  let s = Stats.snapshot (Pdm.stats machine) in
+  (* level-1 key: 1 read round + 1 combined write round. *)
+  check "2 I/Os" 2 (Stats.parallel_ios s);
+  Stats.reset (Pdm.stats machine);
+  checkb "miss" false (Cascade.delete t 4242);
+  check "1 I/O for a miss" 1 (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_opd_delete () =
+  let t =
+    Opd.create ~block_words:64
+      { Opd.universe; capacity = 200; degree = 9; sigma_bits = 128;
+        levels = 5; v_factor = 3; seed = 11 }
+  in
+  let rng = Prng.create 12 in
+  let keys = Sampling.distinct rng ~universe ~count:200 in
+  Array.iter (fun k -> Opd.insert t k (Common_payload.payload 128 k)) keys;
+  let machine = Opd.machine t in
+  Stats.reset (Pdm.stats machine);
+  checkb "delete hit" true (Opd.delete t keys.(0));
+  check "2 I/Os worst case" 2
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)));
+  checkb "gone" false (Opd.mem t keys.(0));
+  check "size" 199 (Opd.size t)
+
+(* --- crash recovery --- *)
+
+let test_recover_rebuilds_state () =
+  let cfg =
+    Basic.plan ~universe ~capacity:200 ~block_words:64 ~degree:8
+      ~value_bytes:8 ~seed:13 ()
+  in
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+  let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  let rng = Prng.create 14 in
+  let keys = Sampling.distinct rng ~universe ~count:200 in
+  Array.iter (fun k -> Basic.insert d k (val8 k)) keys;
+  ignore (Basic.delete d keys.(0));
+  (* "Crash": drop the handle, recover from disk + config alone. *)
+  let d' = Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  check "size recovered" 199 (Basic.size d');
+  Array.iteri
+    (fun i k ->
+      if i > 0 then
+        Alcotest.(check string) "values intact" (Bytes.to_string (val8 k))
+          (Bytes.to_string (Option.get (Basic.find d' k))))
+    keys;
+  (* The recovered handle is fully operational. *)
+  Basic.insert d' keys.(0) (val8 1);
+  check "writable" 200 (Basic.size d')
+
+let test_recover_tombstone_mode () =
+  let cfg =
+    Basic.plan ~tombstone:true ~universe ~capacity:100 ~block_words:64
+      ~degree:8 ~value_bytes:8 ~seed:15 ()
+  in
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+  let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  for k = 0 to 99 do Basic.insert d k (val8 k) done;
+  for k = 0 to 29 do ignore (Basic.delete d k) done;
+  let d' = Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  check "live size" 70 (Basic.size d');
+  check "tombstones recovered" 30 (Basic.tombstones d')
+
+let test_recover_io_cost () =
+  let cfg =
+    Basic.plan ~universe ~capacity:100 ~block_words:64 ~degree:8
+      ~value_bytes:8 ~seed:16 ()
+  in
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64
+      ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+  in
+  let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+  for k = 0 to 99 do Basic.insert d k (val8 k) done;
+  ignore d;
+  Stats.reset (Pdm.stats machine);
+  ignore (Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg);
+  check "one round per block row" (Basic.blocks_per_disk cfg)
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("expander.exact",
+     [ tc "known perfect graph" `Quick test_exact_epsilon_known_graph;
+       tc "known collision graph" `Quick test_exact_epsilon_collision_graph;
+       tc "sampled <= exact" `Quick test_exact_vs_sampled;
+       tc "refuses large universes" `Quick test_exact_refuses_large ]);
+    ("dictionary.direct_construction",
+     [ tc "equivalent result" `Quick test_direct_construction_equivalent;
+       tc "cheaper in I/O" `Quick test_direct_construction_cheaper;
+       tc "single-I/O lookups" `Quick test_direct_single_io_lookups ]);
+    ("dictionary.cascade_delete",
+     [ tc "roundtrip" `Quick test_cascade_delete_roundtrip;
+       tc "frees fields" `Quick test_cascade_delete_frees_fields;
+       tc "cost" `Quick test_cascade_delete_cost;
+       tc "one-probe dynamic delete" `Quick test_opd_delete ]);
+    ("dictionary.recover",
+     [ tc "rebuilds state" `Quick test_recover_rebuilds_state;
+       tc "tombstone mode" `Quick test_recover_tombstone_mode;
+       tc "I/O cost" `Quick test_recover_io_cost ]) ]
+
+(* --- multi-group fields: huge satellites in one probe (appended) --- *)
+
+let test_one_probe_huge_satellite () =
+  (* sigma so large a field exceeds a block: the store spreads each
+     field over several disk groups, and lookups stay at one parallel
+     I/O on d x groups disks. *)
+  let n = 120 and degree = 9 and block_words = 16 in
+  let sigma_bits = 16 * 1024 in
+  let cfg =
+    { One_probe.universe; capacity = n; degree; sigma_bits; v_factor = 3;
+      case = One_probe.Case_b; seed = 21 }
+  in
+  let rng = Prng.create 22 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:n in
+  let data = Array.map (fun k -> (k, Common_payload.payload sigma_bits k)) members in
+  let t = One_probe.build ~block_words cfg data in
+  let machine = One_probe.machine t in
+  checkb "uses several groups of d disks" true
+    (Pdm.disks machine > degree && Pdm.disks machine mod degree = 0);
+  Stats.reset (Pdm.stats machine);
+  Array.iter
+    (fun (k, v) ->
+      match One_probe.find t k with
+      | Some got ->
+        Alcotest.(check string) "huge satellite intact" (Bytes.to_string v)
+          (Bytes.to_string got)
+      | None -> Alcotest.failf "member %d missing" k)
+    data;
+  Array.iter (fun k -> checkb "absent" false (One_probe.mem t k)) absent;
+  check "1 I/O per lookup even at 16 kbit satellites" (2 * n)
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let suite =
+  suite
+  @ [ ("dictionary.multi_group",
+       [ Alcotest.test_case "huge satellites, one probe" `Quick
+           test_one_probe_huge_satellite ]) ]
+
+(* --- bitvector membership [5] (appended) --- *)
+
+module Bv = Pdm_dictionary.Bitvector_membership
+
+let mk_bv ?(v_factor = 4) ?(n = 300) () =
+  let rng = Prng.create 31 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:n in
+  let blocks =
+    Bv.blocks_per_disk_needed ~universe ~degree:8 ~v_factor ~block_words:64 ~n
+  in
+  let machine =
+    Pdm.create ~disks:8 ~block_size:64 ~blocks_per_disk:(max 1 blocks) ()
+  in
+  let t =
+    Bv.build ~machine ~disk_offset:0 ~block_offset:0 ~universe ~degree:8
+      ~v_factor ~seed:32 members
+  in
+  (machine, t, members, absent)
+
+let test_bv_no_false_negatives () =
+  let _, t, members, _ = mk_bv () in
+  Array.iter (fun k -> checkb "member found" true (Bv.mem t k)) members
+
+let test_bv_one_io () =
+  let machine, t, members, absent = mk_bv () in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Bv.mem t k)) members;
+  Array.iter (fun k -> ignore (Bv.mem t k)) absent;
+  check "1 I/O per query"
+    (Array.length members + Array.length absent)
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_bv_false_positives_rare_and_shrinking () =
+  let _, t4, _, absent = mk_bv ~v_factor:4 () in
+  let fp4 =
+    Array.fold_left (fun acc k -> if Bv.mem t4 k then acc + 1 else acc) 0 absent
+  in
+  checkb
+    (Printf.sprintf "fp at v=4nd: %d/300 small" fp4)
+    true
+    (float_of_int fp4 /. 300.0 <= 0.05);
+  let _, t8, _, absent8 = mk_bv ~v_factor:8 () in
+  let fp8 =
+    Array.fold_left (fun acc k -> if Bv.mem t8 k then acc + 1 else acc) 0
+      absent8
+  in
+  checkb "more space, fewer false positives" true (fp8 <= fp4)
+
+let test_bv_space_is_bits () =
+  let _, t, members, _ = mk_bv () in
+  check "v = 4nd bits" (4 * 300 * 8) (Bv.space_bits t);
+  checkb "ones <= dn" true (Bv.ones t <= 8 * Array.length members)
+
+let test_bv_measured_rate () =
+  let _, t, _, _ = mk_bv () in
+  let rate = Bv.false_positive_rate t ~trials:2000 ~seed:77 in
+  checkb (Printf.sprintf "measured fp rate %.4f < 0.05" rate) true (rate < 0.05)
+
+let suite =
+  suite
+  @ [ ("dictionary.bitvector",
+       [ Alcotest.test_case "no false negatives" `Quick
+           test_bv_no_false_negatives;
+         Alcotest.test_case "one I/O" `Quick test_bv_one_io;
+         Alcotest.test_case "false positives rare" `Quick
+           test_bv_false_positives_rare_and_shrinking;
+         Alcotest.test_case "space in bits" `Quick test_bv_space_is_bits;
+         Alcotest.test_case "measured fp rate" `Quick test_bv_measured_rate ]) ]
+
+(* --- case (b) dynamization (appended) --- *)
+
+module Cb = Pdm_dictionary.Dynamic_cascade_b
+
+let mk_cb ?(capacity = 300) () =
+  Cb.create ~block_words:64
+    { Cb.universe; capacity; degree = 15; sigma_bits = 128; epsilon = 1.0;
+      v_factor = 3; seed = 41 }
+
+let test_cb_roundtrip () =
+  let t = mk_cb () in
+  let rng = Prng.create 42 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  let payload k = Common_payload.payload 128 k in
+  Array.iter (fun k -> Cb.insert t k (payload k)) members;
+  check "size" 300 (Cb.size t);
+  Array.iter
+    (fun k ->
+      Alcotest.(check string) "satellite" (Bytes.to_string (payload k))
+        (Bytes.to_string (Option.get (Cb.find t k))))
+    members;
+  Array.iter (fun k -> checkb "absent" false (Cb.mem t k)) absent
+
+let test_cb_cost_profile () =
+  (* The "slightly weaker" trade: hits average 1 + eps, but misses
+     cost a full pass over the levels. *)
+  let t = mk_cb () in
+  let rng = Prng.create 43 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:300 in
+  Array.iter (fun k -> Cb.insert t k (Common_payload.payload 128 k)) members;
+  let machine = Cb.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter (fun k -> ignore (Cb.find t k)) members;
+  let hit_total = Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)) in
+  let hit_avg = float_of_int hit_total /. 300.0 in
+  checkb (Printf.sprintf "hit avg %.3f <= 2" hit_avg) true (hit_avg <= 2.0);
+  Stats.reset (Pdm.stats machine);
+  ignore (Cb.find t absent.(0));
+  check "miss costs the full level pass" (Cb.levels t)
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let test_cb_update_delete () =
+  let t = mk_cb () in
+  Cb.insert t 9 (Bytes.make 16 'a');
+  Cb.insert t 9 (Bytes.make 16 'b');
+  check "size 1" 1 (Cb.size t);
+  Alcotest.(check string) "updated" (String.make 16 'b')
+    (Bytes.to_string (Option.get (Cb.find t 9)));
+  checkb "delete" true (Cb.delete t 9);
+  checkb "gone" false (Cb.mem t 9);
+  (* Freed fields are reusable. *)
+  Cb.insert t 10 (Bytes.make 16 'c');
+  checkb "reuse" true (Cb.mem t 10)
+
+let test_cb_uses_d_disks_only () =
+  let t = mk_cb () in
+  check "d disks, not 2d" 15 (Pdm.disks (Cb.machine t))
+
+let suite =
+  suite
+  @ [ ("dictionary.cascade_b",
+       [ Alcotest.test_case "roundtrip" `Quick test_cb_roundtrip;
+         Alcotest.test_case "cost profile (weaker misses)" `Quick
+           test_cb_cost_profile;
+         Alcotest.test_case "update and delete" `Quick test_cb_update_delete;
+         Alcotest.test_case "d disks only" `Quick test_cb_uses_d_disks_only ]) ]
+
+(* --- case (a) + direct construction (appended) --- *)
+
+let test_case_a_direct_construction () =
+  let n = 250 in
+  let cfg =
+    { One_probe.universe; capacity = n; degree = 9; sigma_bits = 128;
+      v_factor = 3; case = One_probe.Case_a; seed = 61 }
+  in
+  let rng = Prng.create 62 in
+  let members, absent = Sampling.disjoint_pair rng ~universe ~count:n in
+  let data = Array.map (fun k -> (k, Common_payload.payload 128 k)) members in
+  let t = One_probe.build ~construction:`Direct ~block_words:64 cfg data in
+  let machine = One_probe.machine t in
+  Stats.reset (Pdm.stats machine);
+  Array.iter
+    (fun (k, v) ->
+      match One_probe.find t k with
+      | Some got ->
+        Alcotest.(check string) "satellite" (Bytes.to_string v)
+          (Bytes.to_string got)
+      | None -> Alcotest.failf "member %d missing" k)
+    data;
+  Array.iter (fun k -> checkb "absent" false (One_probe.mem t k)) absent;
+  check "1 I/O each" (2 * n)
+    (Stats.parallel_ios (Stats.snapshot (Pdm.stats machine)))
+
+let suite =
+  suite
+  @ [ ("dictionary.case_a_direct",
+       [ Alcotest.test_case "case (a) via direct construction" `Quick
+           test_case_a_direct_construction ]) ]

@@ -1,0 +1,144 @@
+(* Tests for the workload generators. *)
+
+module Trace = Pdm_workload.Trace
+module Fs = Pdm_workload.Fs_workload
+module Prng = Pdm_util.Prng
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_uniform_lookups () =
+  let rng = Prng.create 1 in
+  let keys = [| 10; 20; 30 |] in
+  let ops = Trace.uniform_lookups ~rng ~keys ~count:100 in
+  check "count" 100 (Array.length ops);
+  Array.iter
+    (function
+      | Trace.Lookup k -> checkb "key from set" true (Array.mem k keys)
+      | Trace.Insert _ | Trace.Delete _ -> Alcotest.fail "lookups only")
+    ops
+
+let test_zipf_lookups_skew () =
+  let rng = Prng.create 2 in
+  let keys = Array.init 100 (fun i -> i) in
+  let ops = Trace.zipf_lookups ~rng ~keys ~count:2000 ~s:1.2 in
+  let head = ref 0 in
+  Array.iter
+    (function
+      | Trace.Lookup k -> if k < 10 then incr head
+      | Trace.Insert _ | Trace.Delete _ -> ())
+    ops;
+  checkb "head-heavy" true (!head > 800)
+
+let test_mixed_fractions () =
+  let rng = Prng.create 3 in
+  let keys = Array.init 50 (fun i -> i) in
+  let ops =
+    Trace.mixed ~rng ~keys ~count:2000 ~lookup_fraction:0.5
+      ~delete_fraction:0.5 ~value_of:(fun _ -> Bytes.create 4)
+  in
+  let l = ref 0 and i = ref 0 and d = ref 0 in
+  Array.iter
+    (function
+      | Trace.Lookup _ -> incr l
+      | Trace.Insert _ -> incr i
+      | Trace.Delete _ -> incr d)
+    ops;
+  check "all ops" 2000 (!l + !i + !d);
+  checkb "roughly half lookups" true (!l > 800 && !l < 1200);
+  checkb "inserts and deletes balanced" true (abs (!i - !d) < 200)
+
+let test_negative_lookups_avoid () =
+  let rng = Prng.create 4 in
+  let avoid = Array.init 100 (fun i -> i) in
+  let ops = Trace.negative_lookups ~rng ~universe:1000 ~avoid ~count:200 in
+  Array.iter
+    (function
+      | Trace.Lookup k -> checkb "avoided" false (k < 100)
+      | Trace.Insert _ | Trace.Delete _ -> Alcotest.fail "lookups only")
+    ops
+
+let test_apply_counts_hits () =
+  let store = Hashtbl.create 16 in
+  let hits =
+    Trace.apply
+      ~find:(Hashtbl.find_opt store)
+      ~insert:(fun k v -> Hashtbl.replace store k v)
+      ~delete:(fun k ->
+        let had = Hashtbl.mem store k in
+        Hashtbl.remove store k;
+        had)
+      [| Trace.Insert (1, Bytes.create 1); Trace.Lookup 1; Trace.Lookup 2;
+         Trace.Delete 1; Trace.Lookup 1 |]
+  in
+  check "one hit" 1 hits
+
+let test_fs_volume_shape () =
+  let rng = Prng.create 5 in
+  let vol = Fs.generate ~rng ~files:200 ~max_blocks_per_file:64 in
+  check "files" 200 (Array.length (Fs.files vol));
+  Array.iter
+    (fun f ->
+      checkb "block count in range" true (f.Fs.blocks >= 1 && f.Fs.blocks <= 64))
+    (Fs.files vol);
+  check "total blocks consistent"
+    (Array.fold_left (fun a f -> a + f.Fs.blocks) 0 (Fs.files vol))
+    (Fs.total_blocks vol);
+  check "all_keys covers volume" (Fs.total_blocks vol)
+    (Array.length (Fs.all_keys vol))
+
+let test_fs_keys_unique_and_packed () =
+  let rng = Prng.create 6 in
+  let vol = Fs.generate ~rng ~files:100 ~max_blocks_per_file:32 in
+  let keys = Fs.all_keys vol in
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun k ->
+      checkb "within universe" true (k >= 0 && k < Fs.universe vol);
+      checkb "unique" false (Hashtbl.mem tbl k);
+      Hashtbl.add tbl k ())
+    keys
+
+let test_fs_random_reads_valid () =
+  let rng = Prng.create 7 in
+  let vol = Fs.generate ~rng ~files:100 ~max_blocks_per_file:32 in
+  let keyset = Hashtbl.create 256 in
+  Array.iter (fun k -> Hashtbl.add keyset k ()) (Fs.all_keys vol);
+  let reads = Fs.random_reads vol ~rng ~count:500 in
+  Array.iter
+    (fun k -> checkb "read hits a real block" true (Hashtbl.mem keyset k))
+    reads
+
+let test_fs_sequential_scan () =
+  let rng = Prng.create 8 in
+  let vol = Fs.generate ~rng ~files:10 ~max_blocks_per_file:32 in
+  let f = (Fs.files vol).(3) in
+  let scan = Fs.sequential_scan vol ~file_id:3 in
+  check "scan length" f.Fs.blocks (Array.length scan);
+  Array.iteri
+    (fun b k -> check "packed key" (Fs.key_of vol ~file_id:3 ~block:b) k)
+    scan
+
+let test_fs_payload_deterministic () =
+  let rng = Prng.create 9 in
+  let vol = Fs.generate ~rng ~files:10 ~max_blocks_per_file:8 in
+  let a = Fs.block_payload vol ~file_id:1 ~block:0 ~bytes:16 in
+  let b = Fs.block_payload vol ~file_id:1 ~block:0 ~bytes:16 in
+  Alcotest.(check string) "stable" (Bytes.to_string a) (Bytes.to_string b);
+  let c = Fs.block_payload vol ~file_id:1 ~block:1 ~bytes:16 in
+  checkb "distinct blocks differ" true (a <> c)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ ("workload.trace",
+     [ tc "uniform lookups" `Quick test_uniform_lookups;
+       tc "zipf skew" `Quick test_zipf_lookups_skew;
+       tc "mixed fractions" `Quick test_mixed_fractions;
+       tc "negative lookups" `Quick test_negative_lookups_avoid;
+       tc "apply counts hits" `Quick test_apply_counts_hits ]);
+    ("workload.fs",
+     [ tc "volume shape" `Quick test_fs_volume_shape;
+       tc "keys unique" `Quick test_fs_keys_unique_and_packed;
+       tc "random reads valid" `Quick test_fs_random_reads_valid;
+       tc "sequential scan" `Quick test_fs_sequential_scan;
+       tc "payload deterministic" `Quick test_fs_payload_deterministic ]) ]
