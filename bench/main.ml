@@ -39,7 +39,8 @@ let print_experiments () =
   Table.print (Extensions_exp.to_table (Extensions_exp.run ()));
   Table.print (Scale_exp.to_table (Scale_exp.run ()));
   Table.print (Realtime_exp.to_table (Realtime_exp.run ()));
-  Table.print (Cache_exp.to_table (Cache_exp.run ()))
+  Table.print (Cache_exp.to_table (Cache_exp.run ()));
+  Table.print (Fault_exp.to_table (Fault_exp.run ()))
 
 (* --- wall-clock microbenchmarks --- *)
 
@@ -148,6 +149,53 @@ let balancer =
     (let graph = Seeded.striped ~seed:7 ~u:universe ~v:(8 * 1024) ~d:8 in
      Greedy.create ~graph ~k:1 ())
 
+(* Backend-indirection overhead guard: the same single-block read
+   through (a) a bare array, (b) the Pdm machine with its default
+   memory backend, (c) a machine with tracing enabled (scheduler
+   path). (b) minus (a) is the price of the backend refactor; it must
+   stay negligible next to any real structure operation. *)
+let ov_blocks = 256
+
+let ov_machine : int Pdm.t Lazy.t =
+  lazy
+    (let m =
+       Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:ov_blocks ()
+     in
+     for d = 0 to disks - 1 do
+       for b = 0 to ov_blocks - 1 do
+         Pdm.poke m { Pdm.disk = d; block = b }
+           (Array.make block_words (Some (d + b)))
+       done
+     done;
+     m)
+
+let ov_traced : int Pdm.t Lazy.t =
+  lazy
+    (let m =
+       Pdm.create
+         ~trace:(Pdm_sim.Trace.create ~capacity:1024 ())
+         ~disks ~block_size:block_words ~blocks_per_disk:ov_blocks ()
+     in
+     for d = 0 to disks - 1 do
+       for b = 0 to ov_blocks - 1 do
+         Pdm.poke m { Pdm.disk = d; block = b }
+           (Array.make block_words (Some (d + b)))
+       done
+     done;
+     m)
+
+let ov_raw =
+  lazy
+    (Array.init disks (fun d ->
+         Array.init ov_blocks (fun b ->
+             Array.make block_words (Some (d + b)))))
+
+let ov_cursor = ref 0
+
+let ov_next () =
+  ov_cursor := (!ov_cursor + 1) mod (disks * ov_blocks);
+  { Pdm.disk = !ov_cursor mod disks; block = !ov_cursor / disks mod ov_blocks }
+
 let expander = lazy (Seeded.striped ~seed:8 ~u:universe ~v:(8 * 1024) ~d:8)
 
 let op_tests =
@@ -181,7 +229,18 @@ let op_tests =
            ignore (Greedy.insert (Lazy.force balancer) (next_key ()))));
     Test.make ~name:"expander.neighbors"
       (Staged.stage (fun () ->
-           ignore (Bipartite.neighbors (Lazy.force expander) (next_key ())))) ]
+           ignore (Bipartite.neighbors (Lazy.force expander) (next_key ()))));
+    Test.make ~name:"overhead.raw_array_copy"
+      (Staged.stage (fun () ->
+           let a = ov_next () in
+           ignore
+             (Array.copy (Lazy.force ov_raw).(a.Pdm.disk).(a.Pdm.block))));
+    Test.make ~name:"overhead.pdm_read_one"
+      (Staged.stage (fun () ->
+           ignore (Pdm.read_one (Lazy.force ov_machine) (ov_next ()))));
+    Test.make ~name:"overhead.pdm_read_one_traced"
+      (Staged.stage (fun () ->
+           ignore (Pdm.read_one (Lazy.force ov_traced) (ov_next ())))) ]
 
 (* One Test.make per experiment driver (reduced scale), so regressions
    in whole-experiment wall time are visible. *)
@@ -214,7 +273,9 @@ let experiment_tests =
     Test.make ~name:"exp.bandwidth"
       (Staged.stage (fun () -> ignore (Bandwidth_exp.run ~n:200 ())));
     Test.make ~name:"exp.extensions"
-      (Staged.stage (fun () -> ignore (Extensions_exp.run ()))) ]
+      (Staged.stage (fun () -> ignore (Extensions_exp.run ())));
+    Test.make ~name:"exp.faults"
+      (Staged.stage (fun () -> ignore (Fault_exp.run ~n:500 ~lookups:300 ()))) ]
 
 let run_bechamel tests =
   let open Bechamel in

@@ -89,7 +89,11 @@ let experiments =
     { id = "caching"; doc = "LRU buffer cache: who it helps (E15)";
       exec =
         (fun ~n ~block_words:_ ~seed ->
-          Table.print (Cache_exp.to_table (Cache_exp.run ?n ?seed ()))) } ]
+          Table.print (Cache_exp.to_table (Cache_exp.run ?n ?seed ()))) };
+    { id = "faults"; doc = "Fault injection: degradation and balance (E16)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          print_table (Fault_exp.to_table (Fault_exp.run ?n ?seed ()))) } ]
 
 let run_one id ~n ~block_words ~seed =
   match List.find_opt (fun s -> s.id = id) experiments with
@@ -229,6 +233,211 @@ let plan_cmd =
     (Cmd.info "plan" ~doc)
     Term.(const run $ universe_arg $ capacity_arg $ block_arg')
 
+(* --- trace: run a workload with per-round tracing and export JSONL --- *)
+
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Fault = Pdm_sim.Fault
+module Iotrace = Pdm_sim.Trace
+module Basic = Pdm_dictionary.Basic_dict
+
+(* "transient=D:P,straggler=D:K,fail=D,retries=N" -> Fault.spec *)
+let parse_fault_spec ~seed s =
+  let transient = ref [] and stragglers = ref [] and fail = ref [] in
+  let retries = ref None in
+  let item it =
+    let bad () = failwith (Printf.sprintf "bad fault item %S" it) in
+    match String.index_opt it '=' with
+    | None -> bad ()
+    | Some i ->
+      let key = String.sub it 0 i in
+      let v = String.sub it (i + 1) (String.length it - i - 1) in
+      let disk_colon () =
+        match String.index_opt v ':' with
+        | None -> bad ()
+        | Some j ->
+          ( String.sub v 0 j,
+            String.sub v (j + 1) (String.length v - j - 1) )
+      in
+      (match key with
+       | "transient" ->
+         let d, p = disk_colon () in
+         (match (int_of_string_opt d, float_of_string_opt p) with
+          | Some d, Some p -> transient := (d, p) :: !transient
+          | _ -> bad ())
+       | "straggler" ->
+         let d, k = disk_colon () in
+         (match (int_of_string_opt d, int_of_string_opt k) with
+          | Some d, Some k -> stragglers := (d, k) :: !stragglers
+          | _ -> bad ())
+       | "fail" ->
+         (match int_of_string_opt v with
+          | Some d -> fail := d :: !fail
+          | None -> bad ())
+       | "retries" ->
+         (match int_of_string_opt v with
+          | Some n -> retries := Some n
+          | None -> bad ())
+       | _ -> bad ())
+  in
+  if s = "" then None
+  else begin
+    List.iter item (String.split_on_char ',' s);
+    Some
+      (Fault.spec ~seed ?max_retries:!retries ~transient:!transient
+         ~fail:!fail ~stragglers:!stragglers ())
+  end
+
+let run_trace faults_str ops seed ring out =
+  match
+    let faults = parse_fault_spec ~seed faults_str in
+    let universe = 1 lsl 22 and n = 2_000 and disks = 8 and block_words = 64 in
+    let cfg =
+      Basic.plan ~universe ~capacity:n ~block_words ~degree:disks
+        ~value_bytes:8 ~seed ()
+    in
+    (* Build on a pristine machine, then mount the same backends under
+       a traced, fault-injected machine: faults degrade service, not
+       the data already on disk. *)
+    let clean =
+      Pdm.create ~disks ~block_size:block_words
+        ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+    in
+    let d0 = Basic.create ~machine:clean ~disk_offset:0 ~block_offset:0 cfg in
+    let rng = Pdm_util.Prng.create seed in
+    let keys =
+      Pdm_util.Sampling.distinct rng ~universe ~count:n
+    in
+    let payload k =
+      Bytes.init 8 (fun i ->
+          Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
+    in
+    Basic.bulk_load d0 (Array.map (fun k -> (k, payload k)) keys);
+    let tr = Iotrace.create ~capacity:ring () in
+    let machine =
+      Pdm.create ~trace:tr ?faults ~backends:(fun d -> Pdm.backend clean d)
+        ~disks ~block_size:block_words
+        ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+    in
+    let dict =
+      (* The recovery scan reads every block of every stripe, so a
+         permanently dead disk (or a hopeless retry budget) is fatal
+         here — report it as a user error, not a crash. *)
+      try Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg with
+      | Pdm_sim.Backend.Disk_failed d ->
+        failwith
+          (Printf.sprintf
+             "disk %d is permanently failed: the recovery scan cannot read \
+              it, and every lookup touches all %d disks. Demo degraded \
+              service with transient=D:P or straggler=D:K instead."
+             d disks)
+      | Pdm_sim.Backend.Retries_exhausted { disk; block; attempts } ->
+        failwith
+          (Printf.sprintf
+             "recovery gave up on disk %d block %d after %d attempts; raise \
+              retries=N or lower the transient probability"
+             disk block attempts)
+    in
+    let z = Pdm_util.Zipf.create ~n ~s:1.1 in
+    let failed = ref 0 and exhausted = ref 0 and wrong = ref 0 in
+    for _ = 1 to ops do
+      let k = keys.(Pdm_util.Zipf.sample z rng) in
+      match Basic.find dict k with
+      | Some v -> if v <> payload k then incr wrong
+      | None -> incr wrong
+      | exception Pdm_sim.Backend.Disk_failed _ -> incr failed
+      | exception Pdm_sim.Backend.Retries_exhausted _ -> incr exhausted
+    done;
+    Iotrace.export_jsonl tr out;
+    let events = Iotrace.load_jsonl out in
+    let t_reads, t_writes = Iotrace.per_disk_totals events in
+    let s = Stats.snapshot (Pdm.stats machine) in
+    let pad a i = if i < Array.length a then a.(i) else 0 in
+    let consistent = ref (Iotrace.dropped tr = 0) in
+    let rows =
+      List.init disks (fun d ->
+          let tr_r = pad t_reads d and tr_w = pad t_writes d in
+          let st_r = pad s.Stats.disk_reads d
+          and st_w = pad s.Stats.disk_writes d in
+          if Iotrace.dropped tr = 0 && (tr_r <> st_r || tr_w <> st_w) then
+            consistent := false;
+          [ string_of_int d; string_of_int tr_r; string_of_int tr_w;
+            string_of_int st_r; string_of_int st_w ])
+    in
+    let degraded =
+      List.length (List.filter (fun (e : Iotrace.event) -> e.degraded) events)
+    in
+    let retries =
+      List.fold_left (fun a (e : Iotrace.event) -> a + e.retries) 0 events
+    in
+    print_table
+      (Table.make
+         ~title:
+           (Printf.sprintf
+              "I/O trace: %d lookups, %d rounds executed (%d recorded, %d \
+               dropped from ring of %d)"
+              ops (Pdm.rounds_total machine) (Iotrace.recorded tr)
+              (Iotrace.dropped tr) ring)
+         ~header:
+           [ "disk"; "trace reads"; "trace writes"; "stats reads";
+             "stats writes" ]
+         ~notes:
+           [ Printf.sprintf
+               "%d degraded rounds, %d transient retries charged" degraded
+               retries;
+             Printf.sprintf
+               "lookups: %d wrong, %d on failed disk, %d retries exhausted"
+               !wrong !failed !exhausted;
+             Printf.sprintf "JSONL exported to %s (%d events re-read)" out
+               (List.length events);
+             (if !consistent then
+                "round-trip check: trace per-disk totals = stats counters"
+              else if Iotrace.dropped tr > 0 then
+                "ring dropped events: totals are partial (raise --ring)"
+              else "MISMATCH between trace totals and stats counters") ]
+         rows);
+    if !wrong > 0 then `Error (false, "lookups returned wrong values")
+    else `Ok ()
+  with
+  | result -> result
+  | exception Failure m -> `Error (false, m)
+
+let trace_cmd =
+  let doc = "trace a faulty workload per round and export JSONL" in
+  let faults_arg =
+    let doc =
+      "Fault schedule: comma-separated $(b,transient=D:P) (disk D fails \
+       reads with probability P), $(b,straggler=D:K) (disk D charges K \
+       rounds per transfer), $(b,fail=D) (disk D permanently dead), \
+       $(b,retries=N) (retry budget). Empty = fault-free."
+    in
+    Arg.(value & opt string "" & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let ops_arg =
+    Arg.(value & opt int 1_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Number of lookups to trace.")
+  in
+  let ring_arg =
+    Arg.(value & opt int 65_536
+         & info [ "ring" ] ~docv:"CAP" ~doc:"Trace ring-buffer capacity.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.jsonl"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSONL output path.")
+  in
+  let seed_arg' =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for keys, workload and fault schedule.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const (fun faults ops seed ring out csv ->
+             if csv then emit := Table.print_csv;
+             run_trace faults ops seed ring out)
+        $ faults_arg $ ops_arg $ seed_arg' $ ring_arg $ out_arg $ csv_arg))
+
 let main =
   let doc =
     "deterministic dictionaries in the parallel disk model — experiment \
@@ -236,6 +445,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; plan_cmd ]
+    [ run_cmd; list_cmd; plan_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

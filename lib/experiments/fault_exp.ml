@@ -1,0 +1,132 @@
+module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Fault = Pdm_sim.Fault
+module Iotrace = Pdm_sim.Trace
+module Basic = Pdm_dictionary.Basic_dict
+module Zipf = Pdm_util.Zipf
+module Sampling = Pdm_util.Sampling
+module Summary = Pdm_util.Summary
+module Prng = Pdm_util.Prng
+
+type point = {
+  scenario : string;
+  avg_io : float;
+  worst_io : int;
+  overhead : float;
+  max_load : int;
+  mean_load : float;
+  retries : int;
+  correct : bool;
+}
+
+type result = {
+  points : point list;
+  n : int;
+  lookups : int;
+  transient_prob : float;
+  straggle : int;
+}
+
+let disks = 8
+let block_words = 64
+let value_bytes = 8
+
+let run ?(universe = 1 lsl 22) ?(n = 5_000) ?(lookups = 4_000) ?(seed = 31)
+    ?(transient_prob = 0.05) ?(straggle = 3) () =
+  let rng = Prng.create seed in
+  let keys = Sampling.distinct rng ~universe ~count:n in
+  let payload = Common.value_bytes_of value_bytes in
+  let z = Zipf.create ~n ~s:1.1 in
+  let trace_keys = Array.init lookups (fun _ -> keys.(Zipf.sample z rng)) in
+  let scenario name faults =
+    let cfg =
+      Basic.plan ~universe ~capacity:n ~block_words ~degree:disks ~value_bytes
+        ~seed ()
+    in
+    (* Ring sized to hold every lookup round, so retry counts are
+       exact, not truncated. *)
+    let tr = Iotrace.create ~capacity:(8 * lookups) () in
+    let machine =
+      Pdm.create ?faults ~trace:tr ~disks ~block_size:block_words
+        ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+    in
+    let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+    Basic.bulk_load d (Array.map (fun k -> (k, payload k)) keys);
+    Iotrace.clear tr;
+    let before = Stats.snapshot (Pdm.stats machine) in
+    let costs = Summary.create () in
+    let correct = ref true in
+    Array.iter
+      (fun k ->
+        let found, cost =
+          Stats.measure (Pdm.stats machine) (fun () -> Basic.find d k)
+        in
+        Summary.add_int costs (Stats.parallel_ios cost);
+        if found <> Some (payload k) then correct := false)
+      trace_keys;
+    let after = Stats.snapshot (Pdm.stats machine) in
+    let lookup_phase = Stats.diff ~after ~before in
+    let occ = Stats.occupancy lookup_phase in
+    let retries =
+      List.fold_left
+        (fun acc (e : Iotrace.event) -> acc + e.retries)
+        0 (Iotrace.events tr)
+    in
+    ( name, Summary.mean costs, Common.worst costs, occ, retries, !correct )
+  in
+  let transient = [ (1, transient_prob); (5, transient_prob) ] in
+  let stragglers = [ (2, straggle) ] in
+  let raw =
+    [ scenario "fault-free" None;
+      scenario
+        (Printf.sprintf "transient p=%.2f on 2 disks" transient_prob)
+        (Some (Fault.spec ~seed ~transient ()));
+      scenario
+        (Printf.sprintf "straggler %dx on 1 disk" straggle)
+        (Some (Fault.spec ~seed ~stragglers ()));
+      scenario "transient + straggler"
+        (Some (Fault.spec ~seed ~transient ~stragglers ())) ]
+  in
+  let base_avg =
+    match raw with (_, avg, _, _, _, _) :: _ -> avg | [] -> 1.0
+  in
+  let points =
+    List.map
+      (fun (scenario, avg_io, worst_io, occ, retries, correct) ->
+        let max_load, mean_load =
+          match occ with
+          | Some o -> (o.Stats.max_load, o.Stats.mean_load)
+          | None -> (0, 0.0)
+        in
+        { scenario; avg_io; worst_io;
+          overhead = (if base_avg > 0.0 then avg_io /. base_avg else 1.0);
+          max_load; mean_load; retries; correct })
+      raw
+  in
+  { points; n; lookups; transient_prob; straggle }
+
+let to_table r =
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Fault injection — lookup degradation and per-disk balance (n = %d, \
+          %d Zipf lookups, %d disks)"
+         r.n r.lookups disks)
+    ~header:
+      [ "scenario"; "avg I/O"; "worst"; "x fault-free"; "disk max/mean";
+        "retries"; "correct" ]
+    ~notes:
+      [ "every retry is charged a real round: degraded reads are re-issued, \
+         never free";
+        "disk max/mean is the per-disk block count over the lookup phase — \
+         the Lemma 3 balance, now observable per disk";
+        "correctness never degrades, only cost: faulty runs return the same \
+         values as the fault-free run" ]
+    (List.map
+       (fun p ->
+         [ p.scenario; Table.fcell p.avg_io; Table.icell p.worst_io;
+           Table.fcell p.overhead;
+           Printf.sprintf "%d/%.1f" p.max_load p.mean_load;
+           Table.icell p.retries;
+           (if p.correct then "yes" else "NO") ])
+       r.points)

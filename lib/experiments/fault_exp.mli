@@ -1,0 +1,47 @@
+(** Experiment E16: fault injection — degradation and balance.
+
+    Every bound in the paper is proved for ideal disks; this
+    experiment measures what the deterministic dictionary {e does}
+    when the disks are not ideal. The same Zipf lookup workload runs
+    over the Section 4.1 dictionary on a healthy machine and on
+    machines with a seeded fault schedule ({!Pdm_sim.Fault}):
+    transient read errors that force retries, and a straggler disk
+    whose transfers occupy k rounds each.
+
+    Reported per scenario: average and worst parallel I/Os per lookup,
+    the overhead factor over the fault-free run, the per-disk
+    occupancy (max/mean — the load-balancing guarantee made visible
+    per disk), transient retries actually charged, and whether every
+    lookup still returned the correct value (it must: faults degrade
+    cost, never correctness). *)
+
+type point = {
+  scenario : string;
+  avg_io : float;
+  worst_io : int;
+  overhead : float;  (** avg_io / fault-free avg_io *)
+  max_load : int;  (** per-disk blocks, lookup phase *)
+  mean_load : float;
+  retries : int;  (** transient failures re-issued *)
+  correct : bool;  (** all lookups returned the right value *)
+}
+
+type result = {
+  points : point list;
+  n : int;
+  lookups : int;
+  transient_prob : float;
+  straggle : int;
+}
+
+val run :
+  ?universe:int ->
+  ?n:int ->
+  ?lookups:int ->
+  ?seed:int ->
+  ?transient_prob:float ->
+  ?straggle:int ->
+  unit ->
+  result
+
+val to_table : result -> Table.t

@@ -1,0 +1,35 @@
+exception Disk_failed of int
+
+exception Retries_exhausted of { disk : int; block : int; attempts : int }
+
+type 'a outcome =
+  | Data of 'a option array option
+  | Transient
+  | Lost
+
+type 'a t = {
+  name : string;
+  disk : int;
+  blocks : int;
+  read : attempt:int -> int -> 'a outcome;
+  write : int -> 'a option array -> unit;
+  cost : int;
+  max_retries : int;
+  peek : int -> 'a option array option;
+  poke : int -> 'a option array option -> unit;
+  dump : unit -> 'a option array option array;
+}
+
+let of_store ~disk store =
+  { name = "memory";
+    disk;
+    blocks = Array.length store;
+    read = (fun ~attempt:_ b -> Data store.(b));
+    write = (fun b slots -> store.(b) <- Some slots);
+    cost = 1;
+    max_retries = 0;
+    peek = (fun b -> store.(b));
+    poke = (fun b slots -> store.(b) <- slots);
+    dump = (fun () -> store) }
+
+let memory ~disk ~blocks = of_store ~disk (Array.make blocks None)

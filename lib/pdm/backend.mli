@@ -1,0 +1,63 @@
+(** Pluggable per-disk storage backends.
+
+    Each of the D disks of a {!Pdm.t} machine is one backend: a record
+    of closures implementing block reads and writes over
+    [blocks_per_disk] block slots. The default backend ({!memory}) is
+    the original in-memory array; {!Fault.wrap} layers a deterministic
+    fault schedule (transient read errors, permanent failure,
+    straggling) on top of any backend without the machine — or the
+    dictionaries above it — knowing.
+
+    Backends deal in {e raw} block arrays: the machine layer owns all
+    copying, so a backend never hands a caller an alias it may mutate
+    through the counted API. [peek]/[poke]/[dump] bypass both
+    accounting and fault injection; they exist for tests, bulk loading
+    and persistence. *)
+
+exception Disk_failed of int
+(** Raised when an I/O touches a permanently failed disk. The payload
+    is the disk index. *)
+
+exception Retries_exhausted of { disk : int; block : int; attempts : int }
+(** Raised when a block read kept failing transiently past the
+    backend's retry budget. *)
+
+type 'a outcome =
+  | Data of 'a option array option
+      (** Transfer succeeded; [None] = block never written. *)
+  | Transient
+      (** Transfer failed this attempt; the scheduler re-issues the
+          block in a later round (charging that round honestly). *)
+  | Lost  (** The disk is permanently gone. *)
+
+type 'a t = {
+  name : string;  (** For trace output and error messages. *)
+  disk : int;  (** Index of the disk this backend serves. *)
+  blocks : int;  (** Capacity in blocks. *)
+  read : attempt:int -> int -> 'a outcome;
+      (** [read ~attempt b] attempts to fetch block [b]; [attempt]
+          numbers retries from 0 so fault schedules are deterministic
+          per attempt. The returned array is live — callers copy. *)
+  write : int -> 'a option array -> unit;
+      (** Store a block the backend may keep (already copied by the
+          caller). Raises {!Disk_failed} on a dead disk. *)
+  cost : int;
+      (** Rounds one block transfer occupies on this disk (1 for a
+          healthy disk, k for a k× straggler). *)
+  max_retries : int;
+      (** Transient-failure budget per block read before
+          {!Retries_exhausted}. *)
+  peek : int -> 'a option array option;
+      (** Uncounted, fault-free raw access (do not mutate). *)
+  poke : int -> 'a option array option -> unit;
+      (** Uncounted, fault-free raw store. *)
+  dump : unit -> 'a option array option array;
+      (** The raw block store, for persistence (live, do not mutate). *)
+}
+
+val memory : disk:int -> blocks:int -> 'a t
+(** Fresh all-empty in-memory backend — the default disk. *)
+
+val of_store : disk:int -> 'a option array option array -> 'a t
+(** In-memory backend over an existing store (used when loading a
+    persisted machine). The array is owned by the backend. *)

@@ -1,0 +1,69 @@
+module Prng = Pdm_util.Prng
+
+type disk_fault = {
+  transient_read_prob : float;
+  fail : bool;
+  straggle : int;
+}
+
+type spec = {
+  seed : int;
+  max_retries : int;
+  disks : (int * disk_fault) list;
+}
+
+let healthy = { transient_read_prob = 0.0; fail = false; straggle = 1 }
+
+let spec ?(seed = 0) ?(max_retries = 8) ?(transient = []) ?(fail = [])
+    ?(stragglers = []) () =
+  let tbl = Hashtbl.create 8 in
+  let get d = Option.value (Hashtbl.find_opt tbl d) ~default:healthy in
+  List.iter
+    (fun (d, p) ->
+      if p < 0.0 || p >= 1.0 then
+        invalid_arg "Fault.spec: transient probability must be in [0, 1)";
+      Hashtbl.replace tbl d { (get d) with transient_read_prob = p })
+    transient;
+  List.iter
+    (fun (d, k) ->
+      if k < 1 then invalid_arg "Fault.spec: straggle factor must be >= 1";
+      Hashtbl.replace tbl d { (get d) with straggle = k })
+    stragglers;
+  List.iter (fun d -> Hashtbl.replace tbl d { (get d) with fail = true }) fail;
+  if max_retries < 0 then invalid_arg "Fault.spec: max_retries must be >= 0";
+  { seed;
+    max_retries;
+    disks =
+      List.sort compare (Hashtbl.fold (fun d f acc -> (d, f) :: acc) tbl []) }
+
+let disk_fault s d =
+  Option.value (List.assoc_opt d s.disks) ~default:healthy
+
+let is_noop s = List.for_all (fun (_, f) -> f = healthy) s.disks
+
+(* Map a keyed hash of (disk, block, attempt) to [0, 1); the schedule
+   must not depend on evaluation order, so no stream state. *)
+let resolution = 1 lsl 30
+
+let transient_hit s ~disk ~block ~attempt =
+  let f = disk_fault s disk in
+  f.transient_read_prob > 0.0
+  && (let h = Prng.hash3 ~seed:s.seed disk block attempt land (resolution - 1) in
+      float_of_int h < f.transient_read_prob *. float_of_int resolution)
+
+let wrap s (b : 'a Backend.t) : 'a Backend.t =
+  let f = disk_fault s b.Backend.disk in
+  let disk = b.Backend.disk in
+  { b with
+    Backend.name = Printf.sprintf "fault(%s)" b.Backend.name;
+    cost = f.straggle * b.Backend.cost;
+    max_retries = s.max_retries;
+    read =
+      (fun ~attempt block ->
+        if f.fail then Backend.Lost
+        else if transient_hit s ~disk ~block ~attempt then Backend.Transient
+        else b.Backend.read ~attempt block);
+    write =
+      (fun block slots ->
+        if f.fail then raise (Backend.Disk_failed disk)
+        else b.Backend.write block slots) }

@@ -10,18 +10,38 @@ type 'a t = {
   blocks_per_disk : int;
   model : model;
   stats : Stats.t;
-  store : 'a option array option array array;  (* disk -> block -> slots *)
+  backends : 'a Backend.t array;
+  fault_spec : Fault.spec option;
+  custom_backends : bool;
+  mutable trace : Trace.t option;
+  mutable rounds_done : int;
   mutable allocated : int;
 }
 
-let create ?(model = Independent_disks) ?stats ~disks ~block_size
-    ~blocks_per_disk () =
+let create ?(model = Independent_disks) ?stats ?trace ?faults ?backends ~disks
+    ~block_size ~blocks_per_disk () =
   if disks < 1 then invalid_arg "Pdm.create: disks must be >= 1";
   if block_size < 1 then invalid_arg "Pdm.create: block_size must be >= 1";
   if blocks_per_disk < 1 then invalid_arg "Pdm.create: blocks_per_disk >= 1";
   let stats = match stats with Some s -> s | None -> Stats.create () in
+  let base d =
+    match backends with
+    | None -> Backend.memory ~disk:d ~blocks:blocks_per_disk
+    | Some f ->
+      let b = f d in
+      if b.Backend.blocks <> blocks_per_disk then
+        invalid_arg "Pdm.create: backend capacity <> blocks_per_disk";
+      if b.Backend.disk <> d then
+        invalid_arg "Pdm.create: backend disk index mismatch";
+      b
+  in
+  let wrap b = match faults with None -> b | Some s -> Fault.wrap s b in
   { disks; block_size; blocks_per_disk; model; stats;
-    store = Array.init disks (fun _ -> Array.make blocks_per_disk None);
+    backends = Array.init disks (fun d -> wrap (base d));
+    fault_spec = faults;
+    custom_backends = backends <> None;
+    trace;
+    rounds_done = 0;
     allocated = 0 }
 
 let disks t = t.disks
@@ -29,6 +49,11 @@ let block_size t = t.block_size
 let blocks_per_disk t = t.blocks_per_disk
 let model t = t.model
 let stats t = t.stats
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+let faults t = t.fault_spec
+let rounds_total t = t.rounds_done
+let backend t d = t.backends.(d)
 
 let check_addr t { disk; block } =
   if disk < 0 || disk >= t.disks then invalid_arg "Pdm: disk out of range";
@@ -46,7 +71,8 @@ let dedup addrs =
       end)
     addrs
 
-(* Minimal number of rounds to transfer the given distinct blocks. *)
+(* Minimal number of rounds to transfer the given distinct blocks on
+   healthy disks. *)
 let rounds_of_distinct t addrs =
   match addrs with
   | [] -> 0
@@ -66,12 +92,133 @@ let block_copy t = function
   | None -> Array.make t.block_size None
   | Some slots -> Array.copy slots
 
+(* A request runs on the slow, round-by-round scheduler whenever its
+   rounds cannot be predicted by the closed form: fault injection may
+   re-issue blocks, stragglers stretch transfers, custom backends may
+   do either, and tracing needs to see the actual rounds. *)
+let scheduled t =
+  t.trace <> None || t.fault_spec <> None || t.custom_backends
+
+let add_disk_blocks t ~op per_disk =
+  Array.iteri
+    (fun d n ->
+      if n > 0 then
+        match op with
+        | Trace.Read -> Stats.add_disk_read t.stats ~disk:d ~blocks:n
+        | Trace.Write -> Stats.add_disk_write t.stats ~disk:d ~blocks:n)
+    per_disk
+
+(* Round-by-round execution. [perform a ~attempt] completes one block
+   transfer, answering [`Done] or [`Retry] (transient fault: re-queue
+   for a later round); it raises on a lost disk. Each disk is a channel
+   draining its own queue in the independent-disks model; the head
+   model has D interchangeable channels over one queue. A transfer
+   occupies [cost] rounds of its channel, so a straggling or retried
+   block honestly delays everything queued behind it. Returns the
+   number of rounds the request took. *)
+let schedule t ~op ~addrs ~perform =
+  let queues =
+    match t.model with
+    | Independent_disks ->
+      let qs = Array.init t.disks (fun _ -> Queue.create ()) in
+      List.iter (fun a -> Queue.add a qs.(a.disk)) addrs;
+      qs
+    | Parallel_heads ->
+      let q = Queue.create () in
+      List.iter (fun a -> Queue.add a q) addrs;
+      [| q |]
+  in
+  let queue_of c =
+    match t.model with
+    | Independent_disks -> queues.(c)
+    | Parallel_heads -> queues.(0)
+  in
+  let attempts = Hashtbl.create 16 in
+  let attempt_of a = Option.value (Hashtbl.find_opt attempts a) ~default:0 in
+  let current = Array.make t.disks None in
+  let busy () = Array.exists Option.is_some current in
+  let queued () = Array.exists (fun q -> not (Queue.is_empty q)) queues in
+  let rounds_used = ref 0 in
+  while busy () || queued () do
+    let round_id = t.rounds_done + 1 in
+    let per_disk = Array.make t.disks 0 in
+    let retries = ref 0 in
+    let degraded = ref false in
+    for c = 0 to t.disks - 1 do
+      (match current.(c) with
+       | Some _ -> ()
+       | None ->
+         let q = queue_of c in
+         if not (Queue.is_empty q) then begin
+           let a = Queue.pop q in
+           current.(c) <- Some (a, t.backends.(a.disk).Backend.cost)
+         end);
+      match current.(c) with
+      | None -> ()
+      | Some (a, remaining) ->
+        let bk = t.backends.(a.disk) in
+        if bk.Backend.cost > 1 then degraded := true;
+        let remaining = remaining - 1 in
+        if remaining > 0 then current.(c) <- Some (a, remaining)
+        else begin
+          current.(c) <- None;
+          match perform a ~attempt:(attempt_of a) with
+          | `Done -> per_disk.(a.disk) <- per_disk.(a.disk) + 1
+          | `Retry ->
+            incr retries;
+            degraded := true;
+            let next = attempt_of a + 1 in
+            if next > bk.Backend.max_retries then
+              raise
+                (Backend.Retries_exhausted
+                   { disk = a.disk; block = a.block; attempts = next });
+            Hashtbl.replace attempts a next;
+            Queue.add a (queue_of c)
+        end
+    done;
+    t.rounds_done <- t.rounds_done + 1;
+    incr rounds_used;
+    (match t.trace with
+     | None -> ()
+     | Some tr ->
+       Trace.record tr
+         { Trace.round = round_id; op; per_disk; retries = !retries;
+           degraded = !degraded });
+    add_disk_blocks t ~op per_disk
+  done;
+  !rounds_used
+
 let read t addrs =
   List.iter (check_addr t) addrs;
   let addrs = dedup addrs in
-  let rounds = rounds_of_distinct t addrs in
-  Stats.add_read_round t.stats ~blocks:(List.length addrs) ~rounds;
-  List.map (fun a -> (a, block_copy t t.store.(a.disk).(a.block))) addrs
+  if scheduled t then begin
+    let results = ref [] in
+    let perform a ~attempt =
+      match t.backends.(a.disk).Backend.read ~attempt a.block with
+      | Backend.Data d ->
+        results := (a, block_copy t d) :: !results;
+        `Done
+      | Backend.Transient -> `Retry
+      | Backend.Lost -> raise (Backend.Disk_failed a.disk)
+    in
+    let rounds = schedule t ~op:Trace.Read ~addrs ~perform in
+    Stats.add_read_round t.stats ~blocks:(List.length !results) ~rounds;
+    !results
+  end
+  else begin
+    let rounds = rounds_of_distinct t addrs in
+    Stats.add_read_round t.stats ~blocks:(List.length addrs) ~rounds;
+    t.rounds_done <- t.rounds_done + rounds;
+    List.map
+      (fun a ->
+        Stats.add_disk_read t.stats ~disk:a.disk ~blocks:1;
+        match t.backends.(a.disk).Backend.read ~attempt:0 a.block with
+        | Backend.Data d -> (a, block_copy t d)
+        | Backend.Transient | Backend.Lost ->
+          (* the default backend is fault-free *)
+          assert false)
+      addrs
+  end
 
 let read_one t a =
   match read t [ a ] with
@@ -81,29 +228,49 @@ let read_one t a =
 let store_block t a slots =
   if Array.length slots <> t.block_size then
     invalid_arg "Pdm.write: block has wrong length";
-  if t.store.(a.disk).(a.block) = None then t.allocated <- t.allocated + 1;
-  t.store.(a.disk).(a.block) <- Some (Array.copy slots)
+  let bk = t.backends.(a.disk) in
+  if bk.Backend.peek a.block = None then t.allocated <- t.allocated + 1;
+  bk.Backend.write a.block (Array.copy slots)
 
 let write t blocks =
   List.iter (fun (a, _) -> check_addr t a) blocks;
   let addrs = List.map fst blocks in
   if List.length (dedup addrs) <> List.length addrs then
     invalid_arg "Pdm.write: duplicate address in one request";
-  let rounds = rounds_of_distinct t addrs in
-  Stats.add_write_round t.stats ~blocks:(List.length blocks) ~rounds;
-  List.iter (fun (a, slots) -> store_block t a slots) blocks
+  if scheduled t then begin
+    let contents = Hashtbl.create 16 in
+    List.iter (fun (a, slots) -> Hashtbl.replace contents a slots) blocks;
+    let perform a ~attempt:_ =
+      store_block t a (Hashtbl.find contents a);
+      `Done
+    in
+    let rounds = schedule t ~op:Trace.Write ~addrs ~perform in
+    Stats.add_write_round t.stats ~blocks:(List.length blocks) ~rounds
+  end
+  else begin
+    let rounds = rounds_of_distinct t addrs in
+    Stats.add_write_round t.stats ~blocks:(List.length blocks) ~rounds;
+    t.rounds_done <- t.rounds_done + rounds;
+    List.iter
+      (fun (a, slots) ->
+        Stats.add_disk_write t.stats ~disk:a.disk ~blocks:1;
+        store_block t a slots)
+      blocks
+  end
 
 let write_one t a slots = write t [ (a, slots) ]
 
 let peek t a =
   check_addr t a;
-  block_copy t t.store.(a.disk).(a.block)
+  block_copy t (t.backends.(a.disk).Backend.peek a.block)
 
 let poke t a slots =
   check_addr t a;
   if Array.length slots <> t.block_size then
     invalid_arg "Pdm.poke: block has wrong length";
-  store_block t a slots
+  let bk = t.backends.(a.disk) in
+  if bk.Backend.peek a.block = None then t.allocated <- t.allocated + 1;
+  bk.Backend.poke a.block (Some (Array.copy slots))
 
 let allocated_blocks t = t.allocated
 
@@ -111,14 +278,17 @@ let capacity_items t = t.disks * t.blocks_per_disk * t.block_size
 
 let iter_allocated t f =
   for d = 0 to t.disks - 1 do
+    let bk = t.backends.(d) in
     for b = 0 to t.blocks_per_disk - 1 do
-      match t.store.(d).(b) with
+      match bk.Backend.peek b with
       | None -> ()
       | Some slots -> f { disk = d; block = b } slots
     done
   done
 
-(* Persistence: geometry and store only; counters restart at zero. *)
+(* Persistence: geometry and store only; counters restart at zero and
+   the reloaded machine always has plain in-memory backends (fault
+   schedules and traces are run-time configuration, not state). *)
 type 'a snapshot_on_disk = {
   s_disks : int;
   s_block_size : int;
@@ -136,7 +306,8 @@ let save_to_file t path =
       Marshal.to_channel oc
         { s_disks = t.disks; s_block_size = t.block_size;
           s_blocks_per_disk = t.blocks_per_disk; s_model = t.model;
-          s_store = t.store; s_allocated = t.allocated }
+          s_store = Array.map (fun b -> b.Backend.dump ()) t.backends;
+          s_allocated = t.allocated }
         [])
 
 let load_from_file path =
@@ -147,5 +318,11 @@ let load_from_file path =
       let s : 'a snapshot_on_disk = Marshal.from_channel ic in
       { disks = s.s_disks; block_size = s.s_block_size;
         blocks_per_disk = s.s_blocks_per_disk; model = s.s_model;
-        stats = Stats.create (); store = s.s_store;
+        stats = Stats.create ();
+        backends =
+          Array.mapi (fun d store -> Backend.of_store ~disk:d store) s.s_store;
+        fault_spec = None;
+        custom_backends = false;
+        trace = None;
+        rounds_done = 0;
         allocated = s.s_allocated })

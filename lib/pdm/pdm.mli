@@ -13,12 +13,28 @@
     charges that many. Duplicate block addresses within one request are
     coalesced.
 
+    Each disk is a first-class {!Backend.t}. The default is the
+    original in-memory array; passing [?faults] wraps every disk in a
+    deterministic fault schedule ({!Fault}), and passing or attaching
+    [?trace] records every parallel round into a {!Trace.t} ring
+    buffer. Under faults (or custom backends, or tracing) requests run
+    on a round-by-round scheduler: a transiently failed block read is
+    re-issued in a later round and a straggling disk's transfers
+    occupy k rounds each, so the charged parallel I/Os honestly
+    include retries and slow hardware — the structures above the
+    {!read}/{!write} API survive unchanged and simply cost more.
+    Reads from a permanently failed disk raise {!Backend.Disk_failed};
+    a block that keeps failing past the retry budget raises
+    {!Backend.Retries_exhausted}. Without faults, custom backends or
+    tracing, requests take the original closed-form fast path and
+    charge bit-identical costs to the pre-backend simulator.
+
     Blocks are exposed as ['a option array] copies: [None] marks an
     empty slot. Mutating a returned block does not change the disk; all
     updates go through {!write}, so every byte that reaches a disk is
-    counted. [peek] and [poke] bypass accounting and exist for tests
-    and construction-time bulk loading only — production code paths
-    never use them. *)
+    counted. [peek] and [poke] bypass accounting and fault injection
+    and exist for tests and construction-time bulk loading only —
+    production code paths never use them. *)
 
 type model =
   | Independent_disks  (** one block per disk per round (the PDM) *)
@@ -32,13 +48,19 @@ type addr = { disk : int; block : int }
 val create :
   ?model:model ->
   ?stats:Stats.t ->
+  ?trace:Trace.t ->
+  ?faults:Fault.spec ->
+  ?backends:(int -> 'a Backend.t) ->
   disks:int ->
   block_size:int ->
   blocks_per_disk:int ->
   unit ->
   'a t
 (** Fresh machine with all slots empty. Defaults: [model =
-    Independent_disks], a private stats object. *)
+    Independent_disks], a private stats object, no tracing, no
+    faults, in-memory backends. [backends] supplies a custom backend
+    per disk (capacity and disk index must match the geometry);
+    [faults] wraps whatever backend each disk has. *)
 
 val disks : 'a t -> int
 val block_size : 'a t -> int
@@ -46,14 +68,29 @@ val blocks_per_disk : 'a t -> int
 val model : 'a t -> model
 val stats : 'a t -> Stats.t
 
+val trace : 'a t -> Trace.t option
+
+val set_trace : 'a t -> Trace.t option -> unit
+(** Attach or detach a round trace at run time. *)
+
+val faults : 'a t -> Fault.spec option
+
+val backend : 'a t -> int -> 'a Backend.t
+(** The backend serving one disk (after fault wrapping). *)
+
+val rounds_total : 'a t -> int
+(** Parallel rounds executed by this machine since creation — the
+    global round ids appearing in trace events. *)
+
 val read : 'a t -> addr list -> (addr * 'a option array) list
 (** [read t addrs] fetches the requested blocks, charging the minimal
-    number of parallel read rounds. Unwritten blocks read as all-empty.
-    The result lists each distinct requested address exactly once, in
-    unspecified order. *)
+    number of parallel read rounds (plus any rounds injected faults
+    cost). Unwritten blocks read as all-empty. The result lists each
+    distinct requested address exactly once, in unspecified order. *)
 
 val read_one : 'a t -> addr -> 'a option array
-(** Read a single block: exactly one parallel I/O. *)
+(** Read a single block: exactly one parallel I/O (more under
+    faults). *)
 
 val write : 'a t -> (addr * 'a option array) list -> unit
 (** [write t blocks] stores the given blocks, charging the minimal
@@ -64,13 +101,16 @@ val write_one : 'a t -> addr -> 'a option array -> unit
 
 val rounds_for : 'a t -> addr list -> int
 (** Number of parallel I/Os {!read} would charge for these addresses
-    (after coalescing duplicates), without performing the access. *)
+    (after coalescing duplicates), without performing the access. On a
+    faulty machine this is the fault-free lower bound: retries and
+    straggling can only add rounds. *)
 
 val peek : 'a t -> addr -> 'a option array
-(** Uncounted read — tests and invariant checks only. *)
+(** Uncounted, fault-free read — tests and invariant checks only. *)
 
 val poke : 'a t -> addr -> 'a option array -> unit
-(** Uncounted write — tests and bulk initialisation only. *)
+(** Uncounted, fault-free write — tests and bulk initialisation
+    only. *)
 
 val allocated_blocks : 'a t -> int
 (** Number of blocks that have ever been written (space usage). *)
@@ -90,5 +130,6 @@ val save_to_file : 'a t -> string -> unit
 
 val load_from_file : string -> 'a t
 (** Inverse of {!save_to_file}. The caller is responsible for the
-    element type matching what was saved (as with any [Marshal]
-    use). *)
+    element type matching what was saved (as with any [Marshal] use).
+    The loaded machine has plain in-memory backends — fault schedules
+    and traces are run-time configuration, not persisted state. *)

@@ -4,8 +4,10 @@
     paper — is the number of *parallel I/Os*: rounds in which each of
     the D disks transfers at most one block (or, in the parallel disk
     head model, rounds of at most D blocks in total). This module
-    counts those rounds, and also raw block transfers, so experiments
-    can report both.
+    counts those rounds, raw block transfers, and — because the whole
+    point of deterministic load balancing is that no single disk
+    becomes a hot spot — per-disk block counters, so experiments can
+    report balance as well as totals.
 
     Counters are mutable; {!snapshot} captures an immutable view so the
     cost of a single operation can be measured as a difference. *)
@@ -17,6 +19,8 @@ type snapshot = {
   parallel_writes : int;  (** write rounds *)
   block_reads : int;      (** individual blocks read *)
   block_writes : int;     (** individual blocks written *)
+  disk_reads : int array;   (** blocks read, per disk *)
+  disk_writes : int array;  (** blocks written, per disk *)
 }
 
 val create : unit -> t
@@ -29,10 +33,18 @@ val add_read_round : t -> blocks:int -> rounds:int -> unit
 
 val add_write_round : t -> blocks:int -> rounds:int -> unit
 
+val add_disk_read : t -> disk:int -> blocks:int -> unit
+(** Attribute [blocks] read blocks to one disk. The per-disk arrays
+    grow on demand, so one stats object can serve machines of
+    different widths. *)
+
+val add_disk_write : t -> disk:int -> blocks:int -> unit
+
 val snapshot : t -> snapshot
 
 val diff : after:snapshot -> before:snapshot -> snapshot
-(** Component-wise subtraction. *)
+(** Component-wise subtraction (per-disk arrays are padded to the
+    wider of the two). *)
 
 val parallel_ios : snapshot -> int
 (** Total parallel I/Os: read rounds + write rounds. *)
@@ -41,7 +53,18 @@ val zero : snapshot
 
 val add : snapshot -> snapshot -> snapshot
 
+val disk_totals : snapshot -> int array
+(** Blocks transferred per disk, reads + writes. *)
+
+type occupancy = { max_load : int; mean_load : float }
+
+val occupancy : snapshot -> occupancy option
+(** Max and mean of {!disk_totals}; [None] when no per-disk traffic
+    was recorded. A max/mean ratio near 1 is a balanced run. *)
+
 val pp : Format.formatter -> snapshot -> unit
+(** Totals, plus the max/mean disk-occupancy summary when per-disk
+    counters are present. *)
 
 val measure : t -> (unit -> 'a) -> 'a * snapshot
 (** [measure stats f] runs [f] and returns its result together with the

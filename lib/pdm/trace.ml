@@ -1,0 +1,210 @@
+type op = Read | Write
+
+type event = {
+  round : int;
+  op : op;
+  per_disk : int array;
+  retries : int;
+  degraded : bool;
+}
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (* slot the next event goes into *)
+  mutable count : int;  (* events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { buf = Array.make capacity None; next = 0; count = 0 }
+
+let capacity t = Array.length t.buf
+
+let recorded t = t.count
+
+let length t = min t.count (capacity t)
+
+let dropped t = t.count - length t
+
+let record t e =
+  t.buf.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod capacity t;
+  t.count <- t.count + 1
+
+let events t =
+  let n = length t in
+  let cap = capacity t in
+  let first = (t.next - n + cap * 2) mod cap in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.next <- 0;
+  t.count <- 0
+
+let per_disk_totals evs =
+  let width =
+    List.fold_left (fun w e -> max w (Array.length e.per_disk)) 0 evs
+  in
+  let reads = Array.make width 0 and writes = Array.make width 0 in
+  List.iter
+    (fun e ->
+      let into = match e.op with Read -> reads | Write -> writes in
+      Array.iteri (fun d n -> into.(d) <- into.(d) + n) e.per_disk)
+    evs;
+  (reads, writes)
+
+let op_name = function Read -> "read" | Write -> "write"
+
+let event_to_json e =
+  Printf.sprintf
+    {|{"round":%d,"op":"%s","per_disk":[%s],"retries":%d,"degraded":%b}|}
+    e.round (op_name e.op)
+    (String.concat "," (Array.to_list (Array.map string_of_int e.per_disk)))
+    e.retries e.degraded
+
+(* A tiny scanner for exactly the object shape we emit. Fields may
+   appear in any order; whitespace between tokens is tolerated. *)
+let event_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let eat c =
+    skip_ws ();
+    if !pos < n && line.[!pos] = c then (incr pos; true) else false
+  in
+  let scan_int () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < n && line.[!pos] = '-' then incr pos;
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do incr pos done;
+    if !pos = start then None
+    else int_of_string_opt (String.sub line start (!pos - start))
+  in
+  let scan_lit lit =
+    skip_ws ();
+    let l = String.length lit in
+    if !pos + l <= n && String.sub line !pos l = lit then (pos := !pos + l; true)
+    else false
+  in
+  let scan_string () =
+    skip_ws ();
+    if not (eat '"') then None
+    else begin
+      let start = !pos in
+      while !pos < n && line.[!pos] <> '"' do incr pos done;
+      if !pos >= n then None
+      else begin
+        let s = String.sub line start (!pos - start) in
+        incr pos;
+        Some s
+      end
+    end
+  in
+  let round = ref None and op = ref None and per_disk = ref None in
+  let retries = ref None and degraded = ref None in
+  let field () =
+    match scan_string () with
+    | None -> false
+    | Some key ->
+      eat ':'
+      && (match key with
+          | "round" ->
+            (match scan_int () with
+             | Some v -> round := Some v; true
+             | None -> false)
+          | "retries" ->
+            (match scan_int () with
+             | Some v -> retries := Some v; true
+             | None -> false)
+          | "op" ->
+            (match scan_string () with
+             | Some "read" -> op := Some Read; true
+             | Some "write" -> op := Some Write; true
+             | Some _ | None -> false)
+          | "degraded" ->
+            if scan_lit "true" then (degraded := Some true; true)
+            else if scan_lit "false" then (degraded := Some false; true)
+            else false
+          | "per_disk" ->
+            if not (eat '[') then false
+            else begin
+              let vals = ref [] in
+              let ok = ref true in
+              (skip_ws ();
+               if !pos < n && line.[!pos] = ']' then incr pos
+               else
+                 let continue = ref true in
+                 while !continue do
+                   match scan_int () with
+                   | Some v ->
+                     vals := v :: !vals;
+                     if eat ',' then ()
+                     else if eat ']' then continue := false
+                     else (ok := false; continue := false)
+                   | None -> ok := false; continue := false
+                 done);
+              if !ok then
+                (per_disk := Some (Array.of_list (List.rev !vals)); true)
+              else false
+            end
+          | _ -> false)
+  in
+  let ok =
+    eat '{'
+    && (let more = ref true and good = ref true in
+        while !more && !good do
+          if not (field ()) then good := false
+          else if eat ',' then ()
+          else more := false
+        done;
+        !good)
+    && eat '}'
+  in
+  if not ok then None
+  else
+    match (!round, !op, !per_disk, !retries, !degraded) with
+    | Some round, Some op, Some per_disk, Some retries, Some degraded ->
+      Some { round; op; per_disk; retries; degraded }
+    | _ -> None
+
+let export_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (event_to_json e);
+          output_char oc '\n')
+        (events t))
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc lineno =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> loop acc (lineno + 1)
+        | line ->
+          (match event_of_json line with
+           | Some e -> loop (e :: acc) (lineno + 1)
+           | None ->
+             failwith
+               (Printf.sprintf "Trace.load_jsonl: malformed event at %s:%d"
+                  path lineno))
+      in
+      loop [] 1)
+
+let pp_event ppf e =
+  Format.fprintf ppf "round %d %s [%s]%s%s" e.round (op_name e.op)
+    (String.concat ";" (Array.to_list (Array.map string_of_int e.per_disk)))
+    (if e.retries > 0 then Printf.sprintf " %d retried" e.retries else "")
+    (if e.degraded then " (degraded)" else "")

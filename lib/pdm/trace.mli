@@ -1,0 +1,69 @@
+(** Per-round I/O tracing for the PDM simulator.
+
+    When a machine is created with a trace attached, every parallel
+    round it executes is recorded as one structured {!event}: the
+    global round id, whether it was a read or a write round, how many
+    blocks each disk completed, how many transfers failed transiently
+    (and were re-issued later), and whether the round was degraded —
+    i.e. involved a straggling transfer or a retry.
+
+    Events land in a fixed-capacity ring buffer: recording never
+    allocates unboundedly, old rounds fall off the front, and
+    {!dropped} says how many did. The buffer exports to JSONL (one
+    event per line) and re-imports, so a recorded run can be audited
+    offline; {!per_disk_totals} folds a trace back into per-disk block
+    counters for cross-checking against {!Stats}. *)
+
+type op = Read | Write
+
+type event = {
+  round : int;  (** Global round id (reads and writes share it). *)
+  op : op;
+  per_disk : int array;  (** Blocks completed per disk this round. *)
+  retries : int;  (** Transient failures observed this round. *)
+  degraded : bool;  (** Straggler transfer or retry involved. *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer holding the last [capacity] (default 4096) rounds. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (<= capacity). *)
+
+val recorded : t -> int
+(** Events ever recorded, including dropped ones. *)
+
+val dropped : t -> int
+(** Events that fell off the front: [recorded - length]. *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val per_disk_totals : event list -> int array * int array
+(** [(reads, writes)]: blocks completed per disk, summed over the
+    events. The arrays are as long as the widest [per_disk] seen. *)
+
+val event_to_json : event -> string
+(** One-line JSON object, e.g.
+    [{"round":3,"op":"read","per_disk":[1,0,2],"retries":1,"degraded":true}]. *)
+
+val event_of_json : string -> event option
+(** Inverse of {!event_to_json} (accepts exactly the shape it emits,
+    with flexible whitespace). [None] on malformed input. *)
+
+val export_jsonl : t -> string -> unit
+(** Write all held events, oldest first, one JSON object per line. *)
+
+val load_jsonl : string -> event list
+(** Read a file written by {!export_jsonl}, skipping blank lines.
+    Raises [Failure] on a malformed line. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -6,4 +6,5 @@ let () =
         Test_baselines.suite; Test_workload.suite;
         Test_experiments.suite; Test_model.suite;
         Test_extensions.suite; Test_ablations.suite;
-        Test_wave3.suite; Test_soak.suite; Test_fs.suite; Test_fs_model.suite; Test_properties.suite ])
+        Test_wave3.suite; Test_soak.suite; Test_fs.suite; Test_fs_model.suite; Test_properties.suite;
+        Test_fault_trace.suite ])

@@ -465,3 +465,71 @@ let suite =
   suite
   @ [ ("pdm.striping_more",
        [ Alcotest.test_case "write_many" `Quick test_striping_write_many ]) ]
+
+(* --- cost-model properties on the scheduler path (appended) ---
+
+   [rounds_for] must equal the rounds [read] actually charges in both
+   machine models, whether the request runs on the closed-form fast
+   path or on the round-by-round scheduler (trace attached), and
+   duplicate addresses must coalesce identically on all four paths. *)
+
+let prop_head_read_charges_rounds_for =
+  QCheck.Test.make ~name:"head model: read charges exactly rounds_for"
+    ~count:200 addrs_arbitrary
+    (fun addrs ->
+      let t : int Pdm.t = mk ~model:Pdm.Parallel_heads ~disks:4 ~blocks:8 () in
+      let expected = Pdm.rounds_for t addrs in
+      ignore (Pdm.read t addrs);
+      ios t = expected)
+
+let scheduled_read_matches model addrs =
+  let t : int Pdm.t =
+    Pdm.create ?model ~trace:(Trace.create ()) ~disks:4 ~block_size:8
+      ~blocks_per_disk:8 ()
+  in
+  let expected = Pdm.rounds_for t addrs in
+  let result = Pdm.read t addrs in
+  (* Scheduler charges exactly the closed form when disks are healthy,
+     the trace saw one event per round, and coalescing still returns
+     each distinct address exactly once. *)
+  ios t = expected
+  && Trace.recorded (Option.get (Pdm.trace t)) = expected
+  && List.length result = List.length (List.sort_uniq compare addrs)
+
+let prop_scheduled_read_charges_rounds_for =
+  QCheck.Test.make
+    ~name:"scheduler path (independent): read charges exactly rounds_for"
+    ~count:200 addrs_arbitrary
+    (fun addrs -> scheduled_read_matches None addrs)
+
+let prop_scheduled_head_read_charges_rounds_for =
+  QCheck.Test.make
+    ~name:"scheduler path (heads): read charges exactly rounds_for" ~count:200
+    addrs_arbitrary
+    (fun addrs -> scheduled_read_matches (Some Pdm.Parallel_heads) addrs)
+
+let prop_duplicates_coalesce =
+  QCheck.Test.make ~name:"duplicated request list costs the same" ~count:200
+    addrs_arbitrary
+    (fun addrs ->
+      let cost scheduled addrs =
+        let t : int Pdm.t =
+          if scheduled then
+            Pdm.create ~trace:(Trace.create ()) ~disks:4 ~block_size:8
+              ~blocks_per_disk:8 ()
+          else mk ~disks:4 ~blocks:8 ()
+        in
+        ignore (Pdm.read t addrs);
+        ios t
+      in
+      let doubled = addrs @ addrs in
+      cost false doubled = cost false addrs
+      && cost true doubled = cost true addrs)
+
+let suite =
+  suite
+  @ [ ("pdm.properties_scheduler",
+       [ QCheck_alcotest.to_alcotest prop_head_read_charges_rounds_for;
+         QCheck_alcotest.to_alcotest prop_scheduled_read_charges_rounds_for;
+         QCheck_alcotest.to_alcotest prop_scheduled_head_read_charges_rounds_for;
+         QCheck_alcotest.to_alcotest prop_duplicates_coalesce ]) ]
