@@ -40,7 +40,8 @@ let print_experiments () =
   Table.print (Scale_exp.to_table (Scale_exp.run ()));
   Table.print (Realtime_exp.to_table (Realtime_exp.run ()));
   Table.print (Cache_exp.to_table (Cache_exp.run ()));
-  Table.print (Fault_exp.to_table (Fault_exp.run ()))
+  Table.print (Fault_exp.to_table (Fault_exp.run ()));
+  Table.print (Repair_exp.to_table (Repair_exp.run ()))
 
 (* --- wall-clock microbenchmarks --- *)
 
@@ -184,6 +185,34 @@ let ov_traced : int Pdm.t Lazy.t =
      done;
      m)
 
+let ov_replicated : int Pdm.t Lazy.t =
+  lazy
+    (let m =
+       Pdm.create ~replicas:2 ~disks ~block_size:block_words
+         ~blocks_per_disk:ov_blocks ()
+     in
+     for d = 0 to disks - 1 do
+       for b = 0 to ov_blocks - 1 do
+         Pdm.poke m { Pdm.disk = d; block = b }
+           (Array.make block_words (Some (d + b)))
+       done
+     done;
+     m)
+
+let ov_checksummed : int Pdm.t Lazy.t =
+  lazy
+    (let m =
+       Pdm.create ~integrity:Pdm_dictionary.Codec.Checksum.integrity ~disks
+         ~block_size:block_words ~blocks_per_disk:ov_blocks ()
+     in
+     for d = 0 to disks - 1 do
+       for b = 0 to ov_blocks - 1 do
+         Pdm.poke m { Pdm.disk = d; block = b }
+           (Array.make block_words (Some (d + b)))
+       done
+     done;
+     m)
+
 let ov_raw =
   lazy
     (Array.init disks (fun d ->
@@ -240,7 +269,13 @@ let op_tests =
            ignore (Pdm.read_one (Lazy.force ov_machine) (ov_next ()))));
     Test.make ~name:"overhead.pdm_read_one_traced"
       (Staged.stage (fun () ->
-           ignore (Pdm.read_one (Lazy.force ov_traced) (ov_next ())))) ]
+           ignore (Pdm.read_one (Lazy.force ov_traced) (ov_next ()))));
+    Test.make ~name:"overhead.pdm_read_one_replicated"
+      (Staged.stage (fun () ->
+           ignore (Pdm.read_one (Lazy.force ov_replicated) (ov_next ()))));
+    Test.make ~name:"overhead.pdm_read_one_checksummed"
+      (Staged.stage (fun () ->
+           ignore (Pdm.read_one (Lazy.force ov_checksummed) (ov_next ())))) ]
 
 (* One Test.make per experiment driver (reduced scale), so regressions
    in whole-experiment wall time are visible. *)
@@ -275,7 +310,9 @@ let experiment_tests =
     Test.make ~name:"exp.extensions"
       (Staged.stage (fun () -> ignore (Extensions_exp.run ())));
     Test.make ~name:"exp.faults"
-      (Staged.stage (fun () -> ignore (Fault_exp.run ~n:500 ~lookups:300 ()))) ]
+      (Staged.stage (fun () -> ignore (Fault_exp.run ~n:500 ~lookups:300 ())));
+    Test.make ~name:"exp.repair"
+      (Staged.stage (fun () -> ignore (Repair_exp.run ~n:500 ~lookups:200 ()))) ]
 
 let run_bechamel tests =
   let open Bechamel in

@@ -93,16 +93,31 @@ let experiments =
     { id = "faults"; doc = "Fault injection: degradation and balance (E16)";
       exec =
         (fun ~n ~block_words:_ ~seed ->
-          print_table (Fault_exp.to_table (Fault_exp.run ?n ?seed ()))) } ]
+          print_table (Fault_exp.to_table (Fault_exp.run ?n ?seed ()))) };
+    { id = "repair"; doc = "Replication & repair: disk death survival (E17)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          print_table (Repair_exp.to_table (Repair_exp.run ?n ?seed ()))) } ]
+
+(* Storage failures escape as exceptions with structured context
+   (disk, block, round); render them as user errors, not crashes. *)
+let storage_guard f =
+  try f () with
+  | e ->
+    (match Pdm_sim.Backend.describe e with
+     | Some m -> `Error (false, m)
+     | None -> raise e)
 
 let run_one id ~n ~block_words ~seed =
   match List.find_opt (fun s -> s.id = id) experiments with
   | Some s ->
-    s.exec ~n ~block_words ~seed;
-    `Ok ()
+    storage_guard (fun () ->
+        s.exec ~n ~block_words ~seed;
+        `Ok ())
   | None when id = "all" ->
-    List.iter (fun s -> s.exec ~n ~block_words ~seed) experiments;
-    `Ok ()
+    storage_guard (fun () ->
+        List.iter (fun s -> s.exec ~n ~block_words ~seed) experiments;
+        `Ok ())
   | None ->
     `Error
       (false,
@@ -324,14 +339,15 @@ let run_trace faults_str ops seed ring out =
          permanently dead disk (or a hopeless retry budget) is fatal
          here — report it as a user error, not a crash. *)
       try Basic.recover ~machine ~disk_offset:0 ~block_offset:0 cfg with
-      | Pdm_sim.Backend.Disk_failed d ->
+      | Pdm_sim.Backend.Disk_failed { disk; _ } ->
         failwith
           (Printf.sprintf
              "disk %d is permanently failed: the recovery scan cannot read \
               it, and every lookup touches all %d disks. Demo degraded \
-              service with transient=D:P or straggler=D:K instead."
-             d disks)
-      | Pdm_sim.Backend.Retries_exhausted { disk; block; attempts } ->
+              service with transient=D:P or straggler=D:K instead (or \
+              replicate: see the scrub subcommand)."
+             disk disks)
+      | Pdm_sim.Backend.Retries_exhausted { disk; block; attempts; _ } ->
         failwith
           (Printf.sprintf
              "recovery gave up on disk %d block %d after %d attempts; raise \
@@ -349,7 +365,14 @@ let run_trace faults_str ops seed ring out =
       | exception Pdm_sim.Backend.Retries_exhausted _ -> incr exhausted
     done;
     Iotrace.export_jsonl tr out;
-    let events = Iotrace.load_jsonl out in
+    let events =
+      match Iotrace.load_jsonl_result out with
+      | Ok evs -> evs
+      | Error err ->
+        failwith
+          (Format.asprintf "re-reading the exported trace: %a"
+             Iotrace.pp_parse_error err)
+    in
     let t_reads, t_writes = Iotrace.per_disk_totals events in
     let s = Stats.snapshot (Pdm.stats machine) in
     let pad a i = if i < Array.length a then a.(i) else 0 in
@@ -438,6 +461,133 @@ let trace_cmd =
              run_trace faults ops seed ring out)
         $ faults_arg $ ops_arg $ seed_arg' $ ring_arg $ out_arg $ csv_arg))
 
+(* --- scrub: replicated machine, injected damage, verify-and-repair --- *)
+
+let run_scrub n seed replicas spares kill corrupt =
+  match
+    let universe = 1 lsl 22 and disks = 8 and block_words = 64 in
+    if replicas < 1 || replicas > disks then
+      failwith "replicas must be in [1, 8]";
+    if spares < 0 then failwith "spares must be >= 0";
+    (match kill with
+     | Some d when d < 0 || d >= disks ->
+       failwith (Printf.sprintf "kill: disk %d out of range [0, %d)" d disks)
+     | _ -> ());
+    if Option.is_some kill && replicas < 2 then
+      failwith "killing a disk with r = 1 loses data; use --replicas 2";
+    let cfg =
+      Basic.plan ~universe ~capacity:n ~block_words ~degree:disks
+        ~value_bytes:8 ~seed ()
+    in
+    let machine =
+      Pdm.create ~disks ~block_size:block_words
+        ~blocks_per_disk:(Basic.blocks_per_disk cfg) ~replicas ~spares
+        ~integrity:Pdm_dictionary.Codec.Checksum.integrity ()
+    in
+    let dict = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+    let rng = Pdm_util.Prng.create seed in
+    let keys = Pdm_util.Sampling.distinct rng ~universe ~count:n in
+    let payload k =
+      Bytes.init 8 (fun i ->
+          Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
+    in
+    Basic.bulk_load dict (Array.map (fun k -> (k, payload k)) keys);
+    (* Inject the damage the scrub is asked to find. *)
+    let damaged = ref 0 in
+    if corrupt > 0 then
+      Pdm.iter_allocated machine (fun a _ ->
+          if !damaged < corrupt then begin
+            Pdm.damage_stored machine a ~replica:0;
+            incr damaged
+          end);
+    Option.iter (fun d -> Pdm.kill_disk machine d) kill;
+    let report = Pdm.scrub machine in
+    (* Every key must still read back correctly after repair. *)
+    let wrong = ref 0 and unavailable = ref 0 in
+    Array.iter
+      (fun k ->
+        match Basic.find dict k with
+        | Some v -> if v <> payload k then incr wrong
+        | None -> incr wrong
+        | exception e when Pdm_sim.Backend.describe e <> None ->
+          incr unavailable)
+      keys;
+    let i = string_of_int in
+    print_table
+      (Table.make
+         ~title:
+           (Printf.sprintf
+              "Scrub: n = %d keys on %d disks, r = %d, %d spare(s)%s%s"
+              n disks replicas spares
+              (match kill with
+               | Some d -> Printf.sprintf ", disk %d killed" d
+               | None -> "")
+              (if !damaged > 0 then
+                 Printf.sprintf ", %d replicas corrupted" !damaged
+               else ""))
+         ~header:[ "metric"; "count" ]
+         ~notes:
+           [ Printf.sprintf
+               "post-scrub check over all %d keys: %d wrong, %d unavailable"
+               n !wrong !unavailable;
+             Printf.sprintf
+               "repair budget: %d scan + %d repair parallel I/Os"
+               report.Pdm.scan_rounds report.Pdm.repair_rounds ]
+         [ [ "logical blocks scanned"; i report.Pdm.scanned_blocks ];
+           [ "replicas intact"; i report.Pdm.intact_replicas ];
+           [ "replicas corrupt"; i report.Pdm.corrupt_replicas ];
+           [ "replicas missing (dead disk)"; i report.Pdm.missing_replicas ];
+           [ "replicas repaired"; i report.Pdm.repaired_replicas ];
+           [ "... of which remapped to spares"; i report.Pdm.remapped_replicas ];
+           [ "replicas unrepairable"; i report.Pdm.unrepairable_replicas ];
+           [ "blocks lost (no intact copy)"; i report.Pdm.lost_blocks ] ]);
+    if !wrong > 0 || !unavailable > 0 then
+      `Error (false, "post-scrub verification failed")
+    else if report.Pdm.lost_blocks > 0 then
+      `Error (false, "scrub found unrecoverable blocks")
+    else `Ok ()
+  with
+  | result -> result
+  | exception Failure m -> `Error (false, m)
+  | exception e when Pdm_sim.Backend.describe e <> None ->
+    `Error (false, Option.get (Pdm_sim.Backend.describe e))
+
+let scrub_cmd =
+  let doc = "verify checksums and re-replicate onto spares" in
+  let n_arg' =
+    Arg.(value & opt int 2_000
+         & info [ "n" ] ~docv:"N" ~doc:"Number of keys to load.")
+  in
+  let seed_arg' =
+    Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for keys and payloads.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 2 & info [ "r"; "replicas" ] ~docv:"R"
+           ~doc:"Copies of every logical block, on R distinct disks.")
+  in
+  let spares_arg =
+    Arg.(value & opt int 1 & info [ "spares" ] ~docv:"S"
+           ~doc:"Hot-spare disks available as repair targets.")
+  in
+  let kill_arg =
+    Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"D"
+           ~doc:"Kill disk D before scrubbing.")
+  in
+  let corrupt_arg =
+    Arg.(value & opt int 16 & info [ "corrupt" ] ~docv:"K"
+           ~doc:"Silently corrupt one replica of K blocks before scrubbing.")
+  in
+  Cmd.v
+    (Cmd.info "scrub" ~doc)
+    Term.(
+      ret
+        (const (fun n seed replicas spares kill corrupt csv ->
+             if csv then emit := Table.print_csv;
+             run_scrub n seed replicas spares kill corrupt)
+        $ n_arg' $ seed_arg' $ replicas_arg $ spares_arg $ kill_arg
+        $ corrupt_arg $ csv_arg))
+
 let main =
   let doc =
     "deterministic dictionaries in the parallel disk model — experiment \
@@ -445,6 +595,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; plan_cmd; trace_cmd ]
+    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd ]
 
 let () = exit (Cmd.eval main)

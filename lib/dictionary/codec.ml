@@ -1,4 +1,5 @@
 module Imath = Pdm_util.Imath
+module Prng = Pdm_util.Prng
 
 let bits_per_word = 32
 
@@ -91,4 +92,37 @@ module Slots = struct
       else loop (i + 1)
     in
     loop 0
+end
+
+module Checksum = struct
+  let overhead = 1
+
+  (* Position-sensitive keyed fold, so swapped, rotated or altered
+     cells all change the sum; empty and zero-valued cells are kept
+     distinct by the odd/even encoding. *)
+  let sum payload =
+    let h = ref 0x5cab5 in
+    Array.iteri
+      (fun i cell ->
+        let enc =
+          match cell with None -> 0 | Some v -> (2 * Prng.mix64 v) + 1
+        in
+        h := Prng.hash2 ~seed:!h i enc)
+      payload;
+    !h
+
+  let seal payload = Array.append payload [| Some (sum payload) |]
+
+  let check stored =
+    let n = Array.length stored in
+    if n < 1 then None
+    else
+      match stored.(n - 1) with
+      | None -> None
+      | Some c ->
+        let payload = Array.sub stored 0 (n - 1) in
+        if sum payload = c then Some payload else None
+
+  let integrity : int Pdm_sim.Pdm.integrity =
+    { Pdm_sim.Pdm.tag = "keyed-checksum"; overhead; seal; check }
 end

@@ -56,3 +56,26 @@ module Slots : sig
 
   val first_free : int option array -> width:int -> int option
 end
+
+(** The standard block-integrity envelope for [int] machines: one
+    extra cell holding a position-sensitive keyed checksum of the
+    payload, so silent corruption — a flipped value, a swapped or
+    rotated cell, a damaged checksum — is detected on read and the
+    machine fails over to another replica ({!Pdm_sim.Pdm.create}
+    [?integrity]). *)
+module Checksum : sig
+  val overhead : int
+  (** 1: a sealed block is [block_size + 1] cells. *)
+
+  val sum : int option array -> int
+  (** The keyed checksum of a payload. *)
+
+  val seal : int option array -> int option array
+  (** Payload + checksum cell (fresh array). *)
+
+  val check : int option array -> int option array option
+  (** [Some payload] when the stored image is intact, else [None]. *)
+
+  val integrity : int Pdm_sim.Pdm.integrity
+  (** The envelope, ready to pass to [Pdm.create ?integrity]. *)
+end

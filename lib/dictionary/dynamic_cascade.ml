@@ -1,4 +1,5 @@
 module Pdm = Pdm_sim.Pdm
+module Journal = Pdm_sim.Journal
 module Bipartite = Pdm_expander.Bipartite
 module Seeded = Pdm_expander.Seeded
 module Imath = Pdm_util.Imath
@@ -16,10 +17,12 @@ type config = {
 type t = {
   cfg : config;
   machine : int Pdm.t;
-  membership : Basic_dict.t;
+  mutable membership : Basic_dict.t;
   arrays : Field_store.t array;  (* A_1 .. A_l *)
   m : int;                       (* fields per key, 2d/3 *)
   field_bits : int;
+  journal : Journal.t option;
+  mutable crash : Journal.crash_point option;
   mutable size : int;
 }
 
@@ -64,7 +67,13 @@ let validate cfg =
     invalid_arg "Dynamic_cascade: level index is one byte";
   if cfg.v_factor < 2 then invalid_arg "Dynamic_cascade: v_factor >= 2"
 
-let create ~block_words cfg =
+(* Worst update batch under the journal: the membership bucket plus
+   one block per claimed field. *)
+let journal_capacity cfg ~block_words =
+  let entries = 1 + frag_count cfg in
+  Imath.cdiv (entries * (block_words + 2)) block_words
+
+let create ?(journaled = false) ~block_words cfg =
   validate cfg;
   let d = cfg.degree in
   let field_bits = field_bits_of cfg in
@@ -81,11 +90,24 @@ let create ~block_words cfg =
     Basic_dict.plan ~universe:cfg.universe ~capacity:cfg.capacity ~block_words
       ~degree:d ~value_bytes:membership_value_bytes ~seed:(cfg.seed + 1000) ()
   in
-  let blocks_per_disk =
+  let data_blocks =
     max fields_total_blocks (Basic_dict.blocks_per_disk mem_cfg)
   in
+  let disks = 2 * d in
+  let jcap = journal_capacity cfg ~block_words in
+  let blocks_per_disk =
+    if journaled then data_blocks + Journal.rows ~disks ~capacity_blocks:jcap
+    else data_blocks
+  in
   let machine =
-    Pdm.create ~disks:(2 * d) ~block_size:block_words ~blocks_per_disk ()
+    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk ()
+  in
+  let journal =
+    if journaled then
+      Some
+        (Journal.create machine ~block_offset:data_blocks
+           ~capacity_blocks:jcap)
+    else None
   in
   let membership =
     Basic_dict.create ~machine ~disk_offset:d ~block_offset:0 mem_cfg
@@ -103,13 +125,48 @@ let create ~block_words cfg =
         fs)
       sizes
   in
-  { cfg; machine; membership; arrays; m = frag_count cfg; field_bits; size = 0 }
+  { cfg; machine; membership; arrays; m = frag_count cfg; field_bits;
+    journal; crash = None; size = 0 }
 
 let config t = t.cfg
 let machine t = t.machine
 let levels t = Array.length t.arrays
 let level_fields t = Array.map (fun fs -> Bipartite.v (Field_store.graph fs)) t.arrays
 let size t = t.size
+let journaled t = t.journal <> None
+
+let set_crash t crash =
+  if t.journal = None && crash <> None then
+    invalid_arg "Dynamic_cascade.set_crash: dictionary is not journaled";
+  t.crash <- crash
+
+(* Every multi-block update flows through here: journaled
+   dictionaries get the write-ahead protocol (and the injected crash
+   point, if any), plain ones the direct combined write round. *)
+let write_batch t blocks =
+  match t.journal with
+  | None -> Pdm.write t.machine blocks
+  | Some j -> Journal.log_and_apply j ?crash:t.crash blocks
+
+let recover t =
+  match t.journal with
+  | None -> `Clean
+  | Some j ->
+    t.crash <- None;
+    let outcome =
+      Journal.recover t.machine ~block_offset:(Journal.block_offset j)
+        ~capacity_blocks:(Journal.capacity_blocks j)
+    in
+    (* In-memory counters may be torn even when the disk state is
+       whole (a crash before the commit point still interrupted
+       [prepare_insert]'s accounting): rebuild the membership handle
+       from disk and trust it, whatever the journal said. *)
+    let mc = Basic_dict.config t.membership in
+    t.membership <-
+      Basic_dict.recover ~machine:t.machine ~disk_offset:t.cfg.degree
+        ~block_offset:0 mc;
+    t.size <- Basic_dict.size t.membership;
+    outcome
 
 let decode_membership bytes =
   (Char.code (Bytes.get bytes 0), Char.code (Bytes.get bytes 1))
@@ -185,7 +242,7 @@ let insert t key satellite =
        let updates =
          List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
        in
-       Field_store.write_fields_in fs ~images:blocks updates)
+       write_batch t (Field_store.prepare_updates fs ~images:blocks updates))
   | None ->
     if t.size >= t.cfg.capacity then
       invalid_arg "Dynamic_cascade.insert: at capacity";
@@ -213,7 +270,7 @@ let insert t key satellite =
         in
         (* One combined write round: field blocks (disks [0,d)) and the
            membership bucket (disks [d,2d)). *)
-        Pdm.write t.machine (mem_block :: field_blocks);
+        write_batch t (mem_block :: field_blocks);
         t.size <- t.size + 1
       end
       else if level >= l then raise (Overflow key)
@@ -254,7 +311,7 @@ let delete t key =
         | Some mem_block ->
           (* Fields live on disks [0, d), membership on [d, 2d): one
              combined write round. *)
-          Pdm.write t.machine (mem_block :: field_blocks);
+          write_batch t (mem_block :: field_blocks);
           t.size <- t.size - 1;
           true))
 

@@ -40,8 +40,12 @@ exception Overflow of int
 (** No level could offer ⌊2d/3⌋ empty fields — the capacity/expansion
     assumptions are violated. *)
 
-val create : block_words:int -> config -> t
-(** Builds the machine (2d disks) and all levels. *)
+val create : ?journaled:bool -> block_words:int -> config -> t
+(** Builds the machine (2d disks) and all levels. [journaled]
+    (default false) reserves a write-ahead journal region
+    ({!Pdm_sim.Journal}) on the machine and routes every multi-block
+    update through it, making updates atomic across crashes at the
+    cost of the journal's extra write rounds. *)
 
 val config : t -> config
 
@@ -76,3 +80,16 @@ val delete : t -> int -> bool
 
 val space_bits : t -> int
 (** Total bits across all field arrays plus the membership blocks. *)
+
+val journaled : t -> bool
+
+val set_crash : t -> Pdm_sim.Journal.crash_point option -> unit
+(** Arm (or disarm) a crash injection for the next journaled update:
+    it will raise {!Pdm_sim.Journal.Crashed} at the given point.
+    [Invalid_argument] on a non-journaled dictionary. *)
+
+val recover : t -> [ `Clean | `Discarded | `Replayed of int ]
+(** Crash recovery: run {!Pdm_sim.Journal.recover} on the journal
+    region, then rebuild the membership handle from disk so the size
+    counters match what actually survived. A no-op [`Clean] on a
+    non-journaled dictionary. *)

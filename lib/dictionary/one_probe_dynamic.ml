@@ -1,4 +1,5 @@
 module Pdm = Pdm_sim.Pdm
+module Journal = Pdm_sim.Journal
 module Bipartite = Pdm_expander.Bipartite
 module Seeded = Pdm_expander.Seeded
 module Imath = Pdm_util.Imath
@@ -16,10 +17,12 @@ type config = {
 type t = {
   cfg : config;
   machine : int Pdm.t;
-  membership : Basic_dict.t;    (* disks [0, d) *)
+  mutable membership : Basic_dict.t;  (* disks [0, d) *)
   arrays : Field_store.t array; (* level i on disks [(i+1)d, (i+2)d) *)
   m : int;
   field_bits : int;
+  journal : Journal.t option;
+  mutable crash : Journal.crash_point option;
   mutable size : int;
 }
 
@@ -40,7 +43,13 @@ let level_sizes cfg =
 
 let membership_value_bytes = 2
 
-let create ~block_words cfg =
+(* Worst update batch under the journal: the membership bucket plus
+   one block per claimed field. *)
+let journal_capacity cfg ~block_words =
+  let entries = 1 + frag_count cfg in
+  Imath.cdiv (entries * (block_words + 2)) block_words
+
+let create ?(journaled = false) ~block_words cfg =
   if cfg.degree < 5 || 2 * frag_count cfg <= cfg.degree then
     invalid_arg "One_probe_dynamic: degree";
   if cfg.levels < 1 || cfg.levels > 254 then
@@ -61,14 +70,26 @@ let create ~block_words cfg =
       ~block_words ~degree:d ~value_bytes:membership_value_bytes
       ~seed:(cfg.seed + 1000) ()
   in
-  let blocks_per_disk =
+  let data_blocks =
     max
       (Array.fold_left max 1 level_blocks)
       (Basic_dict.blocks_per_disk mem_cfg)
   in
+  let disks = (cfg.levels + 1) * d in
+  let jcap = journal_capacity cfg ~block_words in
+  let blocks_per_disk =
+    if journaled then data_blocks + Journal.rows ~disks ~capacity_blocks:jcap
+    else data_blocks
+  in
   let machine =
-    Pdm.create ~disks:((cfg.levels + 1) * d) ~block_size:block_words
-      ~blocks_per_disk ()
+    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk ()
+  in
+  let journal =
+    if journaled then
+      Some
+        (Journal.create machine ~block_offset:data_blocks
+           ~capacity_blocks:jcap)
+    else None
   in
   let membership =
     Basic_dict.create ~machine ~disk_offset:0 ~block_offset:0 mem_cfg
@@ -82,12 +103,45 @@ let create ~block_words cfg =
       sizes
   in
   { cfg; machine; membership; arrays; m = frag_count cfg; field_bits;
-    size = 0 }
+    journal; crash = None; size = 0 }
 
 let config t = t.cfg
 let machine t = t.machine
 let disks t = Pdm.disks t.machine
 let size t = t.size
+let journaled t = t.journal <> None
+
+let set_crash t crash =
+  if t.journal = None && crash <> None then
+    invalid_arg "One_probe_dynamic.set_crash: dictionary is not journaled";
+  t.crash <- crash
+
+(* Every multi-block update flows through here: journaled
+   dictionaries get the write-ahead protocol (and the injected crash
+   point, if any), plain ones the direct combined write round. *)
+let write_batch t blocks =
+  match t.journal with
+  | None -> Pdm.write t.machine blocks
+  | Some j -> Journal.log_and_apply j ?crash:t.crash blocks
+
+let recover t =
+  match t.journal with
+  | None -> `Clean
+  | Some j ->
+    t.crash <- None;
+    let outcome =
+      Journal.recover t.machine ~block_offset:(Journal.block_offset j)
+        ~capacity_blocks:(Journal.capacity_blocks j)
+    in
+    (* In-memory counters may be torn even when the disk state is
+       whole (a crash before the commit point still interrupted
+       [prepare_insert]'s accounting): rebuild the membership handle
+       from disk and trust it, whatever the journal said. *)
+    let mc = Basic_dict.config t.membership in
+    t.membership <-
+      Basic_dict.recover ~machine:t.machine ~disk_offset:0 ~block_offset:0 mc;
+    t.size <- Basic_dict.size t.membership;
+    outcome
 
 let decode_membership bytes =
   (Char.code (Bytes.get bytes 0), Char.code (Bytes.get bytes 1))
@@ -157,7 +211,7 @@ let insert t key satellite =
        let updates =
          List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
        in
-       Field_store.write_fields_in fs ~images:blocks updates)
+       write_batch t (Field_store.prepare_updates fs ~images:blocks updates))
   | None ->
     if t.size >= t.cfg.capacity then
       invalid_arg "One_probe_dynamic.insert: at capacity";
@@ -184,7 +238,7 @@ let insert t key satellite =
               (encode_membership ~level ~head)
               blocks
           in
-          Pdm.write t.machine (mem_block :: field_blocks);
+          write_batch t (mem_block :: field_blocks);
           t.size <- t.size + 1
         end
         else place (level + 1)
@@ -213,6 +267,6 @@ let delete t key =
        (match Basic_dict.prepare_delete t.membership key blocks with
         | None -> assert false
         | Some mem_block ->
-          Pdm.write t.machine (mem_block :: field_blocks);
+          write_batch t (mem_block :: field_blocks);
           t.size <- t.size - 1;
           true))

@@ -1,0 +1,66 @@
+(** Experiment E17: replication, disk death and repair.
+
+    PR 1 made faults observable and honestly charged; this experiment
+    measures the {e survival} path. One Section 4.1 dictionary lives
+    on an r = 2 replicated, checksummed machine with a hot spare
+    ({!Pdm_sim.Pdm.create} [?replicas ?spares ?integrity]) and runs
+    the same Zipf lookup workload through four phases:
+
+    + {b healthy} — the replication baseline;
+    + {b latent corruption} — stored replicas silently rotted
+      ({!Pdm_sim.Pdm.damage_stored}); lookups must detect the bad
+      checksum and fail over. A scrub then repairs the rot in place
+      from the surviving replicas;
+    + {b 1 disk killed} ({!Pdm_sim.Pdm.kill_disk}) mid-workload —
+      lookups must stay 100% available with identical answers at a
+      degraded-read overhead of at most 2×. A second scrub
+      re-replicates the dead disk's blocks onto the spare;
+    + {b after scrub} — costs return to the healthy baseline.
+
+    A final verification scrub proves full replication was restored
+    (nothing left to repair), and the report carries the repair I/O
+    budget the kill-recovery scrub charged. *)
+
+type phase = {
+  name : string;
+  avg_io : float;
+  worst_io : int;
+  overhead : float;  (** avg_io / healthy avg_io *)
+  available : int;  (** lookups answered (no storage exception) *)
+  correct : int;  (** ... with the right value *)
+  total : int;
+}
+
+type result = {
+  phases : phase list;
+  scrub_corruption : Pdm_sim.Pdm.scrub_report;
+      (** repaired the latent rot in place *)
+  scrub_after_kill : Pdm_sim.Pdm.scrub_report;
+      (** re-replicated the dead disk onto the spare *)
+  scrub_verify : Pdm_sim.Pdm.scrub_report;  (** found nothing left *)
+  n : int;
+  lookups : int;
+  disks : int;
+  replicas : int;
+  spares : int;
+  killed_disk : int;
+  corrupted : int;  (** replicas actually damaged *)
+  remapped : int;  (** replicas living on the spare after repair *)
+  all_available : bool;
+  all_correct : bool;
+  degraded_within_2x : bool;
+      (** killed-disk phase averaged <= 2x the healthy cost *)
+  repair_ios : int;  (** scan + repair rounds of the kill-recovery scrub *)
+}
+
+val run :
+  ?universe:int ->
+  ?n:int ->
+  ?lookups:int ->
+  ?seed:int ->
+  ?killed_disk:int ->
+  ?corrupted:int ->
+  unit ->
+  result
+
+val to_table : result -> Table.t

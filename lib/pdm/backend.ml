@@ -1,6 +1,32 @@
-exception Disk_failed of int
+type error = { disk : int; block : int; round : int }
 
-exception Retries_exhausted of { disk : int; block : int; attempts : int }
+exception Disk_failed of error
+
+exception Retries_exhausted of { disk : int; block : int; attempts : int;
+                                 round : int }
+
+exception Corrupt_block of error
+
+let pp_pos block round =
+  let part name v = if v < 0 then "" else Printf.sprintf ", %s %d" name v in
+  part "block" block ^ part "round" round
+
+let describe = function
+  | Disk_failed { disk; block; round } ->
+    Some
+      (Printf.sprintf "disk %d is permanently failed (no replica left%s)" disk
+         (pp_pos block round))
+  | Retries_exhausted { disk; block; attempts; round } ->
+    Some
+      (Printf.sprintf
+         "disk %d gave up on block %d after %d attempts (no replica left%s)"
+         disk block attempts (pp_pos (-1) round))
+  | Corrupt_block { disk; block; round } ->
+    Some
+      (Printf.sprintf
+         "disk %d block %d failed its checksum (no intact replica left%s)"
+         disk block (pp_pos (-1) round))
+  | _ -> None
 
 type 'a outcome =
   | Data of 'a option array option
@@ -33,3 +59,18 @@ let of_store ~disk store =
     dump = (fun () -> store) }
 
 let memory ~disk ~blocks = of_store ~disk (Array.make blocks None)
+
+(* A disk that died at run time: its contents are unreadable even by
+   [peek] — recovery must come from replicas elsewhere. *)
+let dead ~disk ~blocks =
+  { name = "dead";
+    disk;
+    blocks;
+    read = (fun ~attempt:_ _ -> Lost);
+    write =
+      (fun block _ -> raise (Disk_failed { disk; block; round = -1 }));
+    cost = 1;
+    max_retries = 0;
+    peek = (fun _ -> None);
+    poke = (fun _ _ -> ());
+    dump = (fun () -> Array.make blocks None) }

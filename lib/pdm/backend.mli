@@ -4,9 +4,9 @@
     of closures implementing block reads and writes over
     [blocks_per_disk] block slots. The default backend ({!memory}) is
     the original in-memory array; {!Fault.wrap} layers a deterministic
-    fault schedule (transient read errors, permanent failure,
-    straggling) on top of any backend without the machine — or the
-    dictionaries above it — knowing.
+    fault schedule (transient read errors, silent corruption, permanent
+    failure, straggling) on top of any backend without the machine — or
+    the dictionaries above it — knowing.
 
     Backends deal in {e raw} block arrays: the machine layer owns all
     copying, so a backend never hands a caller an alias it may mutate
@@ -14,13 +14,29 @@
     accounting and fault injection; they exist for tests, bulk loading
     and persistence. *)
 
-exception Disk_failed of int
-(** Raised when an I/O touches a permanently failed disk. The payload
-    is the disk index. *)
+type error = { disk : int; block : int; round : int }
+(** Where an I/O finally failed. [block] and [round] are [-1] when the
+    failure is not tied to a specific block transfer or counted round
+    (for instance a write issued outside the round scheduler). *)
 
-exception Retries_exhausted of { disk : int; block : int; attempts : int }
+exception Disk_failed of error
+(** Raised when an I/O needs a permanently failed disk and no replica
+    can serve it. *)
+
+exception Retries_exhausted of { disk : int; block : int; attempts : int;
+                                 round : int }
 (** Raised when a block read kept failing transiently past the
-    backend's retry budget. *)
+    backend's retry budget and no replica could take over. *)
+
+exception Corrupt_block of error
+(** Raised when a block failed its integrity check and no intact
+    replica remained. Only machines created with [?integrity] can
+    detect — and therefore raise — corruption. *)
+
+val describe : exn -> string option
+(** One-line human description of the three structured storage errors
+    above ([None] for any other exception) — shared by CLI error
+    handlers. *)
 
 type 'a outcome =
   | Data of 'a option array option
@@ -61,3 +77,9 @@ val memory : disk:int -> blocks:int -> 'a t
 val of_store : disk:int -> 'a option array option array -> 'a t
 (** In-memory backend over an existing store (used when loading a
     persisted machine). The array is owned by the backend. *)
+
+val dead : disk:int -> blocks:int -> 'a t
+(** A disk killed at run time ({!Pdm.kill_disk}): reads answer [Lost],
+    writes raise {!Disk_failed}, and — unlike a {!Fault}-failed disk —
+    even [peek] finds nothing: the platter is gone, recovery must come
+    from replicas. *)

@@ -2,6 +2,7 @@ module Prng = Pdm_util.Prng
 
 type disk_fault = {
   transient_read_prob : float;
+  corrupt_read_prob : float;
   fail : bool;
   straggle : int;
 }
@@ -12,10 +13,12 @@ type spec = {
   disks : (int * disk_fault) list;
 }
 
-let healthy = { transient_read_prob = 0.0; fail = false; straggle = 1 }
+let healthy =
+  { transient_read_prob = 0.0; corrupt_read_prob = 0.0; fail = false;
+    straggle = 1 }
 
-let spec ?(seed = 0) ?(max_retries = 8) ?(transient = []) ?(fail = [])
-    ?(stragglers = []) () =
+let spec ?(seed = 0) ?(max_retries = 8) ?(transient = []) ?(corrupt = [])
+    ?(fail = []) ?(stragglers = []) () =
   let tbl = Hashtbl.create 8 in
   let get d = Option.value (Hashtbl.find_opt tbl d) ~default:healthy in
   List.iter
@@ -24,6 +27,12 @@ let spec ?(seed = 0) ?(max_retries = 8) ?(transient = []) ?(fail = [])
         invalid_arg "Fault.spec: transient probability must be in [0, 1)";
       Hashtbl.replace tbl d { (get d) with transient_read_prob = p })
     transient;
+  List.iter
+    (fun (d, p) ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Fault.spec: corrupt probability must be in [0, 1]";
+      Hashtbl.replace tbl d { (get d) with corrupt_read_prob = p })
+    corrupt;
   List.iter
     (fun (d, k) ->
       if k < 1 then invalid_arg "Fault.spec: straggle factor must be >= 1";
@@ -45,11 +54,32 @@ let is_noop s = List.for_all (fun (_, f) -> f = healthy) s.disks
    must not depend on evaluation order, so no stream state. *)
 let resolution = 1 lsl 30
 
+let keyed_hit ~seed ~salt ~prob ~disk ~block ~attempt =
+  prob > 0.0
+  && (let h =
+        Prng.hash3 ~seed:(seed + salt) disk block attempt land (resolution - 1)
+      in
+      float_of_int h < prob *. float_of_int resolution)
+
 let transient_hit s ~disk ~block ~attempt =
   let f = disk_fault s disk in
-  f.transient_read_prob > 0.0
-  && (let h = Prng.hash3 ~seed:s.seed disk block attempt land (resolution - 1) in
-      float_of_int h < f.transient_read_prob *. float_of_int resolution)
+  keyed_hit ~seed:s.seed ~salt:0 ~prob:f.transient_read_prob ~disk ~block
+    ~attempt
+
+let corrupt_hit s ~disk ~block ~attempt =
+  let f = disk_fault s disk in
+  keyed_hit ~seed:s.seed ~salt:0xc0447 ~prob:f.corrupt_read_prob ~disk
+    ~block ~attempt
+
+(* Silent corruption: the transfer "succeeds" but the delivered block
+   is mangled — rotated one cell — so only an integrity envelope can
+   tell. The stored data is untouched (the damage is on the wire). *)
+let mangle = function
+  | None -> None
+  | Some slots ->
+    let n = Array.length slots in
+    if n < 2 then Some slots
+    else Some (Array.init n (fun i -> slots.((i + n - 1) mod n)))
 
 let wrap s (b : 'a Backend.t) : 'a Backend.t =
   let f = disk_fault s b.Backend.disk in
@@ -62,8 +92,13 @@ let wrap s (b : 'a Backend.t) : 'a Backend.t =
       (fun ~attempt block ->
         if f.fail then Backend.Lost
         else if transient_hit s ~disk ~block ~attempt then Backend.Transient
-        else b.Backend.read ~attempt block);
+        else
+          match b.Backend.read ~attempt block with
+          | Backend.Data d when corrupt_hit s ~disk ~block ~attempt ->
+            Backend.Data (mangle d)
+          | outcome -> outcome);
     write =
       (fun block slots ->
-        if f.fail then raise (Backend.Disk_failed disk)
+        if f.fail then
+          raise (Backend.Disk_failed { disk; block; round = -1 })
         else b.Backend.write block slots) }

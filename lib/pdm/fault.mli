@@ -1,11 +1,16 @@
 (** Deterministic seeded fault injection for disk backends.
 
-    A {!spec} describes, per disk, three failure modes taken from real
+    A {!spec} describes, per disk, four failure modes taken from real
     storage arrays:
 
     - {e transient read errors}: each read attempt of a block fails
       independently with a fixed probability; the scheduler re-issues
       the block in a later round, up to the retry budget;
+    - {e silent corruption}: a read attempt "succeeds" but delivers a
+      mangled block — undetectable unless the machine carries an
+      integrity envelope ({!Pdm.create}[ ?integrity]), in which case
+      the checksum failure is retried and, on a replicated machine,
+      failed over to another replica;
     - {e permanent failure}: every counted access raises
       {!Backend.Disk_failed};
     - {e straggling}: each block transfer occupies k rounds instead
@@ -18,6 +23,7 @@
 
 type disk_fault = {
   transient_read_prob : float;  (** Per-attempt failure probability. *)
+  corrupt_read_prob : float;  (** Per-attempt silent-mangle probability. *)
   fail : bool;  (** Permanently failed disk. *)
   straggle : int;  (** Rounds per transfer (>= 1; 1 = healthy). *)
 }
@@ -34,14 +40,16 @@ val spec :
   ?seed:int ->
   ?max_retries:int ->
   ?transient:(int * float) list ->
+  ?corrupt:(int * float) list ->
   ?fail:int list ->
   ?stragglers:(int * int) list ->
   unit ->
   spec
 (** Build a spec from per-disk lists: [transient] pairs a disk with a
-    failure probability, [stragglers] with a round multiplier, [fail]
-    lists dead disks. Defaults: [seed = 0], [max_retries = 8], all
-    disks healthy. *)
+    failure probability, [corrupt] with a silent-corruption
+    probability (1.0 allowed: {e every} read of that disk is mangled),
+    [stragglers] with a round multiplier, [fail] lists dead disks.
+    Defaults: [seed = 0], [max_retries = 8], all disks healthy. *)
 
 val disk_fault : spec -> int -> disk_fault
 (** The (possibly healthy) fault description of one disk. *)
@@ -50,11 +58,16 @@ val transient_hit : spec -> disk:int -> block:int -> attempt:int -> bool
 (** Whether this read attempt fails under the schedule — deterministic
     in all four arguments. *)
 
+val corrupt_hit : spec -> disk:int -> block:int -> attempt:int -> bool
+(** Whether this read attempt silently mangles its data —
+    deterministic, independently salted from {!transient_hit}. *)
+
 val wrap : spec -> 'a Backend.t -> 'a Backend.t
 (** Layer the schedule over a backend: reads consult
-    {!transient_hit}, a failed disk answers [Lost] (and raises on
-    writes), a straggler multiplies [cost]. [peek]/[poke]/[dump] pass
-    through unharmed. *)
+    {!transient_hit} and {!corrupt_hit}, a failed disk answers [Lost]
+    (and raises on writes), a straggler multiplies [cost].
+    [peek]/[poke]/[dump] pass through unharmed — injected corruption
+    lives on the wire, never on the stored data. *)
 
 val is_noop : spec -> bool
 (** True when the spec injects nothing (all disks healthy). *)

@@ -1,0 +1,83 @@
+(** Write-ahead journal for crash-consistent multi-block updates.
+
+    A dictionary update that rewrites several blocks (directory +
+    field blocks) is not atomic on its own: a crash between the two
+    writes leaves the structure torn. The journal fixes this with the
+    classic redo-log protocol, entirely inside the machine's counted
+    I/O:
+
+    + the batch is flattened to an int stream and logged into the
+      journal's striped data region;
+    + the header block is written {e last} — one block, the model's
+      atomicity unit — naming the batch (length + keyed checksum).
+      This is the commit point;
+    + the batch is applied to its real addresses;
+    + the header is cleared.
+
+    {!recover} (run after a crash, or any restart) reads the header:
+    a committed batch is decoded, verified against its checksum and
+    re-applied — replaying a batch that was already applied rewrites
+    the same bytes, so recovery is idempotent — while a torn or stale
+    log is discarded. A crash at {e any} of the injectable points
+    therefore leaves the structure either wholly before or wholly
+    after the update.
+
+    The journal occupies rows [block_offset .. block_offset + 1 +
+    ceil(capacity_blocks / D) - 1] on every logical disk; the creator
+    of the machine carves that region out, exactly as dictionaries
+    sharing a machine carve out disk offsets. On a replicated or
+    checksummed machine the journal blocks are replicated and sealed
+    like any other block. Specialised to [int] machines — the cell
+    type of every dictionary — because the log must encode addresses
+    and lengths into cells. *)
+
+exception Crashed
+(** Raised by {!log_and_apply} at the requested {!crash_point}. The
+    handle should be discarded; run {!recover} as a restart would. *)
+
+type crash_point =
+  | Before_log  (** Nothing durable yet: update vanishes. *)
+  | During_log of int
+      (** Torn log write — only the first k journal blocks land (no
+          crash if the batch needs ≤ k). Header never committed. *)
+  | After_log  (** Log written, commit header not: update vanishes. *)
+  | After_commit
+      (** Committed, target blocks untouched: recovery replays. *)
+  | During_apply of int
+      (** Committed, only k target blocks applied: recovery replays
+          (no crash if the batch has ≤ k blocks). *)
+  | After_apply
+      (** Applied, header not cleared: recovery replays — and must be
+          idempotent. *)
+
+type t
+
+val create : int Pdm.t -> block_offset:int -> capacity_blocks:int -> t
+(** A journal handle over the given region. Validates that the region
+    (1 header row + ⌈capacity/D⌉ data rows) fits the machine and that
+    a block can hold the header. *)
+
+val rows : disks:int -> capacity_blocks:int -> int
+(** Rows of each disk the region occupies — for sizing machines. *)
+
+val capacity_blocks : t -> int
+val block_offset : t -> int
+
+val log_and_apply :
+  t -> ?crash:crash_point -> (Pdm.addr * int option array) list -> unit
+(** Durably apply one batch (the write-ahead protocol above). All
+    I/O — log, commit, apply, clear — is counted on the machine.
+    Raises [Invalid_argument] if the encoded batch exceeds the
+    journal's capacity, and {!Crashed} at the injected crash point,
+    if any. *)
+
+val recover :
+  int Pdm.t ->
+  block_offset:int ->
+  capacity_blocks:int ->
+  [ `Clean | `Discarded | `Replayed of int ]
+(** Crash recovery (safe to run on a clean machine). [`Clean]: no log
+    present. [`Discarded]: an uncommitted or corrupt log was thrown
+    away (the interrupted update never happened). [`Replayed n]: a
+    committed batch of [n] blocks was re-applied (the update wholly
+    happened). Running it twice is the same as running it once. *)

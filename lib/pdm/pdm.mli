@@ -17,24 +17,54 @@
     original in-memory array; passing [?faults] wraps every disk in a
     deterministic fault schedule ({!Fault}), and passing or attaching
     [?trace] records every parallel round into a {!Trace.t} ring
-    buffer. Under faults (or custom backends, or tracing) requests run
-    on a round-by-round scheduler: a transiently failed block read is
-    re-issued in a later round and a straggling disk's transfers
-    occupy k rounds each, so the charged parallel I/Os honestly
-    include retries and slow hardware — the structures above the
-    {!read}/{!write} API survive unchanged and simply cost more.
-    Reads from a permanently failed disk raise {!Backend.Disk_failed};
-    a block that keeps failing past the retry budget raises
-    {!Backend.Retries_exhausted}. Without faults, custom backends or
-    tracing, requests take the original closed-form fast path and
-    charge bit-identical costs to the pre-backend simulator.
+    buffer.
 
-    Blocks are exposed as ['a option array] copies: [None] marks an
-    empty slot. Mutating a returned block does not change the disk; all
-    updates go through {!write}, so every byte that reaches a disk is
-    counted. [peek] and [poke] bypass accounting and fault injection
-    and exist for tests and construction-time bulk loading only —
-    production code paths never use them. *)
+    {2 Replication, integrity and repair}
+
+    Passing [?replicas:r] stores every logical block on [r] distinct
+    disks: replica [j] of logical [{disk = d; block = b}] lives on
+    physical disk [(d + j) mod D], in that disk's [j]-th block region
+    — the striped-offset version of the paper's d-choice placement,
+    deterministic and metadata-free. Reads are served from the first
+    replica whose disk is not known to be down; a failed transfer
+    fails over to the next replica in an extra scheduled pass, so a
+    lookup touching one dead disk costs at most 2× its healthy rounds
+    (and, once the health cache has seen the disk down, goes straight
+    to a survivor). Writes store all [r] replicas in one request and
+    tolerate up to [r - 1] dead replica disks.
+
+    Passing [?integrity] seals every stored block with a checksum
+    envelope ([overhead] extra cells) and verifies it on every counted
+    read: a mangled block reads as a retryable fault, failing over to
+    another replica, and only when no intact replica remains does
+    {!Backend.Corrupt_block} escape. {!Codec.Checksum} provides the
+    standard envelope for [int] machines.
+
+    [?spares] adds hot-spare disks (physical disks [D ..
+    D + spares - 1]) that hold no data until {!scrub} re-homes
+    replicas from dead or corrupt storage onto them, recording the
+    moves in an in-memory remap table.
+
+    Under faults, replication, integrity, spares, custom backends or
+    tracing, requests run on a round-by-round scheduler: a transiently
+    failed block read is re-issued in a later round and a straggling
+    disk's transfers occupy k rounds each, so the charged parallel
+    I/Os honestly include retries, slow hardware and degraded reads —
+    the structures above the {!read}/{!write} API survive unchanged
+    and simply cost more. When no replica can serve a block the
+    structured exceptions of {!Backend} escape: {!Backend.Disk_failed},
+    {!Backend.Retries_exhausted} or {!Backend.Corrupt_block}, each
+    carrying disk, block and round. Without any of these features,
+    requests take the original closed-form fast path and charge
+    bit-identical costs to the pre-backend simulator.
+
+    Blocks are exposed as ['a option array] copies of the {e payload}
+    (checksum cells are stripped before the caller sees them): [None]
+    marks an empty slot. Mutating a returned block does not change the
+    disk; all updates go through {!write}, so every byte that reaches
+    a disk is counted. [peek] and [poke] bypass accounting and fault
+    injection and exist for tests and construction-time bulk loading
+    only — production code paths never use them. *)
 
 type model =
   | Independent_disks  (** one block per disk per round (the PDM) *)
@@ -45,28 +75,62 @@ type 'a t
 type addr = { disk : int; block : int }
 (** Address of one block. *)
 
+type 'a integrity = {
+  tag : string;  (** Envelope name, for error messages and docs. *)
+  overhead : int;  (** Extra cells a sealed block carries. *)
+  seal : 'a option array -> 'a option array;
+      (** [seal payload] returns a fresh stored image (length
+          [block_size + overhead]) protecting the payload. *)
+  check : 'a option array -> 'a option array option;
+      (** [check stored] re-derives the checksum: [Some payload]
+          (fresh, length [block_size]) when intact, [None] when the
+          stored bits are damaged. *)
+}
+(** A checksum envelope. [check (seal p) = Some p] must hold for all
+    payloads, and any single-cell change to the stored image should
+    make [check] answer [None]. *)
+
 val create :
   ?model:model ->
   ?stats:Stats.t ->
   ?trace:Trace.t ->
   ?faults:Fault.spec ->
   ?backends:(int -> 'a Backend.t) ->
+  ?replicas:int ->
+  ?spares:int ->
+  ?integrity:'a integrity ->
   disks:int ->
   block_size:int ->
   blocks_per_disk:int ->
   unit ->
   'a t
 (** Fresh machine with all slots empty. Defaults: [model =
-    Independent_disks], a private stats object, no tracing, no
-    faults, in-memory backends. [backends] supplies a custom backend
-    per disk (capacity and disk index must match the geometry);
-    [faults] wraps whatever backend each disk has. *)
+    Independent_disks], a private stats object, no tracing, no faults,
+    in-memory backends, [replicas = 1], [spares = 0], no integrity
+    envelope. [backends] supplies a custom backend per physical disk
+    (there are [disks + spares] of them, each with [replicas *
+    blocks_per_disk] blocks; capacity and disk index must match);
+    [faults] wraps whatever backend each disk has. [replicas] must be
+    between 1 and [disks] so the copies land on distinct disks. *)
 
 val disks : 'a t -> int
+(** Logical disk count D — the geometry dictionaries address. *)
+
 val block_size : 'a t -> int
 val blocks_per_disk : 'a t -> int
 val model : 'a t -> model
 val stats : 'a t -> Stats.t
+
+val replicas : 'a t -> int
+(** Copies stored per logical block (1 = unreplicated). *)
+
+val spares : 'a t -> int
+(** Hot-spare disks available to {!scrub} repair. *)
+
+val physical_disks : 'a t -> int
+(** [disks + spares] — the machine's real channel count. *)
+
+val integrity : 'a t -> 'a integrity option
 
 val trace : 'a t -> Trace.t option
 
@@ -76,7 +140,7 @@ val set_trace : 'a t -> Trace.t option -> unit
 val faults : 'a t -> Fault.spec option
 
 val backend : 'a t -> int -> 'a Backend.t
-(** The backend serving one disk (after fault wrapping). *)
+(** The backend serving one physical disk (after fault wrapping). *)
 
 val rounds_total : 'a t -> int
 (** Parallel rounds executed by this machine since creation — the
@@ -84,52 +148,108 @@ val rounds_total : 'a t -> int
 
 val read : 'a t -> addr list -> (addr * 'a option array) list
 (** [read t addrs] fetches the requested blocks, charging the minimal
-    number of parallel read rounds (plus any rounds injected faults
-    cost). Unwritten blocks read as all-empty. The result lists each
-    distinct requested address exactly once, in unspecified order. *)
+    number of parallel read rounds (plus any rounds injected faults,
+    retries or replica failover cost). Unwritten blocks read as
+    all-empty. The result lists each distinct requested address
+    exactly once, in unspecified order. *)
 
 val read_one : 'a t -> addr -> 'a option array
-(** Read a single block: exactly one parallel I/O (more under
-    faults). *)
+(** Read a single block: exactly one parallel I/O (more under faults
+    or failover). *)
 
 val write : 'a t -> (addr * 'a option array) list -> unit
-(** [write t blocks] stores the given blocks, charging the minimal
-    number of parallel write rounds. Each array must have length
-    [block_size]; duplicate addresses are an error. *)
+(** [write t blocks] stores the given blocks — all replicas of each —
+    charging the scheduled parallel write rounds. Each array must have
+    length [block_size]; duplicate addresses are an error. The write
+    succeeds as long as at least one replica of every block lands. *)
 
 val write_one : 'a t -> addr -> 'a option array -> unit
 
 val rounds_for : 'a t -> addr list -> int
 (** Number of parallel I/Os {!read} would charge for these addresses
-    (after coalescing duplicates), without performing the access. On a
-    faulty machine this is the fault-free lower bound: retries and
-    straggling can only add rounds. *)
+    (after coalescing duplicates) on a healthy unreplicated machine,
+    without performing the access. On a faulty or degraded machine
+    this is the lower bound: retries, straggling and failover can
+    only add rounds. *)
 
 val peek : 'a t -> addr -> 'a option array
-(** Uncounted, fault-free read — tests and invariant checks only. *)
+(** Uncounted, fault-free read of the first intact replica — tests
+    and invariant checks only. *)
 
 val poke : 'a t -> addr -> 'a option array -> unit
-(** Uncounted, fault-free write — tests and bulk initialisation
-    only. *)
+(** Uncounted, fault-free write (of every replica, sealed) — tests
+    and bulk initialisation only. *)
 
 val allocated_blocks : 'a t -> int
-(** Number of blocks that have ever been written (space usage). *)
+(** Number of {e physical} blocks ever written (space usage — an
+    r-replicated block counts r times). *)
 
 val capacity_items : 'a t -> int
-(** D × blocks_per_disk × B. *)
+(** D × blocks_per_disk × B (logical payload capacity). *)
 
 val iter_allocated : 'a t -> (addr -> 'a option array -> unit) -> unit
-(** Uncounted iteration over written blocks (live arrays, do not
-    mutate) — used by verification code and rebuild bulk readers that
-    account for their I/O separately. *)
+(** Uncounted iteration over written logical blocks (first intact
+    replica of each; do not mutate) — used by verification code and
+    rebuild bulk readers that account for their I/O separately. *)
+
+(** {2 Failure, damage and repair} *)
+
+val kill_disk : 'a t -> int -> unit
+(** Kill a physical disk at run time: its contents are gone (even
+    [peek] finds nothing), reads answer Lost and fail over to
+    replicas, writes to it are skipped (the block survives on its
+    other replicas). Unlike a {!Fault}-failed disk, the platter data
+    is destroyed — repair must re-replicate from survivors. *)
+
+val disk_down : 'a t -> int -> bool
+(** Health cache: has this machine observed the disk dead? ([true]
+    immediately after {!kill_disk}; a {!Fault}-failed disk turns
+    [true] the first time a transfer finds it lost.) *)
+
+val damage_stored : 'a t -> addr -> replica:int -> unit
+(** Corrupt the stored bits of one replica in place (tests and
+    experiments: latent sector rot, as opposed to {!Fault}'s wire
+    corruption). Undetectable unless the machine has an [?integrity]
+    envelope. No-op on a never-written or destroyed block. *)
+
+val remapped_replicas : 'a t -> int
+(** Replicas living away from their home address after repair. *)
+
+type scrub_report = {
+  scanned_blocks : int;  (** Logical blocks examined. *)
+  intact_replicas : int;  (** Replicas read back and verified. *)
+  corrupt_replicas : int;  (** Replicas failing their checksum. *)
+  missing_replicas : int;  (** Replicas on dead disks or unreadable. *)
+  repaired_replicas : int;  (** Bad replicas rewritten and verified. *)
+  remapped_replicas : int;  (** … of which moved to a spare disk. *)
+  unrepairable_replicas : int;
+      (** Bad replicas with nowhere to go (no spare left) or whose
+          repair write could not be verified. *)
+  lost_blocks : int;  (** Logical blocks with no intact replica. *)
+  scan_rounds : int;  (** Parallel I/Os spent verifying. *)
+  repair_rounds : int;  (** Parallel I/Os spent re-replicating. *)
+}
+
+val scrub : 'a t -> scrub_report
+(** Sweep every allocated logical block: read all its replicas,
+    verify integrity, and rewrite every bad replica from an intact
+    one — in place when its disk still answers, onto a spare disk
+    when it does not. All verification and repair I/O is charged
+    through the normal scheduler and reported as the repair budget.
+    After a scrub with enough spare capacity, every surviving block
+    is back to full replication. *)
 
 val save_to_file : 'a t -> string -> unit
-(** Persist the machine (geometry + every block) to a file with
-    [Marshal]. I/O counters are reset on load; the usual [Marshal]
-    caveats apply (same program version, matching element type). *)
+(** Persist the machine (geometry, replication layout + every block)
+    to a file with [Marshal]. I/O counters are reset on load; the
+    usual [Marshal] caveats apply (same program version, matching
+    element type). *)
 
-val load_from_file : string -> 'a t
+val load_from_file : ?integrity:'a integrity -> string -> 'a t
 (** Inverse of {!save_to_file}. The caller is responsible for the
-    element type matching what was saved (as with any [Marshal] use).
-    The loaded machine has plain in-memory backends — fault schedules
-    and traces are run-time configuration, not persisted state. *)
+    element type matching what was saved (as with any [Marshal] use)
+    and — because closures cannot be marshalled — for passing the
+    same integrity envelope the machine was created with, if any.
+    The loaded machine has plain in-memory backends and an all-healthy
+    health cache — fault schedules, traces and disk death are run-time
+    configuration, not persisted state. *)

@@ -184,6 +184,20 @@ let export_jsonl t path =
           output_char oc '\n')
         (events t))
 
+type parse_error = { path : string; line : int; text : string }
+
+exception Malformed_line of parse_error
+
+let pp_parse_error ppf { path; line; text } =
+  Format.fprintf ppf "%s:%d: malformed trace event %S" path line
+    (if String.length text > 60 then String.sub text 0 60 ^ "..." else text)
+
+let () =
+  Printexc.register_printer (function
+    | Malformed_line err ->
+      Some (Format.asprintf "Trace.Malformed_line(%a)" pp_parse_error err)
+    | _ -> None)
+
 let load_jsonl path =
   let ic = open_in path in
   Fun.protect
@@ -197,11 +211,14 @@ let load_jsonl path =
           (match event_of_json line with
            | Some e -> loop (e :: acc) (lineno + 1)
            | None ->
-             failwith
-               (Printf.sprintf "Trace.load_jsonl: malformed event at %s:%d"
-                  path lineno))
+             raise (Malformed_line { path; line = lineno; text = line }))
       in
       loop [] 1)
+
+let load_jsonl_result path =
+  match load_jsonl path with
+  | evs -> Ok evs
+  | exception Malformed_line err -> Error err
 
 let pp_event ppf e =
   Format.fprintf ppf "round %d %s [%s]%s%s" e.round (op_name e.op)

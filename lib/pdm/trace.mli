@@ -62,8 +62,24 @@ val event_of_json : string -> event option
 val export_jsonl : t -> string -> unit
 (** Write all held events, oldest first, one JSON object per line. *)
 
+type parse_error = { path : string; line : int; text : string }
+(** Where a JSONL import went wrong: file, 1-based line number, and
+    the offending line (as read). *)
+
+exception Malformed_line of parse_error
+(** Raised by {!load_jsonl} on the first line {!event_of_json}
+    rejects. Registered with [Printexc], so an uncaught one still
+    prints the position. *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+(** ["file:12: malformed trace event \"...\""]. *)
+
 val load_jsonl : string -> event list
 (** Read a file written by {!export_jsonl}, skipping blank lines.
-    Raises [Failure] on a malformed line. *)
+    Raises {!Malformed_line} on the first line that does not parse. *)
+
+val load_jsonl_result : string -> (event list, parse_error) result
+(** Exception-free variant of {!load_jsonl} for callers — the CLI —
+    that want to render the error themselves. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -109,7 +109,7 @@ let test_fault_wrap () =
     (try
        dead.Backend.write 0 [| Some 1 |];
        false
-     with Backend.Disk_failed 3 -> true);
+     with Backend.Disk_failed { disk = 3; _ } -> true);
   let healthy = Fault.wrap s (mem 0) in
   check "healthy cost" 1 healthy.Backend.cost;
   checkb "peek bypasses faults" true (dead.Backend.peek 0 = None)
@@ -179,8 +179,8 @@ let test_retries_exhausted () =
     (try
        ignore (Pdm.read_one t { Pdm.disk = 0; block = 3 });
        false
-     with Backend.Retries_exhausted { disk = 0; block = 3; attempts = 3 } ->
-       true)
+     with Backend.Retries_exhausted { disk = 0; block = 3; attempts = 3; _ }
+       -> true)
 
 let test_straggler_charges_k () =
   let faults = Fault.spec ~stragglers:[ (1, 3) ] () in
@@ -211,12 +211,12 @@ let test_failed_disk_raises () =
     (try
        ignore (Pdm.read_one t { Pdm.disk = 2; block = 0 });
        false
-     with Backend.Disk_failed 2 -> true);
+     with Backend.Disk_failed { disk = 2; _ } -> true);
   checkb "write raises" true
     (try
        Pdm.write_one t { Pdm.disk = 2; block = 0 } (block_of t [ 1 ]);
        false
-     with Backend.Disk_failed 2 -> true);
+     with Backend.Disk_failed { disk = 2; _ } -> true);
   (* Other disks still serve. *)
   ignore (Pdm.read_one t { Pdm.disk = 0; block = 0 });
   checkb "healthy disks fine" true (ios t >= 1)
@@ -389,6 +389,67 @@ let test_jsonl_file_roundtrip_matches_stats () =
   checkb "degradation observed" true
     (List.exists (fun (e : Trace.event) -> e.degraded) events)
 
+let test_jsonl_malformed_rejected () =
+  let path = Filename.temp_file "pdm_bad" ".jsonl" in
+  let oc = open_out path in
+  output_string oc
+    ("{\"round\":1,\"op\":\"read\",\"per_disk\":[1],\"retries\":0,\
+      \"degraded\":false}\n"
+    ^ "\n" (* blank lines are skipped, not errors *)
+    ^ "this is not an event\n");
+  close_out oc;
+  (match Trace.load_jsonl_result path with
+   | Ok _ -> Alcotest.fail "malformed line accepted"
+   | Error err ->
+     check "failing line number" 3 err.Trace.line;
+     checkb "offending text carried" true
+       (err.Trace.text = "this is not an event");
+     checkb "path carried" true (err.Trace.path = path);
+     checkb "printable" true
+       (String.length (Format.asprintf "%a" Trace.pp_parse_error err) > 0));
+  checkb "exception form agrees" true
+    (try
+       ignore (Trace.load_jsonl path);
+       false
+     with Trace.Malformed_line { line = 3; _ } -> true);
+  Sys.remove path;
+  (* A fully well-formed file loads the same way through both APIs. *)
+  let ok = Filename.temp_file "pdm_ok" ".jsonl" in
+  let oc = open_out ok in
+  output_string oc
+    "{\"round\":2,\"op\":\"write\",\"per_disk\":[0,1],\"retries\":1,\
+     \"degraded\":true}\n";
+  close_out oc;
+  (match Trace.load_jsonl_result ok with
+   | Ok [ e ] -> check "round parsed" 2 e.Trace.round
+   | Ok _ | Error _ -> Alcotest.fail "well-formed file rejected");
+  Sys.remove ok
+
+let test_describe_structured_errors () =
+  (* Storage exceptions carry (disk, block, round) and [describe]
+     renders all of it; unrelated exceptions are left alone. *)
+  let d = Backend.Disk_failed { disk = 4; block = 9; round = 17 } in
+  (match Backend.describe d with
+   | None -> Alcotest.fail "Disk_failed not described"
+   | Some m ->
+     let contains needle =
+       let n = String.length needle and h = String.length m in
+       let rec go i = i + n <= h && (String.sub m i n = needle || go (i + 1)) in
+       go 0
+     in
+     checkb "mentions disk" true (contains "4");
+     checkb "mentions block" true (contains "9");
+     checkb "mentions round" true (contains "17"));
+  checkb "retries described" true
+    (Backend.describe
+       (Backend.Retries_exhausted { disk = 0; block = 1; attempts = 3; round = 2 })
+    <> None);
+  checkb "corruption described" true
+    (Backend.describe (Backend.Corrupt_block { disk = 0; block = 1; round = 2 })
+    <> None);
+  checkb "other exceptions ignored" true
+    (Backend.describe Not_found = None)
+
 let test_trace_retry_events () =
   let t : int Pdm.t =
     mk
@@ -535,6 +596,10 @@ let suite =
        tc "event JSON roundtrip" `Quick test_event_json_roundtrip;
        tc "JSONL file roundtrip = stats" `Quick
          test_jsonl_file_roundtrip_matches_stats;
+       tc "malformed JSONL rejected with context" `Quick
+         test_jsonl_malformed_rejected;
+       tc "structured storage errors described" `Quick
+         test_describe_structured_errors;
        tc "retry events" `Quick test_trace_retry_events;
        tc "attach/detach midstream" `Quick test_set_trace_midstream ]);
     ("stats.per_disk",
