@@ -11,6 +11,8 @@
 
 open Pdm_experiments
 module Pdm = Pdm_sim.Pdm
+module Stats = Pdm_sim.Stats
+module Engine = Pdm_engine.Engine
 module Basic = Pdm_dictionary.Basic_dict
 module Fragmented = Pdm_dictionary.Fragmented
 module Cascade = Pdm_dictionary.Dynamic_cascade
@@ -227,6 +229,72 @@ let ov_next () =
 
 let expander = lazy (Seeded.striped ~seed:8 ~u:universe ~v:(8 * 1024) ~d:8)
 
+(* --- batched query engine fixtures --- *)
+
+let engine_scale =
+  { Adapters.default_scale with capacity = n; block_words; seed = 9 }
+
+let engine_ad =
+  lazy
+    (let data = Array.map (fun k -> (k, val8 k)) (Lazy.force keys) in
+     Adapters.engine_one_probe_static ~scale:engine_scale ~data ())
+
+let engine_batch = 64
+
+(* One 64-request batch through a fresh (cache-less) engine. *)
+let engine_run_batch () =
+  let ad = Lazy.force engine_ad in
+  let eng =
+    Engine.create
+      ~config:
+        { Engine.max_batch = engine_batch; deadline_rounds = 1_000_000;
+          cache_blocks = 0 }
+      ad.Adapters.engine_dict
+  in
+  for _ = 1 to engine_batch do
+    ignore (Engine.submit eng (Engine.Lookup (next_key ())))
+  done;
+  Engine.drain eng;
+  ignore (Engine.take_outcomes eng);
+  eng
+
+(* A persistent engine with a warm cache: created once (its cache
+   registers a write listener on the machine, so one instance serves
+   every iteration). *)
+let engine_cached =
+  lazy
+    (let ad = Lazy.force engine_ad in
+     Engine.create
+       ~config:
+         { Engine.max_batch = engine_batch; deadline_rounds = 1_000_000;
+           cache_blocks = 1024 }
+       ad.Adapters.engine_dict)
+
+let engine_tests =
+  let open Bechamel in
+  [ Test.make ~name:"engine.batch64_lookups"
+      (Staged.stage (fun () -> ignore (engine_run_batch ())));
+    Test.make ~name:"engine.batch64_lookups_cached"
+      (Staged.stage (fun () ->
+           let eng = Lazy.force engine_cached in
+           for _ = 1 to engine_batch do
+             ignore (Engine.submit eng (Engine.Lookup (next_key ())))
+           done;
+           Engine.drain eng;
+           ignore (Engine.take_outcomes eng)));
+    Test.make ~name:"engine.single_lookup"
+      (Staged.stage (fun () ->
+           let ad = Lazy.force engine_ad in
+           let eng =
+             Engine.create
+               ~config:
+                 { Engine.max_batch = 1; deadline_rounds = 0;
+                   cache_blocks = 0 }
+               ad.Adapters.engine_dict
+           in
+           ignore (Engine.submit eng (Engine.Lookup (next_key ())));
+           Engine.drain eng)) ]
+
 let op_tests =
   let open Bechamel in
   [ Test.make ~name:"basic_dict.find"
@@ -347,10 +415,101 @@ let print_bechamel title results =
   Table.print
     (Table.make ~title ~header:[ "benchmark"; "time (ns/op)"; "r^2" ] rows)
 
+(* --- machine-readable output: --json out.json ---
+
+   One record per microbenchmark: {name, ios, rounds, ns}. [ns] is the
+   Bechamel wall-clock estimate; [ios] (blocks transferred) and
+   [rounds] (parallel I/Os) come from running the operation once
+   against a fresh instrumented instance, so the simulated cost and
+   the wall-clock cost land in the same record. *)
+
+let io_probes () =
+  let scale = { Adapters.default_scale with capacity = n; block_words } in
+  let warmed ctor =
+    let a : Adapters.t = ctor () in
+    Array.iter
+      (fun k -> a.Adapters.insert k (Common.value_bytes_of a.Adapters.value_bytes k))
+      (Lazy.force keys);
+    a
+  in
+  let find_probe name ctor =
+    ( name,
+      fun () ->
+        let a = warmed ctor in
+        let (), d =
+          Stats.measure a.Adapters.stats (fun () ->
+              ignore (a.Adapters.find (next_key ())))
+        in
+        (d.Stats.block_reads + d.Stats.block_writes, Stats.parallel_ios d) )
+  in
+  [ find_probe "basic_dict.find" (fun () -> Adapters.basic ~scale ());
+    find_probe "fragmented.find" (fun () -> Adapters.fragmented ~scale ());
+    find_probe "cascade.find" (fun () -> Adapters.cascade ~scale ());
+    find_probe "hash_table.find" (fun () -> Adapters.hash_table ~scale ());
+    find_probe "cuckoo.find" (fun () -> Adapters.cuckoo ~scale ());
+    find_probe "btree.find" (fun () -> Adapters.btree ~scale ());
+    ( "engine.batch64_lookups",
+      fun () ->
+        let eng = engine_run_batch () in
+        let s = Engine.stats eng in
+        (s.Engine.blocks_fetched, s.Engine.rounds) ) ]
+
+let estimate_ns ols =
+  match Bechamel.Analyze.OLS.estimates ols with
+  | Some (e :: _) -> e
+  | Some [] | None -> nan
+
+(* Bechamel prefixes grouped test names; records carry the bare
+   benchmark name (the part after the last '/'). *)
+let bare_name k =
+  match String.rindex_opt k '/' with
+  | Some i -> String.sub k (i + 1) (String.length k - i - 1)
+  | None -> k
+
+let write_json path results =
+  let probes = io_probes () in
+  let records =
+    Hashtbl.fold
+      (fun k ols acc -> (bare_name k, estimate_ns ols) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      let ios, rounds =
+        match List.assoc_opt name probes with
+        | Some probe -> probe ()
+        | None -> (0, 0)
+      in
+      Printf.fprintf oc
+        "  {\"name\": %S, \"ios\": %d, \"rounds\": %d, \"ns\": %.1f}%s\n" name
+        ios rounds
+        (if Float.is_nan ns then 0.0 else ns)
+        (if i < List.length records - 1 then "," else ""))
+    records;
+  output_string oc "]\n";
+  close_out oc;
+  Format.printf "wrote %d benchmark records to %s@." (List.length records)
+    path
+
+let json_path () =
+  let rec find = function
+    | "--json" :: p :: _ -> Some p
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 let () =
-  print_experiments ();
-  Format.printf "#### Part 2: wall-clock microbenchmarks (Bechamel) ####@.";
-  print_bechamel "simulated structure operations (includes simulator overhead)"
-    (run_bechamel op_tests);
-  print_bechamel "whole-experiment drivers (reduced scale)"
-    (run_bechamel experiment_tests)
+  match json_path () with
+  | Some path -> write_json path (run_bechamel (op_tests @ engine_tests))
+  | None ->
+    print_experiments ();
+    Format.printf "#### Part 2: wall-clock microbenchmarks (Bechamel) ####@.";
+    print_bechamel
+      "simulated structure operations (includes simulator overhead)"
+      (run_bechamel (op_tests @ engine_tests));
+    print_bechamel "whole-experiment drivers (reduced scale)"
+      (run_bechamel experiment_tests)

@@ -97,7 +97,11 @@ let experiments =
     { id = "repair"; doc = "Replication & repair: disk death survival (E17)";
       exec =
         (fun ~n ~block_words:_ ~seed ->
-          print_table (Repair_exp.to_table (Repair_exp.run ?n ?seed ()))) } ]
+          print_table (Repair_exp.to_table (Repair_exp.run ?n ?seed ()))) };
+    { id = "engine"; doc = "Batched concurrent query engine (E18)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          print_table (Engine_exp.to_table (Engine_exp.run ?n ?seed ()))) } ]
 
 (* Storage failures escape as exceptions with structured context
    (disk, block, round); render them as user errors, not crashes. *)
@@ -588,6 +592,235 @@ let scrub_cmd =
         $ n_arg' $ seed_arg' $ replicas_arg $ spares_arg $ kill_arg
         $ corrupt_arg $ csv_arg))
 
+(* --- serve: duty-cycled simulated clients through the batched query
+   engine. Structured storage errors are reported with the id of the
+   request being served when they surfaced. --- *)
+
+module Engine = Pdm_engine.Engine
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+
+let serve_guard f =
+  try f () with
+  | Engine.Request_failed { id; key; error } ->
+    let desc =
+      match Pdm_sim.Backend.describe error with
+      | Some m -> m
+      | None -> Printexc.to_string error
+    in
+    `Error
+      (false, Printf.sprintf "request #%d (key %d) failed: %s" id key desc)
+  | e ->
+    (match Pdm_sim.Backend.describe e with
+     | Some m -> `Error (false, m)
+     | None -> raise e)
+
+let run_serve dict n queries clients batch deadline duty insert_frac cache
+    replicas spares kill seed =
+  if duty <= 0.0 || duty > 1.0 then
+    `Error (false, "--duty must be in (0, 1]")
+  else if queries < 1 || clients < 1 || n < 2 then
+    `Error (false, "--requests, --clients and -n must be positive")
+  else
+    serve_guard @@ fun () ->
+    let payload k = Common.value_bytes_of 8 k in
+    let scale = { Adapters.default_scale with capacity = n; seed } in
+    let members, _ =
+      Sampling.disjoint_pair (Prng.create seed)
+        ~universe:scale.Adapters.universe ~count:n
+    in
+    (* Dynamic structures start half full; engine-served inserts draw
+       fresh keys from the other half (capacity is never exceeded). *)
+    let prepop = Array.sub members 0 (n / 2) in
+    let fresh = ref (Array.to_list (Array.sub members (n / 2) (n - (n / 2)))) in
+    let ad, insert_frac =
+      match dict with
+      | "static" ->
+        let data = Array.map (fun k -> (k, payload k)) members in
+        (Adapters.engine_one_probe_static ~scale ~replicas ~spares ~data (), 0.0)
+      | "dynamic" | "cascade" ->
+        let a =
+          if dict = "dynamic" then
+            Adapters.engine_one_probe_dynamic ~scale ~replicas ~spares ()
+          else Adapters.engine_cascade ~scale ~replicas ~spares ()
+        in
+        let ins = Option.get a.Adapters.engine_dict.Engine.insert in
+        Array.iter (fun k -> ins k (payload k)) prepop;
+        (a, insert_frac)
+      | other ->
+        invalid_arg
+          (Printf.sprintf "unknown dictionary %S (static, dynamic, cascade)"
+             other)
+    in
+    let machine = ad.Adapters.engine_dict.Engine.machine in
+    Option.iter (fun d -> Pdm_sim.Pdm.kill_disk machine d) kill;
+    let lookup_keys = if dict = "static" then members else prepop in
+    let eng =
+      Engine.create
+        ~config:
+          { Engine.max_batch = batch; deadline_rounds = deadline;
+            cache_blocks = cache }
+        ad.Adapters.engine_dict
+    in
+    let rng = Prng.create (seed + 99) in
+    let submitted = ref 0 in
+    while !submitted < queries do
+      for _ = 1 to clients do
+        if !submitted < queries && Prng.float rng 1.0 < duty then begin
+          incr submitted;
+          let req =
+            match !fresh with
+            | k :: rest when Prng.float rng 1.0 < insert_frac ->
+              fresh := rest;
+              Engine.Insert (k, payload k)
+            | _ ->
+              Engine.Lookup
+                lookup_keys.(Prng.int rng (Array.length lookup_keys))
+          in
+          ignore (Engine.submit eng req)
+        end
+      done;
+      Engine.idle_round eng
+    done;
+    Engine.drain eng;
+    let outcomes = Engine.take_outcomes eng in
+    let lookups, inserts =
+      List.partition
+        (fun o ->
+          match o.Engine.request with Engine.Lookup _ -> true | _ -> false)
+        outcomes
+    in
+    let verified =
+      List.for_all
+        (fun o ->
+          match o.Engine.request with
+          | Engine.Lookup k -> o.Engine.value = ad.Adapters.direct_find k
+          | Engine.Insert (k, v) -> ad.Adapters.direct_find k = Some v)
+        outcomes
+    in
+    let lats =
+      List.map Engine.latency outcomes |> List.sort compare |> Array.of_list
+    in
+    let pct p =
+      if Array.length lats = 0 then 0
+      else lats.(min (Array.length lats - 1)
+                    (p * Array.length lats / 100))
+    in
+    let s = Engine.stats eng in
+    let f = Table.fcell and i = Table.icell in
+    print_table
+      (Table.make ~title:"serve: batched query engine"
+         ~header:[ "metric"; "value" ]
+         ~notes:
+           [ Printf.sprintf
+               "%d clients at duty %.2f, batch <= %d, deadline %d rounds%s"
+               clients duty batch deadline
+               (match kill with
+                | Some d -> Printf.sprintf ", disk %d killed" d
+                | None -> "") ]
+         [ [ "dictionary"; ad.Adapters.engine_dict.Engine.name ];
+           [ "requests served"; i s.Engine.requests_served ];
+           [ "lookups / inserts";
+             Printf.sprintf "%d / %d" (List.length lookups)
+               (List.length inserts) ];
+           [ "batches"; i s.Engine.batches ];
+           [ "engine rounds"; i s.Engine.rounds ];
+           [ "fetch rounds"; i s.Engine.fetch_rounds ];
+           [ "insert rounds"; i s.Engine.insert_rounds ];
+           [ "blocks fetched"; i s.Engine.blocks_fetched ];
+           [ "coalesced fetches"; i s.Engine.coalesced ];
+           [ "cache hits"; i s.Engine.cache_hits ];
+           [ "mean utilization (of D)";
+             Printf.sprintf "%s / %d" (f (Engine.mean_utilization eng))
+               (Pdm_sim.Pdm.disks machine) ];
+           [ "utilization >= 0.8D";
+             (if Engine.mean_utilization eng
+                 >= 0.8 *. float_of_int (Pdm_sim.Pdm.disks machine)
+              then "yes" else "no") ];
+           [ "latency mean"; f (if s.Engine.requests_served = 0 then 0.0
+                                else float_of_int s.Engine.total_latency
+                                     /. float_of_int s.Engine.requests_served) ];
+           [ "latency p50"; i (pct 50) ];
+           [ "latency p95"; i (pct 95) ];
+           [ "latency max"; i s.Engine.max_latency ];
+           [ "answers verified"; (if verified then "yes" else "NO") ] ]);
+    `Ok ()
+
+let serve_cmd =
+  let doc = "serve a duty-cycled client workload through the query engine" in
+  let dict_arg =
+    Arg.(value & opt string "static"
+         & info [ "dict" ] ~docv:"DICT"
+             ~doc:"Dictionary: $(b,static), $(b,dynamic) or $(b,cascade).")
+  in
+  let n_arg' =
+    Arg.(value & opt int 1024
+         & info [ "n" ] ~docv:"N" ~doc:"Capacity in keys.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 512
+         & info [ "q"; "requests" ] ~docv:"Q"
+             ~doc:"Total requests the clients submit.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"C" ~doc:"Concurrent simulated clients.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64
+         & info [ "batch" ] ~docv:"M" ~doc:"Close a batch at M requests.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 4
+         & info [ "deadline" ] ~docv:"R"
+             ~doc:"Close a batch when its oldest request has waited R rounds.")
+  in
+  let duty_arg =
+    Arg.(value & opt float 0.5
+         & info [ "duty" ] ~docv:"F"
+             ~doc:"Duty cycle: probability a client submits each round.")
+  in
+  let insert_arg =
+    Arg.(value & opt float 0.0
+         & info [ "insert-fraction" ] ~docv:"F"
+             ~doc:"Fraction of requests that are inserts (dynamic dicts).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"BLOCKS"
+             ~doc:"LRU cache blocks in front of the machine (0 = none).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 1
+         & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replicas per block.")
+  in
+  let spares_arg =
+    Arg.(value & opt int 0
+         & info [ "spares" ] ~docv:"S" ~doc:"Hot-spare disks.")
+  in
+  let kill_arg =
+    Arg.(value & opt (some int) None
+         & info [ "kill" ] ~docv:"DISK"
+             ~doc:"Kill this disk before serving (with --replicas 1 the \
+                   structured failure, including the request id, is \
+                   reported).")
+  in
+  let seed_arg' =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const (fun dict n q clients batch deadline duty ins cache r s kill
+                    seed csv ->
+             if csv then emit := Table.print_csv;
+             run_serve dict n q clients batch deadline duty ins cache r s
+               kill seed)
+        $ dict_arg $ n_arg' $ requests_arg $ clients_arg $ batch_arg
+        $ deadline_arg $ duty_arg $ insert_arg $ cache_arg $ replicas_arg
+        $ spares_arg $ kill_arg $ seed_arg' $ csv_arg))
+
 let main =
   let doc =
     "deterministic dictionaries in the parallel disk model — experiment \
@@ -595,6 +828,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd ]
+    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -73,7 +73,7 @@ let journal_capacity cfg ~block_words =
   let entries = 1 + frag_count cfg in
   Imath.cdiv (entries * (block_words + 2)) block_words
 
-let create ?(journaled = false) ~block_words cfg =
+let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
   validate cfg;
   let d = cfg.degree in
   let field_bits = field_bits_of cfg in
@@ -100,7 +100,8 @@ let create ?(journaled = false) ~block_words cfg =
     else data_blocks
   in
   let machine =
-    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk ()
+    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+      ~blocks_per_disk ()
   in
   let journal =
     if journaled then
@@ -186,18 +187,35 @@ let getter t level blocks key i =
   let fs = t.arrays.(level - 1) in
   Field_store.field_in fs blocks (Bipartite.neighbor (Field_store.graph fs) key i)
 
+(* Two-phase lookup pieces for schedulers that fetch blocks
+   themselves (the batched query engine): phase 1 fetches
+   [first_round_addresses] and feeds them to [membership_in]; a [Some]
+   at level > 1 needs a second fetch of [level_addresses] before
+   [decode_in] can reconstruct the record. *)
+let first_round_addresses = first_round_addrs
+
+let membership_in t key blocks =
+  Option.map decode_membership (Basic_dict.find_in t.membership key blocks)
+
+let level_addresses t key ~level =
+  if level < 1 || level > Array.length t.arrays then
+    invalid_arg "Dynamic_cascade.level_addresses: level";
+  Field_store.addresses t.arrays.(level - 1) key
+
+let decode_in t key ~level ~head blocks =
+  Field_codec.decode_a ~field_bits:t.field_bits ~head
+    ~sigma_bits:t.cfg.sigma_bits (getter t level blocks key)
+
 let find t key =
   let blocks = Pdm.read t.machine (first_round_addrs t key) in
-  match Basic_dict.find_in t.membership key blocks with
+  match membership_in t key blocks with
   | None -> None
-  | Some v ->
-    let level, head = decode_membership v in
+  | Some (level, head) ->
     let blocks =
       if level = 1 then blocks
       else Pdm.read t.machine (Field_store.addresses t.arrays.(level - 1) key)
     in
-    Field_codec.decode_a ~field_bits:t.field_bits ~head
-      ~sigma_bits:t.cfg.sigma_bits (getter t level blocks key)
+    decode_in t key ~level ~head blocks
 
 let mem t key =
   let blocks = Pdm.read t.machine (first_round_addrs t key) in

@@ -40,12 +40,16 @@ exception Overflow of int
 (** No level could offer ⌊2d/3⌋ empty fields — the capacity/expansion
     assumptions are violated. *)
 
-val create : ?journaled:bool -> block_words:int -> config -> t
+val create :
+  ?journaled:bool -> ?replicas:int -> ?spares:int ->
+  block_words:int -> config -> t
 (** Builds the machine (2d disks) and all levels. [journaled]
     (default false) reserves a write-ahead journal region
     ({!Pdm_sim.Journal}) on the machine and routes every multi-block
     update through it, making updates atomic across crashes at the
-    cost of the journal's extra write rounds. *)
+    cost of the journal's extra write rounds. [replicas] and [spares]
+    (defaults 1 and 0) are forwarded to the machine so a batched
+    scheduler can spread reads over replica disks. *)
 
 val config : t -> config
 
@@ -64,6 +68,32 @@ val level_of : t -> int -> int option
 
 val find : t -> int -> Bytes.t option
 (** 1 I/O when absent or stored at level 1; 2 I/Os otherwise. *)
+
+(** {2 Two-phase lookup pieces}
+
+    For schedulers that fetch blocks themselves (the batched query
+    engine): fetch {!first_round_addresses}, decode the membership
+    answer with {!membership_in}; a hit at level 1 resolves from the
+    same blocks via {!decode_in}, deeper levels need one more fetch of
+    {!level_addresses} first. *)
+
+val first_round_addresses : t -> int -> Pdm_sim.Pdm.addr list
+(** Membership buckets + A₁ candidate blocks (what {!find}'s first
+    round reads). *)
+
+val membership_in :
+  t -> int -> (Pdm_sim.Pdm.addr * int option array) list ->
+  (int * int) option
+(** [(level, head)] when present; extra blocks are ignored. *)
+
+val level_addresses : t -> int -> level:int -> Pdm_sim.Pdm.addr list
+(** Candidate blocks of A{_level} for the key (1-based level). *)
+
+val decode_in :
+  t -> int -> level:int -> head:int ->
+  (Pdm_sim.Pdm.addr * int option array) list -> Bytes.t option
+(** Reconstruct the record from fetched blocks covering
+    {!level_addresses} (level 1: {!first_round_addresses}). *)
 
 val mem : t -> int -> bool
 (** Always 1 I/O (membership only... also fetches A₁ in the same

@@ -49,7 +49,7 @@ let journal_capacity cfg ~block_words =
   let entries = 1 + frag_count cfg in
   Imath.cdiv (entries * (block_words + 2)) block_words
 
-let create ?(journaled = false) ~block_words cfg =
+let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
   if cfg.degree < 5 || 2 * frag_count cfg <= cfg.degree then
     invalid_arg "One_probe_dynamic: degree";
   if cfg.levels < 1 || cfg.levels > 254 then
@@ -82,7 +82,8 @@ let create ?(journaled = false) ~block_words cfg =
     else data_blocks
   in
   let machine =
-    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk ()
+    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+      ~blocks_per_disk ()
   in
   let journal =
     if journaled then
@@ -164,14 +165,17 @@ let getter t level blocks key i =
   let fs = t.arrays.(level - 1) in
   Field_store.field_in fs blocks (Bipartite.neighbor (Field_store.graph fs) key i)
 
-let find t key =
-  let blocks = Pdm.read t.machine (all_addresses t key) in
+let probe_addresses = all_addresses
+
+let find_in t key blocks =
   match Basic_dict.find_in t.membership key blocks with
   | None -> None
   | Some v ->
     let level, head = decode_membership v in
     Field_codec.decode_a ~field_bits:t.field_bits ~head
       ~sigma_bits:t.cfg.sigma_bits (getter t level blocks key)
+
+let find t key = find_in t key (Pdm.read t.machine (all_addresses t key))
 
 let mem t key =
   let blocks = Pdm.read t.machine (all_addresses t key) in

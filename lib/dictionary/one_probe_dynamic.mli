@@ -33,11 +33,15 @@ type t
 
 exception Overflow of int
 
-val create : ?journaled:bool -> block_words:int -> config -> t
+val create :
+  ?journaled:bool -> ?replicas:int -> ?spares:int ->
+  block_words:int -> config -> t
 (** [journaled] (default false) reserves a write-ahead journal region
     ({!Pdm_sim.Journal}) on the machine and routes every multi-block
     update through it, making updates atomic across crashes at the
-    cost of the journal's extra write rounds. *)
+    cost of the journal's extra write rounds. [replicas] and [spares]
+    (defaults 1 and 0) are forwarded to the machine so a batched
+    scheduler can spread reads over replica disks. *)
 
 val config : t -> config
 
@@ -49,6 +53,16 @@ val size : t -> int
 
 val find : t -> int -> Bytes.t option
 (** Exactly 1 parallel I/O, worst case. *)
+
+val probe_addresses : t -> int -> Pdm_sim.Pdm.addr list
+(** The blocks {!find} fetches in its single parallel I/O (membership
+    buckets + every level's candidate blocks). For batched schedulers
+    that fetch themselves and decode with {!find_in}. *)
+
+val find_in :
+  t -> int -> (Pdm_sim.Pdm.addr * int option array) list -> Bytes.t option
+(** Decode a lookup from blocks already fetched (a superset of
+    {!probe_addresses} is fine — extra blocks are ignored). *)
 
 val mem : t -> int -> bool
 

@@ -211,7 +211,8 @@ let assign ~construction ~memory scratch graph m keys =
 
 let membership_value_bytes = 1 (* head pointer: stripe index < d <= 255 *)
 
-let build ?(construction = `Sorting) ~block_words cfg data =
+let build ?(construction = `Sorting) ?(replicas = 1) ?(spares = 0)
+    ~block_words cfg data =
   validate cfg;
   let n = Array.length data in
   if n > cfg.capacity then invalid_arg "One_probe_static.build: too many keys";
@@ -245,7 +246,8 @@ let build ?(construction = `Sorting) ~block_words cfg data =
     | Some mc -> max field_blocks (Basic_dict.blocks_per_disk mc)
   in
   let machine =
-    Pdm.create ~disks ~block_size:block_words ~blocks_per_disk ()
+    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+      ~blocks_per_disk ()
   in
   let fields =
     Field_store.create ~machine ~disk_offset:0 ~block_offset:0 ~graph
@@ -352,15 +354,14 @@ let machine t = t.machine
 
 let report t = t.rep
 
-let find t key =
+let probe_addresses t key =
+  Field_store.addresses t.fields key
+  @ (match t.membership with
+     | None -> []
+     | Some memb -> Basic_dict.addresses memb key)
+
+let find_in t key blocks =
   let graph = Field_store.graph t.fields in
-  let addrs =
-    Field_store.addresses t.fields key
-    @ (match t.membership with
-       | None -> []
-       | Some memb -> Basic_dict.addresses memb key)
-  in
-  let blocks = Pdm.read t.machine addrs in
   let get i =
     Field_store.field_in t.fields blocks (Bipartite.neighbor graph key i)
   in
@@ -379,5 +380,7 @@ let find t key =
           let head = Char.code (Bytes.get head_bytes 0) in
           Field_codec.decode_a ~field_bits:(Field_store.field_bits t.fields)
             ~head ~sigma_bits:t.cfg.sigma_bits get))
+
+let find t key = find_in t key (Pdm.read t.machine (probe_addresses t key))
 
 let mem t key = find t key <> None

@@ -51,10 +51,16 @@ exception Construction_failure of int
 
 val build :
   ?construction:[ `Sorting | `Direct ] ->
+  ?replicas:int ->
+  ?spares:int ->
   block_words:int -> config -> (int * Bytes.t) array -> t
 (** [build ~block_words cfg data] constructs the dictionary over its
     own machine. Keys must be distinct and in [0, universe); each
-    satellite must supply at least ⌈sigma_bits/8⌉ bytes.
+    satellite must supply at least ⌈sigma_bits/8⌉ bytes. [replicas]
+    and [spares] (defaults 1 and 0) are forwarded to the machine:
+    with [replicas = r] every block lives on r disks and a batched
+    scheduler can serve lookups from whichever replica disk is least
+    loaded ({!Pdm_sim.Pdm.read_preferring}).
 
     [`Sorting] (default) is the paper's "improved" construction: every
     peeling round runs external sorts of (neighbor, key) pairs, so
@@ -67,6 +73,16 @@ val build :
 
 val find : t -> int -> Bytes.t option
 (** One parallel I/O, always. *)
+
+val probe_addresses : t -> int -> Pdm_sim.Pdm.addr list
+(** The blocks {!find} fetches in its single parallel I/O (candidate
+    fields + membership buckets, one per disk). A batched scheduler
+    fetches these itself — coalescing duplicates across concurrent
+    lookups — and decodes with {!find_in}. *)
+
+val find_in : t -> int -> (Pdm_sim.Pdm.addr * int option array) list -> Bytes.t option
+(** Decode a lookup from blocks already fetched (a superset of
+    {!probe_addresses} is fine — extra blocks are ignored). *)
 
 val mem : t -> int -> bool
 

@@ -1,0 +1,134 @@
+(** A batched concurrent query engine in front of any dictionary.
+
+    The paper's load-balancing results are about {e batches}: P
+    concurrent lookups on D disks finish in O(P/D) rounds because the
+    placement spreads any batch's probes almost evenly ([Theorem 2]'s
+    deterministic guarantee). The per-key dictionary APIs of
+    {!Pdm_dictionary} serve one request per parallel round and cannot
+    exhibit that bound. This engine supplies the missing half of the
+    system: simulated clients submit lookup/insert requests into an
+    admission queue; a batcher closes batches by size or round
+    deadline; a planner maps each request to its probe blocks,
+    {e coalesces duplicate fetches} across the batch, consults an
+    optional {!Pdm_sim.Cache}, and assigns every remaining fetch to
+    the least-loaded healthy replica disk; a round executor then packs
+    at most one block per disk per round, recording per-request
+    latency and a per-round disk-utilization histogram.
+
+    The engine never touches a dictionary's own lookup path — per-key
+    {!Pdm_dictionary.One_probe_static.find} etc. charge exactly the
+    I/Os they always did. Dictionaries participate through a
+    {!type:dict} record whose [lookup] returns a {!type:step}
+    (a probe plan with a decode continuation), so the dictionary
+    library does not depend on the engine. *)
+
+type addr = Pdm_sim.Pdm.addr
+
+type blocks = (addr * int option array) list
+(** Fetched blocks, as {!Pdm_sim.Pdm.read} returns them. Arrays handed
+    to continuations may be shared between requests of one batch —
+    treat them as read-only. *)
+
+type step =
+  | Done of Bytes.t option  (** The answer. *)
+  | Fetch of addr list * (blocks -> step)
+      (** Probe these blocks, then continue decoding. The continuation
+          receives exactly the requested addresses (in order) and may
+          itself return another [Fetch] — e.g. the cascade's
+          second-round level read. *)
+
+type dict = {
+  name : string;
+  machine : int Pdm_sim.Pdm.t;
+  lookup : int -> step;
+  insert : (int -> Bytes.t -> unit) option;
+      (** [None] for static structures. Inserts run serialized at the
+          front of each batch (their machine rounds are charged to the
+          engine clock), so a batch's lookups observe its inserts. *)
+}
+
+type request = Lookup of int | Insert of int * Bytes.t
+
+val request_key : request -> int
+
+type config = {
+  max_batch : int;        (** close a batch at this many requests *)
+  deadline_rounds : int;  (** … or when the oldest has waited this long *)
+  cache_blocks : int;     (** LRU blocks in front of the machine; 0 = none *)
+}
+
+val default_config : config
+(** [{ max_batch = 64; deadline_rounds = 4; cache_blocks = 0 }] *)
+
+type outcome = {
+  id : int;                (** ticket from {!submit} *)
+  request : request;
+  value : Bytes.t option;  (** lookup answer; [None] for inserts *)
+  submitted : int;         (** engine round at admission *)
+  completed : int;         (** engine round when served *)
+}
+
+val latency : outcome -> int
+(** Rounds from admission to answer — queueing included. *)
+
+exception Request_failed of { id : int; key : int; error : exn }
+(** A structured storage error ({!Pdm_sim.Backend.Disk_failed},
+    [Corrupt_block], [Retries_exhausted]) surfaced while serving
+    request [id]; [error] is the underlying exception. Requests of the
+    interrupted batch that were not yet completed are dropped. *)
+
+type t
+
+val create : ?config:config -> dict -> t
+(** If [config.cache_blocks > 0] the engine owns a
+    {!Pdm_sim.Cache.t} on the dictionary's machine (write-invalidated
+    by the machine's listener hook, so journal replay and scrub repair
+    stay coherent). *)
+
+val dict : t -> dict
+val config : t -> config
+
+val submit : t -> request -> int
+(** Admit a request, returning its ticket. Runs batches immediately
+    when the queue reaches [max_batch]. *)
+
+val pump : t -> unit
+(** Run batches while one is due (size or deadline). *)
+
+val drain : t -> unit
+(** Run batches until the queue is empty, deadline or not. *)
+
+val idle_round : t -> unit
+(** One client-less round: advances the engine clock (aging queued
+    requests toward the deadline), then {!pump}s. The duty-cycle knob
+    of the [serve] CLI. *)
+
+val take_outcomes : t -> outcome list
+(** Completed requests since the last call, sorted by ticket. *)
+
+val round : t -> int
+(** The engine clock: fetch rounds + insert rounds + idle rounds. *)
+
+val queue_length : t -> int
+
+type stats = {
+  rounds : int;           (** = {!round} *)
+  fetch_rounds : int;     (** machine rounds spent on batched fetches *)
+  insert_rounds : int;    (** machine rounds spent on serialized inserts *)
+  blocks_fetched : int;
+  requests_served : int;
+  batches : int;
+  coalesced : int;        (** duplicate block fetches avoided *)
+  cache_hits : int;       (** probes served by the engine's cache *)
+  total_latency : int;
+  max_latency : int;
+}
+
+val stats : t -> stats
+
+val utilization_histogram : t -> int array
+(** Blocks fetched in each executor round, in order. Entry [i] ≤ D by
+    construction (one block per disk per round). *)
+
+val mean_utilization : t -> float
+(** Mean blocks per fetch round; compare against D for bandwidth. *)

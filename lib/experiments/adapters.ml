@@ -1,8 +1,10 @@
 module Pdm = Pdm_sim.Pdm
+module Engine = Pdm_engine.Engine
 module Basic = Pdm_dictionary.Basic_dict
 module Fragmented = Pdm_dictionary.Fragmented
 module Cascade = Pdm_dictionary.Dynamic_cascade
 module Opd = Pdm_dictionary.One_probe_dynamic
+module Ops = Pdm_dictionary.One_probe_static
 module Rebuild = Pdm_dictionary.Global_rebuild
 module Hash_table = Pdm_baselines.Hash_table
 module Cuckoo = Pdm_baselines.Cuckoo
@@ -206,6 +208,82 @@ let btree ?(scale = default_scale) () =
   { name = "b-tree"; deterministic = true; find = Btree.find t;
     insert = Btree.insert t; delete = Some (Btree.delete t);
     size = (fun () -> Btree.size t); stats = Pdm.stats machine; value_bytes }
+
+(* --- engine adapters: probe-plan dictionaries for the batched query
+   engine. The [dict] record carries the plan/decode split; [direct_find]
+   is the unchanged per-key path, kept alongside so experiments can
+   verify the engine returns identical answers. --- *)
+
+type engine_adapter = {
+  engine_dict : Engine.dict;
+  direct_find : int -> Bytes.t option;
+}
+
+let engine_one_probe_static ?(scale = default_scale) ?(replicas = 1)
+    ?(spares = 0) ?(degree = 16) ~data () =
+  let cfg =
+    { Ops.universe = scale.universe; capacity = Array.length data; degree;
+      sigma_bits = 8 * value_bytes; v_factor = 3; case = Ops.Case_b;
+      seed = scale.seed }
+  in
+  let t = Ops.build ~replicas ~spares ~block_words:scale.block_words cfg data in
+  let lookup key =
+    Engine.Fetch
+      ( Ops.probe_addresses t key,
+        fun blocks -> Engine.Done (Ops.find_in t key blocks) )
+  in
+  { engine_dict =
+      { Engine.name = "one-probe static (4.2)"; machine = Ops.machine t;
+        lookup; insert = None };
+    direct_find = Ops.find t }
+
+let engine_one_probe_dynamic ?(scale = default_scale) ?(replicas = 1)
+    ?(spares = 0) () =
+  let t =
+    Opd.create ~replicas ~spares ~block_words:scale.block_words
+      { Opd.universe = scale.universe; capacity = scale.capacity; degree = 9;
+        sigma_bits = 8 * value_bytes; levels = 8; v_factor = 3;
+        seed = scale.seed }
+  in
+  let lookup key =
+    Engine.Fetch
+      ( Opd.probe_addresses t key,
+        fun blocks -> Engine.Done (Opd.find_in t key blocks) )
+  in
+  { engine_dict =
+      { Engine.name = "one-probe dynamic (6)"; machine = Opd.machine t;
+        lookup; insert = Some (Opd.insert t) };
+    direct_find = Opd.find t }
+
+let engine_cascade ?(scale = default_scale) ?(replicas = 1) ?(spares = 0) () =
+  let t =
+    Cascade.create ~replicas ~spares ~block_words:scale.block_words
+      { Cascade.universe = scale.universe; capacity = scale.capacity;
+        degree = 15; sigma_bits = 8 * value_bytes; epsilon = 1.0;
+        v_factor = 3; seed = scale.seed }
+  in
+  (* Two-phase plan: membership + A₁ first; a hit at a deeper level
+     fetches that level's candidate blocks in a second step, which the
+     engine coalesces with the rest of its batch. *)
+  let lookup key =
+    Engine.Fetch
+      ( Cascade.first_round_addresses t key,
+        fun blocks ->
+          match Cascade.membership_in t key blocks with
+          | None -> Engine.Done None
+          | Some (1, head) ->
+            Engine.Done (Cascade.decode_in t key ~level:1 ~head blocks)
+          | Some (level, head) ->
+            Engine.Fetch
+              ( Cascade.level_addresses t key ~level,
+                fun blocks2 ->
+                  Engine.Done (Cascade.decode_in t key ~level ~head blocks2) )
+      )
+  in
+  { engine_dict =
+      { Engine.name = "cascade (4.3)"; machine = Cascade.machine t; lookup;
+        insert = Some (Cascade.insert t) };
+    direct_find = Cascade.find t }
 
 let all ?(scale = default_scale) () =
   [ basic ~scale (); small_block ~scale (); fragmented ~scale ();

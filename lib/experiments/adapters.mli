@@ -42,3 +42,30 @@ val btree : ?scale:scale -> unit -> t
 
 val all : ?scale:scale -> unit -> t list
 (** Every structure at moderate settings. *)
+
+(** {2 Engine adapters}
+
+    Probe-plan views of the dictionaries for the batched query engine
+    ({!Pdm_engine.Engine}). [engine_dict.lookup] returns the probe
+    plan + decode continuation; [direct_find] is the unchanged per-key
+    path so experiments can check the engine's answers against it. *)
+
+type engine_adapter = {
+  engine_dict : Pdm_engine.Engine.dict;
+  direct_find : int -> Bytes.t option;
+}
+
+val engine_one_probe_static :
+  ?scale:scale -> ?replicas:int -> ?spares:int -> ?degree:int ->
+  data:(int * Bytes.t) array -> unit -> engine_adapter
+(** Section 4.2 case (b) on [degree] (default 16) disks; static, so
+    [insert = None]. *)
+
+val engine_one_probe_dynamic :
+  ?scale:scale -> ?replicas:int -> ?spares:int -> unit -> engine_adapter
+(** Section 6 exploration: one-probe plans, engine-served inserts. *)
+
+val engine_cascade :
+  ?scale:scale -> ?replicas:int -> ?spares:int -> unit -> engine_adapter
+(** Section 4.3: a two-step plan (membership + A₁, then the landing
+    level) — exercises the engine's multi-round continuations. *)

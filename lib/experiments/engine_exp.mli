@@ -1,0 +1,50 @@
+(** Experiment E18: the batched concurrent query engine.
+
+    The paper's Theorem 2 bound is about batches — P concurrent
+    requests on D disks in O(P/D) parallel rounds. The per-key
+    dictionary APIs serve one request per round; this experiment
+    drives Q = 4096 random one-probe lookups through
+    {!Pdm_engine.Engine} over the Section 4.2 case (b) dictionary on
+    D = 16 disks and checks the system-level consequences:
+
+    - the batch completes within 1.25 · ⌈Q/D⌉ engine rounds
+      (duplicate coalescing makes it far fewer in practice), versus
+      ≈ Q rounds unbatched;
+    - mean disk utilization of the fetch rounds is ≥ 0.8 · D;
+    - the engine's answers are identical to the per-key path's;
+    - with r = 2 replication and one disk killed before the batch,
+      the least-loaded replica scheduling finishes within 2× the
+      fault-free r = 2 rounds, still with identical answers. *)
+
+type result = {
+  queries : int;
+  disks : int;
+  unbatched_rounds : int;   (** per-key baseline: one lookup per round *)
+  engine_rounds : int;      (** engine clock for the whole batch *)
+  bound_rounds : int;       (** 1.25 · ⌈Q/D⌉ *)
+  within_bound : bool;
+  speedup : float;          (** unbatched / engine rounds *)
+  coalesced : int;          (** duplicate block fetches avoided *)
+  blocks_fetched : int;
+  mean_utilization : float; (** blocks per fetch round (≤ D) *)
+  utilization_ok : bool;    (** ≥ 0.8 · D *)
+  answers_match : bool;
+  mean_latency : float;     (** rounds from admission to answer *)
+  max_latency : int;
+  healthy_r2_rounds : int;  (** fault-free r = 2 reference *)
+  degraded_rounds : int;    (** r = 2, one disk killed *)
+  degraded_within_2x : bool;
+  degraded_match : bool;
+}
+
+val run :
+  ?universe:int ->
+  ?n:int ->
+  ?queries:int ->
+  ?degree:int ->
+  ?seed:int ->
+  ?killed_disk:int ->
+  unit ->
+  result
+
+val to_table : result -> Table.t

@@ -11,8 +11,16 @@ type 'a t = {
 
 let create pdm ~capacity_blocks =
   if capacity_blocks < 1 then invalid_arg "Cache.create: capacity >= 1";
-  { pdm; capacity = capacity_blocks; table = Hashtbl.create 64; clock = 0;
-    hits = 0; misses = 0 }
+  let t =
+    { pdm; capacity = capacity_blocks; table = Hashtbl.create 64; clock = 0;
+      hits = 0; misses = 0 }
+  in
+  (* Coherence with writers that bypass this cache (journal replay,
+     scrub repair, another handle on the same machine): any write to
+     the machine drops our copy. Our own write-through re-inserts the
+     fresh data after the machine write returns, so it stays cached. *)
+  Pdm.add_write_listener pdm (fun addr -> Hashtbl.remove t.table addr);
+  t
 
 let machine t = t.pdm
 let capacity t = t.capacity
@@ -71,6 +79,18 @@ let read_one t addr =
   match read t [ addr ] with
   | [ (_, data) ] -> data
   | _ -> assert false
+
+let find_cached t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Some (Array.copy e.data)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let note_fetched t addr data = insert t addr (Array.copy data)
 
 let write t blocks =
   Pdm.write t.pdm blocks;

@@ -20,6 +20,11 @@
 type 'a t
 
 val create : 'a Pdm.t -> capacity_blocks:int -> 'a t
+(** The cache registers a {!Pdm.add_write_listener} on the machine, so
+    writes that bypass it — journal replay, scrub repair, a second
+    handle on the same machine — invalidate the affected blocks
+    instead of leaving stale copies behind. The registration lasts for
+    the machine's lifetime. *)
 
 val machine : 'a t -> 'a Pdm.t
 
@@ -31,6 +36,17 @@ val read : 'a t -> Pdm.addr list -> (Pdm.addr * 'a option array) list
     blocks. Returned arrays are private copies. *)
 
 val read_one : 'a t -> Pdm.addr -> 'a option array
+
+val find_cached : 'a t -> Pdm.addr -> 'a option array option
+(** Probe without fetching: [Some copy] (counted as a hit, LRU
+    touched) when resident, [None] (counted as a miss) otherwise —
+    the machine is never touched. For schedulers that plan their own
+    fetches for the misses, like the batched query engine. *)
+
+val note_fetched : 'a t -> Pdm.addr -> 'a option array -> unit
+(** Install a block the caller fetched through its own (counted)
+    machine request — the companion to {!find_cached}. Counts as
+    neither hit nor miss; evicts LRU blocks as needed. *)
 
 val write : 'a t -> (Pdm.addr * 'a option array) list -> unit
 (** Write-through: forwarded to the machine and cached. *)

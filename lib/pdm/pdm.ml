@@ -30,6 +30,7 @@ type 'a t = {
   mutable trace : Trace.t option;
   mutable rounds_done : int;
   mutable allocated : int;
+  mutable write_listeners : (addr -> unit) list;
 }
 
 let physical_disks_of ~disks ~spares = disks + spares
@@ -75,7 +76,8 @@ let create ?(model = Independent_disks) ?stats ?trace ?faults ?backends
     killed = false;
     trace;
     rounds_done = 0;
-    allocated = 0 }
+    allocated = 0;
+    write_listeners = [] }
 
 let disks t = t.disks
 let block_size t = t.block_size
@@ -93,6 +95,16 @@ let rounds_total t = t.rounds_done
 let backend t d = t.backends.(d)
 let disk_down t d = t.down.(d)
 let remapped_replicas t = Hashtbl.length t.remap
+
+let add_write_listener t f = t.write_listeners <- t.write_listeners @ [ f ]
+
+(* Tell every listener the logical block's stored bits are about to
+   change (or just changed): caches drop their copy. Listeners must
+   not touch the machine. *)
+let notify_write t a =
+  match t.write_listeners with
+  | [] -> ()
+  | fs -> List.iter (fun f -> f a) fs
 
 (* Replica j of logical block {d, b} lives on disk (d + j) mod D in
    that disk's j-th block region — r distinct disks per block, and the
@@ -112,6 +124,10 @@ let check_addr t { disk; block } =
   if disk < 0 || disk >= t.disks then invalid_arg "Pdm: disk out of range";
   if block < 0 || block >= t.blocks_per_disk then
     invalid_arg "Pdm: block out of range"
+
+let replica_disks t a =
+  check_addr t a;
+  List.init t.replicas (fun j -> (phys t a j).disk)
 
 let dedup addrs =
   let seen = Hashtbl.create 16 in
@@ -307,19 +323,20 @@ let read_phys_batch t paddrs =
   results
 
 (* Replicated, verifying read. Each pass schedules one physical
-   candidate per still-unserved logical block — the first replica
-   whose disk is not known down — and blocks that fail move to their
-   next replica for the following pass. A healthy request is one pass
-   (the seed's cost); discovering a dead disk costs one extra pass for
-   the affected blocks, after which the health cache routes straight
-   to the survivors. Only when a block runs out of replicas does the
-   terminal failure escape as a structured exception. *)
-let scheduled_read t addrs =
+   candidate per still-unserved logical block — the first candidate
+   replica whose disk is not known down — and blocks that fail move to
+   their next replica for the following pass. A healthy request is one
+   pass (the seed's cost); discovering a dead disk costs one extra
+   pass for the affected blocks, after which the health cache routes
+   straight to the survivors. Only when a block runs out of replicas
+   does the terminal failure escape as a structured exception. The
+   candidate list per address is normally [0; 1; ...; r-1]; a caller
+   that planned its own replica placement (the query engine) passes a
+   rotated list so its chosen replica is tried first. *)
+let scheduled_read_candidates t with_candidates =
   let results = ref [] in
   let delivered = ref 0 in
-  let pending =
-    ref (List.map (fun a -> (a, List.init t.replicas Fun.id)) addrs)
-  in
+  let pending = ref with_candidates in
   while !pending <> [] do
     let info = Hashtbl.create 16 in
     let paddrs =
@@ -365,6 +382,10 @@ let scheduled_read t addrs =
   done;
   !results
 
+let scheduled_read t addrs =
+  scheduled_read_candidates t
+    (List.map (fun a -> (a, List.init t.replicas Fun.id)) addrs)
+
 let read t addrs =
   List.iter (check_addr t) addrs;
   let addrs = dedup addrs in
@@ -388,6 +409,34 @@ let read_one t a =
   match read t [ a ] with
   | [ (_, slots) ] -> slots
   | _ -> assert false
+
+(* Replica-directed read: the caller chose which replica should serve
+   each block (e.g. two-choice assignment onto the least-loaded disk);
+   the chosen replica is tried first and the remaining ones stay as
+   failover candidates in home order. On an unreplicated machine every
+   preference is 0 and this is exactly {!read}. *)
+let read_preferring t prefs =
+  List.iter (fun (a, _) -> check_addr t a) prefs;
+  let seen = Hashtbl.create 16 in
+  let prefs =
+    List.filter
+      (fun (a, _) ->
+        if Hashtbl.mem seen a then false
+        else begin
+          Hashtbl.add seen a ();
+          true
+        end)
+      prefs
+  in
+  if not (scheduled t) then read t (List.map fst prefs)
+  else
+    scheduled_read_candidates t
+      (List.map
+         (fun (a, j) ->
+           if j < 0 || j >= t.replicas then
+             invalid_arg "Pdm.read_preferring: replica out of range";
+           (a, j :: List.filter (fun x -> x <> j) (List.init t.replicas Fun.id)))
+         prefs)
 
 (* Seal a payload for storage (checksum appended when the machine
    carries an integrity envelope). Always returns a fresh array. *)
@@ -490,6 +539,7 @@ let write t blocks =
   let addrs = List.map fst blocks in
   if List.length (dedup addrs) <> List.length addrs then
     invalid_arg "Pdm.write: duplicate address in one request";
+  List.iter (notify_write t) addrs;
   if scheduled t then scheduled_write t blocks
   else begin
     let rounds = rounds_of_distinct t addrs in
@@ -531,6 +581,7 @@ let poke t a slots =
   check_addr t a;
   if Array.length slots <> t.block_size then
     invalid_arg "Pdm.poke: block has wrong length";
+  notify_write t a;
   let data =
     match t.integrity with None -> slots | Some itg -> itg.seal slots
   in
@@ -648,6 +699,10 @@ let scrub t =
   (* Re-store [payload] for replica [j] of [a]: in place if that disk
      answers, else onto a spare; verify the write by reading it back. *)
   let repair_replica a j payload =
+    (* The stored bits of this logical block are about to be
+       rewritten; any cache must drop its copy (conservatively, even
+       if the repair then fails). *)
+    notify_write t a;
     let data = seal t payload in
     let home = phys t a j in
     let try_target target =
@@ -797,4 +852,5 @@ let load_from_file ?integrity path =
         killed = false;
         trace = None;
         rounds_done = 0;
-        allocated = s.s_allocated })
+        allocated = s.s_allocated;
+        write_listeners = [] })

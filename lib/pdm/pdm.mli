@@ -157,6 +157,22 @@ val read_one : 'a t -> addr -> 'a option array
 (** Read a single block: exactly one parallel I/O (more under faults
     or failover). *)
 
+val replica_disks : 'a t -> addr -> int list
+(** The physical disk currently holding each replica of the logical
+    block, in replica order (index [j] is replica [j], following any
+    repair-time remapping). A scheduler can combine this with
+    {!disk_down} to place a read on the least-loaded healthy copy. *)
+
+val read_preferring : 'a t -> (addr * int) list -> (addr * 'a option array) list
+(** [read_preferring t [(a, j); ...]] is {!read} with the replica
+    choice made by the caller: block [a] is served by replica [j]
+    when that disk answers, failing over to the remaining replicas
+    (in home order) otherwise. Duplicate addresses keep their first
+    preference. On an unreplicated machine every preference must be 0
+    and the call is exactly {!read}. The batched query engine uses
+    this to place each fetch on the least-loaded healthy replica
+    disk. *)
+
 val write : 'a t -> (addr * 'a option array) list -> unit
 (** [write t blocks] stores the given blocks — all replicas of each —
     charging the scheduled parallel write rounds. Each array must have
@@ -164,6 +180,15 @@ val write : 'a t -> (addr * 'a option array) list -> unit
     succeeds as long as at least one replica of every block lands. *)
 
 val write_one : 'a t -> addr -> 'a option array -> unit
+
+val add_write_listener : 'a t -> (addr -> unit) -> unit
+(** Register a callback invoked with the logical address of every
+    block whose stored bits change: counted writes (including journal
+    replay, which applies through {!write}), uncounted {!poke}s, and
+    scrub-repair rewrites. {!Cache} registers one to stay coherent
+    with writers that bypass it. Listeners run synchronously, must
+    not touch the machine, and cannot be removed — attach them to
+    objects that live as long as the machine. *)
 
 val rounds_for : 'a t -> addr list -> int
 (** Number of parallel I/Os {!read} would charge for these addresses

@@ -7,4 +7,4 @@ let () =
         Test_experiments.suite; Test_model.suite;
         Test_extensions.suite; Test_ablations.suite;
         Test_wave3.suite; Test_soak.suite; Test_fs.suite; Test_fs_model.suite; Test_properties.suite;
-        Test_fault_trace.suite; Test_repair.suite ])
+        Test_fault_trace.suite; Test_repair.suite; Test_engine.suite ])
