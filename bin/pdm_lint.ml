@@ -1,0 +1,84 @@
+(* pdm-lint CLI.
+
+   Usage: pdm_lint [--json] [--rules R1,R3] [--disable R4]
+                   [--allow-peek MODULE] PATH...
+
+   Exit 0 when clean, 1 when findings, 2 on usage/parse errors. *)
+
+module Lint = Pdm_lint_core.Lint
+
+let usage () =
+  prerr_endline
+    "usage: pdm_lint [--json] [--rules R1,R2] [--disable R3] \
+     [--allow-peek MODULE] PATH...";
+  prerr_endline "  --json           emit findings as a JSON array";
+  prerr_endline "  --rules LIST     enable only these rules (comma-separated)";
+  prerr_endline "  --disable LIST   drop rules from the enabled set";
+  prerr_endline
+    "  --allow-peek M   add module basename M to the Pdm.peek allowlist";
+  exit 2
+
+let parse_rules s =
+  List.map
+    (fun tok ->
+      match Lint.rule_of_string (String.trim tok) with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "pdm_lint: unknown rule %S\n" tok;
+        usage ())
+    (String.split_on_char ',' s)
+
+let () =
+  let json = ref false in
+  let enabled = ref Lint.all_rules in
+  let allow_peek = ref Lint.default_peek_allowlist in
+  let paths = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      go rest
+    | "--rules" :: spec :: rest ->
+      enabled := parse_rules spec;
+      go rest
+    | "--disable" :: spec :: rest ->
+      let off = parse_rules spec in
+      enabled := List.filter (fun r -> not (List.mem r off)) !enabled;
+      go rest
+    | "--allow-peek" :: m :: rest ->
+      allow_peek := m :: !allow_peek;
+      go rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "pdm_lint: unknown option %s\n" arg;
+      usage ()
+    | path :: rest ->
+      paths := path :: !paths;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let paths = if !paths = [] then [ "lib" ] else List.rev !paths in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "pdm_lint: no such path %s\n" p;
+        usage ()
+      end)
+    paths;
+  let config =
+    { Lint.enabled = !enabled; peek_allowlist = !allow_peek }
+  in
+  let findings =
+    Lint.sort_findings
+      (List.concat_map
+         (fun p ->
+           List.concat_map (Lint.check_file ~config) (Lint.ml_files_under p))
+         paths)
+  in
+  if !json then print_endline (Lint.to_json findings)
+  else begin
+    List.iter (fun f -> print_endline (Lint.to_text f)) findings;
+    if findings <> [] then
+      Printf.eprintf "pdm_lint: %d finding(s)\n" (List.length findings)
+  end;
+  exit (Lint.exit_code findings)

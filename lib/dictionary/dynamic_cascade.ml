@@ -280,7 +280,12 @@ let insert t key satellite =
           List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
         in
         let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
-        let head = List.hd stripes in
+        let head =
+          match stripes with
+          | s :: _ -> s
+          | [] ->
+            invalid_arg "Dynamic_cascade: insert needs m >= 1 stripes"
+        in
         let mem_block =
           Basic_dict.prepare_insert t.membership key
             (encode_membership ~level ~head)
@@ -325,7 +330,12 @@ let delete t key =
        in
        let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
        (match Basic_dict.prepare_delete t.membership key round1 with
-        | None -> assert false
+        | None ->
+          (* pdm-lint: allow R3 — unreachable: this branch runs only
+             when the membership lookup just found the key in these
+             same round-1 images, so [prepare_delete] must find it
+             too. *)
+          assert false
         | Some mem_block ->
           (* Fields live on disks [0, d), membership on [d, 2d): one
              combined write round. *)

@@ -68,7 +68,10 @@ let locate t y =
 
 let addrs_of_field t y = fst (locate t y)
 
-let addr_of_field t y = List.hd (addrs_of_field t y)
+let addr_of_field t y =
+  match addrs_of_field t y with
+  | a :: _ -> a
+  | [] -> invalid_arg "Field_store.addr_of_field: store has zero groups"
 
 let addresses t key =
   List.concat
@@ -78,17 +81,25 @@ let addresses t key =
 (* The field's words, gathered group by group. Occupancy is judged by
    the first word of the first segment. *)
 let decode_field t segs base =
-  match (List.hd segs).(base) with
-  | None -> None
-  | Some _ ->
-    let words =
-      Array.init t.field_words (fun w ->
-          let q = w / t.seg_words and off = w mod t.seg_words in
-          match (List.nth segs q).(base + off) with
-          | Some x -> x
-          | None -> invalid_arg "Field_store: corrupt field")
-    in
-    Some (Codec.bytes_of_words words ~nbits:t.field_bits)
+  match segs with
+  | [] -> invalid_arg "Field_store: field with no segments"
+  | first :: _ ->
+    (match first.(base) with
+     | None -> None
+     | Some _ ->
+       let words =
+         Array.init t.field_words (fun w ->
+             let q = w / t.seg_words and off = w mod t.seg_words in
+             let seg =
+               match List.nth_opt segs q with
+               | Some s -> s
+               | None -> invalid_arg "Field_store: missing segment"
+             in
+             match seg.(base + off) with
+             | Some x -> x
+             | None -> invalid_arg "Field_store: corrupt field")
+       in
+       Some (Codec.bytes_of_words words ~nbits:t.field_bits))
 
 let segs_in t blocks y =
   let addrs, base = locate t y in
@@ -178,8 +189,8 @@ let count_occupied t =
   let v = Bipartite.v t.graph in
   let occ = ref 0 in
   for y = 0 to v - 1 do
-    let addrs, base = locate t y in
-    let block = Pdm.peek t.machine (List.hd addrs) in
+    let _, base = locate t y in
+    let block = Pdm.peek t.machine (addr_of_field t y) in
     if block.(base) <> None then incr occ
   done;
   !occ

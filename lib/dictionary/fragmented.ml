@@ -222,7 +222,11 @@ let insert t key satellite =
           None buckets
       in
       match best with
-      | None -> assert false
+      | None ->
+        (* pdm-lint: allow R3 — unreachable: [buckets] lists the key's
+           d candidate buckets and [plan] enforces degree >= 1, so the
+           fold always selects a least-loaded bucket. *)
+        assert false
       | Some (addr, _) ->
         let block = List.assoc addr images in
         (match Codec.Slots.first_free block ~width:t.width with

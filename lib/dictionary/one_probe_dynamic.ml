@@ -236,7 +236,12 @@ let insert t key satellite =
             List.map (fun (i, b) -> (Bipartite.neighbor graph key i, Some b)) enc
           in
           let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
-          let head = List.hd stripes in
+          let head =
+            match stripes with
+            | s :: _ -> s
+            | [] ->
+              invalid_arg "One_probe_dynamic: insert needs m >= 1 stripes"
+          in
           let mem_block =
             Basic_dict.prepare_insert t.membership key
               (encode_membership ~level ~head)
@@ -269,7 +274,11 @@ let delete t key =
        in
        let field_blocks = Field_store.prepare_updates fs ~images:blocks updates in
        (match Basic_dict.prepare_delete t.membership key blocks with
-        | None -> assert false
+        | None ->
+          (* pdm-lint: allow R3 — unreachable: this branch runs only
+             when the membership lookup just found the key in these
+             same block images, so [prepare_delete] must find it too. *)
+          assert false
         | Some mem_block ->
           write_batch t (mem_block :: field_blocks);
           t.size <- t.size - 1;

@@ -286,7 +286,10 @@ let build ?(construction = `Sorting) ?(replicas = 1) ?(spares = 0)
             ~sigma_bits:cfg.sigma_bits ~indices:field_ids
         | Case_a ->
           let stripes = List.map (fun y -> y / stripe_w) field_ids in
-          heads := (x, List.hd stripes) :: !heads;
+          (match stripes with
+           | head :: _ -> heads := (x, head) :: !heads
+           | [] ->
+             invalid_arg "One_probe_static: key assigned zero fields");
           let enc =
             Field_codec.encode_a ~field_bits ~indices:stripes ~satellite
               ~sigma_bits:cfg.sigma_bits
@@ -372,7 +375,11 @@ let find_in t key blocks =
          ~id_bits:t.id_bits ~sigma_bits:t.cfg.sigma_bits ~d:t.cfg.degree get)
   | Case_a ->
     (match t.membership with
-     | None -> assert false
+     | None ->
+       (* pdm-lint: allow R3 — unreachable: [build] always constructs
+          the membership dictionary for a [Case_a] configuration; only
+          [Case_b] stores [None] here. *)
+       assert false
      | Some memb ->
        (match Basic_dict.find_in memb key blocks with
         | None -> None

@@ -167,7 +167,10 @@ let rec settle tbl st =
     else st
 
 (* The disk of replica [j] of [a], after any spare remaps. *)
-let replica_disk m a j = List.nth (Pdm.replica_disks m a) j
+let replica_disk m a j =
+  match List.nth_opt (Pdm.replica_disks m a) j with
+  | Some d -> d
+  | None -> invalid_arg "Engine: replica index out of range"
 
 (* One executor round: assign each wanted block to a free, healthy
    replica disk (least cumulative load wins); blocks whose healthy
@@ -231,13 +234,19 @@ let fetch_all t tbl wanted =
                   List.mem failing_disk (Pdm.replica_disks m a))
                 issue
             with
-            | Some ((_, p), _) -> p
-            | None -> snd (fst (List.hd issue))
+            | Some ((_, p), _) -> Some p
+            | None ->
+              (match issue with ((_, p), _) :: _ -> Some p | [] -> None)
           in
-          raise
-            (Request_failed
-               { id = culprit.id; key = request_key culprit.request;
-                 error = e }))
+          (match culprit with
+           | None ->
+             (* an empty round cannot have raised; re-surface as-is *)
+             raise e
+           | Some culprit ->
+             raise
+               (Request_failed
+                  { id = culprit.id; key = request_key culprit.request;
+                    error = e })))
     in
     let delta = max 1 (Pdm.rounds_total m - before) in
     t.round <- t.round + delta;
@@ -271,7 +280,10 @@ let run_batch t batch =
     (fun p ->
       match p.request with
       | Insert (k, v) -> exec_insert t p k v
-      | Lookup _ -> assert false)
+      | Lookup _ ->
+        (* pdm-lint: allow R3 — unreachable: [inserts] is the
+           [Insert]-side of the partition directly above. *)
+        assert false)
     inserts;
   let tbl : (addr, int option array) Hashtbl.t = Hashtbl.create 64 in
   let inflight =
@@ -300,7 +312,11 @@ let run_batch t batch =
       List.iter
         (fun (p, str) ->
           match !str with
-          | Done _ -> assert false
+          | Done _ ->
+            (* pdm-lint: allow R3 — unreachable: [still] keeps only
+               requests whose step did not settle to [Done] in the
+               filter above. *)
+            assert false
           | Fetch (addrs, _) ->
             List.iter
               (fun a ->

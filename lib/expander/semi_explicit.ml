@@ -74,7 +74,11 @@ let construct ~seed ~capacity ~u ~beta ~eps =
   let graphs, levels = build 0 u seed [] [] in
   let composed =
     match graphs with
-    | [] -> assert false
+    | [] ->
+      (* pdm-lint: allow R3 — unreachable: [build] runs k >= 1 levels
+         (k = 0 is rejected by the caller's validation), producing one
+         graph per level. *)
+      assert false
     | first :: rest ->
       (try List.fold_left Telescope.compose first rest
        with Invalid_argument _ ->

@@ -4,6 +4,7 @@ module Basic = Pdm_dictionary.Basic_dict
 module Cascade = Pdm_dictionary.Dynamic_cascade
 module Sampling = Pdm_util.Sampling
 module Prng = Pdm_util.Prng
+module Clock = Pdm_util.Clock
 
 type point = {
   structure : string;
@@ -56,11 +57,11 @@ let run ?(seed = 91) ?(ns = [ 10_000; 40_000 ]) () =
          measure_worst stats (fun k -> Basic.insert d k (payload k)) keys
            ~bound:2
        in
-       let t0 = Sys.time () in
-       let lk_worst, lk_viol =
-         measure_worst stats (fun k -> ignore (Basic.find d k)) keys ~bound:1
+       let (lk_worst, lk_viol), dt =
+         Clock.duration (fun () ->
+             measure_worst stats (fun k -> ignore (Basic.find d k)) keys
+               ~bound:1)
        in
-       let dt = Sys.time () -. t0 in
        points :=
          { structure = "Section 4.1 basic"; n; lookup_worst = lk_worst;
            lookup_bound = 1; insert_worst = ins_worst; insert_bound = 2;
@@ -83,11 +84,11 @@ let run ?(seed = 91) ?(ns = [ 10_000; 40_000 ]) () =
          measure_worst stats (fun k -> Cascade.insert t k (sat k)) keys
            ~bound:ins_bound
        in
-       let t0 = Sys.time () in
-       let lk_worst, lk_viol =
-         measure_worst stats (fun k -> ignore (Cascade.find t k)) keys ~bound:2
+       let (lk_worst, lk_viol), dt =
+         Clock.duration (fun () ->
+             measure_worst stats (fun k -> ignore (Cascade.find t k)) keys
+               ~bound:2)
        in
-       let dt = Sys.time () -. t0 in
        points :=
          { structure = "Section 4.3 cascade"; n; lookup_worst = lk_worst;
            lookup_bound = 2; insert_worst = ins_worst; insert_bound = ins_bound;

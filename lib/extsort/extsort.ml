@@ -178,7 +178,11 @@ let sort t ~src_region ~scratch_region ~items =
     let fan_in = max 2 ((t.memory_items / t.sb) - 1) in
     let rec passes runs ~cur ~other =
       match runs with
-      | [] -> assert false
+      | [] ->
+        (* pdm-lint: allow R3 — unreachable: [form_runs] with
+           items >= 2 produces >= 1 run, and merging groups of >= 2
+           runs never empties the list. *)
+        assert false
       | [ _ ] -> if cur = scratch_region then `Scratch else `Src
       | _ ->
         let rec merge_groups runs acc =

@@ -1,0 +1,74 @@
+(** pdm-lint — AST-based honesty and determinism checker.
+
+    Parses every [.ml] under a directory with compiler-libs and enforces
+    the repository's simulator-honesty rules:
+
+    - {b R1 no-pdm-bypass}: outside [lib/pdm], no direct [Backend.*] I/O
+      and no [Pdm.backend]; [Pdm.peek]/[Pdm.poke] only in allowlisted
+      diagnostic modules.
+    - {b R2 determinism}: no [Random.*], [Hashtbl.hash],
+      [Hashtbl.create ~random:true], [Sys.time] or [Unix.*] in the
+      deterministic components ([lib/pdm], [lib/expander],
+      [lib/loadbalance], [lib/dictionary], [lib/engine]); [Sys.time]
+      and [Unix.*] are flagged everywhere (the one sanctioned clock is
+      [Pdm_util.Clock]).
+    - {b R3 totality}: flags [List.hd], [List.nth], [Option.get],
+      [Array.unsafe_*] and [assert false] in library code.
+    - {b R4 interface hygiene}: every library [.ml] has an [.mli]; no
+      [open] of another library's wrapper module.
+
+    Findings are suppressed inline with
+    [(* pdm-lint: allow <rule> — reason *)]; the reason is mandatory and
+    the suppression covers the comment through one line past its close.
+    Unused or malformed suppressions are themselves reported. *)
+
+type rule = R1 | R2 | R3 | R4
+
+val all_rules : rule list
+val rule_id : rule -> string
+val rule_name : rule -> string
+
+val rule_of_string : string -> rule option
+(** Accepts "R1".."R4" (any case) or the long names. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** "R1".."R4", or "syntax"/"parse" for meta findings *)
+  name : string;
+  message : string;
+}
+
+type config = {
+  enabled : rule list;
+  peek_allowlist : string list;
+      (** module basenames allowed to call [Pdm.peek]/[Pdm.poke] *)
+}
+
+val default_config : config
+val default_peek_allowlist : string list
+
+val check_source :
+  ?config:config -> ?has_mli:bool -> path:string -> string -> finding list
+(** Lint one compilation unit given as a string. [path] determines the
+    component (the segment after [lib/]) and module name; [has_mli]
+    (default [true]) feeds the R4 missing-interface check. *)
+
+val check_file : ?config:config -> string -> finding list
+(** Read, then [check_source]; the sibling [.mli]'s existence is probed
+    on disk. I/O errors become a ["parse"] finding. *)
+
+val ml_files_under : string -> string list
+(** All [.ml] files under a file or directory, sorted, skipping
+    dot-directories and [_build]. *)
+
+val sort_findings : finding list -> finding list
+
+val to_text : finding -> string
+(** [file:line:col: [rule name] message] — one line per finding. *)
+
+val to_json : finding list -> string
+
+val exit_code : finding list -> int
+(** 0 clean, 1 findings, 2 when any file failed to read or parse. *)

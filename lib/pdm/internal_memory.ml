@@ -10,6 +10,28 @@ let create ~capacity_words =
 
 let unbounded () = { capacity = None; in_use = 0; peak = 0 }
 
+(* Sanitizer cross-check: the accounting invariants 0 <= in_use <=
+   capacity and peak >= in_use must hold after every mutation. The
+   guards in [alloc]/[free] enforce them by construction; the sanitizer
+   re-verifies so a future code path that skips a guard (or a capacity
+   M silently exceeded) fails loudly instead of corrupting the
+   internal-memory claims the experiments report. *)
+let sanitize_check t =
+  if Sanitize.active () then begin
+    if t.in_use < 0 then
+      Sanitize.fail ~check:"internal-memory"
+        (Printf.sprintf "in_use went negative (%d words)" t.in_use);
+    (match t.capacity with
+     | Some cap when t.in_use > cap ->
+       Sanitize.fail ~check:"internal-memory"
+         (Printf.sprintf "accounting exceeds M: %d words in use, capacity %d"
+            t.in_use cap)
+     | Some _ | None -> ());
+    if t.peak < t.in_use then
+      Sanitize.fail ~check:"internal-memory"
+        (Printf.sprintf "peak %d below in_use %d" t.peak t.in_use)
+  end
+
 let alloc t ~words =
   if words < 0 then invalid_arg "Internal_memory.alloc: negative size";
   let next = t.in_use + words in
@@ -21,11 +43,13 @@ let alloc t ~words =
           (cap - t.in_use))
    | Some _ | None -> ());
   t.in_use <- next;
-  if next > t.peak then t.peak <- next
+  if next > t.peak then t.peak <- next;
+  sanitize_check t
 
 let free t ~words =
   if words < 0 || words > t.in_use then invalid_arg "Internal_memory.free";
-  t.in_use <- t.in_use - words
+  t.in_use <- t.in_use - words;
+  sanitize_check t
 
 let in_use t = t.in_use
 

@@ -98,6 +98,9 @@ let remapped_replicas t = Hashtbl.length t.remap
 
 let add_write_listener t f = t.write_listeners <- t.write_listeners @ [ f ]
 
+let set_sanitize = Sanitize.set
+let sanitize_enabled = Sanitize.active
+
 (* Tell every listener the logical block's stored bits are about to
    change (or just changed): caches drop their copy. Listeners must
    not touch the machine. *)
@@ -206,6 +209,39 @@ let raise_failure t p reason attempts =
    channels over one queue. A transfer occupies [cost] rounds of its
    channel, so a straggling or retried block honestly delays
    everything queued behind it. Returns the number of rounds used. *)
+(* Sanitizer verdict on one finished round: every perform call must
+   have been accounted as delivered, retried or failed; no disk may
+   have been touched twice (independent-disks model); the round cannot
+   move more blocks than it has channels; and no disk may be charged
+   for more blocks than were actually transferred from it. *)
+let sanitize_round t ~round_id ~channels ~touched ~performs ~accounted
+    ~per_disk =
+  (match t.model with
+   | Independent_disks ->
+     Array.iteri
+       (fun d n ->
+         if n > 1 then
+           Sanitize.fail ~check:"one-block-per-disk-per-round" ~round:round_id
+             (Printf.sprintf "disk %d touched %d blocks in one round" d n))
+       touched
+   | Parallel_heads -> ());
+  let total = Array.fold_left ( + ) 0 touched in
+  if total > channels then
+    Sanitize.fail ~check:"round-width" ~round:round_id
+      (Printf.sprintf "%d blocks moved in one round on %d channels" total
+         channels);
+  if performs <> accounted then
+    Sanitize.fail ~check:"charge-accounting" ~round:round_id
+      (Printf.sprintf "%d transfers performed but %d accounted" performs
+         accounted);
+  Array.iteri
+    (fun d n ->
+      if n > touched.(d) then
+        Sanitize.fail ~check:"phantom-charge" ~round:round_id
+          (Printf.sprintf "disk %d charged %d blocks but touched %d" d n
+             touched.(d)))
+    per_disk
+
 let schedule t ~op ~addrs ~perform ~on_fail =
   let channels = physical_disks t in
   let queues =
@@ -230,11 +266,14 @@ let schedule t ~op ~addrs ~perform ~on_fail =
   let busy () = Array.exists Option.is_some current in
   let queued () = Array.exists (fun q -> not (Queue.is_empty q)) queues in
   let rounds_used = ref 0 in
+  let sanitizing = Sanitize.active () in
   while busy () || queued () do
     let round_id = t.rounds_done + 1 in
     let per_disk = Array.make channels 0 in
     let retries = ref 0 in
     let degraded = ref false in
+    let touched = if sanitizing then Array.make channels 0 else [||] in
+    let performs = ref 0 and accounted = ref 0 in
     for c = 0 to channels - 1 do
       (match current.(c) with
        | Some _ -> ()
@@ -242,7 +281,13 @@ let schedule t ~op ~addrs ~perform ~on_fail =
          let q = queue_of c in
          if not (Queue.is_empty q) then begin
            let a = Queue.pop q in
-           current.(c) <- Some (a, t.backends.(a.disk).Backend.cost)
+           let cost = t.backends.(a.disk).Backend.cost in
+           if sanitizing && cost < 1 then
+             Sanitize.fail ~check:"backend-cost" ~round:round_id
+               (Printf.sprintf
+                  "disk %d advertises cost %d; a transfer takes >= 1 round"
+                  a.disk cost);
+           current.(c) <- Some (a, cost)
          end);
       match current.(c) with
       | None -> ()
@@ -253,12 +298,20 @@ let schedule t ~op ~addrs ~perform ~on_fail =
         if remaining > 0 then current.(c) <- Some (a, remaining)
         else begin
           current.(c) <- None;
+          if sanitizing then begin
+            incr performs;
+            touched.(a.disk) <- touched.(a.disk) + 1
+          end;
           match perform a ~attempt:(attempt_of a) with
-          | `Done -> per_disk.(a.disk) <- per_disk.(a.disk) + 1
+          | `Done ->
+            incr accounted;
+            per_disk.(a.disk) <- per_disk.(a.disk) + 1
           | `Fail reason ->
+            incr accounted;
             degraded := true;
             on_fail a reason ~attempts:(attempt_of a)
           | `Retry reason ->
+            incr accounted;
             incr retries;
             degraded := true;
             let next = attempt_of a + 1 in
@@ -270,6 +323,9 @@ let schedule t ~op ~addrs ~perform ~on_fail =
             end
         end
     done;
+    if sanitizing then
+      sanitize_round t ~round_id ~channels ~touched ~performs:!performs
+        ~accounted:!accounted ~per_disk;
     t.rounds_done <- t.rounds_done + 1;
     incr rounds_used;
     (match t.trace with
@@ -343,11 +399,19 @@ let scheduled_read_candidates t with_candidates =
       List.map
         (fun (a, cands) ->
           let j =
-            match
-              List.find_opt (fun j -> not t.down.((phys t a j).disk)) cands
-            with
-            | Some j -> j
-            | None -> List.hd cands
+            match cands with
+            | [] ->
+              (* pdm-lint: allow R3 — unreachable: every pending entry
+                 keeps >= 1 candidate (callers seed [0 .. r-1] with
+                 r >= 1, and [on_fail] only re-queues the non-empty
+                 remainder of the candidate list). *)
+              assert false
+            | first :: _ ->
+              (match
+                 List.find_opt (fun j -> not t.down.((phys t a j).disk)) cands
+               with
+               | Some j -> j
+               | None -> first)
           in
           let p = phys t a j in
           Hashtbl.replace info p (a, List.filter (fun x -> x <> j) cands);
@@ -386,29 +450,87 @@ let scheduled_read t addrs =
   scheduled_read_candidates t
     (List.map (fun a -> (a, List.init t.replicas Fun.id)) addrs)
 
+(* Independent recomputation of the closed-form fast-path cost: sort
+   the disks and count the longest same-disk run, rather than the
+   bucket-array walk of [rounds_of_distinct]. Two different code paths
+   must agree on every charge. *)
+let sanitize_fast_rounds t ~addrs ~rounds =
+  let expect =
+    match t.model with
+    | Parallel_heads -> Imath.cdiv (List.length addrs) t.disks
+    | Independent_disks ->
+      let sorted = List.sort compare (List.map (fun a -> a.disk) addrs) in
+      let worst, _, _ =
+        List.fold_left
+          (fun (worst, prev, run) d ->
+            let run = if prev = Some d then run + 1 else 1 in
+            (max worst run, Some d, run))
+          (0, None, 0) sorted
+      in
+      worst
+  in
+  if rounds <> expect then
+    Sanitize.fail ~check:"closed-form-rounds" ~round:t.rounds_done
+      (Printf.sprintf "fast path charged %d rounds; recomputed %d" rounds
+         expect)
+
+(* The fast path must charge exactly one block transfer per requested
+   address and exactly the closed-form number of rounds — no more
+   (padding would hide imbalance) and no less (undercharging would
+   fake the bounds). *)
+let sanitize_fast_charges ~what ~blocks ~rounds_delta ~blocks_delta ~rounds =
+  if blocks_delta <> blocks || rounds_delta <> rounds then
+    Sanitize.fail ~check:"fast-path-charges"
+      (Printf.sprintf
+         "%s of %d blocks / %d rounds charged %d blocks / %d rounds" what
+         blocks rounds blocks_delta rounds_delta)
+
 let read t addrs =
   List.iter (check_addr t) addrs;
   let addrs = dedup addrs in
   if scheduled t then scheduled_read t addrs
   else begin
     let rounds = rounds_of_distinct t addrs in
+    let before =
+      if Sanitize.active () then begin
+        sanitize_fast_rounds t ~addrs ~rounds;
+        Some (Stats.snapshot t.stats)
+      end
+      else None
+    in
     Stats.add_read_round t.stats ~blocks:(List.length addrs) ~rounds;
     t.rounds_done <- t.rounds_done + rounds;
-    List.map
-      (fun a ->
-        Stats.add_disk_read t.stats ~disk:a.disk ~blocks:1;
-        match t.backends.(a.disk).Backend.read ~attempt:0 a.block with
-        | Backend.Data d -> (a, block_copy t d)
-        | Backend.Transient | Backend.Lost ->
-          (* the default backend is fault-free *)
-          assert false)
-      addrs
+    let result =
+      List.map
+        (fun a ->
+          Stats.add_disk_read t.stats ~disk:a.disk ~blocks:1;
+          match t.backends.(a.disk).Backend.read ~attempt:0 a.block with
+          | Backend.Data d -> (a, block_copy t d)
+          | Backend.Transient | Backend.Lost ->
+            (* pdm-lint: allow R3 — unreachable: the fast path runs only
+               when [scheduled t] is false, i.e. the machine has plain
+               in-memory backends, which always answer [Data]. *)
+            assert false)
+        addrs
+    in
+    (match before with
+     | None -> ()
+     | Some before ->
+       let d = Stats.diff ~after:(Stats.snapshot t.stats) ~before in
+       sanitize_fast_charges ~what:"read" ~blocks:(List.length addrs)
+         ~rounds_delta:d.Stats.parallel_reads ~blocks_delta:d.Stats.block_reads
+         ~rounds);
+    result
   end
 
 let read_one t a =
   match read t [ a ] with
   | [ (_, slots) ] -> slots
-  | _ -> assert false
+  | _ ->
+    (* pdm-lint: allow R3 — unreachable: {!read} answers each distinct
+       requested address exactly once, so a one-address request always
+       yields a one-element list. *)
+    assert false
 
 (* Replica-directed read: the caller chose which replica should serve
    each block (e.g. two-choice assignment onto the least-loaded disk);
@@ -438,6 +560,22 @@ let read_preferring t prefs =
            (a, j :: List.filter (fun x -> x <> j) (List.init t.replicas Fun.id)))
          prefs)
 
+(* Run a user-supplied integrity envelope, cross-checking (under the
+   sanitizer) that it really produces stored images of the size it
+   declared — a lying envelope would silently shift every block's
+   payload boundary. *)
+let apply_envelope t itg slots =
+  let sealed = itg.seal slots in
+  if
+    Sanitize.active ()
+    && Array.length sealed <> t.block_size + itg.overhead
+  then
+    Sanitize.fail ~check:"integrity-envelope" ~round:t.rounds_done
+      (Printf.sprintf
+         "envelope %S declared overhead %d but sealed %d cells to %d"
+         itg.tag itg.overhead t.block_size (Array.length sealed));
+  sealed
+
 (* Seal a payload for storage (checksum appended when the machine
    carries an integrity envelope). Always returns a fresh array. *)
 let seal t slots =
@@ -445,7 +583,7 @@ let seal t slots =
     invalid_arg "Pdm.write: block has wrong length";
   match t.integrity with
   | None -> Array.copy slots
-  | Some itg -> itg.seal slots
+  | Some itg -> apply_envelope t itg slots
 
 (* Store already-sealed data at one physical address. Raises
    [Backend.Disk_failed] on a dead disk before touching the
@@ -543,13 +681,27 @@ let write t blocks =
   if scheduled t then scheduled_write t blocks
   else begin
     let rounds = rounds_of_distinct t addrs in
+    let before =
+      if Sanitize.active () then begin
+        sanitize_fast_rounds t ~addrs ~rounds;
+        Some (Stats.snapshot t.stats)
+      end
+      else None
+    in
     Stats.add_write_round t.stats ~blocks:(List.length blocks) ~rounds;
     t.rounds_done <- t.rounds_done + rounds;
     List.iter
       (fun (a, slots) ->
         Stats.add_disk_write t.stats ~disk:a.disk ~blocks:1;
         store_block t a slots)
-      blocks
+      blocks;
+    match before with
+    | None -> ()
+    | Some before ->
+      let d = Stats.diff ~after:(Stats.snapshot t.stats) ~before in
+      sanitize_fast_charges ~what:"write" ~blocks:(List.length blocks)
+        ~rounds_delta:d.Stats.parallel_writes
+        ~blocks_delta:d.Stats.block_writes ~rounds
   end
 
 let write_one t a slots = write t [ (a, slots) ]
@@ -583,7 +735,9 @@ let poke t a slots =
     invalid_arg "Pdm.poke: block has wrong length";
   notify_write t a;
   let data =
-    match t.integrity with None -> slots | Some itg -> itg.seal slots
+    match t.integrity with
+    | None -> slots
+    | Some itg -> apply_envelope t itg slots
   in
   for j = 0 to t.replicas - 1 do
     let p = phys t a j in

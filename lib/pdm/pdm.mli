@@ -146,6 +146,18 @@ val rounds_total : 'a t -> int
 (** Parallel rounds executed by this machine since creation — the
     global round ids appearing in trace events. *)
 
+val set_sanitize : bool -> unit
+(** Turn the runtime honesty sanitizer on or off (process-global; see
+    {!Sanitize}). When on, every machine cross-checks its charging on
+    the fly — at most one block per disk per round, every touched
+    block accounted, fast-path closed-form costs re-derived
+    independently, integrity envelopes of the declared size — and
+    raises {!Sanitize.Sanitizer_violation} on the first discrepancy.
+    Off (the default) the checks cost nothing. Results and charged
+    costs are identical with the sanitizer on or off. *)
+
+val sanitize_enabled : unit -> bool
+
 val read : 'a t -> addr list -> (addr * 'a option array) list
 (** [read t addrs] fetches the requested blocks, charging the minimal
     number of parallel read rounds (plus any rounds injected faults,

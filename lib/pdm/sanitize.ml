@@ -1,0 +1,23 @@
+type violation = { check : string; round : int; detail : string }
+
+exception Sanitizer_violation of violation
+
+let enabled = ref false
+
+let set b = enabled := b
+
+let active () = !enabled
+
+let fail ~check ?(round = -1) detail =
+  raise (Sanitizer_violation { check; round; detail })
+
+let describe = function
+  | Sanitizer_violation { check; round; detail } ->
+    let where = if round < 0 then "" else Printf.sprintf " (round %d)" round in
+    Some (Printf.sprintf "sanitizer: %s%s: %s" check where detail)
+  | _ -> None
+
+let with_sanitize b f =
+  let prev = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

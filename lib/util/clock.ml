@@ -1,0 +1,11 @@
+let now () =
+  (* pdm-lint: allow R2 — the one sanctioned wall-clock read in the
+     tree. Every throughput figure flows through this wrapper, so a
+     determinism audit has a single site to inspect; simulated I/O
+     costs never depend on it. *)
+  Sys.time ()
+
+let duration f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

@@ -1,0 +1,16 @@
+(** The single sanctioned wall-clock site.
+
+    Every result in this repository is deterministic: simulated I/O
+    costs, placements and answers must never depend on real time. The
+    only legitimate use of a clock is *reporting* — ops/sec columns in
+    experiment tables — and all of it goes through this module, so the
+    [pdm-lint] determinism rule (R2) has exactly one allowlisted call
+    site to audit. Never branch on these values. *)
+
+val now : unit -> float
+(** Processor time in seconds ([Sys.time]); subtract two samples for a
+    duration. Reporting only. *)
+
+val duration : (unit -> 'a) -> 'a * float
+(** [duration f] runs [f] and returns its result with the elapsed
+    processor time in seconds. *)
