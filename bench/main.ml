@@ -54,7 +54,7 @@ let disks = 8
 
 let keys = lazy (Sampling.distinct (Prng.create 1) ~universe ~count:n)
 
-let val8 = Common.value_bytes_of 8
+let val8 = Pdm_workload.Payload.value_bytes_of 8
 
 let cursor = ref 0
 

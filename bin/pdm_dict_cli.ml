@@ -327,10 +327,7 @@ let run_trace faults_str ops seed ring out =
     let keys =
       Pdm_util.Sampling.distinct rng ~universe ~count:n
     in
-    let payload k =
-      Bytes.init 8 (fun i ->
-          Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
-    in
+    let payload k = Pdm_workload.Payload.value_bytes_of 8 k in
     Basic.bulk_load d0 (Array.map (fun k -> (k, payload k)) keys);
     let tr = Iotrace.create ~capacity:ring () in
     let machine =
@@ -369,15 +366,29 @@ let run_trace faults_str ops seed ring out =
       | exception Pdm_sim.Backend.Retries_exhausted _ -> incr exhausted
     done;
     Iotrace.export_jsonl tr out;
-    let events =
-      match Iotrace.load_jsonl_result out with
-      | Ok evs -> evs
-      | Error err ->
-        failwith
-          (Format.asprintf "re-reading the exported trace: %a"
-             Iotrace.pp_parse_error err)
-    in
-    let t_reads, t_writes = Iotrace.per_disk_totals events in
+    (* Re-read the export as a stream — one event in memory at a time,
+       so the same code path handles multi-million-round files. *)
+    let t_reads = Array.make disks 0 and t_writes = Array.make disks 0 in
+    let event_count = ref 0 and degraded = ref 0 and retries = ref 0 in
+    (match
+       Iotrace.iter_jsonl out (fun e ->
+           incr event_count;
+           if e.Iotrace.degraded then incr degraded;
+           retries := !retries + e.Iotrace.retries;
+           let into =
+             match e.Iotrace.op with
+             | Iotrace.Read -> t_reads
+             | Iotrace.Write -> t_writes
+           in
+           Array.iteri
+             (fun d n -> if d < disks then into.(d) <- into.(d) + n)
+             e.Iotrace.per_disk)
+     with
+     | () -> ()
+     | exception Iotrace.Malformed_line err ->
+       failwith
+         (Format.asprintf "re-reading the exported trace: %a"
+            Iotrace.pp_parse_error err));
     let s = Stats.snapshot (Pdm.stats machine) in
     let pad a i = if i < Array.length a then a.(i) else 0 in
     let consistent = ref (Iotrace.dropped tr = 0) in
@@ -391,12 +402,7 @@ let run_trace faults_str ops seed ring out =
           [ string_of_int d; string_of_int tr_r; string_of_int tr_w;
             string_of_int st_r; string_of_int st_w ])
     in
-    let degraded =
-      List.length (List.filter (fun (e : Iotrace.event) -> e.degraded) events)
-    in
-    let retries =
-      List.fold_left (fun a (e : Iotrace.event) -> a + e.retries) 0 events
-    in
+    let degraded = !degraded and retries = !retries in
     print_table
       (Table.make
          ~title:
@@ -416,7 +422,7 @@ let run_trace faults_str ops seed ring out =
                "lookups: %d wrong, %d on failed disk, %d retries exhausted"
                !wrong !failed !exhausted;
              Printf.sprintf "JSONL exported to %s (%d events re-read)" out
-               (List.length events);
+               !event_count;
              (if !consistent then
                 "round-trip check: trace per-disk totals = stats counters"
               else if Iotrace.dropped tr > 0 then
@@ -491,10 +497,7 @@ let run_scrub n seed replicas spares kill corrupt =
     let dict = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
     let rng = Pdm_util.Prng.create seed in
     let keys = Pdm_util.Sampling.distinct rng ~universe ~count:n in
-    let payload k =
-      Bytes.init 8 (fun i ->
-          Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
-    in
+    let payload k = Pdm_workload.Payload.value_bytes_of 8 k in
     Basic.bulk_load dict (Array.map (fun k -> (k, payload k)) keys);
     (* Inject the damage the scrub is asked to find. *)
     let damaged = ref 0 in
@@ -821,6 +824,289 @@ let serve_cmd =
         $ deadline_arg $ duty_arg $ insert_arg $ cache_arg $ replicas_arg
         $ spares_arg $ kill_arg $ seed_arg' $ csv_arg))
 
+(* --- sim: deterministic simulation testing — differential model
+   checking, systematic crash-schedule exploration, shrinking, and
+   bit-identical repro replay. --- *)
+
+module Sim_config = Pdm_simtest.Sim_config
+module Sim_gen = Pdm_simtest.Sim_gen
+module Sim_schedule = Pdm_simtest.Sim_schedule
+module Sim_run = Pdm_simtest.Sim_run
+module Sim_shrink = Pdm_simtest.Sim_shrink
+module Sim_explore = Pdm_simtest.Sim_explore
+module Sim_repro = Pdm_simtest.Sim_repro
+
+let sim_sanitize () =
+  match Sys.getenv_opt "PDM_SANITIZE" with
+  | Some ("1" | "true" | "yes") -> Pdm_sim.Pdm.set_sanitize true
+  | _ -> ()
+
+let sim_config ~sut ~engine ~cache ~journal ~replicas ~spares ~integrity
+    ~buggy ~transient ~straggle ~n ~seed ~block_words =
+  match Sim_config.sut_of_string sut with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown sut %S (expected basic, static, dynamic or cascade)" sut)
+  | Some s ->
+    let base = Sim_config.default s in
+    let cfg =
+      { base with
+        Sim_config.engine; cache_blocks = cache; journaled = journal;
+        replicas; spares; integrity; buggy; transient; straggle;
+        capacity = n; universe = max base.Sim_config.universe (8 * n); seed;
+        block_words }
+    in
+    (match Sim_config.validate cfg with
+     | Ok () -> Ok cfg
+     | Error m -> Error m)
+
+let print_divergences ds =
+  List.iter
+    (fun (d : Sim_run.divergence) ->
+      Printf.printf "  divergence at op %d [%s]: %s\n" d.Sim_run.at
+        d.Sim_run.kind d.Sim_run.detail)
+    ds
+
+let run_sim_run cfg ops dist repro =
+  sim_sanitize ();
+  match Sim_gen.dist_of_string dist with
+  | None -> `Error (false, "unknown --dist (uniform, zipf[:S], adversarial)")
+  | Some dist ->
+    let spec = Sim_config.gen_spec ~count:ops ~dist cfg in
+    let op_arr = Sim_gen.ops spec in
+    let r = Sim_run.run cfg [] (Array.to_seq op_arr) in
+    Printf.printf "config:  %s\nops run: %d\n" (Sim_config.describe cfg)
+      r.Sim_run.ops_run;
+    (match repro with
+     | Some path ->
+       Sim_repro.write ~path r ~ops:op_arr;
+       Printf.printf "repro:   written to %s\n" path
+     | None -> ());
+    if Sim_run.ok r then begin
+      Printf.printf "result:  PASS (0 divergences)\n";
+      `Ok ()
+    end
+    else begin
+      Printf.printf "result:  FAIL (%d divergences)\n"
+        (List.length r.Sim_run.divergences);
+      print_divergences r.Sim_run.divergences;
+      `Error (false, "differential run diverged from the model")
+    end
+
+let run_sim_explore cfg ops dist budget repro_path =
+  sim_sanitize ();
+  match Sim_gen.dist_of_string dist with
+  | None -> `Error (false, "unknown --dist (uniform, zipf[:S], adversarial)")
+  | Some dist ->
+    let o = Sim_explore.explore ~budget ~count:ops ~dist cfg in
+    Printf.printf "config:         %s\n" (Sim_config.describe cfg);
+    Printf.printf "ops:            %d (%s, seed %d)\n"
+      (Array.length o.Sim_explore.ops)
+      (Sim_gen.dist_to_string dist) cfg.Sim_config.seed;
+    Printf.printf "schedule space: %d distinct\n" o.Sim_explore.total_space;
+    Printf.printf "explored:       %d (%s)\n" o.Sim_explore.explored
+      (if o.Sim_explore.explored = o.Sim_explore.total_space then
+         "exhaustive"
+       else "seeded sample");
+    Printf.printf "clean:          %d\n" o.Sim_explore.clean;
+    Printf.printf "divergent:      %d\n"
+      (o.Sim_explore.explored - o.Sim_explore.clean);
+    (match o.Sim_explore.divergent with
+     | [] -> `Ok ()
+     | worst :: _ ->
+       Printf.printf "first failing schedule: %s\n"
+         (Sim_schedule.describe worst.Sim_run.schedule);
+       print_divergences worst.Sim_run.divergences;
+       (match o.Sim_explore.shrunk with
+        | Some s ->
+          Printf.printf
+            "shrunk to %d ops + %d schedule events in %d runs\n"
+            (Array.length s.Sim_shrink.ops)
+            (List.length s.Sim_shrink.schedule)
+            s.Sim_shrink.runs_used;
+          Sim_repro.write ~path:repro_path s.Sim_shrink.report
+            ~ops:s.Sim_shrink.ops;
+          Printf.printf "repro written to %s\n" repro_path
+        | None -> ());
+       `Error (false, "exploration found model divergences"))
+
+let run_sim_replay paths =
+  sim_sanitize ();
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      match Sim_repro.replay ~path with
+      | Error m ->
+        incr failures;
+        Printf.printf "%s: ERROR (%s)\n" path m
+      | Ok (header, report, bit_identical) ->
+        let pass =
+          if header.Sim_repro.expected = [] then Sim_run.ok report
+          else bit_identical
+        in
+        if pass then
+          Printf.printf "%s: PASS (%s, %d ops, %d divergences, %s)\n" path
+            (Sim_config.describe header.Sim_repro.config)
+            header.Sim_repro.op_count
+            (List.length report.Sim_run.divergences)
+            (if header.Sim_repro.expected = [] then "expected clean"
+             else "bit-identical replay")
+        else begin
+          incr failures;
+          Printf.printf "%s: FAIL (%s)\n" path
+            (if header.Sim_repro.expected = [] then
+               "expected a clean run, got divergences"
+             else "replay did not reproduce the recorded divergences");
+          print_divergences report.Sim_run.divergences
+        end)
+    paths;
+  if !failures = 0 then `Ok ()
+  else `Error (false, Printf.sprintf "%d repro file(s) failed" !failures)
+
+let sim_cmd =
+  let sut_arg =
+    Arg.(value & opt string "cascade"
+         & info [ "sut" ] ~docv:"DICT"
+             ~doc:"System under test: basic, static, dynamic or cascade.")
+  in
+  let engine_arg =
+    Arg.(value & flag
+         & info [ "engine" ]
+             ~doc:"Drive lookups through the batched query engine.")
+  in
+  let cache_arg' =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"BLOCKS"
+             ~doc:"Engine LRU cache blocks (implies --engine).")
+  in
+  let journal_arg =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"Write-ahead journal (dynamic/cascade, direct mode).")
+  in
+  let replicas_arg' =
+    Arg.(value & opt int 1
+         & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replicas per block.")
+  in
+  let spares_arg' =
+    Arg.(value & opt int 0
+         & info [ "spares" ] ~docv:"S" ~doc:"Hot-spare disks.")
+  in
+  let integrity_arg =
+    Arg.(value & flag
+         & info [ "integrity" ] ~doc:"Checksum envelope (basic only).")
+  in
+  let buggy_arg =
+    Arg.(value & flag
+         & info [ "buggy" ]
+             ~doc:"Use the deliberately buggy journal adapter (drops \
+                   commit records) — the explorer must catch it.")
+  in
+  let transient_arg =
+    Arg.(value & opt float 0.0
+         & info [ "transient" ] ~docv:"P"
+             ~doc:"Transient read-fault probability (basic only).")
+  in
+  let straggle_arg =
+    Arg.(value & opt int 1
+         & info [ "straggle" ] ~docv:"K"
+             ~doc:"Straggle factor on one disk (basic only).")
+  in
+  let n_arg' =
+    Arg.(value & opt int 96
+         & info [ "n" ] ~docv:"N" ~doc:"Dictionary capacity.")
+  in
+  let block_words_arg =
+    Arg.(value & opt int 32
+         & info [ "block-words" ] ~docv:"B" ~doc:"Words per block.")
+  in
+  let seed_arg' =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 128
+         & info [ "ops" ] ~docv:"COUNT" ~doc:"Ops to generate.")
+  in
+  let dist_arg =
+    Arg.(value & opt string "uniform"
+         & info [ "dist" ] ~docv:"DIST"
+             ~doc:"Key distribution: uniform, zipf[:S] or adversarial.")
+  in
+  let with_config k =
+    Term.(
+      const
+        (fun sut engine cache journal replicas spares integrity buggy
+             transient straggle n block_words seed ->
+          let engine = engine || cache > 0 in
+          match
+            sim_config ~sut ~engine ~cache ~journal ~replicas ~spares
+              ~integrity ~buggy ~transient ~straggle ~n ~seed ~block_words
+          with
+          | Error m -> `Error (false, m)
+          | Ok cfg -> k cfg)
+      $ sut_arg $ engine_arg $ cache_arg' $ journal_arg $ replicas_arg'
+      $ spares_arg' $ integrity_arg $ buggy_arg $ transient_arg
+      $ straggle_arg $ n_arg' $ block_words_arg $ seed_arg')
+  in
+  let run_cmd' =
+    let doc = "one differential run (no injected faults) against the model" in
+    let repro_out_arg =
+      Arg.(value & opt (some string) None
+           & info [ "repro" ] ~docv:"PATH"
+               ~doc:"Also record the run as a repro file (clean runs \
+                     included — useful for regression corpora).")
+    in
+    Cmd.v (Cmd.info "run" ~doc)
+      Term.(
+        ret
+          (const (fun cfg_r ops dist repro ->
+               match cfg_r with
+               | `Error _ as e -> e
+               | `Ok cfg -> run_sim_run cfg ops dist repro)
+          $ with_config (fun cfg -> `Ok cfg)
+          $ ops_arg $ dist_arg $ repro_out_arg))
+  in
+  let explore_cmd =
+    let doc =
+      "systematically explore crash/fault schedules against the model, \
+       shrinking and writing a repro on divergence"
+    in
+    let budget_arg =
+      Arg.(value & opt int 600
+           & info [ "budget" ] ~docv:"K"
+               ~doc:"Schedules to run (exhaustive when the space fits).")
+    in
+    let repro_arg =
+      Arg.(value & opt string "sim-repro.jsonl"
+           & info [ "repro" ] ~docv:"PATH"
+               ~doc:"Where to write the shrunk repro on divergence.")
+    in
+    Cmd.v (Cmd.info "explore" ~doc)
+      Term.(
+        ret
+          (const (fun cfg_r ops dist budget repro ->
+               match cfg_r with
+               | `Error _ as e -> e
+               | `Ok cfg -> run_sim_explore cfg ops dist budget repro)
+          $ with_config (fun cfg -> `Ok cfg)
+          $ ops_arg $ dist_arg $ budget_arg $ repro_arg))
+  in
+  let replay_cmd =
+    let doc = "re-execute repro files and verify them bit for bit" in
+    let paths_arg =
+      Arg.(non_empty & pos_all file []
+           & info [] ~docv:"REPRO" ~doc:"Repro files (JSONL).")
+    in
+    Cmd.v (Cmd.info "replay" ~doc)
+      Term.(ret (const run_sim_replay $ paths_arg))
+  in
+  let doc =
+    "deterministic simulation testing: differential model checking, \
+     crash-schedule exploration, repro replay"
+  in
+  Cmd.group (Cmd.info "sim" ~doc) [ run_cmd'; explore_cmd; replay_cmd ]
+
 let main =
   let doc =
     "deterministic dictionaries in the parallel disk model — experiment \
@@ -828,6 +1114,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd; serve_cmd ]
+    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd; serve_cmd; sim_cmd ]
 
 let () = exit (Cmd.eval main)

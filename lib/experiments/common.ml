@@ -10,10 +10,12 @@ let per_op_cost stats f keys =
     keys;
   s
 
-let value_bytes_of len k =
-  Bytes.init len (fun i -> Char.chr (Pdm_util.Prng.hash2 ~seed:99 k i land 0xff))
+(* The shared deterministic payload generator (seed 99 is the
+   historical experiment-suite default baked into golden outputs). *)
+let value_bytes_of len k = Pdm_workload.Payload.value_bytes_of len k
 
-let sigma_payload ~sigma_bits k = value_bytes_of ((sigma_bits + 7) / 8) k
+let sigma_payload ~sigma_bits k =
+  Pdm_workload.Payload.sigma_payload ~sigma_bits k
 
 let avg = Summary.mean
 

@@ -202,22 +202,27 @@ let () =
       Some (Format.asprintf "Trace.Malformed_line(%a)" pp_parse_error err)
     | _ -> None)
 
-let load_jsonl path =
+let fold_jsonl path ~init ~f =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let rec loop acc lineno =
         match input_line ic with
-        | exception End_of_file -> List.rev acc
+        | exception End_of_file -> acc
         | "" -> loop acc (lineno + 1)
         | line ->
           (match event_of_json line with
-           | Some e -> loop (e :: acc) (lineno + 1)
+           | Some e -> loop (f acc e) (lineno + 1)
            | None ->
              raise (Malformed_line { path; line = lineno; text = line }))
       in
-      loop [] 1)
+      loop init 1)
+
+let iter_jsonl path f = fold_jsonl path ~init:() ~f:(fun () e -> f e)
+
+let load_jsonl path =
+  List.rev (fold_jsonl path ~init:[] ~f:(fun acc e -> e :: acc))
 
 let load_jsonl_result path =
   match load_jsonl path with

@@ -74,9 +74,22 @@ exception Malformed_line of parse_error
 val pp_parse_error : Format.formatter -> parse_error -> unit
 (** ["file:12: malformed trace event \"...\""]. *)
 
+val fold_jsonl : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Stream a file written by {!export_jsonl} one line at a time,
+    folding [f] over its events in file order — constant memory
+    regardless of file size, so multi-million-round traces and
+    simulation repro files replay without materializing a list.
+    Blank lines are skipped; raises {!Malformed_line} on the first
+    line that does not parse. *)
+
+val iter_jsonl : string -> (event -> unit) -> unit
+(** [iter_jsonl path f] = [fold_jsonl path ~init:() ~f:(fun () e -> f e)]. *)
+
 val load_jsonl : string -> event list
-(** Read a file written by {!export_jsonl}, skipping blank lines.
-    Raises {!Malformed_line} on the first line that does not parse. *)
+(** Read a whole file written by {!export_jsonl} into a list (built on
+    {!fold_jsonl}; prefer the streaming interfaces for large files).
+    Skips blank lines, raises {!Malformed_line} on the first line that
+    does not parse. *)
 
 val load_jsonl_result : string -> (event list, parse_error) result
 (** Exception-free variant of {!load_jsonl} for callers — the CLI —

@@ -1,0 +1,147 @@
+module J = Sim_json
+
+type sut = Basic | One_probe_static | One_probe_dynamic | Dynamic_cascade
+
+type t = {
+  sut : sut;
+  engine : bool;
+  cache_blocks : int;
+  journaled : bool;
+  replicas : int;
+  spares : int;
+  integrity : bool;
+  buggy : bool;
+  transient : float;
+  straggle : int;
+  block_words : int;
+  universe : int;
+  capacity : int;
+  value_bytes : int;
+  seed : int;
+}
+
+let sut_to_string = function
+  | Basic -> "basic"
+  | One_probe_static -> "static"
+  | One_probe_dynamic -> "dynamic"
+  | Dynamic_cascade -> "cascade"
+
+let sut_of_string s =
+  match String.lowercase_ascii s with
+  | "basic" -> Some Basic
+  | "static" | "one_probe_static" -> Some One_probe_static
+  | "dynamic" | "one_probe_dynamic" -> Some One_probe_dynamic
+  | "cascade" | "dynamic_cascade" -> Some Dynamic_cascade
+  | _ -> None
+
+let default sut =
+  { sut; engine = false; cache_blocks = 0; journaled = false; replicas = 1;
+    spares = 0; integrity = false; buggy = false; transient = 0.0;
+    straggle = 1; block_words = 32; universe = 1 lsl 14; capacity = 96;
+    value_bytes = 8; seed = 1 }
+
+let is_static cfg = cfg.sut = One_probe_static
+
+let supports_journal cfg =
+  (cfg.sut = One_probe_dynamic || cfg.sut = Dynamic_cascade)
+  && not cfg.engine
+
+let validate cfg =
+  let err m = Error m in
+  if cfg.replicas < 1 then err "replicas must be >= 1"
+  else if cfg.spares < 0 then err "spares must be >= 0"
+  else if cfg.cache_blocks < 0 then err "cache_blocks must be >= 0"
+  else if cfg.cache_blocks > 0 && not cfg.engine then
+    err "cache_blocks requires the engine"
+  else if cfg.journaled && not (supports_journal { cfg with journaled = false })
+  then err "journaling is supported by the dynamic/cascade direct paths only"
+  else if cfg.buggy && not cfg.journaled then
+    err "the buggy adapter drops journal commits: it requires --journal"
+  else if cfg.integrity && cfg.sut <> Basic then
+    err "the integrity envelope is wired up for the basic dictionary only"
+  else if (cfg.transient > 0.0 || cfg.straggle > 1) && cfg.sut <> Basic then
+    err "fault specs apply to the basic dictionary (it shares our machine)"
+  else if cfg.transient < 0.0 || cfg.transient > 0.2 then
+    err "transient probability must be in [0, 0.2] (answers must survive)"
+  else if cfg.straggle < 1 then err "straggle must be >= 1"
+  else if cfg.engine && cfg.sut = Basic then
+    err "engine mode drives the one-probe/cascade probe plans, not basic"
+  else if cfg.capacity < 8 then err "capacity must be >= 8"
+  else if cfg.universe < 4 * cfg.capacity then
+    err "universe must be >= 4 * capacity"
+  else Ok ()
+
+let describe cfg =
+  String.concat ""
+    [ sut_to_string cfg.sut;
+      (if cfg.engine then "+engine" else "");
+      (if cfg.cache_blocks > 0 then
+         Printf.sprintf "+cache%d" cfg.cache_blocks
+       else "");
+      (if cfg.journaled then "+journal" else "");
+      (if cfg.replicas > 1 then Printf.sprintf "+r%d" cfg.replicas else "");
+      (if cfg.spares > 0 then Printf.sprintf "+s%d" cfg.spares else "");
+      (if cfg.integrity then "+integrity" else "");
+      (if cfg.transient > 0.0 then Printf.sprintf "+transient%g" cfg.transient
+       else "");
+      (if cfg.straggle > 1 then Printf.sprintf "+straggle%d" cfg.straggle
+       else "");
+      (if cfg.buggy then "+BUGGY" else "") ]
+
+let to_json cfg =
+  J.Obj
+    [ ("sut", J.String (sut_to_string cfg.sut));
+      ("engine", J.Bool cfg.engine);
+      ("cache_blocks", J.Int cfg.cache_blocks);
+      ("journaled", J.Bool cfg.journaled);
+      ("replicas", J.Int cfg.replicas);
+      ("spares", J.Int cfg.spares);
+      ("integrity", J.Bool cfg.integrity);
+      ("buggy", J.Bool cfg.buggy);
+      ("transient", J.Float cfg.transient);
+      ("straggle", J.Int cfg.straggle);
+      ("block_words", J.Int cfg.block_words);
+      ("universe", J.Int cfg.universe);
+      ("capacity", J.Int cfg.capacity);
+      ("value_bytes", J.Int cfg.value_bytes);
+      ("seed", J.Int cfg.seed) ]
+
+let of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let field name get = let* v = J.member name j in get v in
+  match
+    let* sut = field "sut" J.get_string in
+    let* sut = sut_of_string sut in
+    let* engine = field "engine" J.get_bool in
+    let* cache_blocks = field "cache_blocks" J.get_int in
+    let* journaled = field "journaled" J.get_bool in
+    let* replicas = field "replicas" J.get_int in
+    let* spares = field "spares" J.get_int in
+    let* integrity = field "integrity" J.get_bool in
+    let* buggy = field "buggy" J.get_bool in
+    let* transient = field "transient" J.get_float in
+    let* straggle = field "straggle" J.get_int in
+    let* block_words = field "block_words" J.get_int in
+    let* universe = field "universe" J.get_int in
+    let* capacity = field "capacity" J.get_int in
+    let* value_bytes = field "value_bytes" J.get_int in
+    let* seed = field "seed" J.get_int in
+    Some
+      { sut; engine; cache_blocks; journaled; replicas; spares; integrity;
+        buggy; transient; straggle; block_words; universe; capacity;
+        value_bytes; seed }
+  with
+  | Some cfg ->
+    (match validate cfg with
+     | Ok () -> Ok cfg
+     | Error m -> Error ("invalid config: " ^ m))
+  | None -> Error "config object is missing or mistypes a field"
+
+(* The generator spec a config implies: population at half capacity so
+   first-fit structures never approach their overflow bound even when
+   every key is live. *)
+let gen_spec ?(count = 96) ?(dist = Sim_gen.Uniform) cfg =
+  { Sim_gen.seed = cfg.seed; universe = cfg.universe;
+    key_count = max 1 (cfg.capacity / 2); count; dist;
+    value_bytes = cfg.value_bytes; lookup_fraction = 0.3;
+    delete_fraction = 0.25; static = is_static cfg }

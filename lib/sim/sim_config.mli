@@ -1,0 +1,58 @@
+(** System-under-test configurations for the simulation harness.
+
+    A config names one point of the repo's correctness surface: which
+    dictionary, driven directly or through the batched query engine
+    (with or without its cache), journaled or not, r-way replicated,
+    checksummed, under which wire-fault parameters — plus the seed and
+    geometry every derived artefact (key population, payloads, fault
+    schedule) is a pure function of. Configs serialize to one JSON
+    object inside repro files, so a replay rebuilds the exact same
+    system. *)
+
+type sut = Basic | One_probe_static | One_probe_dynamic | Dynamic_cascade
+
+type t = {
+  sut : sut;
+  engine : bool;  (** drive lookups through {!Pdm_engine.Engine} *)
+  cache_blocks : int;  (** engine LRU cache (0 = none) *)
+  journaled : bool;  (** write-ahead journal (dynamic/cascade, direct) *)
+  replicas : int;
+  spares : int;
+  integrity : bool;  (** checksum envelope (basic only) *)
+  buggy : bool;  (** seeded bug: drop journal commit records (tests) *)
+  transient : float;  (** transient read-fault probability (basic only) *)
+  straggle : int;  (** straggle factor on one disk (basic only; 1 = off) *)
+  block_words : int;
+  universe : int;
+  capacity : int;
+  value_bytes : int;
+  seed : int;
+}
+
+val default : sut -> t
+(** Small scale (B = 32 words, u = 2{^14}, N = 96, seed 1), no
+    features: each feature is opted into per config. *)
+
+val sut_to_string : sut -> string
+(** ["basic"], ["static"], ["dynamic"], ["cascade"] (CLI names). *)
+
+val sut_of_string : string -> sut option
+
+val is_static : t -> bool
+val supports_journal : t -> bool
+
+val validate : t -> (unit, string) result
+(** Reject configurations whose features cannot hold their correctness
+    contract (e.g. a cache without the engine, faults on a structure
+    that builds its own machine, transient probability high enough to
+    exhaust the retry budget). *)
+
+val describe : t -> string
+(** ["cascade+journal+r2"] — compact label for reports. *)
+
+val to_json : t -> Sim_json.t
+val of_json : Sim_json.t -> (t, string) result
+
+val gen_spec : ?count:int -> ?dist:Sim_gen.dist -> t -> Sim_gen.spec
+(** The workload-generator spec this config implies (population at
+    half capacity; lookups-only for static structures). *)

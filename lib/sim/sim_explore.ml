@@ -1,0 +1,130 @@
+module Prng = Pdm_util.Prng
+module W = Pdm_workload.Trace
+
+type outcome = {
+  config : Sim_config.t;
+  ops : W.op array;
+  total_space : int;
+  explored : int;
+  clean : int;
+  divergent : Sim_run.report list;
+  shrunk : Sim_shrink.result option;
+}
+
+(* Op indices whose op would change the stored set at that point of
+   the stream — the journal runs exactly there, so those are the crash
+   targets. Computed on a scratch model, no machine involved. *)
+let mutating_indices ops =
+  let model = Sim_model.create () in
+  let acc = ref [] in
+  Array.iteri
+    (fun i op ->
+      if Sim_model.mutates model op then acc := i :: !acc;
+      ignore (Sim_model.apply model op))
+    ops;
+  List.rev !acc
+
+let kill_target_disks (cfg : Sim_config.t) =
+  (* killing any one physical disk is transparent with r >= 2; sweep
+     a handful of distinct disks (every sut machine has at least 6)
+     rather than all D *)
+  if cfg.replicas < 2 then [] else [ 0; 1; 2; 3 ]
+
+(* The full candidate space, one schedule per element, deduplicated by
+   canonical serialization. Single-event schedules probe each
+   mechanism in isolation; kill and damage get a paired +scrub variant
+   so the repair path is explored too. *)
+let candidates (cfg : Sim_config.t) ops ~max_partial =
+  let n = Array.length ops in
+  let muts = mutating_indices ops in
+  let crash =
+    if cfg.journaled then
+      List.concat_map
+        (fun at ->
+          List.map
+            (fun point -> [ Sim_schedule.Crash { at; point } ])
+            (Sim_schedule.all_points ~max_partial))
+        muts
+    else []
+  in
+  let spots = List.filter (fun i -> i mod 7 = 3) (List.init n (fun i -> i)) in
+  let kills =
+    List.concat_map
+      (fun at ->
+        List.concat_map
+          (fun disk ->
+            [ [ Sim_schedule.Kill { at; disk } ];
+              [ Sim_schedule.Kill { at; disk };
+                Sim_schedule.Scrub { at = min n (at + 5) } ] ])
+          (kill_target_disks cfg))
+      spots
+  in
+  let damages =
+    (* only with a checksum envelope: an unchecksummed machine cannot
+       detect stored damage, so silent wrong answers are the documented
+       behavior there, not a divergence *)
+    if cfg.integrity then
+      List.concat_map
+        (fun at ->
+          List.concat_map
+            (fun nth ->
+              [ [ Sim_schedule.Damage { at; nth } ];
+                [ Sim_schedule.Damage { at; nth };
+                  Sim_schedule.Scrub { at = min n (at + 5) } ] ])
+            [ 0; 3; 11 ])
+        spots
+    else []
+  in
+  let all = [] :: (crash @ kills @ damages) in
+  let seen = Hashtbl.create 97 in
+  List.filter
+    (fun s ->
+      let key = Sim_json.to_string (Sim_schedule.to_json s) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    all
+
+let explore ?(budget = 600) ?(max_divergent = 5) ?(shrink_budget = 800)
+    ?(count = 128) ?(dist = Sim_gen.Uniform) ?(max_partial = 2)
+    (cfg : Sim_config.t) =
+  let spec = Sim_config.gen_spec ~count ~dist cfg in
+  let ops = Sim_gen.ops spec in
+  let space = Array.of_list (candidates cfg ops ~max_partial) in
+  let total = Array.length space in
+  let picks =
+    if total <= budget then Array.init total (fun i -> i)
+    else begin
+      (* seeded sampling fallback for large spaces: a distinct,
+         deterministic subset (index 0 — the clean run — always in) *)
+      let g = Prng.create (Prng.hash2 ~seed:cfg.seed 0xe8b1 total) in
+      let rest =
+        Pdm_util.Sampling.distinct g ~universe:(total - 1)
+          ~count:(budget - 1)
+      in
+      Array.append [| 0 |] (Array.map (fun i -> i + 1) rest)
+    end
+  in
+  let divergent = ref [] and n_div = ref 0 and clean = ref 0 in
+  let first_failure = ref None in
+  Array.iter
+    (fun idx ->
+      let schedule = space.(idx) in
+      let r = Sim_run.run cfg schedule (Array.to_seq ops) in
+      if Sim_run.ok r then incr clean
+      else begin
+        incr n_div;
+        if !first_failure = None then first_failure := Some schedule;
+        if List.length !divergent < max_divergent then
+          divergent := r :: !divergent
+      end)
+    picks;
+  let shrunk =
+    match !first_failure with
+    | None -> None
+    | Some schedule -> Sim_shrink.shrink ~budget:shrink_budget cfg ops schedule
+  in
+  { config = cfg; ops; total_space = total; explored = Array.length picks;
+    clean = !clean; divergent = List.rev !divergent; shrunk }

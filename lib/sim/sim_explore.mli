@@ -1,0 +1,48 @@
+(** Systematic crash-schedule and fault-schedule exploration.
+
+    For one config and one generated op stream, enumerate the
+    bounded single-mechanism schedule space:
+
+    - the clean (no-fault) run;
+    - for journaled configs, a crash at {e every} journal crash point
+      ({!Sim_schedule.all_points}) of {e every} update that mutates
+      the stored set — the bounded-exhaustive core;
+    - for replicated configs, disk kills at sampled op indices, alone
+      and followed by a scrub;
+    - for replicated or checksummed configs, stored-block damage at
+      sampled indices, alone and followed by a scrub;
+
+    dedupe it, and run every schedule through the differential
+    checker — or, when the space exceeds the budget, a seeded
+    deterministic sample of it (the clean run always included). The
+    first failure found is handed to the shrinker. Everything is a
+    pure function of the config (seed included) and the knobs, so two
+    runs of the same exploration agree schedule for schedule. *)
+
+type outcome = {
+  config : Sim_config.t;
+  ops : Pdm_workload.Trace.op array;  (** the generated stream *)
+  total_space : int;  (** distinct schedules in the full space *)
+  explored : int;  (** schedules actually run (≤ budget) *)
+  clean : int;  (** explored schedules with zero divergences *)
+  divergent : Sim_run.report list;  (** first few failing reports *)
+  shrunk : Sim_shrink.result option;
+      (** minimized first failure, when any failed *)
+}
+
+val mutating_indices : Pdm_workload.Trace.op array -> int list
+(** Indices whose op changes the stored set when the stream is played
+    from empty — the crash-injection targets. Exposed for tests. *)
+
+val explore :
+  ?budget:int ->
+  ?max_divergent:int ->
+  ?shrink_budget:int ->
+  ?count:int ->
+  ?dist:Sim_gen.dist ->
+  ?max_partial:int ->
+  Sim_config.t ->
+  outcome
+(** Defaults: [budget = 600] schedules, [count = 128] ops, uniform
+    keys, torn-write depths 1..2, up to 5 stored failing reports,
+    shrink budget 800 runs. *)

@@ -1,0 +1,117 @@
+module Prng = Pdm_util.Prng
+module Sampling = Pdm_util.Sampling
+module Zipf = Pdm_util.Zipf
+module W = Pdm_workload.Trace
+module Payload = Pdm_workload.Payload
+
+type dist = Uniform | Zipf_skew of float | Adversarial
+
+type spec = {
+  seed : int;
+  universe : int;
+  key_count : int;
+  count : int;
+  dist : dist;
+  value_bytes : int;
+  lookup_fraction : float;
+  delete_fraction : float;
+  static : bool;
+}
+
+let default =
+  { seed = 1; universe = 1 lsl 14; key_count = 48; count = 96;
+    dist = Uniform; value_bytes = 8; lookup_fraction = 0.3;
+    delete_fraction = 0.25; static = false }
+
+let dist_to_string = function
+  | Uniform -> "uniform"
+  | Zipf_skew s -> Printf.sprintf "zipf:%g" s
+  | Adversarial -> "adversarial"
+
+let dist_of_string s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Some Uniform
+  | "adversarial" -> Some Adversarial
+  | "zipf" -> Some (Zipf_skew 1.1)
+  | s when String.length s > 5 && String.sub s 0 5 = "zipf:" ->
+    (match float_of_string_opt (String.sub s 5 (String.length s - 5)) with
+     | Some e when e >= 0.0 -> Some (Zipf_skew e)
+     | _ -> None)
+  | _ -> None
+
+let validate spec =
+  if spec.key_count < 1 then Error "key_count must be >= 1"
+  else if spec.count < 0 then Error "count must be >= 0"
+  else if 2 * spec.key_count > spec.universe then
+    Error "universe too small for a disjoint negative-key pool"
+  else if spec.value_bytes < 1 then Error "value_bytes must be >= 1"
+  else if spec.lookup_fraction < 0.0 || spec.lookup_fraction > 1.0 then
+    Error "lookup_fraction must be in [0, 1]"
+  else if spec.delete_fraction < 0.0 || spec.delete_fraction > 1.0 then
+    Error "delete_fraction must be in [0, 1]"
+  else Ok ()
+
+(* The population and its disjoint negative pool are a pure function
+   of (seed, universe, key_count): every consumer — harness, explorer,
+   qcheck properties — recomputes the same arrays. *)
+let key_pools spec =
+  Sampling.disjoint_pair
+    (Prng.create (Prng.hash2 ~seed:spec.seed 0x5e7 spec.key_count))
+    ~universe:spec.universe ~count:spec.key_count
+
+let keys spec = fst (key_pools spec)
+
+(* Per-op payload: versioned by op index so an overwrite stores fresh
+   bytes (a dropped update is then always observable). *)
+let value_at spec ~index k =
+  Payload.value_bytes_of ~seed:(Prng.hash2 ~seed:spec.seed 0xda7a index)
+    spec.value_bytes k
+
+let pick_uniform rng ks = ks.(Prng.int rng (Array.length ks))
+
+let ops spec =
+  (match validate spec with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("Sim_gen.ops: " ^ m));
+  let members, absent = key_pools spec in
+  let rng = Prng.create (Prng.hash2 ~seed:spec.seed 0x09 spec.count) in
+  let zipf =
+    match spec.dist with
+    | Zipf_skew s -> Some (Zipf.create ~n:(Array.length members) ~s)
+    | Uniform | Adversarial -> None
+  in
+  let hot =
+    (* Adversarial churn concentrates on a tiny hot set: the same few
+       keys are inserted, deleted and re-inserted so journaled updates,
+       first-fit level moves and tombstone paths are hit repeatedly. *)
+    Array.sub members 0 (min 8 (Array.length members))
+  in
+  let pick_key () =
+    match (spec.dist, zipf) with
+    | _, Some z -> members.(Zipf.sample z rng)
+    | Adversarial, None ->
+      if Prng.float rng 1.0 < 0.8 then pick_uniform rng hot
+      else pick_uniform rng members
+    | (Uniform | Zipf_skew _), None -> pick_uniform rng members
+  in
+  let negative () = pick_uniform rng absent in
+  Array.init spec.count (fun i ->
+      let k = pick_key () in
+      if spec.static then
+        (* Static structures: lookups only, 1 in 4 of a guaranteed
+           absent key so the miss path is differential-checked too. *)
+        W.Lookup (if Prng.int rng 4 = 0 then negative () else k)
+      else if Prng.float rng 1.0 < spec.lookup_fraction then
+        W.Lookup (if Prng.int rng 5 = 0 then negative () else k)
+      else if Prng.float rng 1.0 < spec.delete_fraction then W.Delete k
+      else W.Insert (k, value_at spec ~index:i k))
+
+let ops_seq spec = Array.to_seq (ops spec)
+
+(* Static structures are pre-loaded with the whole population. *)
+let initial_data spec =
+  if not spec.static then [||]
+  else
+    Array.mapi
+      (fun i k -> (k, value_at spec ~index:(-1 - i) k))
+      (keys spec)

@@ -1,0 +1,59 @@
+(** Seeded deterministic workload generation for the simulation-testing
+    subsystem.
+
+    A {!spec} fully determines an op stream: the key population, the
+    disjoint pool of guaranteed-absent keys, every op and every payload
+    are pure functions of the seed, so the explorer, the shrinker, the
+    qcheck properties and a replayed repro all reconstruct identical
+    streams. Distributions cover the access patterns the paper's
+    worst-case arguments must survive: uniform, Zipf-skewed
+    (webmail/http popularity, Section 1.2) and an adversarial
+    churn pattern that hammers a tiny hot set with insert/delete/
+    re-insert cycles — the analogue of the adversarial sequences
+    stressed by the quasirandom load-balancing literature. *)
+
+type dist =
+  | Uniform
+  | Zipf_skew of float  (** exponent s of the rank distribution *)
+  | Adversarial  (** 80% of ops on an 8-key hot set, heavy churn *)
+
+type spec = {
+  seed : int;
+  universe : int;  (** key universe size *)
+  key_count : int;  (** population drawn from the universe *)
+  count : int;  (** ops to generate *)
+  dist : dist;
+  value_bytes : int;  (** payload bytes per record *)
+  lookup_fraction : float;
+  delete_fraction : float;  (** of the non-lookup remainder *)
+  static : bool;  (** lookups only (static structures) *)
+}
+
+val default : spec
+(** seed 1, 2{^14} universe, 48 keys, 96 ops, uniform, 8-byte values,
+    30% lookups, 25% deletes, dynamic. *)
+
+val validate : spec -> (unit, string) result
+
+val dist_to_string : dist -> string
+(** ["uniform"], ["zipf:1.1"], ["adversarial"] — the CLI/repro syntax. *)
+
+val dist_of_string : string -> dist option
+(** Inverse of {!dist_to_string}; also accepts bare ["zipf"]. *)
+
+val keys : spec -> int array
+(** The seeded key population (deterministic in the spec). *)
+
+val value_at : spec -> index:int -> int -> Bytes.t
+(** The payload op [index] stores for a key — versioned by index, so
+    overwrites store fresh bytes and any dropped update is observable. *)
+
+val ops : spec -> Pdm_workload.Trace.op array
+(** The full op stream. Raises [Invalid_argument] on an invalid spec. *)
+
+val ops_seq : spec -> Pdm_workload.Trace.op Seq.t
+(** The same stream as a sequence (for the streaming runner). *)
+
+val initial_data : spec -> (int * Bytes.t) array
+(** Pre-load data for static structures: the whole population with
+    deterministic payloads. Empty unless [static]. *)

@@ -1,0 +1,243 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v ->
+    (* %.17g round-trips every double, keeping emit/parse bit-stable. *)
+    Buffer.add_string b (Printf.sprintf "%.17g" v)
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        write b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: recursive descent over one line.                           *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n'
+          || s.[!pos] = '\r')
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let lit word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'; advance (); loop ()
+         | Some '\\' -> Buffer.add_char b '\\'; advance (); loop ()
+         | Some '/' -> Buffer.add_char b '/'; advance (); loop ()
+         | Some 'n' -> Buffer.add_char b '\n'; advance (); loop ()
+         | Some 'r' -> Buffer.add_char b '\r'; advance (); loop ()
+         | Some 't' -> Buffer.add_char b '\t'; advance (); loop ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           pos := !pos + 4;
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> fail "bad \\u escape");
+           loop ()
+         | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+          | _ -> false)
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some v -> Int v
+    | None ->
+      (match float_of_string_opt text with
+       | Some v -> Float v
+       | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let kvs = ref [] in
+        let rec fields () =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          kvs := (k, v) :: !kvs;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        fields ();
+        Obj (List.rev !kvs)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else begin
+        let vs = ref [] in
+        let rec items () =
+          let v = parse_value () in
+          vs := v :: !vs;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        items ();
+        List (List.rev !vs)
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error "trailing characters" else Ok v
+  | exception Parse_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors.                                                          *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let get_int = function Int v -> Some v | _ -> None
+
+let get_float = function
+  | Float v -> Some v
+  | Int v -> Some (float_of_int v)
+  | _ -> None
+
+let get_bool = function Bool v -> Some v | _ -> None
+
+let get_string = function String v -> Some v | _ -> None
+
+let get_list = function List v -> Some v | _ -> None
+
+let hex_of_bytes b =
+  let out = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string out (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents out
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let ok = ref true in
+    let b =
+      Bytes.init (n / 2) (fun i ->
+          match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+          | Some v -> Char.chr v
+          | None ->
+            ok := false;
+            '\000')
+    in
+    if !ok then Some b else None

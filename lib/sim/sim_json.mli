@@ -1,0 +1,42 @@
+(** A minimal one-line JSON reader/writer for the simulation-testing
+    subsystem's repro files.
+
+    Repro files are JSONL — one JSON value per line — and must
+    round-trip bit-identically ([to_string] then [of_string] then
+    [to_string] is the identity on emitted values), so replays compare
+    equal byte for byte. Only what repros need is supported: objects,
+    arrays, strings, 63-bit ints, doubles, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering, keys in the given order. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; [Error] names the position of the
+    first offending character. *)
+
+val member : string -> t -> t option
+(** Object field access ([None] on missing field or non-object). *)
+
+val get_int : t -> int option
+val get_float : t -> float option
+(** Accepts ints too (JSON does not distinguish). *)
+
+val get_bool : t -> bool option
+val get_string : t -> string option
+val get_list : t -> t list option
+
+val hex_of_bytes : Bytes.t -> string
+(** Lowercase hex, two digits per byte — how repro files carry
+    payloads. *)
+
+val bytes_of_hex : string -> Bytes.t option
+(** Inverse of {!hex_of_bytes}; [None] on odd length or non-hex. *)

@@ -1,0 +1,47 @@
+module M = Map.Make (Int)
+module W = Pdm_workload.Trace
+
+type t = { mutable map : Bytes.t M.t; mutable touched : unit M.t }
+
+let create () = { map = M.empty; touched = M.empty }
+
+let of_data data =
+  let t = create () in
+  Array.iter
+    (fun (k, v) ->
+      t.map <- M.add k (Bytes.copy v) t.map;
+      t.touched <- M.add k () t.touched)
+    data;
+  t
+
+let find t k = Option.map Bytes.copy (M.find_opt k t.map)
+
+let mem t k = M.mem k t.map
+
+let insert t k v =
+  t.map <- M.add k (Bytes.copy v) t.map;
+  t.touched <- M.add k () t.touched
+
+let delete t k =
+  let present = M.mem k t.map in
+  if present then t.map <- M.remove k t.map;
+  t.touched <- M.add k () t.touched;
+  present
+
+let size t = M.cardinal t.map
+
+let touched_keys t = List.map fst (M.bindings t.touched)
+
+let apply t = function
+  | W.Lookup k ->
+    t.touched <- M.add k () t.touched;
+    `Found (find t k)
+  | W.Insert (k, v) ->
+    insert t k v;
+    `Inserted
+  | W.Delete k -> `Deleted (delete t k)
+
+let mutates t = function
+  | W.Lookup _ -> false
+  | W.Insert _ -> true
+  | W.Delete k -> mem t k

@@ -1,0 +1,41 @@
+(** The pure reference dictionary the differential checker compares
+    every system under test against.
+
+    A persistent [Map.Make(Int)] — no blocks, no disks, no journal —
+    holding exactly the record set a correct dictionary must answer
+    with. It also remembers every key ever touched, so the post-run
+    sweep knows the full set of keys whose answers are constrained. *)
+
+type t
+
+val create : unit -> t
+
+val of_data : (int * Bytes.t) array -> t
+(** A model pre-loaded with static data. Payloads are copied. *)
+
+val find : t -> int -> Bytes.t option
+(** A fresh copy — callers may mutate the result freely. *)
+
+val mem : t -> int -> bool
+val insert : t -> int -> Bytes.t -> unit
+
+val delete : t -> int -> bool
+(** Whether the key was present (the value a dictionary's [delete]
+    must report). *)
+
+val size : t -> int
+
+val touched_keys : t -> int list
+(** Every key any applied op ever mentioned, ascending — the sweep
+    domain. *)
+
+val apply :
+  t ->
+  Pdm_workload.Trace.op ->
+  [ `Found of Bytes.t option | `Inserted | `Deleted of bool ]
+(** Apply one op, returning what a correct dictionary must answer. *)
+
+val mutates : t -> Pdm_workload.Trace.op -> bool
+(** Whether the op would change the stored set in the model's current
+    state — [Insert] always, [Delete] of a present key; the predicate
+    the crash-schedule enumerator uses to find journaled updates. *)

@@ -1,0 +1,139 @@
+module J = Sim_json
+module W = Pdm_workload.Trace
+
+type header = {
+  config : Sim_config.t;
+  schedule : Sim_schedule.t;
+  op_count : int;
+  expected : string list;
+}
+
+let version = 1
+
+let op_to_json = function
+  | W.Lookup k -> J.Obj [ ("op", J.String "lookup"); ("key", J.Int k) ]
+  | W.Insert (k, v) ->
+    J.Obj
+      [ ("op", J.String "insert"); ("key", J.Int k);
+        ("value", J.String (J.hex_of_bytes v)) ]
+  | W.Delete k -> J.Obj [ ("op", J.String "delete"); ("key", J.Int k) ]
+
+let op_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* kind = Option.bind (J.member "op" j) J.get_string in
+  let* key = Option.bind (J.member "key" j) J.get_int in
+  match kind with
+  | "lookup" -> Some (W.Lookup key)
+  | "delete" -> Some (W.Delete key)
+  | "insert" ->
+    let* hex = Option.bind (J.member "value" j) J.get_string in
+    let* v = J.bytes_of_hex hex in
+    Some (W.Insert (key, v))
+  | _ -> None
+
+let expected_of_report (r : Sim_run.report) =
+  List.map
+    (fun d -> J.to_string (Sim_run.divergence_to_json d))
+    r.Sim_run.divergences
+
+let write ~path (r : Sim_run.report) ~ops =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let header =
+        J.Obj
+          [ ("kind", J.String "pdm-sim-repro"); ("version", J.Int version);
+            ("config", Sim_config.to_json r.Sim_run.config);
+            ("schedule", Sim_schedule.to_json r.Sim_run.schedule);
+            ("ops", J.Int (Array.length ops));
+            ("expected",
+             J.List
+               (List.map
+                  (fun d -> Sim_run.divergence_to_json d)
+                  r.Sim_run.divergences)) ]
+      in
+      output_string oc (J.to_string header);
+      output_char oc '\n';
+      Array.iter
+        (fun op ->
+          output_string oc (J.to_string (op_to_json op));
+          output_char oc '\n')
+        ops)
+
+let load ~path =
+  let ( let* ) r f = Result.bind r f in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let* first =
+        match input_line ic with
+        | line -> Ok line
+        | exception End_of_file -> Error "empty repro file"
+      in
+      let* hdr = J.of_string first in
+      let* () =
+        match Option.bind (J.member "kind" hdr) J.get_string with
+        | Some "pdm-sim-repro" -> Ok ()
+        | _ -> Error "not a pdm-sim-repro file"
+      in
+      let* () =
+        match Option.bind (J.member "version" hdr) J.get_int with
+        | Some v when v = version -> Ok ()
+        | Some v -> Error (Printf.sprintf "unsupported repro version %d" v)
+        | None -> Error "repro header has no version"
+      in
+      let* config =
+        match J.member "config" hdr with
+        | Some c -> Sim_config.of_json c
+        | None -> Error "repro header has no config"
+      in
+      let* schedule =
+        match J.member "schedule" hdr with
+        | Some s -> Sim_schedule.of_json s
+        | None -> Error "repro header has no schedule"
+      in
+      let* op_count =
+        match Option.bind (J.member "ops" hdr) J.get_int with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error "repro header has no op count"
+      in
+      let expected =
+        match J.member "expected" hdr with
+        | Some (J.List l) -> List.map J.to_string l
+        | _ -> []
+      in
+      let ops = ref [] in
+      let* () =
+        let rec loop i =
+          if i = op_count then Ok ()
+          else
+            match input_line ic with
+            | exception End_of_file ->
+              Error
+                (Printf.sprintf "repro truncated: %d of %d ops" i op_count)
+            | "" -> loop i
+            | line ->
+              let* j = J.of_string line in
+              (match op_of_json j with
+               | Some op ->
+                 ops := op :: !ops;
+                 loop (i + 1)
+               | None -> Error ("malformed op line: " ^ line))
+        in
+        loop 0
+      in
+      Ok ({ config; schedule; op_count; expected },
+          Array.of_list (List.rev !ops)))
+
+(* A replay is bit-identical when the re-run's divergence list
+   serializes to exactly the recorded strings — same indices, kinds
+   and detail text, in the same order. *)
+let replay ~path =
+  let ( let* ) r f = Result.bind r f in
+  let* header, ops = load ~path in
+  let report =
+    Sim_run.run header.config header.schedule (Array.to_seq ops)
+  in
+  Ok (header, report, expected_of_report report = header.expected)

@@ -1,0 +1,36 @@
+(** Repro files: one failing simulation case, on disk, replayable bit
+    for bit.
+
+    JSONL layout — line 1 is a header object carrying the config, the
+    canonical fault schedule, the op count and the expected divergence
+    list (each divergence serialized to its canonical JSON string);
+    each following line is one op, with payload bytes hex-encoded.
+    Everything a replay needs is in the file: nothing references the
+    generator, so a repro stays valid even if generation heuristics
+    change later. *)
+
+type header = {
+  config : Sim_config.t;
+  schedule : Sim_schedule.t;
+  op_count : int;
+  expected : string list;
+      (** The recorded divergences, one canonical JSON string each. *)
+}
+
+val op_to_json : Pdm_workload.Trace.op -> Sim_json.t
+val op_of_json : Sim_json.t -> Pdm_workload.Trace.op option
+
+val expected_of_report : Sim_run.report -> string list
+(** The divergence strings a report would record in a header. *)
+
+val write : path:string -> Sim_run.report -> ops:Pdm_workload.Trace.op array -> unit
+(** Write a repro for a (typically shrunk) failing report. *)
+
+val load : path:string -> (header * Pdm_workload.Trace.op array, string) result
+
+val replay :
+  path:string -> (header * Sim_run.report * bool, string) result
+(** Re-execute the case. The boolean is the bit-identical verdict:
+    the re-run produced exactly the recorded divergence strings, in
+    order. (A repro of a since-fixed bug replays with an empty
+    divergence list and verdict [false] — the fix changed behavior.) *)

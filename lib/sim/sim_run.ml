@@ -1,0 +1,320 @@
+module Pdm = Pdm_sim.Pdm
+module Journal = Pdm_sim.Journal
+module Backend = Pdm_sim.Backend
+module W = Pdm_workload.Trace
+
+type divergence = { at : int; kind : string; detail : string }
+
+type report = {
+  config : Sim_config.t;
+  schedule : Sim_schedule.t;
+  ops_run : int;
+  crashes : int;
+  recoveries : int;
+  divergences : divergence list;
+}
+
+let ok r = r.divergences = []
+
+let divergence_to_json d =
+  Sim_json.Obj
+    [ ("at", Sim_json.Int d.at); ("kind", Sim_json.String d.kind);
+      ("detail", Sim_json.String d.detail) ]
+
+let string_of_bytes_opt = function
+  | None -> "absent"
+  | Some b -> "0x" ^ Sim_json.hex_of_bytes b
+
+let answers_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Bytes.equal x y
+  | _ -> false
+
+(* Crash points at or past the commit header write leave a committed
+   log: recovery must replay the update. Earlier points must discard
+   it. *)
+let crash_survives : Journal.crash_point -> bool = function
+  | Before_log | During_log _ | After_log -> false
+  | After_commit | During_apply _ | After_apply -> true
+
+type state = {
+  cfg : Sim_config.t;
+  sut : Sim_sut.t;
+  model : Sim_model.t;
+  mutable ops_run : int;
+  mutable crashes : int;
+  mutable recoveries : int;
+  mutable divergences : divergence list;  (* reverse order *)
+}
+
+let diverge st ~at ~kind detail =
+  st.divergences <- { at; kind; detail } :: st.divergences
+
+let storage_error = function
+  | Backend.Disk_failed _ | Backend.Corrupt_block _
+  | Backend.Retries_exhausted _ ->
+    true
+  | _ -> false
+
+(* Compare the system's answer for every key the workload ever
+   mentioned against the model — the strongest check we can run
+   without reading unconstrained keys. *)
+let sweep st ~at ~kind =
+  List.iter
+    (fun k ->
+      let expected = Sim_model.find st.model k in
+      match st.sut.Sim_sut.find k with
+      | got ->
+        if not (answers_equal got expected) then
+          diverge st ~at ~kind
+            (Printf.sprintf "sweep key %d: sut %s, model %s" k
+               (string_of_bytes_opt got)
+               (string_of_bytes_opt expected))
+      | exception e when storage_error e ->
+        diverge st ~at ~kind:"storage"
+          (Printf.sprintf "sweep key %d: %s" k (Printexc.to_string e)))
+    (Sim_model.touched_keys st.model)
+
+let recover_now st ~at =
+  match st.sut.Sim_sut.recover with
+  | None ->
+    diverge st ~at ~kind:"crash" "crash raised but adapter has no recover"
+  | Some recover ->
+    st.recoveries <- st.recoveries + 1;
+    let (_ : [ `Clean | `Discarded | `Replayed of int ]) = recover () in
+    (* Recovery must be idempotent: a second run right away finds the
+       header cleared and changes nothing. *)
+    (match recover () with
+     | `Clean -> ()
+     | `Discarded ->
+       diverge st ~at ~kind:"recover" "second recovery discarded a log again"
+     | `Replayed n ->
+       diverge st ~at ~kind:"recover"
+         (Printf.sprintf "second recovery replayed %d blocks again" n))
+
+let fire_kill st disk =
+  let m = st.sut.Sim_sut.machine in
+  let total = Pdm.physical_disks m in
+  if total > 0 then Pdm.kill_disk m (disk mod total)
+
+let fire_damage st nth =
+  let m = st.sut.Sim_sut.machine in
+  let addrs = ref [] in
+  Pdm.iter_allocated m (fun a _ -> addrs := a :: !addrs);
+  let addrs = Array.of_list (List.rev !addrs) in
+  let n = Array.length addrs in
+  if n > 0 then Pdm.damage_stored m addrs.(nth mod n) ~replica:0
+
+let fire_scrub st ~at =
+  let r = Pdm.scrub st.sut.Sim_sut.machine in
+  (* Unrepairable replicas are a divergence only when the config
+     provided spares to re-home them onto; without spares a dead
+     disk's replicas legitimately stay unrepaired (the data is still
+     safe on the survivors — lost_blocks counts actual loss). *)
+  if r.Pdm.lost_blocks > 0
+     || (r.Pdm.unrepairable_replicas > 0 && st.cfg.Sim_config.spares > 0)
+  then
+    diverge st ~at ~kind:"scrub"
+      (Printf.sprintf "scrub: %d lost blocks, %d unrepairable replicas"
+         r.Pdm.lost_blocks r.Pdm.unrepairable_replicas)
+
+let check_answer st ~at ~op_desc got expected =
+  if not (answers_equal got expected) then
+    diverge st ~at ~kind:"answer"
+      (Printf.sprintf "%s: sut %s, model %s" op_desc
+         (string_of_bytes_opt got)
+         (string_of_bytes_opt expected))
+
+(* Run one mutating op with an optional armed crash point. The model
+   is updated only with what the protocol promises survives; after a
+   crash the structure is recovered and fully swept. *)
+let run_update st ~at ~crash op =
+  let arm p =
+    match st.sut.Sim_sut.set_crash with
+    | Some set when Sim_model.mutates st.model op -> set (Some p); true
+    | _ -> false
+  in
+  let disarm () =
+    match st.sut.Sim_sut.set_crash with Some set -> set None | None -> ()
+  in
+  let armed = match crash with Some p -> arm p | None -> false in
+  let apply_model () = ignore (Sim_model.apply st.model op) in
+  let finish_clean () =
+    disarm ();
+    apply_model ()
+  in
+  match op with
+  | W.Lookup _ -> ()
+  | W.Insert (k, v) ->
+    (match st.sut.Sim_sut.insert with
+     | None ->
+       disarm ();
+       diverge st ~at ~kind:"answer" "insert on a static structure"
+     | Some ins ->
+       (match ins k v with
+        | () ->
+          (* also covers an armed During_log/During_apply point the
+             batch was too small to reach: the update completed *)
+          finish_clean ()
+        | exception Journal.Crashed ->
+          st.crashes <- st.crashes + 1;
+          disarm ();
+          (match crash with
+           | Some p when armed && crash_survives p -> apply_model ()
+           | _ -> ());
+          recover_now st ~at;
+          sweep st ~at ~kind:"crash-visibility"
+        | exception e when storage_error e ->
+          disarm ();
+          diverge st ~at ~kind:"storage"
+            (Printf.sprintf "insert %d: %s" k (Printexc.to_string e))))
+  | W.Delete k ->
+    (match st.sut.Sim_sut.delete with
+     | None ->
+       disarm ();
+       diverge st ~at ~kind:"answer" "delete on a static structure"
+     | Some del ->
+       let expected = Sim_model.mem st.model k in
+       (match del k with
+        | present ->
+          disarm ();
+          apply_model ();
+          if present <> expected then
+            diverge st ~at ~kind:"answer"
+              (Printf.sprintf "delete %d: sut %b, model %b" k present
+                 expected)
+        | exception Journal.Crashed ->
+          st.crashes <- st.crashes + 1;
+          disarm ();
+          (match crash with
+           | Some p when armed && crash_survives p -> apply_model ()
+           | _ -> ());
+          recover_now st ~at;
+          sweep st ~at ~kind:"crash-visibility"
+        | exception e when storage_error e ->
+          disarm ();
+          diverge st ~at ~kind:"storage"
+            (Printf.sprintf "delete %d: %s" k (Printexc.to_string e))))
+
+let run_lookup_batch st ~at keys =
+  match keys with
+  | [] -> ()
+  | keys ->
+    let expected = List.map (Sim_model.find st.model) keys in
+    (match
+       match st.sut.Sim_sut.find_batch with
+       | Some batch when List.length keys > 1 -> batch keys
+       | _ -> List.map st.sut.Sim_sut.find keys
+     with
+     | got ->
+       List.iteri
+         (fun i g ->
+           match (List.nth_opt keys i, List.nth_opt expected i) with
+           | Some k, Some e ->
+             check_answer st ~at:(at + i)
+               ~op_desc:(Printf.sprintf "lookup %d" k)
+               g e
+           | _ -> ())
+         got
+     | exception e when storage_error e ->
+       diverge st ~at ~kind:"storage"
+         (Printf.sprintf "lookup batch: %s" (Printexc.to_string e)))
+
+let run (cfg : Sim_config.t) (schedule : Sim_schedule.t) ops =
+  let data = Sim_gen.initial_data (Sim_config.gen_spec cfg) in
+  let ops = Array.of_seq ops in
+  let schedule = Sim_schedule.canonical schedule in
+  let pre_events i =
+    List.filter_map
+      (function
+        | Sim_schedule.Kill { at; disk } when at = i -> Some (`Kill disk)
+        | Sim_schedule.Damage { at; nth } when at = i -> Some (`Damage nth)
+        | Sim_schedule.Scrub { at } when at = i -> Some `Scrub
+        | _ -> None)
+      schedule
+  in
+  let crash_at i =
+    List.find_map
+      (function
+        | Sim_schedule.Crash { at; point } when at = i -> Some point
+        | _ -> None)
+      schedule
+  in
+  let has_event i = pre_events i <> [] || crash_at i <> None in
+  match Sim_sut.build cfg ~data with
+  | exception e ->
+    { config = cfg; schedule; ops_run = 0; crashes = 0; recoveries = 0;
+      divergences =
+        [ { at = -1; kind = "build";
+            detail = "building the system failed: " ^ Printexc.to_string e }
+        ] }
+  | sut ->
+    let st =
+      { cfg; sut; model = Sim_model.of_data data; ops_run = 0; crashes = 0;
+        recoveries = 0; divergences = [] }
+    in
+    let n = Array.length ops in
+    let i = ref 0 in
+    (* Any exception the per-op handlers don't classify (a decode
+       failing on data it cannot parse, an overflow, a harness bug) is
+       itself a case failure: record it and stop this case rather than
+       aborting the whole exploration. *)
+    (try
+    while !i < n do
+      let at = !i in
+      List.iter
+        (function
+          | `Kill disk -> fire_kill st disk
+          | `Damage nth -> fire_damage st nth
+          | `Scrub -> fire_scrub st ~at)
+        (pre_events at);
+      (* batch maximal runs of event-free consecutive lookups so the
+         engine path sees real multi-request batches *)
+      let rec lookups acc j =
+        if j < n && not (j > at && has_event j) then
+          match ops.(j) with
+          | W.Lookup k -> lookups (k :: acc) (j + 1)
+          | _ -> (List.rev acc, j)
+        else (List.rev acc, j)
+      in
+      (match ops.(at) with
+       | W.Lookup _ when crash_at at = None ->
+         let keys, next = lookups [] at in
+         run_lookup_batch st ~at keys;
+         st.ops_run <- st.ops_run + List.length keys;
+         i := next
+       | op ->
+         (match op with
+          | W.Lookup k ->
+            (* a (vacuous) crash event pinned to a lookup: run it singly *)
+            (match st.sut.Sim_sut.find k with
+             | got -> check_answer st ~at ~op_desc:(Printf.sprintf "lookup %d" k)
+                        got (Sim_model.find st.model k)
+             | exception e when storage_error e ->
+               diverge st ~at ~kind:"storage"
+                 (Printf.sprintf "lookup %d: %s" k (Printexc.to_string e)))
+          | _ -> run_update st ~at ~crash:(crash_at at) op);
+         st.ops_run <- st.ops_run + 1;
+         i := at + 1)
+    done;
+    (* post-run invariants *)
+    sweep st ~at:n ~kind:"sweep";
+    (match sut.Sim_sut.recover with
+     | Some recover ->
+       (match recover () with
+        | `Clean -> ()
+        | `Discarded ->
+          diverge st ~at:n ~kind:"recover"
+            "post-run recovery found an uncommitted log"
+        | `Replayed k ->
+          diverge st ~at:n ~kind:"recover"
+            (Printf.sprintf "post-run recovery replayed %d blocks" k));
+       sweep st ~at:n ~kind:"recover"
+     | None -> ());
+    if cfg.replicas > 1 || cfg.integrity then fire_scrub st ~at:n
+    with e ->
+      diverge st ~at:!i ~kind:"exception" (Printexc.to_string e));
+    { config = cfg; schedule; ops_run = st.ops_run; crashes = st.crashes;
+      recoveries = st.recoveries;
+      divergences = List.rev st.divergences }

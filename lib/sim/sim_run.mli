@@ -1,0 +1,50 @@
+(** The differential runner: one simulation case, checked
+    answer-for-answer against the pure model.
+
+    [run cfg schedule ops] builds the configured system
+    ({!Sim_sut.build}), pre-populates it, then executes the op stream
+    in program order, firing the schedule's kill/damage/scrub events
+    before their pinned op and arming crash points on theirs. Every
+    lookup answer, delete report, crash-visibility outcome (an update
+    crashed before its commit point must vanish, one crashed at or
+    after it must survive), recovery idempotence, full-key sweeps
+    after each recovery and at the end, and a final scrub on
+    replicated/checksummed configs are all checked; any mismatch or
+    escaped storage error becomes a {!divergence}.
+
+    Runs of event-free consecutive lookups are batched through
+    {!Sim_sut.find_batch} when the config has one, so engine configs
+    are exercised with real multi-request batches.
+
+    Determinism contract: the same (config, schedule, ops) triple
+    produces the same report, bit for bit — there is no hidden RNG
+    and no wall clock anywhere below this interface. *)
+
+type divergence = {
+  at : int;  (** op index; [n] (= ops length) for post-run checks *)
+  kind : string;
+      (** ["answer"], ["crash-visibility"], ["sweep"], ["recover"],
+          ["scrub"], ["storage"], ["build"] *)
+  detail : string;
+}
+
+type report = {
+  config : Sim_config.t;
+  schedule : Sim_schedule.t;  (** canonical form *)
+  ops_run : int;
+  crashes : int;  (** injected crashes that actually fired *)
+  recoveries : int;
+  divergences : divergence list;  (** chronological; empty = pass *)
+}
+
+val ok : report -> bool
+
+val divergence_to_json : divergence -> Sim_json.t
+
+val crash_survives : Pdm_sim.Journal.crash_point -> bool
+(** The visibility the write-ahead protocol promises: [false] before
+    the commit-header write (update vanishes on recovery), [true] at
+    or after it (recovery replays). *)
+
+val run :
+  Sim_config.t -> Sim_schedule.t -> Pdm_workload.Trace.op Seq.t -> report

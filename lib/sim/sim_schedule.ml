@@ -1,0 +1,120 @@
+module J = Sim_json
+
+type event =
+  | Crash of { at : int; point : Pdm_sim.Journal.crash_point }
+  | Kill of { at : int; disk : int }
+  | Damage of { at : int; nth : int }
+  | Scrub of { at : int }
+
+type t = event list
+
+let at = function
+  | Crash { at; _ } | Kill { at; _ } | Damage { at; _ } | Scrub { at } -> at
+
+let with_at event at =
+  match event with
+  | Crash c -> Crash { c with at }
+  | Kill k -> Kill { k with at }
+  | Damage d -> Damage { d with at }
+  | Scrub _ -> Scrub { at }
+
+let canonical events =
+  let rank = function
+    | Crash _ -> 0
+    | Kill _ -> 1
+    | Damage _ -> 2
+    | Scrub _ -> 3
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = compare (at a) (at b) in
+      if c <> 0 then c else compare (rank a) (rank b))
+    events
+
+let point_to_string : Pdm_sim.Journal.crash_point -> string = function
+  | Before_log -> "before_log"
+  | During_log k -> Printf.sprintf "during_log:%d" k
+  | After_log -> "after_log"
+  | After_commit -> "after_commit"
+  | During_apply k -> Printf.sprintf "during_apply:%d" k
+  | After_apply -> "after_apply"
+
+let point_of_string s : Pdm_sim.Journal.crash_point option =
+  match String.split_on_char ':' s with
+  | [ "before_log" ] -> Some Before_log
+  | [ "during_log"; k ] -> Option.map (fun k -> Pdm_sim.Journal.During_log k) (int_of_string_opt k)
+  | [ "after_log" ] -> Some After_log
+  | [ "after_commit" ] -> Some After_commit
+  | [ "during_apply"; k ] ->
+    Option.map (fun k -> Pdm_sim.Journal.During_apply k) (int_of_string_opt k)
+  | [ "after_apply" ] -> Some After_apply
+  | _ -> None
+
+let all_points ~max_partial : Pdm_sim.Journal.crash_point list =
+  let partials lo =
+    List.init max_partial (fun i -> i + 1) |> List.map lo
+  in
+  (Pdm_sim.Journal.Before_log
+   :: partials (fun k -> Pdm_sim.Journal.During_log k))
+  @ (Pdm_sim.Journal.After_log :: Pdm_sim.Journal.After_commit
+     :: partials (fun k -> Pdm_sim.Journal.During_apply k))
+  @ [ Pdm_sim.Journal.After_apply ]
+
+let event_to_json = function
+  | Crash { at; point } ->
+    J.Obj
+      [ ("event", J.String "crash"); ("at", J.Int at);
+        ("point", J.String (point_to_string point)) ]
+  | Kill { at; disk } ->
+    J.Obj [ ("event", J.String "kill"); ("at", J.Int at); ("disk", J.Int disk) ]
+  | Damage { at; nth } ->
+    J.Obj
+      [ ("event", J.String "damage"); ("at", J.Int at); ("nth", J.Int nth) ]
+  | Scrub { at } -> J.Obj [ ("event", J.String "scrub"); ("at", J.Int at) ]
+
+let event_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* kind = Option.bind (J.member "event" j) J.get_string in
+  let* at = Option.bind (J.member "at" j) J.get_int in
+  match kind with
+  | "crash" ->
+    let* p = Option.bind (J.member "point" j) J.get_string in
+    let* point = point_of_string p in
+    Some (Crash { at; point })
+  | "kill" ->
+    let* disk = Option.bind (J.member "disk" j) J.get_int in
+    Some (Kill { at; disk })
+  | "damage" ->
+    let* nth = Option.bind (J.member "nth" j) J.get_int in
+    Some (Damage { at; nth })
+  | "scrub" -> Some (Scrub { at })
+  | _ -> None
+
+let to_json events = J.List (List.map event_to_json (canonical events))
+
+let of_json j =
+  match J.get_list j with
+  | None -> Error "schedule must be a JSON array"
+  | Some items ->
+    let rec loop acc = function
+      | [] -> Ok (canonical (List.rev acc))
+      | item :: rest ->
+        (match event_of_json item with
+         | Some e -> loop (e :: acc) rest
+         | None -> Error ("malformed schedule event: " ^ J.to_string item))
+    in
+    loop [] items
+
+let describe events =
+  match canonical events with
+  | [] -> "(no faults)"
+  | events ->
+    String.concat ","
+      (List.map
+         (function
+           | Crash { at; point } ->
+             Printf.sprintf "crash@%d=%s" at (point_to_string point)
+           | Kill { at; disk } -> Printf.sprintf "kill@%d=d%d" at disk
+           | Damage { at; nth } -> Printf.sprintf "damage@%d=#%d" at nth
+           | Scrub { at } -> Printf.sprintf "scrub@%d" at)
+         events)

@@ -1,0 +1,47 @@
+(** Fault schedules: the second coordinate of a simulation case.
+
+    A schedule is a list of events pinned to op indices ([at] = the
+    0-based index of the op the event fires on — crashes arm the op
+    itself; kill/damage/scrub fire just before it). Schedules are
+    values: the explorer enumerates them, the shrinker prunes them,
+    and repro files serialize them, so one failing (ops, schedule,
+    config) triple replays bit-identically. *)
+
+type event =
+  | Crash of { at : int; point : Pdm_sim.Journal.crash_point }
+      (** Arm the journal crash point for the update at index [at].
+          Only meaningful on a journaled config, on a mutating op. *)
+  | Kill of { at : int; disk : int }
+      (** Fail-stop logical disk [disk] before op [at]. *)
+  | Damage of { at : int; nth : int }
+      (** Corrupt the [nth] allocated block (primary replica) before
+          op [at] — a latent-sector-error model. *)
+  | Scrub of { at : int }  (** Run a scrub/repair pass before op [at]. *)
+
+type t = event list
+
+val at : event -> int
+
+val with_at : event -> int -> event
+(** The same event re-pinned to another op index (the shrinker's
+    remapping when ops are removed). *)
+
+val canonical : t -> t
+(** Sorted by (index, kind) — the serialized form, so structurally
+    equal schedules serialize identically and dedupe by string. *)
+
+val point_to_string : Pdm_sim.Journal.crash_point -> string
+val point_of_string : string -> Pdm_sim.Journal.crash_point option
+
+val all_points : max_partial:int -> Pdm_sim.Journal.crash_point list
+(** Every crash point, with torn-write depths 1..[max_partial] for the
+    [During_log]/[During_apply] families — the per-update axis the
+    bounded-exhaustive explorer sweeps. *)
+
+val event_to_json : event -> Sim_json.t
+val event_of_json : Sim_json.t -> event option
+val to_json : t -> Sim_json.t
+val of_json : Sim_json.t -> (t, string) result
+
+val describe : t -> string
+(** ["crash@17=after_commit,kill@3=d2"] — compact label. *)

@@ -1,0 +1,117 @@
+type result = {
+  ops : Pdm_workload.Trace.op array;
+  schedule : Sim_schedule.t;
+  report : Sim_run.report;
+  runs_used : int;
+}
+
+(* Drop the ops marked false and re-pin schedule events onto the
+   surviving indices; an event pinned to a dropped op is dropped with
+   it (its trigger no longer exists). *)
+let remap keep ops schedule =
+  let n = Array.length keep in
+  let new_index = Array.make n (-1) in
+  let kept = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if k then begin
+        new_index.(i) <- !kept;
+        incr kept
+      end)
+    keep;
+  let ops' =
+    Array.of_list
+      (List.filteri (fun i _ -> keep.(i)) (Array.to_list ops))
+  in
+  let schedule' =
+    List.filter_map
+      (fun ev ->
+        let at = Sim_schedule.at ev in
+        if at >= n then Some (Sim_schedule.with_at ev !kept)
+        else if keep.(at) then Some (Sim_schedule.with_at ev new_index.(at))
+        else None)
+      schedule
+  in
+  (ops', schedule')
+
+let shrink ?(budget = 800) cfg ops schedule =
+  let runs = ref 0 in
+  let attempt ops' schedule' =
+    if !runs >= budget then None
+    else begin
+      incr runs;
+      let r = Sim_run.run cfg schedule' (Array.to_seq ops') in
+      if Sim_run.ok r then None else Some r
+    end
+  in
+  match attempt ops (Sim_schedule.canonical schedule) with
+  | None -> None
+  | Some report0 ->
+    let best_ops = ref ops
+    and best_sched = ref (Sim_schedule.canonical schedule)
+    and best_report = ref report0 in
+    let commit ops' sched' r =
+      best_ops := ops';
+      best_sched := sched';
+      best_report := r
+    in
+    (* Phase 1 — truncate: nothing after the first divergence can be
+       needed to reproduce it. *)
+    let truncate () =
+      match (!best_report).Sim_run.divergences with
+      | { Sim_run.at; _ } :: _ when at + 1 < Array.length !best_ops ->
+        let keep =
+          Array.init (Array.length !best_ops) (fun i -> i <= at)
+        in
+        let ops', sched' = remap keep !best_ops !best_sched in
+        (match attempt ops' sched' with
+         | Some r -> commit ops' sched' r
+         | None -> ())
+      | _ -> ()
+    in
+    truncate ();
+    (* Phase 2 — ddmin over op chunks of halving size. *)
+    let chunk = ref (max 1 (Array.length !best_ops / 2)) in
+    while !chunk >= 1 && !runs < budget do
+      let progressed = ref true in
+      while !progressed && !runs < budget do
+        progressed := false;
+        let n = Array.length !best_ops in
+        let start = ref 0 in
+        while !start < n && !runs < budget do
+          let stop = min n (!start + !chunk) in
+          let keep = Array.init n (fun i -> i < !start || i >= stop) in
+          (match remap keep !best_ops !best_sched with
+           | ops', sched' ->
+             (match attempt ops' sched' with
+              | Some r ->
+                commit ops' sched' r;
+                progressed := true;
+                (* indices shifted: restart this chunk pass *)
+                start := n
+              | None -> start := stop))
+        done
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done;
+    truncate ();
+    (* Phase 3 — drop schedule events one at a time. *)
+    let again = ref true in
+    while !again && !runs < budget do
+      again := false;
+      let evs = !best_sched in
+      List.iteri
+        (fun i _ ->
+          if not !again && !runs < budget then begin
+            let sched' = List.filteri (fun j _ -> j <> i) evs in
+            match attempt !best_ops sched' with
+            | Some r ->
+              commit !best_ops sched' r;
+              again := true
+            | None -> ()
+          end)
+        evs
+    done;
+    Some
+      { ops = !best_ops; schedule = !best_sched; report = !best_report;
+        runs_used = !runs }

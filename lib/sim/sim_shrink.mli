@@ -1,0 +1,34 @@
+(** Counterexample minimization.
+
+    Given a failing (ops, schedule) pair for a config, produce a small
+    pair that still fails, by (1) truncating everything after the
+    first divergence, (2) delta-debugging the op sequence with chunks
+    of halving size — re-pinning schedule events onto the surviving op
+    indices and dropping events whose op disappeared — and (3)
+    pruning schedule events one at a time. Every candidate is checked
+    by a full {!Sim_run.run}, so the result is a genuine failure, not
+    a guess; the whole process is deterministic. *)
+
+type result = {
+  ops : Pdm_workload.Trace.op array;
+  schedule : Sim_schedule.t;
+  report : Sim_run.report;  (** the minimized case's failing report *)
+  runs_used : int;
+}
+
+val remap :
+  bool array ->
+  Pdm_workload.Trace.op array ->
+  Sim_schedule.t ->
+  Pdm_workload.Trace.op array * Sim_schedule.t
+(** [remap keep ops schedule] drops ops marked [false] and re-pins
+    (or drops) schedule events accordingly. Exposed for tests. *)
+
+val shrink :
+  ?budget:int ->
+  Sim_config.t ->
+  Pdm_workload.Trace.op array ->
+  Sim_schedule.t ->
+  result option
+(** [None] when the original pair does not fail (nothing to shrink).
+    [budget] caps the number of candidate runs (default 800). *)

@@ -1,0 +1,219 @@
+module Pdm = Pdm_sim.Pdm
+module Journal = Pdm_sim.Journal
+module Fault = Pdm_sim.Fault
+module Engine = Pdm_engine.Engine
+module Basic = Pdm_dictionary.Basic_dict
+module Ops = Pdm_dictionary.One_probe_static
+module Opd = Pdm_dictionary.One_probe_dynamic
+module Cascade = Pdm_dictionary.Dynamic_cascade
+module Checksum = Pdm_dictionary.Codec.Checksum
+
+type t = {
+  name : string;
+  machine : int Pdm.t;
+  find : int -> Bytes.t option;
+  find_batch : (int list -> Bytes.t option list) option;
+  insert : (int -> Bytes.t -> unit) option;
+  delete : (int -> bool) option;
+  set_crash : (Journal.crash_point option -> unit) option;
+  recover : (unit -> [ `Clean | `Discarded | `Replayed of int ]) option;
+}
+
+let basic_degree = 6
+let static_degree = 9
+
+let fault_spec (cfg : Sim_config.t) =
+  if cfg.transient <= 0.0 && cfg.straggle <= 1 then None
+  else
+    let transient =
+      if cfg.transient > 0.0 then
+        List.init basic_degree (fun d -> (d, cfg.transient))
+      else []
+    in
+    let stragglers = if cfg.straggle > 1 then [ (1, cfg.straggle) ] else [] in
+    Some (Fault.spec ~seed:cfg.seed ~max_retries:12 ~transient ~stragglers ())
+
+(* Route every lookup through a batched engine in front of the probe
+   plan. Updates stay on the direct per-key path (the engine's cache is
+   write-invalidated by the machine's listener, so the two stay
+   coherent); the runner interleaves them in program order. *)
+let engine_wrap ~cache_blocks (dict : Engine.dict) base =
+  let config = { Engine.max_batch = 16; deadline_rounds = 2; cache_blocks } in
+  let eng = Engine.create ~config dict in
+  let run keys =
+    let ids = List.map (fun k -> Engine.submit eng (Engine.Lookup k)) keys in
+    Engine.drain eng;
+    let outs = Engine.take_outcomes eng in
+    List.map
+      (fun id ->
+        match List.find_opt (fun (o : Engine.outcome) -> o.id = id) outs with
+        | Some o -> o.Engine.value
+        | None -> invalid_arg "Sim_sut: engine dropped a lookup")
+      ids
+  in
+  let find k =
+    match run [ k ] with
+    | [ v ] -> v
+    | _ -> invalid_arg "Sim_sut: engine answer arity"
+  in
+  { base with find; find_batch = Some run }
+
+let build_basic (cfg : Sim_config.t) =
+  let bcfg =
+    Basic.plan ~universe:cfg.universe ~capacity:cfg.capacity
+      ~block_words:cfg.block_words ~degree:basic_degree
+      ~value_bytes:cfg.value_bytes ~seed:cfg.seed ()
+  in
+  let machine =
+    Pdm.create ?faults:(fault_spec cfg)
+      ?integrity:(if cfg.integrity then Some Checksum.integrity else None)
+      ~replicas:cfg.replicas ~spares:cfg.spares ~disks:basic_degree
+      ~block_size:cfg.block_words ~blocks_per_disk:(Basic.blocks_per_disk bcfg)
+      ()
+  in
+  let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 bcfg in
+  { name = ""; machine; find = Basic.find d; find_batch = None;
+    insert = Some (Basic.insert d); delete = Some (Basic.delete d);
+    set_crash = None; recover = None }
+
+let build_static (cfg : Sim_config.t) ~data =
+  let scfg =
+    { Ops.universe = cfg.universe; capacity = Array.length data;
+      degree = static_degree; sigma_bits = 8 * cfg.value_bytes; v_factor = 3;
+      case = Ops.Case_b; seed = cfg.seed }
+  in
+  let t =
+    Ops.build ~replicas:cfg.replicas ~spares:cfg.spares
+      ~block_words:cfg.block_words scfg data
+  in
+  let base =
+    { name = ""; machine = Ops.machine t; find = Ops.find t; find_batch = None;
+      insert = None; delete = None; set_crash = None; recover = None }
+  in
+  if not cfg.engine then base
+  else
+    engine_wrap ~cache_blocks:cfg.cache_blocks
+      { Engine.name = "one-probe static"; machine = Ops.machine t;
+        lookup =
+          (fun key ->
+            Engine.Fetch
+              ( Ops.probe_addresses t key,
+                fun blocks -> Engine.Done (Ops.find_in t key blocks) ));
+        insert = None }
+      base
+
+let build_dynamic (cfg : Sim_config.t) =
+  let dcfg =
+    { Opd.universe = cfg.universe; capacity = cfg.capacity; degree = 6;
+      sigma_bits = 8 * cfg.value_bytes; levels = 3; v_factor = 3;
+      seed = cfg.seed }
+  in
+  let t =
+    Opd.create ~journaled:cfg.journaled ~replicas:cfg.replicas
+      ~spares:cfg.spares ~block_words:cfg.block_words dcfg
+  in
+  let base =
+    { name = ""; machine = Opd.machine t; find = Opd.find t; find_batch = None;
+      insert = Some (Opd.insert t); delete = Some (Opd.delete t);
+      set_crash = (if cfg.journaled then Some (Opd.set_crash t) else None);
+      recover = (if cfg.journaled then Some (fun () -> Opd.recover t) else None)
+    }
+  in
+  if not cfg.engine then base
+  else
+    engine_wrap ~cache_blocks:cfg.cache_blocks
+      { Engine.name = "one-probe dynamic"; machine = Opd.machine t;
+        lookup =
+          (fun key ->
+            Engine.Fetch
+              ( Opd.probe_addresses t key,
+                fun blocks -> Engine.Done (Opd.find_in t key blocks) ));
+        insert = Some (Opd.insert t) }
+      base
+
+let build_cascade (cfg : Sim_config.t) =
+  let ccfg =
+    { Cascade.universe = cfg.universe; capacity = cfg.capacity; degree = 15;
+      sigma_bits = 8 * cfg.value_bytes; epsilon = 1.0; v_factor = 3;
+      seed = cfg.seed }
+  in
+  let t =
+    Cascade.create ~journaled:cfg.journaled ~replicas:cfg.replicas
+      ~spares:cfg.spares ~block_words:cfg.block_words ccfg
+  in
+  let base =
+    { name = ""; machine = Cascade.machine t; find = Cascade.find t;
+      find_batch = None; insert = Some (Cascade.insert t);
+      delete = Some (Cascade.delete t);
+      set_crash = (if cfg.journaled then Some (Cascade.set_crash t) else None);
+      recover =
+        (if cfg.journaled then Some (fun () -> Cascade.recover t) else None) }
+  in
+  if not cfg.engine then base
+  else
+    engine_wrap ~cache_blocks:cfg.cache_blocks
+      { Engine.name = "cascade"; machine = Cascade.machine t;
+        lookup =
+          (fun key ->
+            Engine.Fetch
+              ( Cascade.first_round_addresses t key,
+                fun blocks ->
+                  match Cascade.membership_in t key blocks with
+                  | None -> Engine.Done None
+                  | Some (1, head) ->
+                    Engine.Done (Cascade.decode_in t key ~level:1 ~head blocks)
+                  | Some (level, head) ->
+                    Engine.Fetch
+                      ( Cascade.level_addresses t key ~level,
+                        fun blocks2 ->
+                          Engine.Done
+                            (Cascade.decode_in t key ~level ~head blocks2) ) ));
+        insert = Some (Cascade.insert t) }
+      base
+
+(* The deliberately buggy adapter: every third journaled update that is
+   asked to survive a crash just past its commit point instead crashes
+   just before it — i.e. the adapter drops the commit record. Invisible
+   on crash-free runs; only systematic crash-schedule exploration sees
+   the update vanish on recovery. *)
+let seeded_bug sut =
+  match sut.set_crash with
+  | None -> invalid_arg "Sim_sut.seeded_bug: dictionary is not journaled"
+  | Some set_crash ->
+    let updates = ref 0 in
+    let insert =
+      Option.map (fun ins k v -> incr updates; ins k v) sut.insert
+    in
+    let delete = Option.map (fun del k -> incr updates; del k) sut.delete in
+    let set_crash p =
+      match p with
+      | Some Journal.After_commit when (!updates + 1) mod 3 = 0 ->
+        set_crash (Some Journal.After_log)
+      | p -> set_crash p
+    in
+    { sut with insert; delete; set_crash = Some set_crash }
+
+let build (cfg : Sim_config.t) ~data =
+  (match Sim_config.validate cfg with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("Sim_sut.build: " ^ m));
+  let base =
+    match cfg.sut with
+    | Sim_config.Basic -> build_basic cfg
+    | Sim_config.One_probe_static -> build_static cfg ~data
+    | Sim_config.One_probe_dynamic -> build_dynamic cfg
+    | Sim_config.Dynamic_cascade -> build_cascade cfg
+  in
+  let base = if cfg.buggy then seeded_bug base else base in
+  let base =
+    if Sim_config.is_static cfg then base
+    else
+      (* dynamic structures start empty: load the static pre-population
+         through the ordinary insert path *)
+      (match base.insert with
+       | None -> base
+       | Some ins ->
+         Array.iter (fun (k, v) -> ins k v) data;
+         base)
+  in
+  { base with name = Sim_config.describe cfg }

@@ -1,0 +1,41 @@
+(** Uniform adapters putting every dictionary variant — basic,
+    one-probe static/dynamic, dynamic cascade; direct or behind the
+    batched query engine; journaled, replicated, checksummed or
+    fault-injected — behind one record the differential runner drives.
+
+    Optional capabilities are [option] fields: a static structure has
+    no [insert]; only journaled configs expose [set_crash]/[recover];
+    only engine configs expose [find_batch]. The runner consults the
+    fields instead of the config, so new adapters only have to fill in
+    the record. *)
+
+type t = {
+  name : string;
+  machine : int Pdm_sim.Pdm.t;
+      (** For schedule events: kill/damage/scrub run on this machine. *)
+  find : int -> Bytes.t option;
+  find_batch : (int list -> Bytes.t option list) option;
+      (** Batched lookups through the engine (answers in argument
+          order). [None] on direct configs. *)
+  insert : (int -> Bytes.t -> unit) option;
+  delete : (int -> bool) option;
+  set_crash : (Pdm_sim.Journal.crash_point option -> unit) option;
+      (** Arm/disarm a crash for the next journaled update. *)
+  recover : (unit -> [ `Clean | `Discarded | `Replayed of int ]) option;
+}
+
+val build : Sim_config.t -> data:(int * Bytes.t) array -> t
+(** Construct the configured system. [data] pre-populates it: static
+    structures are built over it, dynamic ones insert it through their
+    ordinary update path (before any schedule event can fire). Raises
+    [Invalid_argument] on a config {!Sim_config.validate} rejects. *)
+
+val seeded_bug : t -> t
+(** The deliberately buggy adapter the sim's own tests hunt: every
+    third journaled update asked to crash at [After_commit] silently
+    crashes at [After_log] instead — the adapter "drops the commit
+    record", so an update the checker was promised would survive
+    recovery vanishes. Clean runs and non-crash schedules cannot see
+    it. Applied automatically by {!build} when the config says
+    [buggy]; exposed for tests that wrap their own adapter. Raises
+    [Invalid_argument] on a non-journaled adapter. *)

@@ -1,0 +1,6 @@
+let value_bytes_of ?(seed = 99) len k =
+  Bytes.init len (fun i ->
+      Char.chr (Pdm_util.Prng.hash2 ~seed k i land 0xff))
+
+let sigma_payload ?seed ~sigma_bits k =
+  value_bytes_of ?seed ((sigma_bits + 7) / 8) k

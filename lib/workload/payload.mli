@@ -1,0 +1,16 @@
+(** Deterministic synthetic payloads, shared by the experiment suite,
+    the benchmarks, the test fixtures and the simulation-testing
+    workload generator — one definition instead of the per-harness
+    copies that used to drift apart.
+
+    Payloads are a pure function of [(seed, key, byte index)] via the
+    SplitMix64 keyed hash, so any harness can recompute the expected
+    value of a key without storing it. *)
+
+val value_bytes_of : ?seed:int -> int -> int -> Bytes.t
+(** [value_bytes_of len k]: deterministic [len]-byte payload for key
+    [k]. The default [seed] (99) matches the experiment suite's
+    historical payloads bit for bit. *)
+
+val sigma_payload : ?seed:int -> sigma_bits:int -> int -> Bytes.t
+(** Payload sized for a [sigma_bits]-bit satellite. *)

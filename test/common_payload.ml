@@ -1,5 +1,5 @@
-(* Shared deterministic payload generator for tests. *)
+(* Shared deterministic payload generator for tests — a seeded view of
+   the one workload-level generator (seed 424242 keeps the historical
+   test fixtures bit-identical). *)
 let payload sigma_bits k =
-  Bytes.init
-    ((sigma_bits + 7) / 8)
-    (fun i -> Char.chr (Pdm_util.Prng.hash2 ~seed:424242 k i land 0xff))
+  Pdm_workload.Payload.sigma_payload ~seed:424242 ~sigma_bits k
