@@ -295,6 +295,47 @@ let engine_tests =
            ignore (Engine.submit eng (Engine.Lookup (next_key ())));
            Engine.drain eng)) ]
 
+(* --- sharded cluster fixtures --- *)
+
+module Cluster = Pdm_cluster.Cluster
+module Topology = Pdm_cluster.Topology
+
+let cluster_shards = 4
+
+let make_cluster () =
+  let c =
+    Cluster.create
+      ~config:
+        { Cluster.default_config with
+          Cluster.replicas = 2;
+          shard_capacity = max 256 (3 * 2 * n / cluster_shards);
+          universe; seed = 10 }
+      (Topology.standard ~shards:cluster_shards)
+  in
+  Array.iter (fun k -> Cluster.insert c k (val8 k)) (Lazy.force keys);
+  c
+
+let cluster_c = lazy (make_cluster ())
+
+let cluster_batch = 64
+
+let cluster_tests =
+  let open Bechamel in
+  [ Test.make ~name:"cluster.find"
+      (Staged.stage (fun () ->
+           ignore (Cluster.find (Lazy.force cluster_c) (next_key ()))));
+    Test.make ~name:"cluster.batch64_lookups"
+      (Staged.stage (fun () ->
+           ignore
+             (Cluster.find_batch (Lazy.force cluster_c)
+                (List.init cluster_batch (fun _ -> next_key ())))));
+    Test.make ~name:"cluster.insert_delete"
+      (Staged.stage (fun () ->
+           let c = Lazy.force cluster_c in
+           let k = next_key () in
+           ignore (Cluster.delete c k);
+           Cluster.insert c k (val8 k))) ]
+
 let op_tests =
   let open Bechamel in
   [ Test.make ~name:"basic_dict.find"
@@ -452,7 +493,29 @@ let io_probes () =
       fun () ->
         let eng = engine_run_batch () in
         let s = Engine.stats eng in
-        (s.Engine.blocks_fetched, s.Engine.rounds) ) ]
+        (s.Engine.blocks_fetched, s.Engine.rounds) );
+    (* cluster probes report honest parallel rounds (the shard
+       machines' clocks); per-block I/O counts stay with the per-shard
+       engines, so ios is not broken out here *)
+    ( "cluster.find",
+      fun () ->
+        let c = make_cluster () in
+        let total () =
+          List.fold_left
+            (fun acc id -> acc + Pdm.rounds_total (Cluster.shard_machine c id))
+            0 (Cluster.shard_ids c)
+        in
+        let before = total () in
+        ignore (Cluster.find c (next_key ()));
+        (0, total () - before) );
+    ( "cluster.batch64_lookups",
+      fun () ->
+        let c = make_cluster () in
+        let before = (Cluster.stats c).Cluster.batch_rounds in
+        ignore
+          (Cluster.find_batch c
+             (List.init cluster_batch (fun _ -> next_key ())));
+        (0, (Cluster.stats c).Cluster.batch_rounds - before) ) ]
 
 let estimate_ns ols =
   match Bechamel.Analyze.OLS.estimates ols with
@@ -494,22 +557,35 @@ let write_json path results =
   Format.printf "wrote %d benchmark records to %s@." (List.length records)
     path
 
-let json_path () =
+let argv_opt flag =
   let rec find = function
-    | "--json" :: p :: _ -> Some p
+    | f :: v :: _ when f = flag -> Some v
     | _ :: rest -> find rest
     | [] -> None
   in
   find (Array.to_list Sys.argv)
 
+let json_path () = argv_opt "--json"
+
+(* --only core|cluster narrows the microbenchmark set — the checked-in
+   BENCH_core.json / BENCH_cluster.json baselines are regenerated one
+   group at a time so a cluster change does not churn the core file. *)
+let selected_tests () =
+  match argv_opt "--only" with
+  | Some "core" -> op_tests @ engine_tests
+  | Some "cluster" -> cluster_tests
+  | Some g ->
+    invalid_arg (Printf.sprintf "unknown --only group %S (core, cluster)" g)
+  | None -> op_tests @ engine_tests @ cluster_tests
+
 let () =
   match json_path () with
-  | Some path -> write_json path (run_bechamel (op_tests @ engine_tests))
+  | Some path -> write_json path (run_bechamel (selected_tests ()))
   | None ->
     print_experiments ();
     Format.printf "#### Part 2: wall-clock microbenchmarks (Bechamel) ####@.";
     print_bechamel
       "simulated structure operations (includes simulator overhead)"
-      (run_bechamel (op_tests @ engine_tests));
+      (run_bechamel (selected_tests ()));
     print_bechamel "whole-experiment drivers (reduced scale)"
       (run_bechamel experiment_tests)

@@ -101,7 +101,11 @@ let experiments =
     { id = "engine"; doc = "Batched concurrent query engine (E18)";
       exec =
         (fun ~n ~block_words:_ ~seed ->
-          print_table (Engine_exp.to_table (Engine_exp.run ?n ?seed ()))) } ]
+          print_table (Engine_exp.to_table (Engine_exp.run ?n ?seed ()))) };
+    { id = "cluster"; doc = "Sharded placement tier (E20)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          print_table (Cluster_exp.to_table (Cluster_exp.run ?n ?seed ()))) } ]
 
 (* Storage failures escape as exceptions with structured context
    (disk, block, round); render them as user errors, not crashes. *)
@@ -749,6 +753,101 @@ let run_serve dict n queries clients batch deadline duty insert_frac cache
            [ "answers verified"; (if verified then "yes" else "NO") ] ]);
     `Ok ()
 
+(* serve --shards S: the same duty-cycled clients, but routed through
+   the sharded placement tier — one machine+engine per shard, lookups
+   scatter-gathered per round, answers checked against a reference
+   table. --kill here names a shard, not a disk. *)
+
+module Cluster = Pdm_cluster.Cluster
+module Topology = Pdm_cluster.Topology
+
+let run_serve_cluster shards n queries clients duty insert_frac replicas
+    kill seed =
+  if duty <= 0.0 || duty > 1.0 then
+    `Error (false, "--duty must be in (0, 1]")
+  else if queries < 1 || clients < 1 || n < 2 then
+    `Error (false, "--requests, --clients and -n must be positive")
+  else if replicas > shards then
+    `Error (false, "--replicas cannot exceed --shards")
+  else
+    serve_guard @@ fun () ->
+    let payload k = Common.value_bytes_of 8 k in
+    let config =
+      { Cluster.default_config with
+        Cluster.replicas;
+        shard_capacity = max 256 (3 * n * replicas / shards);
+        seed }
+    in
+    let c = Cluster.create ~config (Topology.standard ~shards) in
+    let members, _ =
+      Sampling.disjoint_pair (Prng.create seed)
+        ~universe:config.Cluster.universe ~count:n
+    in
+    let prepop = Array.sub members 0 (n / 2) in
+    let fresh = ref (Array.to_list (Array.sub members (n / 2) (n - (n / 2)))) in
+    let reference = Hashtbl.create n in
+    Array.iter
+      (fun k ->
+        Cluster.insert c k (payload k);
+        Hashtbl.replace reference k (payload k))
+      prepop;
+    Option.iter (fun sid -> Cluster.kill_shard c sid) kill;
+    let rng = Prng.create (seed + 99) in
+    let submitted = ref 0 and inserts = ref 0 and lookups = ref 0 in
+    let verified = ref true in
+    while !submitted < queries do
+      (* one client round: inserts go direct, lookups gather into one
+         scatter-gather batch *)
+      let round_keys = ref [] in
+      for _ = 1 to clients do
+        if !submitted < queries && Prng.float rng 1.0 < duty then begin
+          incr submitted;
+          match !fresh with
+          | k :: rest when Prng.float rng 1.0 < insert_frac ->
+            fresh := rest;
+            incr inserts;
+            Cluster.insert c k (payload k);
+            Hashtbl.replace reference k (payload k)
+          | _ ->
+            incr lookups;
+            round_keys :=
+              prepop.(Prng.int rng (Array.length prepop)) :: !round_keys
+        end
+      done;
+      let keys = List.rev !round_keys in
+      List.iter2
+        (fun k got ->
+          if got <> Hashtbl.find_opt reference k then verified := false)
+        keys
+        (Cluster.find_batch c keys)
+    done;
+    let st = Cluster.stats c in
+    let i = Table.icell in
+    print_table
+      (Table.make ~title:"serve: sharded placement tier"
+         ~header:[ "metric"; "value" ]
+         ~notes:
+           [ Printf.sprintf
+               "%d clients at duty %.2f over %d shards, r = %d%s" clients
+               duty shards replicas
+               (match kill with
+                | Some sid -> Printf.sprintf ", shard %d killed" sid
+                | None -> "") ]
+         [ [ "requests served"; i !submitted ];
+           [ "lookups / inserts";
+             Printf.sprintf "%d / %d" !lookups !inserts ];
+           [ "stored keys"; i (Cluster.size c) ];
+           [ "scatter-gather batches"; i st.Cluster.batches ];
+           [ "batch rounds (max shard)"; i st.Cluster.batch_rounds ];
+           [ "failover reads"; i st.Cluster.failovers ];
+           [ "shard loads";
+             String.concat " "
+               (List.map
+                  (fun (id, sz) -> Printf.sprintf "%d:%d" id sz)
+                  (Cluster.shard_sizes c)) ];
+           [ "answers verified"; (if !verified then "yes" else "NO") ] ]);
+    `Ok ()
+
 let serve_cmd =
   let doc = "serve a duty-cycled client workload through the query engine" in
   let dict_arg =
@@ -811,18 +910,30 @@ let serve_cmd =
   let seed_arg' =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
   in
+  let shards_arg =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Serve through a sharded cluster of S shards instead of \
+                   a single machine (0 = single machine). With shards, \
+                   $(b,--kill) names a shard and $(b,--dict), \
+                   $(b,--batch), $(b,--deadline), $(b,--cache) and \
+                   $(b,--spares) are ignored.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const (fun dict n q clients batch deadline duty ins cache r s kill
-                    seed csv ->
+                    seed shards csv ->
              if csv then emit := Table.print_csv;
-             run_serve dict n q clients batch deadline duty ins cache r s
-               kill seed)
+             if shards > 0 then
+               run_serve_cluster shards n q clients duty ins r kill seed
+             else
+               run_serve dict n q clients batch deadline duty ins cache r s
+                 kill seed)
         $ dict_arg $ n_arg' $ requests_arg $ clients_arg $ batch_arg
         $ deadline_arg $ duty_arg $ insert_arg $ cache_arg $ replicas_arg
-        $ spares_arg $ kill_arg $ seed_arg' $ csv_arg))
+        $ spares_arg $ kill_arg $ seed_arg' $ shards_arg $ csv_arg))
 
 (* --- sim: deterministic simulation testing — differential model
    checking, systematic crash-schedule exploration, shrinking, and
@@ -842,20 +953,25 @@ let sim_sanitize () =
   | _ -> ()
 
 let sim_config ~sut ~engine ~cache ~journal ~replicas ~spares ~integrity
-    ~buggy ~transient ~straggle ~n ~seed ~block_words =
+    ~buggy ~transient ~straggle ~n ~seed ~block_words ~shards ~migrate_at =
   match Sim_config.sut_of_string sut with
   | None ->
     Error
       (Printf.sprintf
-         "unknown sut %S (expected basic, static, dynamic or cascade)" sut)
+         "unknown sut %S (expected basic, static, dynamic, cascade or \
+          cluster)" sut)
   | Some s ->
     let base = Sim_config.default s in
+    let shards =
+      if s = Sim_config.Cluster && shards > 0 then shards
+      else base.Sim_config.shards
+    in
     let cfg =
       { base with
         Sim_config.engine; cache_blocks = cache; journaled = journal;
         replicas; spares; integrity; buggy; transient; straggle;
         capacity = n; universe = max base.Sim_config.universe (8 * n); seed;
-        block_words }
+        block_words; shards; migrate_at }
     in
     (match Sim_config.validate cfg with
      | Ok () -> Ok cfg
@@ -968,7 +1084,19 @@ let sim_cmd =
   let sut_arg =
     Arg.(value & opt string "cascade"
          & info [ "sut" ] ~docv:"DICT"
-             ~doc:"System under test: basic, static, dynamic or cascade.")
+             ~doc:"System under test: basic, static, dynamic, cascade or \
+                   cluster.")
+  in
+  let shards_arg' =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Cluster shard count (sut cluster only; 0 = its default).")
+  in
+  let migrate_arg =
+    Arg.(value & opt int (-1)
+         & info [ "migrate-at" ] ~docv:"OP"
+             ~doc:"Add a shard after OP stream ops (sut cluster only; -1 = \
+                   never).")
   in
   let engine_arg =
     Arg.(value & flag
@@ -1037,17 +1165,19 @@ let sim_cmd =
     Term.(
       const
         (fun sut engine cache journal replicas spares integrity buggy
-             transient straggle n block_words seed ->
+             transient straggle n block_words seed shards migrate_at ->
           let engine = engine || cache > 0 in
           match
             sim_config ~sut ~engine ~cache ~journal ~replicas ~spares
               ~integrity ~buggy ~transient ~straggle ~n ~seed ~block_words
+              ~shards ~migrate_at
           with
           | Error m -> `Error (false, m)
           | Ok cfg -> k cfg)
       $ sut_arg $ engine_arg $ cache_arg' $ journal_arg $ replicas_arg'
       $ spares_arg' $ integrity_arg $ buggy_arg $ transient_arg
-      $ straggle_arg $ n_arg' $ block_words_arg $ seed_arg')
+      $ straggle_arg $ n_arg' $ block_words_arg $ seed_arg' $ shards_arg'
+      $ migrate_arg)
   in
   let run_cmd' =
     let doc = "one differential run (no injected faults) against the model" in

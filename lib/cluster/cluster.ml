@@ -1,0 +1,499 @@
+module Pdm = Pdm_sim.Pdm
+module Journal = Pdm_sim.Journal
+module Trace = Pdm_sim.Trace
+module Prng = Pdm_util.Prng
+module Opd = Pdm_dictionary.One_probe_dynamic
+module Engine = Pdm_engine.Engine
+module IntSet = Set.Make (Int)
+
+exception Unavailable of int
+
+let () =
+  Printexc.register_printer (function
+    | Unavailable k ->
+      Some (Printf.sprintf "Cluster.Unavailable(key %d)" k)
+    | _ -> None)
+
+type config = {
+  replicas : int;
+  shard_capacity : int;
+  universe : int;
+  block_words : int;
+  value_bytes : int;
+  journaled : bool;
+  seed : int;
+  degree : int;
+  levels : int;
+  batch : int;
+  trace_rounds : int;
+}
+
+let default_config =
+  { replicas = 2; shard_capacity = 256; universe = 1 lsl 20; block_words = 32;
+    value_bytes = 8; journaled = false; seed = 42; degree = 5; levels = 2;
+    batch = 64; trace_rounds = 0 }
+
+type shard_state = {
+  id : int;
+  dict : Opd.t;
+  engine : Engine.t;
+  mutable alive : bool;
+}
+
+type t = {
+  cfg : config;
+  mutable topology : Topology.t;
+  mutable states : (int * shard_state) list;  (* assoc, ascending id *)
+  mutable registry : IntSet.t;  (* live keys: the migration scan set *)
+  mutable pending_crash : Journal.crash_point option;
+  mutable inflight : (Topology.t * Migration.plan) option;
+  mutable batches : int;
+  mutable batch_rounds : int;
+  mutable direct_lookups : int;
+  mutable failovers : int;
+  mutable fallback_hits : int;
+}
+
+(* Matches Sim_run.crash_survives: points at or past the commit header
+   leave a committed log that recovery replays. The cluster needs the
+   same predicate to keep its key registry honest across an injected
+   crash. *)
+let crash_survives : Journal.crash_point -> bool = function
+  | Before_log | During_log _ | After_log -> false
+  | After_commit | During_apply _ | After_apply -> true
+
+let make_state cfg (s : Topology.shard) =
+  let dcfg =
+    { Opd.universe = cfg.universe; capacity = cfg.shard_capacity;
+      degree = cfg.degree; sigma_bits = 8 * cfg.value_bytes;
+      levels = cfg.levels; v_factor = 3;
+      (* keyed by stable shard id, so a shard's structure seed does
+         not depend on when it joined *)
+      seed = Prng.hash2 ~seed:cfg.seed 0x5eed s.id }
+  in
+  let dict = Opd.create ~journaled:cfg.journaled ~block_words:cfg.block_words
+      dcfg
+  in
+  if cfg.trace_rounds > 0 then
+    Pdm.set_trace (Opd.machine dict)
+      (Some (Trace.create ~shard:s.id ~capacity:cfg.trace_rounds ()));
+  let engine =
+    Engine.create
+      ~config:
+        { Engine.max_batch = max 1 cfg.batch;
+          (* batches close by size or explicit drain, never by aging *)
+          deadline_rounds = max_int / 2; cache_blocks = 0 }
+      { Engine.name = Printf.sprintf "shard-%d" s.id;
+        machine = Opd.machine dict;
+        lookup =
+          (fun key ->
+            Engine.Fetch
+              ( Opd.probe_addresses dict key,
+                fun blocks -> Engine.Done (Opd.find_in dict key blocks) ));
+        insert = Some (Opd.insert dict) }
+  in
+  { id = s.id; dict; engine; alive = true }
+
+let validate_config cfg topo =
+  if cfg.replicas < 1 then invalid_arg "Cluster: replicas must be >= 1";
+  if cfg.replicas > Topology.count topo then
+    invalid_arg "Cluster: more replicas than shards";
+  if cfg.shard_capacity < 8 then
+    invalid_arg "Cluster: shard_capacity must be >= 8";
+  if cfg.batch < 1 then invalid_arg "Cluster: batch must be >= 1";
+  if cfg.trace_rounds < 0 then
+    invalid_arg "Cluster: trace_rounds must be >= 0"
+
+let create ?(config = default_config) topo =
+  validate_config config topo;
+  { cfg = config; topology = topo;
+    states =
+      List.map (fun s -> (s.Topology.id, make_state config s))
+        (Topology.shards topo);
+    registry = IntSet.empty; pending_crash = None; inflight = None;
+    batches = 0; batch_rounds = 0; direct_lookups = 0; failovers = 0;
+    fallback_hits = 0 }
+
+let topology t = t.topology
+let config t = t.cfg
+let shard_ids t = List.map fst t.states
+
+let state t id =
+  match List.assoc_opt id t.states with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Cluster: no shard %d" id)
+
+let shard_machine t id = Opd.machine (state t id).dict
+
+let placement_in t topo key =
+  Placement.replicas topo ~seed:t.cfg.seed ~r:t.cfg.replicas key
+
+let placement t key = placement_in t t.topology key
+
+let size t = IntSet.cardinal t.registry
+
+let shard_sizes t =
+  List.map (fun (id, s) -> (id, Opd.size s.dict)) t.states
+
+let shard_down t id = not (state t id).alive
+
+let kill_shard t id =
+  let s = state t id in
+  s.alive <- false;
+  let m = Opd.machine s.dict in
+  for d = 0 to Pdm.physical_disks m - 1 do
+    if not (Pdm.disk_down m d) then Pdm.kill_disk m d
+  done
+
+let set_crash t p =
+  if (not t.cfg.journaled) && p <> None then
+    invalid_arg "Cluster.set_crash: cluster is not journaled";
+  t.pending_crash <- p
+
+(* The alive replica states of a key, placement order preserved;
+   counts a failover when the placement head is skipped. *)
+let alive_states t ids ~count_failover =
+  let states =
+    List.filter_map
+      (fun id ->
+        match List.assoc_opt id t.states with
+        | Some s when s.alive -> Some s
+        | _ -> None)
+      ids
+  in
+  (if count_failover then
+     match (ids, states) with
+     | head :: _, s :: _ when s.id <> head -> t.failovers <- t.failovers + 1
+     | _ -> ());
+  states
+
+let find_via t topo key =
+  match alive_states t (placement_in t topo key) ~count_failover:true with
+  | [] -> None
+  | s :: _ -> Some (Opd.find s.dict key)
+
+let find t key =
+  t.direct_lookups <- t.direct_lookups + 1;
+  match find_via t t.topology key with
+  | None -> raise (Unavailable key)
+  | Some (Some _ as v) -> v
+  | Some None ->
+    (* a crashed migration may not have copied this key yet: its data
+       still lives at the old placement *)
+    (match t.inflight with
+     | None -> None
+     | Some (old_topo, _) ->
+       (match find_via t old_topo key with
+        | Some (Some _ as v) ->
+          t.fallback_hits <- t.fallback_hits + 1;
+          v
+        | Some None | None -> None))
+
+(* One client update: write the value to every alive replica shard,
+   secondaries first and the primary last, arming any pending injected
+   crash on the primary's journaled write. Reads are served by the
+   first alive shard, so the primary's journal outcome is exactly the
+   update's visibility — the property the differential crash tests
+   pin down. The key registry tracks what the journal protocol
+   promises survives. *)
+let update t key ~on_survive ~secondary ~primary =
+  let ids = placement t key in
+  match alive_states t ids ~count_failover:true with
+  | [] -> raise (Unavailable key)
+  | prim :: rest ->
+    let crash = t.pending_crash in
+    t.pending_crash <- None;
+    List.iter secondary rest;
+    (match crash with
+     | Some p -> Opd.set_crash prim.dict (Some p)
+     | None -> ());
+    (match primary prim with
+     | result ->
+       if crash <> None then Opd.set_crash prim.dict None;
+       on_survive ();
+       result
+     | exception Journal.Crashed ->
+       (* the registry mirrors the journal outcome: a surviving update
+          is reflected, a vanished one is not (the key was never added
+          / never removed) *)
+       (match crash with
+        | Some p when crash_survives p -> on_survive ()
+        | _ -> ());
+       raise Journal.Crashed)
+
+let insert t key value =
+  ignore
+    (update t key
+       ~on_survive:(fun () -> t.registry <- IntSet.add key t.registry)
+       ~secondary:(fun s -> Opd.insert s.dict key value)
+       ~primary:(fun s -> Opd.insert s.dict key value; true))
+
+let delete t key =
+  update t key
+    ~on_survive:(fun () -> t.registry <- IntSet.remove key t.registry)
+    ~secondary:(fun s -> ignore (Opd.delete s.dict key))
+    ~primary:(fun s -> Opd.delete s.dict key)
+
+let find_batch t keys =
+  match keys with
+  | [] -> []
+  | keys ->
+    t.batches <- t.batches + 1;
+    let n = List.length keys in
+    let answers = Array.make n None in
+    (* route each position to its serving shard, grouping per shard in
+       encounter order *)
+    let groups = ref [] in
+    (* (shard_state, (pos, key) list in reverse) assoc by shard id *)
+    List.iteri
+      (fun pos key ->
+        t.direct_lookups <- t.direct_lookups + 1;
+        match alive_states t (placement t key) ~count_failover:true with
+        | [] -> raise (Unavailable key)
+        | s :: _ ->
+          (match List.assoc_opt s.id !groups with
+           | Some cell -> cell := (pos, key) :: !cell
+           | None -> groups := (s.id, ref [ (pos, key) ]) :: !groups))
+      keys;
+    (* scatter-gather: each shard's engine serves its group as one
+       batched run; shards are independent machines, so the cluster
+       pays the slowest shard's rounds *)
+    let max_delta = ref 0 in
+    List.iter
+      (fun (id, cell) ->
+        let s = state t id in
+        let entries = List.rev !cell in
+        let before = Engine.round s.engine in
+        List.iter
+          (fun (_, key) ->
+            ignore (Engine.submit s.engine (Engine.Lookup key)))
+          entries;
+        Engine.drain s.engine;
+        let outs = Engine.take_outcomes s.engine in
+        (match
+           List.iter2
+             (fun (pos, _) (o : Engine.outcome) ->
+               answers.(pos) <- o.Engine.value)
+             entries outs
+         with
+         | () -> ()
+         | exception Invalid_argument _ ->
+           invalid_arg "Cluster.find_batch: engine answer arity");
+        max_delta := max !max_delta (Engine.round s.engine - before))
+      (List.rev !groups);
+    t.batch_rounds <- t.batch_rounds + !max_delta;
+    (* old-placement fallback for keys a crashed migration has not
+       copied yet: per-key direct reads, charged as the slowest
+       shard's extra machine rounds *)
+    (match t.inflight with
+     | None -> ()
+     | Some (old_topo, _) ->
+       let deltas = ref [] in
+       (* remember each shard's round counter at its first fallback
+          read so the extra cost is the per-shard delta *)
+       let rounds_of id =
+         if not (List.mem_assoc id !deltas) then
+           deltas := (id, Pdm.rounds_total (shard_machine t id)) :: !deltas
+       in
+       List.iteri
+         (fun pos key ->
+           if answers.(pos) = None then
+             match alive_states t (placement_in t old_topo key)
+                     ~count_failover:false
+             with
+             | [] -> ()
+             | s :: _ ->
+               rounds_of s.id;
+               (match Opd.find s.dict key with
+                | Some _ as v ->
+                  t.fallback_hits <- t.fallback_hits + 1;
+                  answers.(pos) <- v
+                | None -> ()))
+         keys;
+       let extra =
+         List.fold_left
+           (fun acc (id, before) ->
+             max acc (Pdm.rounds_total (shard_machine t id) - before))
+           0 !deltas
+       in
+       t.batch_rounds <- t.batch_rounds + extra);
+    Array.to_list answers
+
+(* --- migrations --- *)
+
+type migration_report = {
+  moved_keys : int;
+  primary_moves : int;
+  keys_total : int;
+  reads : int;
+  inserts : int;
+  deletes : int;
+  skipped : int;
+  rounds : int;
+}
+
+let total_rounds t =
+  List.fold_left
+    (fun acc (_, s) -> acc + Pdm.rounds_total (Opd.machine s.dict))
+    0 t.states
+
+let diff a b = List.filter (fun x -> not (List.mem x b)) a
+
+(* Execute a plan's moves in order: read the value from the first
+   alive old-placement shard, copy it to the new shards, then drop the
+   stale copies. [?crash:(k, p)] arms [p] on move [k]'s first
+   journaled write. Re-running a whole plan is idempotent: re-copying
+   rewrites identical bytes and re-deleting an absent key is a no-op,
+   which is what makes {!recover}'s re-execution correct. *)
+let execute_plan ?crash t (plan : Migration.plan) =
+  let reads = ref 0 and inserts = ref 0 and deletes = ref 0 in
+  let skipped = ref 0 in
+  List.iteri
+    (fun i (mv : Migration.move) ->
+      let armed =
+        ref (match crash with Some (k, p) when k = i -> Some p | _ -> None)
+      in
+      let journaled_write s f =
+        match !armed with
+        | Some p when Opd.journaled s.dict ->
+          armed := None;
+          Opd.set_crash s.dict (Some p);
+          (* a Crashed from [f] leaves the point armed; recover's
+             per-shard Opd.recover clears it *)
+          f ();
+          Opd.set_crash s.dict None
+        | _ -> f ()
+      in
+      match alive_states t mv.from_shards ~count_failover:false with
+      | [] -> incr skipped
+      | src :: _ ->
+        (match Opd.find src.dict mv.key with
+         | None -> incr skipped  (* already drained, or never stored *)
+         | Some value ->
+           incr reads;
+           List.iter
+             (fun id ->
+               match List.assoc_opt id t.states with
+               | Some s when s.alive ->
+                 journaled_write s (fun () ->
+                     Opd.insert s.dict mv.key value);
+                 incr inserts
+               | Some _ | None -> ())
+             (diff mv.to_shards mv.from_shards);
+           List.iter
+             (fun id ->
+               match List.assoc_opt id t.states with
+               | Some s when s.alive ->
+                 journaled_write s (fun () ->
+                     ignore (Opd.delete s.dict mv.key));
+                 incr deletes
+               | Some _ | None -> ())
+             (diff mv.from_shards mv.to_shards)))
+    plan.moves;
+  (!reads, !inserts, !deletes, !skipped)
+
+let insert_sorted assoc entry =
+  List.sort (fun (a, _) (b, _) -> compare a b) (entry :: assoc)
+
+let change ?crash t new_topo =
+  if crash <> None && not t.cfg.journaled then
+    invalid_arg "Cluster: crash injection needs a journaled cluster";
+  if t.inflight <> None then
+    invalid_arg "Cluster: a migration is already in flight (recover first)";
+  let old_topo = t.topology in
+  let plan =
+    Migration.plan ~old_topology:old_topo ~new_topology:new_topo
+      ~seed:t.cfg.seed ~replicas:t.cfg.replicas
+      ~keys:(IntSet.elements t.registry)
+  in
+  (* instantiate joining shards before any move needs them *)
+  List.iter
+    (fun (s : Topology.shard) ->
+      if not (List.mem_assoc s.id t.states) then
+        t.states <- insert_sorted t.states (s.id, make_state t.cfg s))
+    (Topology.shards new_topo);
+  t.inflight <- Some (old_topo, plan);
+  t.topology <- new_topo;
+  let rounds0 = total_rounds t in
+  let reads, inserts, deletes, skipped = execute_plan ?crash t plan in
+  t.inflight <- None;
+  t.states <-
+    List.filter (fun (id, _) -> Topology.mem new_topo id) t.states;
+  { moved_keys = Migration.moved_keys plan;
+    primary_moves = Migration.primary_moves plan;
+    keys_total = plan.keys_considered; reads; inserts; deletes; skipped;
+    rounds = total_rounds t - rounds0 }
+
+let add_shard ?crash t shard = change ?crash t (Topology.add_shard t.topology shard)
+
+let remove_shard ?crash t id =
+  if t.cfg.replicas > Topology.count t.topology - 1 then
+    invalid_arg "Cluster.remove_shard: would leave fewer shards than replicas";
+  change ?crash t (Topology.remove_shard t.topology id)
+
+let reweight ?crash t id ~weight =
+  change ?crash t (Topology.reweight t.topology id ~weight)
+
+let migration_in_flight t = t.inflight <> None
+
+let recover t =
+  (* dead shards stay dead: their disks refuse IO, and the data lives
+     on the surviving replicas — only live shards run journal recovery *)
+  let outcomes =
+    List.filter_map
+      (fun (_, s) -> if s.alive then Some (Opd.recover s.dict) else None)
+      t.states
+  in
+  let replayed =
+    List.fold_left
+      (fun acc o -> match o with `Replayed n -> acc + n | _ -> acc)
+      0 outcomes
+  in
+  let combined =
+    if replayed > 0 then `Replayed replayed
+    else if List.exists (fun o -> o = `Discarded) outcomes then `Discarded
+    else `Clean
+  in
+  (match t.inflight with
+   | None -> ()
+   | Some (_, plan) ->
+     let (_ : int * int * int * int) = execute_plan t plan in
+     t.inflight <- None;
+     t.states <-
+       List.filter (fun (id, _) -> Topology.mem t.topology id) t.states);
+  combined
+
+type stats = {
+  shards : int;
+  keys : int;
+  batches : int;
+  batch_rounds : int;
+  direct_lookups : int;
+  failovers : int;
+  fallback_hits : int;
+  shard_rounds : (int * int) list;
+}
+
+let stats t =
+  { shards = List.length t.states; keys = size t; batches = t.batches;
+    batch_rounds = t.batch_rounds; direct_lookups = t.direct_lookups;
+    failovers = t.failovers; fallback_hits = t.fallback_hits;
+    shard_rounds =
+      List.map
+        (fun (id, s) -> (id, Pdm.rounds_total (Opd.machine s.dict)))
+        t.states }
+
+let trace_events t =
+  let evs =
+    List.concat_map
+      (fun (_, s) ->
+        match Pdm.trace (Opd.machine s.dict) with
+        | Some tr -> Trace.events tr
+        | None -> [])
+      t.states
+  in
+  List.sort
+    (fun (a : Trace.event) b ->
+      if a.round <> b.round then compare a.round b.round
+      else compare a.shard b.shard)
+    evs

@@ -1,0 +1,41 @@
+type move = { key : int; from_shards : int list; to_shards : int list }
+
+type plan = {
+  moves : move list;
+  old_version : int;
+  new_version : int;
+  keys_considered : int;
+}
+
+let same_set a b =
+  List.sort compare a = List.sort compare b
+
+let plan ~old_topology ~new_topology ~seed ~replicas ~keys =
+  let keys = List.sort_uniq compare keys in
+  let moves =
+    List.filter_map
+      (fun key ->
+        let from_shards =
+          Placement.replicas old_topology ~seed ~r:replicas key
+        in
+        let to_shards = Placement.replicas new_topology ~seed ~r:replicas key in
+        if from_shards = to_shards then None
+        else Some { key; from_shards; to_shards })
+      keys
+  in
+  { moves; old_version = Topology.version old_topology;
+    new_version = Topology.version new_topology;
+    keys_considered = List.length keys }
+
+let moved_keys p =
+  List.length
+    (List.filter (fun m -> not (same_set m.from_shards m.to_shards)) p.moves)
+
+let primary_moves p =
+  List.length
+    (List.filter
+       (fun m ->
+         match (m.from_shards, m.to_shards) with
+         | a :: _, b :: _ -> a <> b
+         | _ -> false)
+       p.moves)

@@ -1,0 +1,44 @@
+(** Deterministic migration plans for topology changes.
+
+    A plan is a pure function of the old topology, the new topology,
+    the placement seed, the replication factor and the sorted key set:
+    it lists exactly the keys whose placement (the ordered replica
+    list) changes, each with its old and new placements — a pure
+    reorder (same set, new primary) costs routing only, so
+    {!moved_keys} counts the stricter set changes that actually copy
+    data. Rendezvous hashing keyed by stable shard
+    id makes the plan minimal-disruption: keys whose winning virtual
+    points are untouched by the change do not appear. The cluster
+    executes a plan copy-then-delete through the per-shard journals
+    (see {!Cluster}), so re-running a whole plan is idempotent — the
+    crash-recovery story for mid-migration failures. *)
+
+type move = {
+  key : int;
+  from_shards : int list;  (** Old placement, primary first. *)
+  to_shards : int list;  (** New placement, primary first. *)
+}
+
+type plan = {
+  moves : move list;  (** Ascending key. *)
+  old_version : int;
+  new_version : int;
+  keys_considered : int;  (** Size of the key set the plan scanned. *)
+}
+
+val plan :
+  old_topology:Topology.t ->
+  new_topology:Topology.t ->
+  seed:int ->
+  replicas:int ->
+  keys:int list ->
+  plan
+(** [keys] need not be sorted or distinct; the plan is over the
+    distinct keys, ascending. *)
+
+val moved_keys : plan -> int
+(** Keys whose replica {e set} changed — each needs data copied. *)
+
+val primary_moves : plan -> int
+(** Keys whose {e primary} changed (a routing change even when the
+    set is equal). *)

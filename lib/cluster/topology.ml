@@ -1,0 +1,105 @@
+type shard = { id : int; weight : int; host : int; rack : int }
+
+type t = {
+  shards : shard list;  (* ascending id *)
+  version : int;
+}
+
+let max_weight = 64
+
+let check_shard (s : shard) =
+  if s.id < 0 then invalid_arg "Topology: shard id must be >= 0";
+  if s.weight < 1 || s.weight > max_weight then
+    invalid_arg
+      (Printf.sprintf "Topology: weight must be in [1, %d]" max_weight);
+  if s.host < 0 || s.rack < 0 then
+    invalid_arg "Topology: rack/host labels must be >= 0"
+
+let make shards =
+  if shards = [] then invalid_arg "Topology: at least one shard";
+  List.iter check_shard shards;
+  let sorted = List.sort (fun a b -> compare a.id b.id) shards in
+  let rec distinct = function
+    | a :: (b :: _ as rest) ->
+      if a.id = b.id then
+        invalid_arg (Printf.sprintf "Topology: duplicate shard id %d" a.id);
+      distinct rest
+    | _ -> ()
+  in
+  distinct sorted;
+  { shards = sorted; version = 0 }
+
+let standard ~shards:n =
+  if n < 1 then invalid_arg "Topology.standard: shards must be >= 1";
+  make (List.init n (fun i -> { id = i; weight = 1; host = i; rack = i / 2 }))
+
+let shards t = t.shards
+let count t = List.length t.shards
+let version t = t.version
+let total_weight t = List.fold_left (fun acc s -> acc + s.weight) 0 t.shards
+let mem t id = List.exists (fun s -> s.id = id) t.shards
+let find t id = List.find_opt (fun s -> s.id = id) t.shards
+
+let racks t =
+  List.sort_uniq compare (List.map (fun s -> s.rack) t.shards)
+
+let add_shard t s =
+  check_shard s;
+  if mem t s.id then
+    invalid_arg (Printf.sprintf "Topology.add_shard: id %d already present" s.id);
+  { shards = List.sort (fun a b -> compare a.id b.id) (s :: t.shards);
+    version = t.version + 1 }
+
+let remove_shard t id =
+  if not (mem t id) then
+    invalid_arg (Printf.sprintf "Topology.remove_shard: no shard %d" id);
+  if count t = 1 then
+    invalid_arg "Topology.remove_shard: cannot remove the last shard";
+  { shards = List.filter (fun s -> s.id <> id) t.shards;
+    version = t.version + 1 }
+
+let reweight t id ~weight =
+  match find t id with
+  | None -> invalid_arg (Printf.sprintf "Topology.reweight: no shard %d" id)
+  | Some s ->
+    check_shard { s with weight };
+    { shards =
+        List.map (fun s -> if s.id = id then { s with weight } else s) t.shards;
+      version = t.version + 1 }
+
+let spec_string t =
+  String.concat ","
+    (List.map
+       (fun s -> Printf.sprintf "%d:%d:%d:%d" s.id s.rack s.host s.weight)
+       t.shards)
+
+let of_spec_string str =
+  let parse_shard part =
+    match String.split_on_char ':' part with
+    | [ id; rack; host; weight ] ->
+      (match
+         ( int_of_string_opt (String.trim id),
+           int_of_string_opt (String.trim rack),
+           int_of_string_opt (String.trim host),
+           int_of_string_opt (String.trim weight) )
+       with
+       | Some id, Some rack, Some host, Some weight ->
+         Ok { id; rack; host; weight }
+       | _ -> Error (Printf.sprintf "bad shard spec %S" part))
+    | _ ->
+      Error
+        (Printf.sprintf "bad shard spec %S (want id:rack:host:weight)" part)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+      (match parse_shard p with
+       | Ok s -> collect (s :: acc) rest
+       | Error _ as e -> e)
+  in
+  match collect [] (String.split_on_char ',' (String.trim str)) with
+  | Error _ as e -> e
+  | Ok shards ->
+    (match make shards with
+     | t -> Ok t
+     | exception Invalid_argument m -> Error m)

@@ -1,0 +1,69 @@
+(** Cluster topology: S shards with heterogeneous weights arranged in
+    a failure-domain tree (rack → host → shard).
+
+    A topology is an immutable value; {!add_shard}, {!remove_shard}
+    and {!reweight} return a new topology with a bumped {!version}.
+    The placement function ({!Placement}) is a pure function of a
+    topology and a seed, so two processes holding equal topologies
+    route every key identically — the cluster-level analogue of the
+    paper's deterministic block placement.
+
+    Shard ids are stable identities: they survive reweights, are never
+    renumbered by removals, and must never be reused for different
+    storage. Weights are small positive integers (1..{!max_weight})
+    giving each shard's relative share of the key population. *)
+
+type shard = {
+  id : int;  (** Stable identity, >= 0; never reused. *)
+  weight : int;  (** Relative key share, in [1, {!max_weight}]. *)
+  host : int;  (** Failure-domain leaf group (machine). *)
+  rack : int;  (** Failure-domain top level. *)
+}
+
+type t
+
+val max_weight : int
+(** 64 — bounds the per-key placement work (see {!Placement.score}). *)
+
+val make : shard list -> t
+(** Validates: at least one shard, distinct non-negative ids, weights
+    in range, non-negative rack/host labels. Raises
+    [Invalid_argument]. Version starts at 0. *)
+
+val standard : shards:int -> t
+(** The canonical [shards]-shard layout used by sim configs and
+    smoke tests: shard [i] has weight 1, host [i], rack [i / 2]
+    (two hosts per rack). *)
+
+val shards : t -> shard list
+(** Ascending id. *)
+
+val count : t -> int
+val version : t -> int
+val total_weight : t -> int
+val mem : t -> int -> bool
+val find : t -> int -> shard option
+
+val racks : t -> int list
+(** Distinct rack labels, ascending. *)
+
+val add_shard : t -> shard -> t
+(** Raises [Invalid_argument] if the id is already present or the
+    shard is invalid. *)
+
+val remove_shard : t -> int -> t
+(** Raises [Invalid_argument] if the id is absent or it is the last
+    shard. *)
+
+val reweight : t -> int -> weight:int -> t
+(** Raises [Invalid_argument] if the id is absent or the weight is out
+    of range. *)
+
+val spec_string : t -> string
+(** Canonical textual form, ["id:rack:host:weight,..."] ascending by
+    id — the CLI syntax, and the vehicle of the cross-process
+    determinism property (rebuilding from the spec string yields a
+    topology that places every key identically). *)
+
+val of_spec_string : string -> (t, string) result
+(** Inverse of {!spec_string} (version resets to 0). *)

@@ -1,0 +1,223 @@
+module Topology = Pdm_cluster.Topology
+module Placement = Pdm_cluster.Placement
+module Migration = Pdm_cluster.Migration
+module Cluster = Pdm_cluster.Cluster
+module Journal = Pdm_sim.Journal
+
+type result = {
+  placement_keys : int;
+  shards : int;
+  weighted_ratio : float;
+  balance_ok : bool;
+  plan_moved : int;
+  plan_optimal : int;
+  plan_within_bound : bool;
+  exec_keys : int;
+  exec_moved : int;
+  exec_optimal : int;
+  exec_within_bound : bool;
+  exec_correct : bool;
+  migration_rounds : int;
+  kill_availability : float;
+  kill_ok : bool;
+  failovers : int;
+  crash_schedules : int;
+  crash_fired : int;
+  crash_divergences : int;
+  crash_ok : bool;
+}
+
+let payload_bytes = 8
+
+let value_of k = Common.value_bytes_of payload_bytes k
+
+(* six shards, the first three twice the weight of the rest, two
+   hosts per rack *)
+let weighted_topology =
+  Topology.make
+    (List.init 6 (fun i ->
+         { Topology.id = i; weight = (if i < 3 then 2 else 1); host = i;
+           rack = i / 2 }))
+
+let balance ~keys ~seed =
+  let topo = weighted_topology in
+  let total_weight = Topology.total_weight topo in
+  let counts = Array.make (Topology.count topo) 0 in
+  for key = 0 to keys - 1 do
+    let p = Placement.primary topo ~seed key in
+    counts.(p) <- counts.(p) + 1
+  done;
+  List.fold_left
+    (fun acc (s : Topology.shard) ->
+      let expected =
+        float_of_int (keys * s.weight) /. float_of_int total_weight
+      in
+      Float.max acc (float_of_int counts.(s.id) /. expected))
+    0.0 (Topology.shards topo)
+
+(* bounded movement on the unweighted bound the issue states: adding a
+   unit shard to S unit shards moves ~N/(S+1) keys *)
+let plan_movement ~keys ~seed =
+  let s = 5 in
+  let topo = Topology.standard ~shards:s in
+  let grown =
+    Topology.add_shard topo
+      { Topology.id = s; weight = 1; host = s; rack = s / 2 }
+  in
+  let plan =
+    Migration.plan ~old_topology:topo ~new_topology:grown ~seed ~replicas:1
+      ~keys:(List.init keys (fun i -> i))
+  in
+  (Migration.moved_keys plan, keys / (s + 1))
+
+let cluster_config ~n ~replicas ~shards ~journaled ~seed =
+  { Cluster.default_config with
+    Cluster.replicas;
+    shard_capacity = max 256 (3 * n * replicas / shards);
+    journaled; seed }
+
+let populate c n =
+  for k = 0 to n - 1 do
+    Cluster.insert c (k * 3) (value_of (k * 3))
+  done
+
+(* every stored key answers with its value; a probe key never stored
+   stays absent *)
+let sweep_ok c n =
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    (match Cluster.find c (k * 3) with
+     | Some v -> if not (Bytes.equal v (value_of (k * 3))) then ok := false
+     | None -> ok := false);
+    if Cluster.find c ((k * 3) + 1) <> None then ok := false
+  done;
+  !ok
+
+let executed_migration ~n ~seed =
+  let s = 5 in
+  let c =
+    Cluster.create
+      ~config:(cluster_config ~n ~replicas:1 ~shards:s ~journaled:false ~seed)
+      (Topology.standard ~shards:s)
+  in
+  populate c n;
+  let report =
+    Cluster.add_shard c { Topology.id = s; weight = 1; host = s; rack = s / 2 }
+  in
+  (report.Cluster.moved_keys, n / (s + 1), sweep_ok c n,
+   report.Cluster.rounds)
+
+let kill_one_shard ~n ~seed =
+  let s = 6 in
+  let c =
+    Cluster.create
+      ~config:(cluster_config ~n ~replicas:2 ~shards:s ~journaled:false ~seed)
+      (Topology.standard ~shards:s)
+  in
+  populate c n;
+  Cluster.kill_shard c (seed mod s);
+  let answered = ref 0 in
+  for k = 0 to n - 1 do
+    match Cluster.find c (k * 3) with
+    | Some v when Bytes.equal v (value_of (k * 3)) -> incr answered
+    | Some _ | None -> ()
+  done;
+  let st = Cluster.stats c in
+  (float_of_int !answered /. float_of_int n, st.Cluster.failovers)
+
+(* the full (move index x crash point) grid over a journaled
+   migration: crash, recover, sweep *)
+let crash_grid ~seed =
+  let n = 120 in
+  let points =
+    [ Journal.Before_log; Journal.During_log 1; Journal.During_log 2;
+      Journal.After_log; Journal.After_commit; Journal.During_apply 1;
+      Journal.During_apply 2; Journal.After_apply ]
+  in
+  let move_indices = List.init 13 (fun i -> i) in
+  let schedules = ref 0 and fired = ref 0 and divergences = ref 0 in
+  List.iter
+    (fun point ->
+      List.iter
+        (fun move_idx ->
+          incr schedules;
+          let c =
+            Cluster.create
+              ~config:
+                (cluster_config ~n ~replicas:1 ~shards:3 ~journaled:true
+                   ~seed)
+              (Topology.standard ~shards:3)
+          in
+          populate c n;
+          (match
+             Cluster.add_shard c ~crash:(move_idx, point)
+               { Topology.id = 3; weight = 1; host = 3; rack = 1 }
+           with
+           | (_ : Cluster.migration_report) -> ()
+           | exception Journal.Crashed ->
+             incr fired;
+             (* availability holds even mid-wreckage *)
+             if not (sweep_ok c n) then incr divergences;
+             (match Cluster.recover c with
+              | `Clean | `Discarded | `Replayed _ -> ()));
+          if not (sweep_ok c n) then incr divergences;
+          if Cluster.recover c <> `Clean then incr divergences;
+          if Cluster.migration_in_flight c then incr divergences)
+        move_indices)
+    points;
+  (!schedules, !fired, !divergences)
+
+let run ?(placement_keys = 100_000) ?(n = 2000) ?(seed = 42) () =
+  let weighted_ratio = balance ~keys:placement_keys ~seed in
+  let plan_moved, plan_optimal = plan_movement ~keys:placement_keys ~seed in
+  let exec_moved, exec_optimal, exec_correct, migration_rounds =
+    executed_migration ~n ~seed
+  in
+  let kill_availability, failovers = kill_one_shard ~n ~seed in
+  let crash_schedules, crash_fired, crash_divergences = crash_grid ~seed in
+  let within moved optimal =
+    float_of_int moved <= 1.5 *. float_of_int optimal
+  in
+  { placement_keys; shards = Topology.count weighted_topology;
+    weighted_ratio; balance_ok = weighted_ratio <= 1.15;
+    plan_moved; plan_optimal;
+    plan_within_bound = within plan_moved plan_optimal;
+    exec_keys = n; exec_moved; exec_optimal;
+    exec_within_bound = within exec_moved exec_optimal;
+    exec_correct; migration_rounds;
+    kill_availability; kill_ok = kill_availability >= 1.0; failovers;
+    crash_schedules; crash_fired; crash_divergences;
+    crash_ok = crash_schedules >= 100 && crash_divergences = 0 }
+
+let to_table r =
+  let b = function true -> "yes" | false -> "NO" in
+  Table.make ~title:"E20: sharded placement tier (weighted rendezvous)"
+    ~header:[ "metric"; "value" ]
+    ~notes:
+      [ "balance: primaries of 10^5 keys over 6 shards weighted 2:1; \
+         ratio is the worst shard's load over its weight share";
+        Printf.sprintf
+          "movement: one unit shard added to 5; optimal is N/(S+1); \
+           executed run stores %d keys on a live cluster"
+          r.exec_keys;
+        "crash grid: (move index x journal crash point) schedules \
+         injected into a journaled migration, each recovered and swept" ]
+    [ [ "placement keys"; Table.icell r.placement_keys ];
+      [ "weighted shards"; Table.icell r.shards ];
+      [ "max load / weight share"; Table.fcell r.weighted_ratio ];
+      [ "balance <= 1.15"; b r.balance_ok ];
+      [ "plan moved keys"; Table.icell r.plan_moved ];
+      [ "plan optimal"; Table.icell r.plan_optimal ];
+      [ "plan <= 1.5x optimal"; b r.plan_within_bound ];
+      [ "executed moved keys"; Table.icell r.exec_moved ];
+      [ "executed optimal"; Table.icell r.exec_optimal ];
+      [ "executed <= 1.5x optimal"; b r.exec_within_bound ];
+      [ "executed sweep correct"; b r.exec_correct ];
+      [ "migration rounds"; Table.icell r.migration_rounds ];
+      [ "kill-one-shard availability"; Table.fcell r.kill_availability ];
+      [ "availability = 1.0"; b r.kill_ok ];
+      [ "failover reads"; Table.icell r.failovers ];
+      [ "crash schedules"; Table.icell r.crash_schedules ];
+      [ "crashes fired"; Table.icell r.crash_fired ];
+      [ "crash divergences"; Table.icell r.crash_divergences ];
+      [ "crash grid ok"; b r.crash_ok ] ]

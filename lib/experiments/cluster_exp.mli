@@ -1,0 +1,52 @@
+(** Experiment E20: the sharded placement tier.
+
+    A cluster of S shard machines fronts the paper's dictionaries:
+    deterministic weighted-rendezvous placement routes every key to r
+    replica shards in distinct failure domains, and topology changes
+    move a provably bounded set of keys. This experiment measures the
+    four claims end to end:
+
+    - {b balance}: primaries of 10⁵ keys over six shards with 2:1
+      weights land within 1.15× of each shard's weight share;
+    - {b bounded movement}: adding one shard to S moves ≤ 1.5× the
+      optimal N/(S+1) keys — checked on a pure 10⁵-key plan and on an
+      executed migration over a live cluster (which must also still
+      answer every key afterwards);
+    - {b availability}: with r = 2 and one of six shards killed, every
+      key still answers from its surviving replica;
+    - {b crash safety}: a grid of ≥ 100 (move index × journal crash
+      point) schedules injected into a live migration, each followed
+      by recovery, produces zero divergences from the expected
+      contents. *)
+
+type result = {
+  placement_keys : int;       (** balance sample size *)
+  shards : int;               (** shards in the weighted topology *)
+  weighted_ratio : float;     (** max over shards of load / weight share *)
+  balance_ok : bool;          (** ratio <= 1.15 *)
+  plan_moved : int;           (** pure-plan moved keys on add-shard *)
+  plan_optimal : int;         (** N/(S+1) *)
+  plan_within_bound : bool;   (** moved <= 1.5x optimal *)
+  exec_keys : int;            (** live-cluster migration: stored keys *)
+  exec_moved : int;
+  exec_optimal : int;
+  exec_within_bound : bool;
+  exec_correct : bool;        (** full sweep after the migration *)
+  migration_rounds : int;     (** honest parallel rounds the move cost *)
+  kill_availability : float;  (** answered fraction after a shard kill *)
+  kill_ok : bool;             (** = 1.0 *)
+  failovers : int;            (** reads served by a non-primary *)
+  crash_schedules : int;      (** (move index x crash point) grid size *)
+  crash_fired : int;          (** schedules whose injected crash fired *)
+  crash_divergences : int;
+  crash_ok : bool;            (** >= 100 schedules, 0 divergences *)
+}
+
+val run :
+  ?placement_keys:int ->
+  ?n:int ->
+  ?seed:int ->
+  unit ->
+  result
+
+val to_table : result -> Table.t

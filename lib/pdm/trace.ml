@@ -6,19 +6,24 @@ type event = {
   per_disk : int array;
   retries : int;
   degraded : bool;
+  shard : int;
 }
 
 type t = {
   buf : event option array;
+  shard : int;  (* stamped onto every recorded event *)
   mutable next : int;  (* slot the next event goes into *)
   mutable count : int;  (* events ever recorded *)
 }
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?(shard = 0) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { buf = Array.make capacity None; next = 0; count = 0 }
+  if shard < 0 then invalid_arg "Trace.create: shard must be >= 0";
+  { buf = Array.make capacity None; shard; next = 0; count = 0 }
 
 let capacity t = Array.length t.buf
+
+let shard t = t.shard
 
 let recorded t = t.count
 
@@ -27,7 +32,7 @@ let length t = min t.count (capacity t)
 let dropped t = t.count - length t
 
 let record t e =
-  t.buf.(t.next) <- Some e;
+  t.buf.(t.next) <- Some { e with shard = t.shard };
   t.next <- (t.next + 1) mod capacity t;
   t.count <- t.count + 1
 
@@ -65,10 +70,10 @@ let op_name = function Read -> "read" | Write -> "write"
 
 let event_to_json e =
   Printf.sprintf
-    {|{"round":%d,"op":"%s","per_disk":[%s],"retries":%d,"degraded":%b}|}
+    {|{"round":%d,"op":"%s","per_disk":[%s],"retries":%d,"degraded":%b,"shard":%d}|}
     e.round (op_name e.op)
     (String.concat "," (Array.to_list (Array.map string_of_int e.per_disk)))
-    e.retries e.degraded
+    e.retries e.degraded e.shard
 
 (* A tiny scanner for exactly the object shape we emit. Fields may
    appear in any order; whitespace between tokens is tolerated. *)
@@ -112,6 +117,9 @@ let event_of_json line =
   in
   let round = ref None and op = ref None and per_disk = ref None in
   let retries = ref None and degraded = ref None in
+  (* [shard] was added after the first JSONL format shipped: absent
+     means shard 0, so pre-cluster trace files stay parseable *)
+  let shard = ref 0 in
   let field () =
     match scan_string () with
     | None -> false
@@ -126,6 +134,10 @@ let event_of_json line =
             (match scan_int () with
              | Some v -> retries := Some v; true
              | None -> false)
+          | "shard" ->
+            (match scan_int () with
+             | Some v when v >= 0 -> shard := v; true
+             | Some _ | None -> false)
           | "op" ->
             (match scan_string () with
              | Some "read" -> op := Some Read; true
@@ -174,7 +186,7 @@ let event_of_json line =
   else
     match (!round, !op, !per_disk, !retries, !degraded) with
     | Some round, Some op, Some per_disk, Some retries, Some degraded ->
-      Some { round; op; per_disk; retries; degraded }
+      Some { round; op; per_disk; retries; degraded; shard = !shard }
     | _ -> None
 
 let export_jsonl t path =
@@ -229,8 +241,10 @@ let load_jsonl_result path =
   | evs -> Ok evs
   | exception Malformed_line err -> Error err
 
-let pp_event ppf e =
-  Format.fprintf ppf "round %d %s [%s]%s%s" e.round (op_name e.op)
+let pp_event ppf (e : event) =
+  Format.fprintf ppf "%sround %d %s [%s]%s%s"
+    (if e.shard > 0 then Printf.sprintf "shard %d " e.shard else "")
+    e.round (op_name e.op)
     (String.concat ";" (Array.to_list (Array.map string_of_int e.per_disk)))
     (if e.retries > 0 then Printf.sprintf " %d retried" e.retries else "")
     (if e.degraded then " (degraded)" else "")

@@ -22,14 +22,23 @@ type event = {
   per_disk : int array;  (** Blocks completed per disk this round. *)
   retries : int;  (** Transient failures observed this round. *)
   degraded : bool;  (** Straggler transfer or retry involved. *)
+  shard : int;
+      (** Which cluster shard's machine recorded the round (0 for a
+          standalone machine), so per-shard traces merge without
+          ambiguity. *)
 }
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Ring buffer holding the last [capacity] (default 4096) rounds. *)
+val create : ?capacity:int -> ?shard:int -> unit -> t
+(** Ring buffer holding the last [capacity] (default 4096) rounds.
+    [shard] (default 0, must be >= 0) is stamped onto every event
+    {!record}ed through this buffer. *)
 
 val capacity : t -> int
+
+val shard : t -> int
+(** The tag {!record} stamps onto events. *)
 
 val length : t -> int
 (** Events currently held (<= capacity). *)
@@ -41,6 +50,7 @@ val dropped : t -> int
 (** Events that fell off the front: [recorded - length]. *)
 
 val record : t -> event -> unit
+(** The stored event's [shard] is overwritten with the buffer's tag. *)
 
 val events : t -> event list
 (** Oldest first. *)
@@ -53,11 +63,13 @@ val per_disk_totals : event list -> int array * int array
 
 val event_to_json : event -> string
 (** One-line JSON object, e.g.
-    [{"round":3,"op":"read","per_disk":[1,0,2],"retries":1,"degraded":true}]. *)
+    [{"round":3,"op":"read","per_disk":[1,0,2],"retries":1,"degraded":true,"shard":0}]. *)
 
 val event_of_json : string -> event option
 (** Inverse of {!event_to_json} (accepts exactly the shape it emits,
-    with flexible whitespace). [None] on malformed input. *)
+    with flexible whitespace). A missing ["shard"] field defaults to
+    0, so trace files written before the shard tag existed still
+    parse. [None] on malformed input. *)
 
 val export_jsonl : t -> string -> unit
 (** Write all held events, oldest first, one JSON object per line. *)

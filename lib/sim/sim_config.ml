@@ -1,6 +1,7 @@
 module J = Sim_json
 
 type sut = Basic | One_probe_static | One_probe_dynamic | Dynamic_cascade
+         | Cluster
 
 type t = {
   sut : sut;
@@ -18,6 +19,8 @@ type t = {
   capacity : int;
   value_bytes : int;
   seed : int;
+  shards : int;  (* cluster only: shard count (0 elsewhere) *)
+  migrate_at : int;  (* cluster only: add a shard before op #n (-1 = never) *)
 }
 
 let sut_to_string = function
@@ -25,6 +28,7 @@ let sut_to_string = function
   | One_probe_static -> "static"
   | One_probe_dynamic -> "dynamic"
   | Dynamic_cascade -> "cascade"
+  | Cluster -> "cluster"
 
 let sut_of_string s =
   match String.lowercase_ascii s with
@@ -32,18 +36,24 @@ let sut_of_string s =
   | "static" | "one_probe_static" -> Some One_probe_static
   | "dynamic" | "one_probe_dynamic" -> Some One_probe_dynamic
   | "cascade" | "dynamic_cascade" -> Some Dynamic_cascade
+  | "cluster" -> Some Cluster
   | _ -> None
 
 let default sut =
   { sut; engine = false; cache_blocks = 0; journaled = false; replicas = 1;
     spares = 0; integrity = false; buggy = false; transient = 0.0;
     straggle = 1; block_words = 32; universe = 1 lsl 14; capacity = 96;
-    value_bytes = 8; seed = 1 }
+    value_bytes = 8; seed = 1; shards = (if sut = Cluster then 3 else 0);
+    migrate_at = -1 }
 
 let is_static cfg = cfg.sut = One_probe_static
 
+(* The cluster's shards are journaled one-probe-dynamic dictionaries;
+   its own engines sit in front of them, so the [engine] flag (an
+   external engine wrapper) never applies. *)
 let supports_journal cfg =
-  (cfg.sut = One_probe_dynamic || cfg.sut = Dynamic_cascade)
+  (cfg.sut = One_probe_dynamic || cfg.sut = Dynamic_cascade
+   || cfg.sut = Cluster)
   && not cfg.engine
 
 let validate cfg =
@@ -66,6 +76,19 @@ let validate cfg =
   else if cfg.straggle < 1 then err "straggle must be >= 1"
   else if cfg.engine && cfg.sut = Basic then
     err "engine mode drives the one-probe/cascade probe plans, not basic"
+  else if cfg.engine && cfg.sut = Cluster then
+    err "the cluster owns one engine per shard; --engine does not apply"
+  else if cfg.sut = Cluster && cfg.spares > 0 then
+    err "spares are per-machine repair; cluster availability is shard-level"
+  else if cfg.sut = Cluster && (cfg.shards < 2 || cfg.shards > 16) then
+    err "cluster shards must be in [2, 16]"
+  else if cfg.sut <> Cluster && cfg.shards <> 0 then
+    err "shards applies to the cluster sut only"
+  else if cfg.sut = Cluster && cfg.replicas > cfg.shards then
+    err "cluster replicas cannot exceed the shard count"
+  else if cfg.migrate_at >= 0 && cfg.sut <> Cluster then
+    err "migrate_at applies to the cluster sut only"
+  else if cfg.migrate_at < -1 then err "migrate_at must be >= -1 (-1 = never)"
   else if cfg.capacity < 8 then err "capacity must be >= 8"
   else if cfg.universe < 4 * cfg.capacity then
     err "universe must be >= 4 * capacity"
@@ -74,6 +97,9 @@ let validate cfg =
 let describe cfg =
   String.concat ""
     [ sut_to_string cfg.sut;
+      (if cfg.shards > 0 then Printf.sprintf "x%d" cfg.shards else "");
+      (if cfg.migrate_at >= 0 then Printf.sprintf "+mig@%d" cfg.migrate_at
+       else "");
       (if cfg.engine then "+engine" else "");
       (if cfg.cache_blocks > 0 then
          Printf.sprintf "+cache%d" cfg.cache_blocks
@@ -104,7 +130,9 @@ let to_json cfg =
       ("universe", J.Int cfg.universe);
       ("capacity", J.Int cfg.capacity);
       ("value_bytes", J.Int cfg.value_bytes);
-      ("seed", J.Int cfg.seed) ]
+      ("seed", J.Int cfg.seed);
+      ("shards", J.Int cfg.shards);
+      ("migrate_at", J.Int cfg.migrate_at) ]
 
 let of_json j =
   let ( let* ) o f = Option.bind o f in
@@ -126,10 +154,17 @@ let of_json j =
     let* capacity = field "capacity" J.get_int in
     let* value_bytes = field "value_bytes" J.get_int in
     let* seed = field "seed" J.get_int in
+    (* fields added after the first repro format shipped: absent means
+       the pre-cluster default, so old repro files stay readable *)
+    let opt_int name ~default =
+      match J.member name j with None -> Some default | Some v -> J.get_int v
+    in
+    let* shards = opt_int "shards" ~default:0 in
+    let* migrate_at = opt_int "migrate_at" ~default:(-1) in
     Some
       { sut; engine; cache_blocks; journaled; replicas; spares; integrity;
         buggy; transient; straggle; block_words; universe; capacity;
-        value_bytes; seed }
+        value_bytes; seed; shards; migrate_at }
   with
   | Some cfg ->
     (match validate cfg with

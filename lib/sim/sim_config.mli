@@ -10,13 +10,17 @@
     system. *)
 
 type sut = Basic | One_probe_static | One_probe_dynamic | Dynamic_cascade
+         | Cluster
 
 type t = {
   sut : sut;
   engine : bool;  (** drive lookups through {!Pdm_engine.Engine} *)
   cache_blocks : int;  (** engine LRU cache (0 = none) *)
-  journaled : bool;  (** write-ahead journal (dynamic/cascade, direct) *)
+  journaled : bool;  (** write-ahead journal (dynamic/cascade/cluster) *)
   replicas : int;
+      (** machine-level disk replicas — except for [Cluster], where it
+          is the cluster-level copies-per-key (shard machines stay
+          unreplicated; availability comes from shard placement) *)
   spares : int;
   integrity : bool;  (** checksum envelope (basic only) *)
   buggy : bool;  (** seeded bug: drop journal commit records (tests) *)
@@ -27,6 +31,10 @@ type t = {
   capacity : int;
   value_bytes : int;
   seed : int;
+  shards : int;  (** [Cluster] only: shard count in [2, 16] (0 elsewhere) *)
+  migrate_at : int;
+      (** [Cluster] only: run an add-shard migration just before op
+          #[migrate_at] of the stream (-1 = never) *)
 }
 
 val default : sut -> t
@@ -34,7 +42,8 @@ val default : sut -> t
     features: each feature is opted into per config. *)
 
 val sut_to_string : sut -> string
-(** ["basic"], ["static"], ["dynamic"], ["cascade"] (CLI names). *)
+(** ["basic"], ["static"], ["dynamic"], ["cascade"], ["cluster"]
+    (CLI names). *)
 
 val sut_of_string : string -> sut option
 
@@ -51,7 +60,11 @@ val describe : t -> string
 (** ["cascade+journal+r2"] — compact label for reports. *)
 
 val to_json : t -> Sim_json.t
+
 val of_json : Sim_json.t -> (t, string) result
+(** Fields introduced after the first repro format ([shards],
+    [migrate_at]) default when absent, so old repro files replay
+    unchanged. *)
 
 val gen_spec : ?count:int -> ?dist:Sim_gen.dist -> t -> Sim_gen.spec
 (** The workload-generator spec this config implies (population at

@@ -53,9 +53,14 @@ let candidates (cfg : Sim_config.t) ops ~max_partial =
       (fun at ->
         List.concat_map
           (fun disk ->
-            [ [ Sim_schedule.Kill { at; disk } ];
-              [ Sim_schedule.Kill { at; disk };
-                Sim_schedule.Scrub { at = min n (at + 5) } ] ])
+            if cfg.sut = Sim_config.Cluster then
+              (* shard fail-stop; scrub is machine-level repair and a
+                 no-op on cluster runs, so no +scrub variant *)
+              [ [ Sim_schedule.Kill { at; disk } ] ]
+            else
+              [ [ Sim_schedule.Kill { at; disk } ];
+                [ Sim_schedule.Kill { at; disk };
+                  Sim_schedule.Scrub { at = min n (at + 5) } ] ])
           (kill_target_disks cfg))
       spots
   in

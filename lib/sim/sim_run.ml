@@ -94,9 +94,14 @@ let recover_now st ~at =
          (Printf.sprintf "second recovery replayed %d blocks again" n))
 
 let fire_kill st disk =
-  let m = st.sut.Sim_sut.machine in
-  let total = Pdm.physical_disks m in
-  if total > 0 then Pdm.kill_disk m (disk mod total)
+  match st.sut.Sim_sut.kill_shard with
+  | Some kill ->
+    (* cluster: a Kill event is a shard fail-stop, not a disk *)
+    kill disk
+  | None ->
+    let m = st.sut.Sim_sut.machine in
+    let total = Pdm.physical_disks m in
+    if total > 0 then Pdm.kill_disk m (disk mod total)
 
 let fire_damage st nth =
   let m = st.sut.Sim_sut.machine in
@@ -107,6 +112,13 @@ let fire_damage st nth =
   if n > 0 then Pdm.damage_stored m addrs.(nth mod n) ~replica:0
 
 let fire_scrub st ~at =
+  (* A cluster's availability is shard-level: its machines are
+     unreplicated (killing a shard legitimately loses that machine's
+     blocks — the data lives on the other replica shards), so the
+     machine-level scrub invariant does not apply. The sweep checks
+     every answer instead. *)
+  if st.cfg.Sim_config.sut = Sim_config.Cluster then ()
+  else
   let r = Pdm.scrub st.sut.Sim_sut.machine in
   (* Unrepairable replicas are a divergence only when the config
      provided spares to re-home them onto; without spares a dead

@@ -7,6 +7,8 @@ module Ops = Pdm_dictionary.One_probe_static
 module Opd = Pdm_dictionary.One_probe_dynamic
 module Cascade = Pdm_dictionary.Dynamic_cascade
 module Checksum = Pdm_dictionary.Codec.Checksum
+module Cluster = Pdm_cluster.Cluster
+module Topology = Pdm_cluster.Topology
 
 type t = {
   name : string;
@@ -17,6 +19,10 @@ type t = {
   delete : (int -> bool) option;
   set_crash : (Journal.crash_point option -> unit) option;
   recover : (unit -> [ `Clean | `Discarded | `Replayed of int ]) option;
+  kill_shard : (int -> unit) option;
+      (** Cluster adapters: fail-stop shard [i mod shard count]. The
+          runner routes schedule [Kill] events here when present
+          (shard-level fail-stop), to the machine otherwise. *)
 }
 
 let basic_degree = 6
@@ -74,7 +80,7 @@ let build_basic (cfg : Sim_config.t) =
   let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 bcfg in
   { name = ""; machine; find = Basic.find d; find_batch = None;
     insert = Some (Basic.insert d); delete = Some (Basic.delete d);
-    set_crash = None; recover = None }
+    set_crash = None; recover = None; kill_shard = None }
 
 let build_static (cfg : Sim_config.t) ~data =
   let scfg =
@@ -88,7 +94,8 @@ let build_static (cfg : Sim_config.t) ~data =
   in
   let base =
     { name = ""; machine = Ops.machine t; find = Ops.find t; find_batch = None;
-      insert = None; delete = None; set_crash = None; recover = None }
+      insert = None; delete = None; set_crash = None; recover = None;
+      kill_shard = None }
   in
   if not cfg.engine then base
   else
@@ -116,8 +123,8 @@ let build_dynamic (cfg : Sim_config.t) =
     { name = ""; machine = Opd.machine t; find = Opd.find t; find_batch = None;
       insert = Some (Opd.insert t); delete = Some (Opd.delete t);
       set_crash = (if cfg.journaled then Some (Opd.set_crash t) else None);
-      recover = (if cfg.journaled then Some (fun () -> Opd.recover t) else None)
-    }
+      recover = (if cfg.journaled then Some (fun () -> Opd.recover t) else None);
+      kill_shard = None }
   in
   if not cfg.engine then base
   else
@@ -147,7 +154,8 @@ let build_cascade (cfg : Sim_config.t) =
       delete = Some (Cascade.delete t);
       set_crash = (if cfg.journaled then Some (Cascade.set_crash t) else None);
       recover =
-        (if cfg.journaled then Some (fun () -> Cascade.recover t) else None) }
+        (if cfg.journaled then Some (fun () -> Cascade.recover t) else None);
+      kill_shard = None }
   in
   if not cfg.engine then base
   else
@@ -170,6 +178,56 @@ let build_cascade (cfg : Sim_config.t) =
                             (Cascade.decode_in t key ~level ~head blocks2) ) ));
         insert = Some (Cascade.insert t) }
       base
+
+(* The sharded cluster: one journaled one-probe-dynamic dictionary +
+   engine per shard behind deterministic rendezvous routing. The
+   config's [replicas] is the cluster-level copies-per-key; shard
+   machines are unreplicated. [migrate_at >= 0] arms a topology
+   change: just before the stream's op #migrate_at the adapter runs a
+   real add-shard migration (journaled, through the migration plan),
+   so every differential schedule — including armed crash points on
+   nearby client updates — brackets a live migration. *)
+let build_cluster (cfg : Sim_config.t) =
+  let topo = Topology.standard ~shards:cfg.shards in
+  let ccfg =
+    { Cluster.default_config with
+      replicas = cfg.replicas;
+      (* room for every key's r copies even if the balance is off 3x *)
+      shard_capacity = max 24 (3 * cfg.replicas * cfg.capacity / cfg.shards);
+      universe = cfg.universe; block_words = cfg.block_words;
+      value_bytes = cfg.value_bytes; journaled = cfg.journaled;
+      seed = cfg.seed }
+  in
+  let c = Cluster.create ~config:ccfg topo in
+  let ops_seen = ref 0 in
+  let migrated = ref false in
+  let tick n =
+    if (not !migrated) && cfg.migrate_at >= 0 && !ops_seen >= cfg.migrate_at
+    then begin
+      migrated := true;
+      (* the shard that would come next in the standard layout *)
+      ignore
+        (Cluster.add_shard c
+           { Topology.id = cfg.shards; weight = 1; host = cfg.shards;
+             rack = cfg.shards / 2 })
+    end;
+    ops_seen := !ops_seen + n
+  in
+  { name = ""; machine = Cluster.shard_machine c 0;
+    find = (fun k -> tick 1; Cluster.find c k);
+    find_batch = Some (fun ks -> tick (List.length ks); Cluster.find_batch c ks);
+    insert = Some (fun k v -> tick 1; Cluster.insert c k v);
+    delete = Some (fun k -> tick 1; Cluster.delete c k);
+    set_crash = (if cfg.journaled then Some (Cluster.set_crash c) else None);
+    recover =
+      (if cfg.journaled then Some (fun () -> Cluster.recover c) else None);
+    kill_shard =
+      Some
+        (fun i ->
+          let ids = Cluster.shard_ids c in
+          match List.nth_opt ids (i mod List.length ids) with
+          | Some id -> Cluster.kill_shard c id
+          | None -> ()) }
 
 (* The deliberately buggy adapter: every third journaled update that is
    asked to survive a crash just past its commit point instead crashes
@@ -203,6 +261,7 @@ let build (cfg : Sim_config.t) ~data =
     | Sim_config.One_probe_static -> build_static cfg ~data
     | Sim_config.One_probe_dynamic -> build_dynamic cfg
     | Sim_config.Dynamic_cascade -> build_cascade cfg
+    | Sim_config.Cluster -> build_cluster cfg
   in
   let base = if cfg.buggy then seeded_bug base else base in
   let base =

@@ -1,27 +1,34 @@
 (** Uniform adapters putting every dictionary variant — basic,
-    one-probe static/dynamic, dynamic cascade; direct or behind the
-    batched query engine; journaled, replicated, checksummed or
-    fault-injected — behind one record the differential runner drives.
+    one-probe static/dynamic, dynamic cascade, the sharded cluster;
+    direct or behind the batched query engine; journaled, replicated,
+    checksummed or fault-injected — behind one record the differential
+    runner drives.
 
     Optional capabilities are [option] fields: a static structure has
     no [insert]; only journaled configs expose [set_crash]/[recover];
-    only engine configs expose [find_batch]. The runner consults the
-    fields instead of the config, so new adapters only have to fill in
-    the record. *)
+    only engine and cluster configs expose [find_batch]; only the
+    cluster exposes [kill_shard]. The runner consults the fields
+    instead of the config, so new adapters only have to fill in the
+    record. *)
 
 type t = {
   name : string;
   machine : int Pdm_sim.Pdm.t;
-      (** For schedule events: kill/damage/scrub run on this machine. *)
+      (** For schedule events: kill/damage/scrub run on this machine
+          (for a cluster, shard 0's machine — kills go through
+          [kill_shard] instead). *)
   find : int -> Bytes.t option;
   find_batch : (int list -> Bytes.t option list) option;
-      (** Batched lookups through the engine (answers in argument
+      (** Batched lookups through the engine(s) (answers in argument
           order). [None] on direct configs. *)
   insert : (int -> Bytes.t -> unit) option;
   delete : (int -> bool) option;
   set_crash : (Pdm_sim.Journal.crash_point option -> unit) option;
-      (** Arm/disarm a crash for the next journaled update. *)
+      (** Arm/disarm a crash for the next journaled update (for a
+          cluster: the next client update's primary-shard write). *)
   recover : (unit -> [ `Clean | `Discarded | `Replayed of int ]) option;
+  kill_shard : (int -> unit) option;
+      (** Cluster only: fail-stop shard [i mod shard count]. *)
 }
 
 val build : Sim_config.t -> data:(int * Bytes.t) array -> t

@@ -300,15 +300,16 @@ let test_dictionary_correct_under_faults () =
 
 (* --- trace ring buffer + JSONL --- *)
 
-let ev ~round ~op ~per_disk ~retries ~degraded =
-  { Trace.round; op; per_disk; retries; degraded }
+let ev ?(shard = 0) ~round ~op ~per_disk ~retries ~degraded () =
+  { Trace.round; op; per_disk; retries; degraded; shard }
 
 let test_ring_buffer () =
   let t = Trace.create ~capacity:3 () in
   check "empty" 0 (Trace.length t);
   for r = 1 to 5 do
     Trace.record t
-      (ev ~round:r ~op:Trace.Read ~per_disk:[| r |] ~retries:0 ~degraded:false)
+      (ev ~round:r ~op:Trace.Read ~per_disk:[| r |] ~retries:0 ~degraded:false
+         ())
   done;
   check "capped" 3 (Trace.length t);
   check "recorded" 5 (Trace.recorded t);
@@ -318,22 +319,32 @@ let test_ring_buffer () =
     (List.map (fun (e : Trace.event) -> e.round) (Trace.events t));
   Trace.clear t;
   check "cleared" 0 (Trace.length t);
-  check "cleared recorded" 0 (Trace.recorded t)
+  check "cleared recorded" 0 (Trace.recorded t);
+  (* a shard-tagged buffer stamps its tag onto recorded events *)
+  let t2 = Trace.create ~capacity:2 ~shard:7 () in
+  check "buffer shard tag" 7 (Trace.shard t2);
+  Trace.record t2
+    (ev ~round:1 ~op:Trace.Read ~per_disk:[| 1 |] ~retries:0 ~degraded:false ());
+  checkb "events stamped with buffer shard" true
+    (match Trace.events t2 with
+     | [ e ] -> e.Trace.shard = 7
+     | _ -> false)
 
 let test_event_json_roundtrip () =
   let e =
-    ev ~round:17 ~op:Trace.Write ~per_disk:[| 0; 3; 1 |] ~retries:2
-      ~degraded:true
+    ev ~shard:4 ~round:17 ~op:Trace.Write ~per_disk:[| 0; 3; 1 |] ~retries:2
+      ~degraded:true ()
   in
   let line = Trace.event_to_json e in
   checkb "parses back equal" true (Trace.event_of_json line = Some e);
-  (* Field order and whitespace are flexible. *)
-  checkb "reordered fields" true
+  (* Field order and whitespace are flexible; a line written before
+     the shard tag existed (no "shard" field) parses as shard 0. *)
+  checkb "reordered fields, shard defaults to 0" true
     (Trace.event_of_json
        {| { "degraded" : false , "per_disk" : [ 1 , 2 ] , "op" : "read" , "retries" : 0 , "round" : 3 } |}
     = Some
         (ev ~round:3 ~op:Trace.Read ~per_disk:[| 1; 2 |] ~retries:0
-           ~degraded:false));
+           ~degraded:false ()));
   checkb "empty per_disk" true
     (match Trace.event_of_json {|{"round":0,"op":"read","per_disk":[],"retries":0,"degraded":false}|} with
      | Some e -> e.Trace.per_disk = [||]
