@@ -105,14 +105,24 @@ let experiments =
     { id = "cluster"; doc = "Sharded placement tier (E20)";
       exec =
         (fun ~n ~block_words:_ ~seed ->
-          print_table (Cluster_exp.to_table (Cluster_exp.run ?n ?seed ()))) } ]
+          print_table (Cluster_exp.to_table (Cluster_exp.run ?n ?seed ()))) };
+    { id = "chaos"; doc = "Availability under message faults (E21)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ->
+          print_table (Chaos_exp.to_table (Chaos_exp.run ?n ?seed ()))) } ]
 
-(* Storage failures escape as exceptions with structured context
-   (disk, block, round); render them as user errors, not crashes. *)
+(* Storage and cluster failures escape as exceptions with structured
+   context (disk, block, round; key, retry budget); render them as
+   user errors, not crashes. *)
+let describe_failure e =
+  match Pdm_sim.Backend.describe e with
+  | Some m -> Some m
+  | None -> Pdm_cluster.Cluster.describe e
+
 let storage_guard f =
   try f () with
   | e ->
-    (match Pdm_sim.Backend.describe e with
+    (match describe_failure e with
      | Some m -> `Error (false, m)
      | None -> raise e)
 
@@ -611,14 +621,14 @@ let serve_guard f =
   try f () with
   | Engine.Request_failed { id; key; error } ->
     let desc =
-      match Pdm_sim.Backend.describe error with
+      match describe_failure error with
       | Some m -> m
       | None -> Printexc.to_string error
     in
     `Error
       (false, Printf.sprintf "request #%d (key %d) failed: %s" id key desc)
   | e ->
-    (match Pdm_sim.Backend.describe e with
+    (match describe_failure e with
      | Some m -> `Error (false, m)
      | None -> raise e)
 
@@ -953,7 +963,8 @@ let sim_sanitize () =
   | _ -> ()
 
 let sim_config ~sut ~engine ~cache ~journal ~replicas ~spares ~integrity
-    ~buggy ~transient ~straggle ~n ~seed ~block_words ~shards ~migrate_at =
+    ~buggy ~transient ~straggle ~n ~seed ~block_words ~shards ~migrate_at
+    ~net ~net_drop ~net_dup ~net_reorder ~net_hedge =
   match Sim_config.sut_of_string sut with
   | None ->
     Error
@@ -971,7 +982,8 @@ let sim_config ~sut ~engine ~cache ~journal ~replicas ~spares ~integrity
         Sim_config.engine; cache_blocks = cache; journaled = journal;
         replicas; spares; integrity; buggy; transient; straggle;
         capacity = n; universe = max base.Sim_config.universe (8 * n); seed;
-        block_words; shards; migrate_at }
+        block_words; shards; migrate_at; net; net_drop; net_dup; net_reorder;
+        net_hedge }
     in
     (match Sim_config.validate cfg with
      | Ok () -> Ok cfg
@@ -1128,8 +1140,9 @@ let sim_cmd =
   let buggy_arg =
     Arg.(value & flag
          & info [ "buggy" ]
-             ~doc:"Use the deliberately buggy journal adapter (drops \
-                   commit records) — the explorer must catch it.")
+             ~doc:"Use the deliberately buggy adapter (drops journal \
+                   commit records, or idempotency tokens under --net) — \
+                   the explorer must catch it.")
   in
   let transient_arg =
     Arg.(value & opt float 0.0
@@ -1156,6 +1169,35 @@ let sim_cmd =
     Arg.(value & opt int 128
          & info [ "ops" ] ~docv:"COUNT" ~doc:"Ops to generate.")
   in
+  let net_arg =
+    Arg.(value & flag
+         & info [ "net" ]
+             ~doc:"Route router-shard exchanges through the deterministic \
+                   message transport (sut cluster, replicas >= 2). \
+                   Schedules may then pin message drops, duplicates and \
+                   partitions.")
+  in
+  let net_drop_arg =
+    Arg.(value & opt float 0.05
+         & info [ "net-drop" ] ~docv:"P"
+             ~doc:"Per-message loss probability under --net.")
+  in
+  let net_dup_arg =
+    Arg.(value & opt float 0.05
+         & info [ "net-dup" ] ~docv:"P"
+             ~doc:"Per-delivered-write duplication probability under --net.")
+  in
+  let net_reorder_arg =
+    Arg.(value & opt int 3
+         & info [ "net-reorder" ] ~docv:"W"
+             ~doc:"Duplicate redelivery window bound under --net.")
+  in
+  let no_hedge_arg =
+    Arg.(value & flag
+         & info [ "no-hedge" ]
+             ~doc:"Disable hedged reads under --net: burn the whole retry \
+                   budget on each replica before failing over.")
+  in
   let dist_arg =
     Arg.(value & opt string "uniform"
          & info [ "dist" ] ~docv:"DIST"
@@ -1165,19 +1207,22 @@ let sim_cmd =
     Term.(
       const
         (fun sut engine cache journal replicas spares integrity buggy
-             transient straggle n block_words seed shards migrate_at ->
+             transient straggle n block_words seed shards migrate_at net
+             net_drop net_dup net_reorder no_hedge ->
           let engine = engine || cache > 0 in
           match
             sim_config ~sut ~engine ~cache ~journal ~replicas ~spares
               ~integrity ~buggy ~transient ~straggle ~n ~seed ~block_words
-              ~shards ~migrate_at
+              ~shards ~migrate_at ~net ~net_drop ~net_dup ~net_reorder
+              ~net_hedge:(not no_hedge)
           with
           | Error m -> `Error (false, m)
           | Ok cfg -> k cfg)
       $ sut_arg $ engine_arg $ cache_arg' $ journal_arg $ replicas_arg'
       $ spares_arg' $ integrity_arg $ buggy_arg $ transient_arg
       $ straggle_arg $ n_arg' $ block_words_arg $ seed_arg' $ shards_arg'
-      $ migrate_arg)
+      $ migrate_arg $ net_arg $ net_drop_arg $ net_dup_arg $ net_reorder_arg
+      $ no_hedge_arg)
   in
   let run_cmd' =
     let doc = "one differential run (no injected faults) against the model" in
@@ -1237,6 +1282,100 @@ let sim_cmd =
   in
   Cmd.group (Cmd.info "sim" ~doc) [ run_cmd'; explore_cmd; replay_cmd ]
 
+(* --- bench-check: guard the checked-in microbenchmark baselines ---
+
+   Compares a fresh `bench --json` dump against a checked-in baseline
+   (BENCH_core.json / BENCH_cluster.json). The deterministic columns —
+   parallel I/Os and rounds — must match within the tolerance; the ns
+   column is wall-clock noise and is ignored. *)
+let bench_check_cmd =
+  let module J = Pdm_simtest.Sim_json in
+  let read_rows path =
+    let parsed =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      J.of_string s
+    in
+    match parsed with
+    | Error m -> Error (Printf.sprintf "%s: %s" path m)
+    | Ok v ->
+      (match J.get_list v with
+       | None -> Error (Printf.sprintf "%s: expected a top-level array" path)
+       | Some items ->
+         let row item =
+           match
+             ( Option.bind (J.member "name" item) J.get_string,
+               Option.bind (J.member "ios" item) J.get_int,
+               Option.bind (J.member "rounds" item) J.get_int )
+           with
+           | Some n, Some i, Some r -> Ok (n, (i, r))
+           | _ -> Error (Printf.sprintf "%s: malformed benchmark entry" path)
+         in
+         List.fold_left
+           (fun acc item ->
+             match (acc, row item) with
+             | Ok rows, Ok r -> Ok (r :: rows)
+             | (Error _ as e), _ | _, (Error _ as e) -> e)
+           (Ok []) items
+         |> Result.map List.rev)
+  in
+  let check baseline candidate tolerance =
+    match (read_rows baseline, read_rows candidate) with
+    | Error m, _ | _, Error m -> `Error (false, m)
+    | Ok base, Ok cand ->
+      let problems = ref [] in
+      let complain fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+      let within b c =
+        float_of_int (abs (c - b)) <= tolerance *. float_of_int (abs b)
+      in
+      List.iter
+        (fun (name, (bi, br)) ->
+          match List.assoc_opt name cand with
+          | None -> complain "%s: missing from %s" name candidate
+          | Some (ci, cr) ->
+            if not (within bi ci) then
+              complain "%s: ios %d, baseline %d" name ci bi;
+            if not (within br cr) then
+              complain "%s: rounds %d, baseline %d" name cr br)
+        base;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name base) then
+            complain "%s: not in baseline %s" name baseline)
+        cand;
+      (match List.rev !problems with
+       | [] ->
+         Printf.printf
+           "bench-check: OK (%d benchmarks, ios/rounds within %g%% of %s)\n"
+           (List.length base) (100. *. tolerance) baseline;
+         `Ok ()
+       | ps ->
+         `Error
+           ( false,
+             Printf.sprintf "bench-check: %d deviation(s) from %s:\n  %s"
+               (List.length ps) baseline (String.concat "\n  " ps) ))
+  in
+  let doc =
+    "compare a fresh bench --json dump against a checked-in baseline \
+     (deterministic ios/rounds columns only; ns is ignored)"
+  in
+  let baseline_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE" ~doc:"Checked-in baseline JSON.")
+  in
+  let candidate_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CANDIDATE" ~doc:"Fresh bench --json output.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0.0
+         & info [ "tolerance" ] ~docv:"FRAC"
+             ~doc:"Allowed fractional drift per counter (default exact).")
+  in
+  Cmd.v (Cmd.info "bench-check" ~doc)
+    Term.(ret (const check $ baseline_arg $ candidate_arg $ tolerance_arg))
+
 let main =
   let doc =
     "deterministic dictionaries in the parallel disk model — experiment \
@@ -1244,6 +1383,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "pdm_dict_cli" ~version:"1.0.0" ~doc)
-    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd; serve_cmd; sim_cmd ]
+    [ run_cmd; list_cmd; plan_cmd; trace_cmd; scrub_cmd; serve_cmd; sim_cmd;
+      bench_check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,39 @@
+type t = {
+  threshold : int;
+  mutable misses : (int * int) list;  (* shard -> consecutive misses *)
+  mutable suspicions : int;
+  mutable heals : int;
+}
+
+let create ?(threshold = 2) () =
+  if threshold < 1 then
+    invalid_arg "Detector.create: threshold must be >= 1";
+  { threshold; misses = []; suspicions = 0; heals = 0 }
+
+let threshold t = t.threshold
+
+let misses t shard =
+  match List.assoc_opt shard t.misses with Some n -> n | None -> 0
+
+let suspected t shard = misses t shard >= t.threshold
+
+let record_miss t shard =
+  let n = misses t shard + 1 in
+  if n = t.threshold then t.suspicions <- t.suspicions + 1;
+  t.misses <- (shard, n) :: List.remove_assoc shard t.misses
+
+let record_reply t shard =
+  if suspected t shard then t.heals <- t.heals + 1;
+  if misses t shard > 0 then
+    t.misses <- List.remove_assoc shard t.misses
+
+let forget t shard = t.misses <- List.remove_assoc shard t.misses
+
+let suspects t =
+  List.sort compare
+    (List.filter_map
+       (fun (shard, n) -> if n >= t.threshold then Some shard else None)
+       t.misses)
+
+let suspicions t = t.suspicions
+let heals t = t.heals

@@ -1,0 +1,47 @@
+(** Heartbeat-free, fully deterministic failure suspicion.
+
+    The omniscient [alive] flag of the fail-stop model cannot see gray
+    failures or partitions, so routing decisions instead consult this
+    counter: every exchange that times out records a miss against the
+    shard, every reply clears it. A shard whose {e consecutive} misses
+    reach the threshold is {e suspected} — reads prefer unsuspected
+    replicas — but suspicion is a routing hint, never a death
+    sentence: writes still attempt every replica, and the first reply
+    after a partition heals clears the suspicion (a recorded {e heal},
+    i.e. recovery from a false suspicion).
+
+    No timers, no randomness: the state is a pure fold over the
+    deterministic sequence of exchange outcomes, so the same seed
+    replays the same suspicions. *)
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** Default threshold 2: a single dropped message never triggers a
+    failover storm, a partitioned shard is suspected within two
+    exchanges. Raises [Invalid_argument] if [threshold < 1]. *)
+
+val threshold : t -> int
+
+val misses : t -> int -> int
+(** Current consecutive-miss count for the shard (0 if unknown). *)
+
+val suspected : t -> int -> bool
+
+val record_miss : t -> int -> unit
+
+val record_reply : t -> int -> unit
+(** Clears the shard's misses; counts a heal if it was suspected. *)
+
+val forget : t -> int -> unit
+(** Drop all state for a shard leaving the topology. *)
+
+val suspects : t -> int list
+(** Currently suspected shards, ascending. *)
+
+val suspicions : t -> int
+(** Times any shard crossed the threshold (ever). *)
+
+val heals : t -> int
+(** Times a suspected shard answered again (false-suspicion
+    recoveries). *)

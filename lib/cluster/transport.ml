@@ -1,0 +1,235 @@
+module Prng = Pdm_util.Prng
+
+type partition = {
+  shard : int;
+  from_op : int;
+  to_op : int;
+  symmetric : bool;
+}
+
+type spec = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  reorder_window : int;
+  gray : (int * int) list;
+  partitions : partition list;
+  max_attempts : int;
+  timeout_base : int;
+  hedge_after : int;
+  drop_tokens : bool;
+}
+
+let perfect =
+  { seed = 0; drop = 0.0; duplicate = 0.0; reorder_window = 3; gray = [];
+    partitions = []; max_attempts = 4; timeout_base = 2; hedge_after = 1;
+    drop_tokens = false }
+
+let spec ?(seed = 0) ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder_window = 3)
+    ?(gray = []) ?(partitions = []) ?(max_attempts = 4) ?(timeout_base = 2)
+    ?(hedge_after = 1) ?(drop_tokens = false) () =
+  if drop < 0.0 || drop > 0.2 then
+    invalid_arg "Transport.spec: drop must be in [0, 0.2] (retries must win)";
+  if duplicate < 0.0 || duplicate > 0.2 then
+    invalid_arg "Transport.spec: duplicate must be in [0, 0.2]";
+  if reorder_window < 1 || reorder_window > 16 then
+    invalid_arg "Transport.spec: reorder_window must be in [1, 16]";
+  if max_attempts < 1 || max_attempts > 10 then
+    invalid_arg "Transport.spec: max_attempts must be in [1, 10]";
+  if timeout_base < 1 then
+    invalid_arg "Transport.spec: timeout_base must be >= 1";
+  if hedge_after <> -1 && (hedge_after < 1 || hedge_after > max_attempts)
+  then
+    invalid_arg
+      "Transport.spec: hedge_after must be -1 (never) or in [1, max_attempts]";
+  List.iter
+    (fun (_, k) ->
+      if k < 1 then invalid_arg "Transport.spec: gray factor must be >= 1")
+    gray;
+  List.iter
+    (fun p ->
+      if p.from_op < 0 || p.to_op < p.from_op then
+        invalid_arg "Transport.spec: partition span must be well-formed")
+    partitions;
+  { seed; drop; duplicate; reorder_window; gray; partitions; max_attempts;
+    timeout_base; hedge_after; drop_tokens }
+
+let is_noop s =
+  s.drop = 0.0 && s.duplicate = 0.0 && s.gray = [] && s.partitions = []
+  && not s.drop_tokens
+
+type pin_kind =
+  | Pin_drop
+  | Pin_dup
+  | Pin_partition of { span : int; symmetric : bool }
+
+type pin = { pin_shard : int; kind : pin_kind }
+
+type stats = {
+  attempts : int;
+  drops : int;
+  duplicates : int;
+  timeouts : int;
+  ticks : int;
+}
+
+type t = {
+  spec : spec;
+  mutable window_start : int;  (* first op index of the current window *)
+  mutable window_len : int;
+  mutable msg : int;  (* messages ever attempted (keyed-hash freshness) *)
+  mutable pins : (int * pin) list;  (* (op index, pin), unordered *)
+  mutable live_partitions : partition list;
+      (* spec partitions plus any opened by a Pin_partition *)
+  mutable attempts : int;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable timeouts : int;
+  mutable ticks : int;
+}
+
+let create spec =
+  { spec; window_start = 0; window_len = 1; msg = 0; pins = [];
+    live_partitions = spec.partitions; attempts = 0; drops = 0;
+    duplicates = 0; timeouts = 0; ticks = 0 }
+
+let spec_of t = t.spec
+let drop_tokens t = t.spec.drop_tokens
+
+let stats t =
+  { attempts = t.attempts; drops = t.drops; duplicates = t.duplicates;
+    timeouts = t.timeouts; ticks = t.ticks }
+
+let inject t ~at pin = t.pins <- (at, pin) :: t.pins
+
+(* Advance the logical clock to the window [start, start + len): a
+   single client op is a window of length 1, a scatter-gathered batch
+   covers its whole key span so schedule events pinned anywhere inside
+   it take effect. Pinned partitions whose op falls in the window open
+   here. *)
+let set_window t ~start ~len =
+  t.window_start <- start;
+  t.window_len <- max 1 len;
+  List.iter
+    (fun (at, pin) ->
+      match pin.kind with
+      | Pin_partition { span; symmetric } ->
+        if at >= start && at < start + t.window_len then
+          t.live_partitions <-
+            { shard = pin.pin_shard; from_op = at; to_op = at + span;
+              symmetric }
+            :: t.live_partitions
+      | Pin_drop | Pin_dup -> ())
+    t.pins
+
+let window_start t = t.window_start
+
+let pinned t ~shard kind_match =
+  List.exists
+    (fun (at, pin) ->
+      pin.pin_shard = shard
+      && at >= t.window_start
+      && at < t.window_start + t.window_len
+      && kind_match pin.kind)
+    t.pins
+
+let active_partition t ~shard =
+  List.find_opt
+    (fun p ->
+      p.shard = shard
+      && p.from_op < t.window_start + t.window_len
+      && t.window_start < p.to_op)
+    t.live_partitions
+
+(* Per-attempt timeout ladder: fixed exponential, no jitter — the
+   cutoff a waiting router charges itself when the reply never lands. *)
+let timeout spec ~attempt = spec.timeout_base lsl min attempt 6
+
+(* Seeded exponential backoff before retry [attempt + 1]: exponential
+   base plus a keyed jitter so synchronized retries spread out, yet the
+   whole schedule is a pure function of (seed, op, attempt). *)
+let backoff spec ~op ~attempt =
+  (spec.timeout_base lsl min attempt 6)
+  + (Prng.hash3 ~seed:(spec.seed + 0xb4c0ff) op attempt 0
+     mod spec.timeout_base)
+
+let resolution = 1 lsl 30
+
+let keyed_hit ~seed ~salt ~prob a b =
+  prob > 0.0
+  && (let h = Prng.hash3 ~seed:(seed + salt) a b 0 land (resolution - 1) in
+      float_of_int h < prob *. float_of_int resolution)
+
+type delivery = {
+  request_delivered : bool;
+  replied : bool;
+  duplicate_lag : int option;
+  cost : int;
+}
+
+(* One attempt of one logical exchange with [shard]. Pure in the keyed
+   hashes of a fresh message id, so the schedule does not depend on
+   float evaluation order; every call charges its cost into the
+   transport's own tick counter — the independent total the cluster's
+   sanitizer check compares its charged rounds against. *)
+let attempt t ~shard ~write ~attempt:a =
+  let s = t.spec in
+  let msg = t.msg in
+  t.msg <- msg + 1;
+  t.attempts <- t.attempts + 1;
+  let lost_request, lost_reply =
+    match active_partition t ~shard with
+    | Some p when p.symmetric -> (true, true)
+    | Some _ -> (false, true)  (* asymmetric: requests pass, replies die *)
+    | None ->
+      let pin_dropped =
+        a = 0 && pinned t ~shard (fun k -> k = Pin_drop)
+      in
+      ( pin_dropped || keyed_hit ~seed:s.seed ~salt:0 ~prob:s.drop msg shard,
+        keyed_hit ~seed:s.seed ~salt:0x4e9d ~prob:s.drop msg shard )
+  in
+  let latency =
+    match List.assoc_opt shard s.gray with
+    | Some factor -> factor
+    | None -> 0
+  in
+  let cutoff = timeout s ~attempt:a in
+  if lost_request then begin
+    t.drops <- t.drops + 1;
+    t.timeouts <- t.timeouts + 1;
+    t.ticks <- t.ticks + cutoff;
+    { request_delivered = false; replied = false; duplicate_lag = None;
+      cost = cutoff }
+  end
+  else begin
+    let duplicate_lag =
+      if
+        write
+        && (pinned t ~shard (fun k -> k = Pin_dup)
+            || keyed_hit ~seed:s.seed ~salt:0xd0b1e ~prob:s.duplicate msg
+                 shard)
+      then begin
+        t.duplicates <- t.duplicates + 1;
+        (* redelivery lands at least two windows later, bounded by the
+           reorder window, so an interleaved overwrite can expose a
+           missing idempotency check *)
+        Some
+          (2
+           + (Prng.hash3 ~seed:(s.seed + 0x5e0) msg shard 1
+              mod max 1 s.reorder_window))
+      end
+      else None
+    in
+    let replied = (not lost_reply) && latency <= cutoff in
+    let cost = if replied then latency else cutoff in
+    if not replied then t.timeouts <- t.timeouts + 1;
+    t.ticks <- t.ticks + cost;
+    { request_delivered = true; replied; duplicate_lag; cost }
+  end
+
+let charge_backoff t ~op ~attempt:a =
+  let b = backoff t.spec ~op ~attempt:a in
+  t.ticks <- t.ticks + b;
+  b
+
+let ticks t = t.ticks

@@ -1,0 +1,134 @@
+(** Deterministic message plane between the cluster router and its
+    shards.
+
+    Every router↔shard exchange is an explicit message pair (request
+    out, reply back) pushed through a seeded fault plane in the
+    {!Pdm_sim.Fault} style: drops, duplicates (redelivered out of
+    order within a bounded window), symmetric and asymmetric
+    partitions pinned to op-index spans, and gray slow shards whose
+    replies outlive the per-attempt timeout. Whether a given message
+    survives is a pure function of keyed hashes of (seed, message id,
+    shard) — no mutable randomness — so a schedule replays bit for bit
+    and never depends on evaluation order.
+
+    The transport also owns the {e time} story: per-attempt timeouts
+    follow a fixed exponential ladder, retry backoff is seeded
+    exponential-plus-jitter, and every tick it assesses accumulates in
+    its own counter ({!ticks}) — the independently recomputed total the
+    cluster's sanitizer check compares its charged rounds against. *)
+
+type partition = {
+  shard : int;  (** The shard cut off from the router. *)
+  from_op : int;  (** First op index affected (inclusive). *)
+  to_op : int;  (** First op index healed (exclusive). *)
+  symmetric : bool;
+      (** [true]: requests and replies both die. [false] (asymmetric):
+          requests reach the shard — writes {e apply} — but every
+          reply is lost, the gray case idempotency tokens exist for. *)
+}
+
+type spec = {
+  seed : int;
+  drop : float;  (** Per-message loss probability, each direction. *)
+  duplicate : float;  (** Per-delivered-write duplication probability. *)
+  reorder_window : int;
+      (** Max extra op windows a duplicate lags before redelivery. *)
+  gray : (int * int) list;
+      (** [(shard, latency)]: every reply takes [latency] ticks; the
+          shard looks dead until the timeout ladder outgrows it. *)
+  partitions : partition list;
+  max_attempts : int;  (** Retry budget per shard per exchange. *)
+  timeout_base : int;  (** Ticks before attempt 0 is declared lost. *)
+  hedge_after : int;
+      (** Failed attempts on a shard before a read hedges to the next
+          replica; [-1] disables hedging. *)
+  drop_tokens : bool;
+      (** The seeded fault-injection control: deliver duplicates
+          without their idempotency token so retried/duplicated writes
+          re-apply — exploration must catch the divergence. *)
+}
+
+val perfect : spec
+(** No faults: drop 0, duplicate 0, no gray shards, no partitions,
+    4 attempts, timeout base 2, hedge after 1 miss. A cluster on
+    [perfect] answers and charges exactly like one with no transport. *)
+
+val spec :
+  ?seed:int -> ?drop:float -> ?duplicate:float -> ?reorder_window:int ->
+  ?gray:(int * int) list -> ?partitions:partition list ->
+  ?max_attempts:int -> ?timeout_base:int -> ?hedge_after:int ->
+  ?drop_tokens:bool -> unit -> spec
+(** Validated builder (defaults = {!perfect}). Raises
+    [Invalid_argument] on out-of-range probabilities (drop and
+    duplicate capped at 0.2 so bounded retries still converge),
+    windows, budgets or partition spans. *)
+
+val is_noop : spec -> bool
+
+(** {1 Schedule pins}
+
+    Exploration pins individual message faults to op indices; the
+    cluster injects them with {!inject} as the differential runner
+    fires schedule events. *)
+
+type pin_kind =
+  | Pin_drop  (** Drop attempt 0's request during the pinned op. *)
+  | Pin_dup  (** Duplicate the first delivered write of the pinned op. *)
+  | Pin_partition of { span : int; symmetric : bool }
+      (** Open a partition lasting [span] op windows. *)
+
+type pin = { pin_shard : int; kind : pin_kind }
+
+type t
+
+val create : spec -> t
+
+val spec_of : t -> spec
+val drop_tokens : t -> bool
+
+val inject : t -> at:int -> pin -> unit
+
+val set_window : t -> start:int -> len:int -> unit
+(** Advance the logical op clock: a single client op is a window of
+    length 1, a batch covers its whole span. Pins inside the window
+    take effect; pinned partitions open here. *)
+
+val window_start : t -> int
+
+type delivery = {
+  request_delivered : bool;  (** The shard saw (and applied) it. *)
+  replied : bool;  (** The router got the answer within the timeout. *)
+  duplicate_lag : int option;
+      (** [Some lag]: the network will redeliver this write [lag] op
+          windows from now — the caller queues the replay. *)
+  cost : int;  (** Ticks this attempt charges (latency or timeout). *)
+}
+
+val attempt : t -> shard:int -> write:bool -> attempt:int -> delivery
+(** One attempt of one logical exchange. Counts every assessed tick
+    into {!ticks}. *)
+
+val timeout : spec -> attempt:int -> int
+(** The per-attempt cutoff: [timeout_base * 2^attempt], capped. *)
+
+val backoff : spec -> op:int -> attempt:int -> int
+(** Seeded exponential backoff (with keyed jitter) charged before
+    retry [attempt + 1] — a pure function of (seed, op, attempt). *)
+
+val charge_backoff : t -> op:int -> attempt:int -> int
+(** {!backoff}, also accumulated into {!ticks}. *)
+
+val ticks : t -> int
+(** Every tick the transport ever assessed (timeouts, latencies,
+    backoffs) — the independent total the cluster's net-round charge
+    must equal, sanitizer-checked. *)
+
+type stats = {
+  attempts : int;
+  drops : int;
+  duplicates : int;
+  timeouts : int;
+  ticks : int;
+}
+
+val stats : t -> stats

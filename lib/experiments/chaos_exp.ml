@@ -1,0 +1,172 @@
+module Topology = Pdm_cluster.Topology
+module Cluster = Pdm_cluster.Cluster
+module Transport = Pdm_cluster.Transport
+
+type variant = {
+  label : string;
+  answered : int;
+  availability : float;
+  matches_baseline : bool;
+  mean_rounds : float;
+  p99_rounds : int;
+  max_rounds : int;
+  retries : int;
+  hedges : int;
+  failovers : int;
+  suspicions : int;
+  heals : int;
+  queued_repairs : int;
+  charge_agrees : bool;
+}
+
+type result = {
+  keys : int;
+  shards : int;
+  replicas : int;
+  drop : float;
+  dup : float;
+  partition_shard : int;
+  partition_span : int;
+  hedged : variant;
+  unhedged : variant;
+  hedged_ok : bool;
+  unhedged_ok : bool;
+  tail_improved : bool;
+}
+
+let payload_bytes = 8
+let value_of k = Common.value_bytes_of payload_bytes k
+
+let cluster_config ~n ~replicas ~shards ~seed ~net =
+  { Cluster.default_config with
+    Cluster.replicas;
+    shard_capacity = max 256 (3 * n * replicas / shards);
+    seed; net }
+
+let populate c n =
+  for k = 0 to n - 1 do
+    Cluster.insert c (k * 3) (value_of (k * 3))
+  done
+
+(* the fault-free reference answers: what every faulted variant must
+   still serve, byte for byte *)
+let baseline_answers ~n ~shards ~replicas ~seed =
+  let c =
+    Cluster.create
+      ~config:(cluster_config ~n ~replicas ~shards ~seed ~net:None)
+      (Topology.standard ~shards)
+  in
+  populate c n;
+  Array.init n (fun k -> Cluster.find c (k * 3))
+
+(* One faulted variant: populate under 5% drop + 5% duplication, then
+   sweep every key while a symmetric partition cuts one shard off
+   mid-sweep and heals before the end. Per-read network rounds are the
+   cluster's charged [net_rounds] delta, so the tail directly compares
+   the hedged and unhedged retry policies. *)
+let run_variant ~label ~n ~shards ~replicas ~seed ~drop ~dup ~hedge
+    ~partition_shard ~partition_span baseline =
+  let spec =
+    Transport.spec ~seed ~drop ~duplicate:dup ~reorder_window:3
+      ~max_attempts:6
+      ~hedge_after:(if hedge then 1 else -1)
+      ()
+  in
+  let c =
+    Cluster.create
+      ~config:(cluster_config ~n ~replicas ~shards ~seed ~net:(Some spec))
+      (Topology.standard ~shards)
+  in
+  populate c n;
+  let rounds = Array.make n 0 in
+  let answered = ref 0 and matches = ref true in
+  for k = 0 to n - 1 do
+    (* cut the shard off a third of the way into the sweep; the span
+       heals it well before the sweep ends *)
+    if k = n / 3 then
+      Cluster.inject_net c
+        { Transport.pin_shard = partition_shard;
+          kind = Transport.Pin_partition { span = partition_span;
+                                           symmetric = true } };
+    let before = (Cluster.stats c).Cluster.net_rounds in
+    (match Cluster.find c (k * 3) with
+     | answer ->
+       incr answered;
+       let expected = baseline.(k) in
+       let same =
+         match (answer, expected) with
+         | Some a, Some b -> Bytes.equal a b
+         | None, None -> true
+         | _ -> false
+       in
+       if not same then matches := false
+     | exception (Cluster.Unavailable _ | Cluster.Retries_exhausted _) -> ());
+    rounds.(k) <- (Cluster.stats c).Cluster.net_rounds - before
+  done;
+  let st = Cluster.stats c in
+  let charge_agrees =
+    match Cluster.transport_stats c with
+    | Some ts -> ts.Transport.ticks = st.Cluster.net_rounds
+    | None -> false
+  in
+  let sorted = Array.copy rounds in
+  Array.sort compare sorted;
+  let total = Array.fold_left ( + ) 0 rounds in
+  { label; answered = !answered;
+    availability = float_of_int !answered /. float_of_int n;
+    matches_baseline = !matches;
+    mean_rounds = float_of_int total /. float_of_int n;
+    p99_rounds = sorted.(99 * (n - 1) / 100);
+    max_rounds = sorted.(n - 1);
+    retries = st.Cluster.retries; hedges = st.Cluster.hedges;
+    failovers = st.Cluster.failovers; suspicions = st.Cluster.suspicions;
+    heals = st.Cluster.heals; queued_repairs = st.Cluster.queued_repairs;
+    charge_agrees }
+
+let run ?(n = 2000) ?(seed = 42) () =
+  let shards = 6 and replicas = 2 in
+  let drop = 0.05 and dup = 0.05 in
+  let partition_shard = seed mod shards and partition_span = 200 in
+  let baseline = baseline_answers ~n ~shards ~replicas ~seed in
+  let variant ~label ~hedge =
+    run_variant ~label ~n ~shards ~replicas ~seed ~drop ~dup ~hedge
+      ~partition_shard ~partition_span baseline
+  in
+  let hedged = variant ~label:"hedged" ~hedge:true in
+  let unhedged = variant ~label:"unhedged" ~hedge:false in
+  let ok v = v.availability >= 1.0 && v.matches_baseline && v.charge_agrees in
+  { keys = n; shards; replicas; drop; dup; partition_shard; partition_span;
+    hedged; unhedged; hedged_ok = ok hedged; unhedged_ok = ok unhedged;
+    tail_improved = hedged.p99_rounds <= unhedged.p99_rounds }
+
+let to_table r =
+  let b = function true -> "yes" | false -> "NO" in
+  let vrow name f = [ name; f r.hedged; f r.unhedged ] in
+  Table.make
+    ~title:"E21: chaos — availability under message faults"
+    ~header:[ "metric"; "hedged"; "unhedged" ]
+    ~notes:
+      [ Printf.sprintf
+          "%d keys on %d shards, r=%d; %.0f%% drop + %.0f%% duplication \
+           each way; a symmetric partition cuts shard %d off for %d op \
+           windows mid-sweep, then heals"
+          r.keys r.shards r.replicas (100. *. r.drop) (100. *. r.dup)
+          r.partition_shard r.partition_span;
+        "rounds are the router's charged network ticks per read \
+         (timeouts, latency, backoff); the charge row checks the \
+         router's total equals the transport's independent count" ]
+    [ vrow "availability" (fun v -> Table.fcell v.availability);
+      vrow "availability = 1.0" (fun v -> b (v.availability >= 1.0));
+      vrow "answers match fault-free" (fun v -> b v.matches_baseline);
+      vrow "mean net rounds / read" (fun v -> Table.fcell v.mean_rounds);
+      vrow "p99 net rounds / read" (fun v -> Table.icell v.p99_rounds);
+      vrow "max net rounds / read" (fun v -> Table.icell v.max_rounds);
+      vrow "retries" (fun v -> Table.icell v.retries);
+      vrow "hedged fallbacks" (fun v -> Table.icell v.hedges);
+      vrow "failover reads" (fun v -> Table.icell v.failovers);
+      vrow "suspicions raised" (fun v -> Table.icell v.suspicions);
+      vrow "suspicions healed" (fun v -> Table.icell v.heals);
+      vrow "writes parked for repair" (fun v -> Table.icell v.queued_repairs);
+      vrow "router charge = transport ticks" (fun v -> b v.charge_agrees);
+      [ "variant ok"; b r.hedged_ok; b r.unhedged_ok ];
+      [ "hedging improves p99 tail"; b r.tail_improved; "" ] ]

@@ -1,0 +1,50 @@
+(** E21: chaos — cluster availability and read tail under deterministic
+    message faults.
+
+    A fault-free cluster supplies the reference answers; two faulted
+    variants (hedged reads on, hedging off) then serve the same sweep
+    under 5% per-direction message drop, 5% write duplication, and a
+    symmetric partition that cuts one shard off mid-sweep and heals.
+    With replicas >= 2 both variants must answer {e every} read
+    (availability 1.0) with answers byte-identical to the fault-free
+    run; the hedged variant must beat (or match) the unhedged p99
+    per-read network-round tail, and each router's charged network
+    rounds must equal the transport's independently assessed tick
+    total — the same cross-check the sanitizer enforces. *)
+
+type variant = {
+  label : string;
+  answered : int;
+  availability : float;
+  matches_baseline : bool;
+  mean_rounds : float;
+  p99_rounds : int;
+  max_rounds : int;
+  retries : int;
+  hedges : int;
+  failovers : int;
+  suspicions : int;
+  heals : int;
+  queued_repairs : int;
+  charge_agrees : bool;
+}
+
+type result = {
+  keys : int;
+  shards : int;
+  replicas : int;
+  drop : float;
+  dup : float;
+  partition_shard : int;
+  partition_span : int;
+  hedged : variant;
+  unhedged : variant;
+  hedged_ok : bool;
+  unhedged_ok : bool;
+  tail_improved : bool;
+}
+
+val run : ?n:int -> ?seed:int -> unit -> result
+(** Defaults: 2000 keys, seed 42, 6 shards, 2 replicas. *)
+
+val to_table : result -> Table.t

@@ -333,7 +333,7 @@ let schedule t ~op ~addrs ~perform ~on_fail =
      | Some tr ->
        Trace.record tr
          { Trace.round = round_id; op; per_disk; retries = !retries;
-           degraded = !degraded; shard = Trace.shard tr });
+           degraded = !degraded; shard = Trace.shard tr; attempt = 0 });
     add_disk_blocks t ~op per_disk
   done;
   !rounds_used

@@ -7,6 +7,7 @@ type event = {
   retries : int;
   degraded : bool;
   shard : int;
+  attempt : int;  (* 0 = machine round; n >= 1 = nth network attempt *)
 }
 
 type t = {
@@ -70,10 +71,10 @@ let op_name = function Read -> "read" | Write -> "write"
 
 let event_to_json e =
   Printf.sprintf
-    {|{"round":%d,"op":"%s","per_disk":[%s],"retries":%d,"degraded":%b,"shard":%d}|}
+    {|{"round":%d,"op":"%s","per_disk":[%s],"retries":%d,"degraded":%b,"shard":%d,"attempt":%d}|}
     e.round (op_name e.op)
     (String.concat "," (Array.to_list (Array.map string_of_int e.per_disk)))
-    e.retries e.degraded e.shard
+    e.retries e.degraded e.shard e.attempt
 
 (* A tiny scanner for exactly the object shape we emit. Fields may
    appear in any order; whitespace between tokens is tolerated. *)
@@ -117,9 +118,10 @@ let event_of_json line =
   in
   let round = ref None and op = ref None and per_disk = ref None in
   let retries = ref None and degraded = ref None in
-  (* [shard] was added after the first JSONL format shipped: absent
-     means shard 0, so pre-cluster trace files stay parseable *)
+  (* [shard] and [attempt] were added after the first JSONL format
+     shipped: absent means 0, so older trace files stay parseable *)
   let shard = ref 0 in
+  let attempt = ref 0 in
   let field () =
     match scan_string () with
     | None -> false
@@ -137,6 +139,10 @@ let event_of_json line =
           | "shard" ->
             (match scan_int () with
              | Some v when v >= 0 -> shard := v; true
+             | Some _ | None -> false)
+          | "attempt" ->
+            (match scan_int () with
+             | Some v when v >= 0 -> attempt := v; true
              | Some _ | None -> false)
           | "op" ->
             (match scan_string () with
@@ -186,7 +192,9 @@ let event_of_json line =
   else
     match (!round, !op, !per_disk, !retries, !degraded) with
     | Some round, Some op, Some per_disk, Some retries, Some degraded ->
-      Some { round; op; per_disk; retries; degraded; shard = !shard }
+      Some
+        { round; op; per_disk; retries; degraded; shard = !shard;
+          attempt = !attempt }
     | _ -> None
 
 let export_jsonl t path =
@@ -242,9 +250,11 @@ let load_jsonl_result path =
   | exception Malformed_line err -> Error err
 
 let pp_event ppf (e : event) =
-  Format.fprintf ppf "%sround %d %s [%s]%s%s"
+  Format.fprintf ppf "%sround %d %s [%s]%s%s%s"
     (if e.shard > 0 then Printf.sprintf "shard %d " e.shard else "")
     e.round (op_name e.op)
     (String.concat ";" (Array.to_list (Array.map string_of_int e.per_disk)))
     (if e.retries > 0 then Printf.sprintf " %d retried" e.retries else "")
     (if e.degraded then " (degraded)" else "")
+    (if e.attempt > 0 then Printf.sprintf " (net attempt %d)" e.attempt
+     else "")

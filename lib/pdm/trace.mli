@@ -26,6 +26,10 @@ type event = {
       (** Which cluster shard's machine recorded the round (0 for a
           standalone machine), so per-shard traces merge without
           ambiguity. *)
+  attempt : int;
+      (** 0 for an ordinary machine round; [n >= 1] marks the [n]-th
+          network attempt of a cluster exchange that timed out and was
+          retried — the transport's retry audit trail. *)
 }
 
 type t
@@ -63,13 +67,13 @@ val per_disk_totals : event list -> int array * int array
 
 val event_to_json : event -> string
 (** One-line JSON object, e.g.
-    [{"round":3,"op":"read","per_disk":[1,0,2],"retries":1,"degraded":true,"shard":0}]. *)
+    [{"round":3,"op":"read","per_disk":[1,0,2],"retries":1,"degraded":true,"shard":0,"attempt":0}]. *)
 
 val event_of_json : string -> event option
 (** Inverse of {!event_to_json} (accepts exactly the shape it emits,
-    with flexible whitespace). A missing ["shard"] field defaults to
-    0, so trace files written before the shard tag existed still
-    parse. [None] on malformed input. *)
+    with flexible whitespace). Missing ["shard"] / ["attempt"] fields
+    default to 0, so trace files written before those tags existed
+    still parse. [None] on malformed input. *)
 
 val export_jsonl : t -> string -> unit
 (** Write all held events, oldest first, one JSON object per line. *)

@@ -21,6 +21,11 @@ type t = {
   seed : int;
   shards : int;  (* cluster only: shard count (0 elsewhere) *)
   migrate_at : int;  (* cluster only: add a shard before op #n (-1 = never) *)
+  net : bool;  (* cluster only: route exchanges through the transport *)
+  net_drop : float;  (* per-message loss probability *)
+  net_dup : float;  (* per-delivered-write duplication probability *)
+  net_reorder : int;  (* duplicate redelivery window bound *)
+  net_hedge : bool;  (* hedged reads (fail over after 1 miss) *)
 }
 
 let sut_to_string = function
@@ -44,7 +49,8 @@ let default sut =
     spares = 0; integrity = false; buggy = false; transient = 0.0;
     straggle = 1; block_words = 32; universe = 1 lsl 14; capacity = 96;
     value_bytes = 8; seed = 1; shards = (if sut = Cluster then 3 else 0);
-    migrate_at = -1 }
+    migrate_at = -1; net = false; net_drop = 0.05; net_dup = 0.05;
+    net_reorder = 3; net_hedge = true }
 
 let is_static cfg = cfg.sut = One_probe_static
 
@@ -65,8 +71,10 @@ let validate cfg =
     err "cache_blocks requires the engine"
   else if cfg.journaled && not (supports_journal { cfg with journaled = false })
   then err "journaling is supported by the dynamic/cascade direct paths only"
-  else if cfg.buggy && not cfg.journaled then
-    err "the buggy adapter drops journal commits: it requires --journal"
+  else if cfg.buggy && not (cfg.journaled || cfg.net) then
+    err
+      "the buggy adapter drops journal commits (or, under --net, \
+       idempotency tokens): it requires --journal or --net"
   else if cfg.integrity && cfg.sut <> Basic then
     err "the integrity envelope is wired up for the basic dictionary only"
   else if (cfg.transient > 0.0 || cfg.straggle > 1) && cfg.sut <> Basic then
@@ -89,6 +97,16 @@ let validate cfg =
   else if cfg.migrate_at >= 0 && cfg.sut <> Cluster then
     err "migrate_at applies to the cluster sut only"
   else if cfg.migrate_at < -1 then err "migrate_at must be >= -1 (-1 = never)"
+  else if cfg.net && cfg.sut <> Cluster then
+    err "the message transport applies to the cluster sut only"
+  else if cfg.net && cfg.replicas < 2 then
+    err "net faults need replicas >= 2 to keep every key available"
+  else if cfg.net_drop < 0.0 || cfg.net_drop > 0.2 then
+    err "net_drop must be in [0, 0.2] (bounded retries must converge)"
+  else if cfg.net_dup < 0.0 || cfg.net_dup > 0.2 then
+    err "net_dup must be in [0, 0.2]"
+  else if cfg.net_reorder < 1 || cfg.net_reorder > 16 then
+    err "net_reorder must be in [1, 16]"
   else if cfg.capacity < 8 then err "capacity must be >= 8"
   else if cfg.universe < 4 * cfg.capacity then
     err "universe must be >= 4 * capacity"
@@ -99,6 +117,10 @@ let describe cfg =
     [ sut_to_string cfg.sut;
       (if cfg.shards > 0 then Printf.sprintf "x%d" cfg.shards else "");
       (if cfg.migrate_at >= 0 then Printf.sprintf "+mig@%d" cfg.migrate_at
+       else "");
+      (if cfg.net then
+         Printf.sprintf "+net(drop%g,dup%g%s)" cfg.net_drop cfg.net_dup
+           (if cfg.net_hedge then "" else ",nohedge")
        else "");
       (if cfg.engine then "+engine" else "");
       (if cfg.cache_blocks > 0 then
@@ -132,7 +154,12 @@ let to_json cfg =
       ("value_bytes", J.Int cfg.value_bytes);
       ("seed", J.Int cfg.seed);
       ("shards", J.Int cfg.shards);
-      ("migrate_at", J.Int cfg.migrate_at) ]
+      ("migrate_at", J.Int cfg.migrate_at);
+      ("net", J.Bool cfg.net);
+      ("net_drop", J.Float cfg.net_drop);
+      ("net_dup", J.Float cfg.net_dup);
+      ("net_reorder", J.Int cfg.net_reorder);
+      ("net_hedge", J.Bool cfg.net_hedge) ]
 
 let of_json j =
   let ( let* ) o f = Option.bind o f in
@@ -161,10 +188,24 @@ let of_json j =
     in
     let* shards = opt_int "shards" ~default:0 in
     let* migrate_at = opt_int "migrate_at" ~default:(-1) in
+    let opt_bool name ~default =
+      match J.member name j with None -> Some default | Some v -> J.get_bool v
+    in
+    let opt_float name ~default =
+      match J.member name j with
+      | None -> Some default
+      | Some v -> J.get_float v
+    in
+    let* net = opt_bool "net" ~default:false in
+    let* net_drop = opt_float "net_drop" ~default:0.05 in
+    let* net_dup = opt_float "net_dup" ~default:0.05 in
+    let* net_reorder = opt_int "net_reorder" ~default:3 in
+    let* net_hedge = opt_bool "net_hedge" ~default:true in
     Some
       { sut; engine; cache_blocks; journaled; replicas; spares; integrity;
         buggy; transient; straggle; block_words; universe; capacity;
-        value_bytes; seed; shards; migrate_at }
+        value_bytes; seed; shards; migrate_at; net; net_drop; net_dup;
+        net_reorder; net_hedge }
   with
   | Some cfg ->
     (match validate cfg with

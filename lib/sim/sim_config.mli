@@ -23,7 +23,10 @@ type t = {
           unreplicated; availability comes from shard placement) *)
   spares : int;
   integrity : bool;  (** checksum envelope (basic only) *)
-  buggy : bool;  (** seeded bug: drop journal commit records (tests) *)
+  buggy : bool;
+      (** seeded bug: drop journal commit records — or, on a cluster
+          with [net], drop idempotency tokens so duplicated writes
+          re-apply (exploration must catch either) *)
   transient : float;  (** transient read-fault probability (basic only) *)
   straggle : int;  (** straggle factor on one disk (basic only; 1 = off) *)
   block_words : int;
@@ -35,6 +38,18 @@ type t = {
   migrate_at : int;
       (** [Cluster] only: run an add-shard migration just before op
           #[migrate_at] of the stream (-1 = never) *)
+  net : bool;
+      (** [Cluster] only: route every router↔shard exchange through
+          the deterministic message transport (requires
+          [replicas >= 2]); schedules may then pin message faults *)
+  net_drop : float;  (** per-message loss probability, in [0, 0.2] *)
+  net_dup : float;
+      (** per-delivered-write duplication probability, in [0, 0.2] *)
+  net_reorder : int;
+      (** max extra op windows a duplicate lags, in [1, 16] *)
+  net_hedge : bool;
+      (** hedged reads: fall over to the next replica after one missed
+          reply instead of burning the whole retry budget in place *)
 }
 
 val default : sut -> t
@@ -63,8 +78,8 @@ val to_json : t -> Sim_json.t
 
 val of_json : Sim_json.t -> (t, string) result
 (** Fields introduced after the first repro format ([shards],
-    [migrate_at]) default when absent, so old repro files replay
-    unchanged. *)
+    [migrate_at], the [net_*] family) default when absent, so old
+    repro files replay unchanged. *)
 
 val gen_spec : ?count:int -> ?dist:Sim_gen.dist -> t -> Sim_gen.spec
 (** The workload-generator spec this config implies (population at

@@ -80,7 +80,49 @@ let candidates (cfg : Sim_config.t) ops ~max_partial =
         spots
     else []
   in
-  let all = [] :: (crash @ kills @ damages) in
+  let nets =
+    (* message-level faults: drops and duplicates pinned to individual
+       ops across every shard, and partitions — symmetric and
+       asymmetric — spanning a few op windows, including one bracketing
+       the armed migration so the router is cut off from a shard
+       mid-plan *)
+    if not cfg.net then []
+    else begin
+      let shards = List.init cfg.shards (fun s -> s) in
+      let singles =
+        List.concat_map
+          (fun at ->
+            List.concat_map
+              (fun shard ->
+                [ [ Sim_schedule.Net_drop { at; shard } ];
+                  [ Sim_schedule.Net_dup { at; shard } ] ])
+              shards)
+          spots
+      in
+      let part_spots =
+        List.filter (fun i -> i mod 11 = 5) (List.init n (fun i -> i))
+      in
+      let part_spots =
+        if cfg.migrate_at >= 1 then (cfg.migrate_at - 1) :: part_spots
+        else part_spots
+      in
+      let parts =
+        List.concat_map
+          (fun at ->
+            List.concat_map
+              (fun shard ->
+                List.map
+                  (fun symmetric ->
+                    [ Sim_schedule.Net_partition
+                        { at; shard; span = 8; symmetric } ])
+                  [ true; false ])
+              shards)
+          part_spots
+      in
+      singles @ parts
+    end
+  in
+  let all = [] :: (crash @ kills @ damages @ nets) in
   let seen = Hashtbl.create 97 in
   List.filter
     (fun s ->

@@ -11,6 +11,11 @@
       and followed by a scrub;
     - for replicated or checksummed configs, stored-block damage at
       sampled indices, alone and followed by a scrub;
+    - for cluster configs with a transport ([net]), message-level
+      faults: pinned request drops and write duplications at sampled
+      indices on every shard, plus symmetric and asymmetric partitions
+      spanning several op windows — including one opening just before
+      an armed migration, so the router loses a shard mid-plan;
 
     dedupe it, and run every schedule through the differential
     checker — or, when the space exceeds the budget, a seeded

@@ -1,6 +1,7 @@
 module Pdm = Pdm_sim.Pdm
 module Journal = Pdm_sim.Journal
 module Backend = Pdm_sim.Backend
+module Transport = Pdm_cluster.Transport
 module W = Pdm_workload.Trace
 
 type divergence = { at : int; kind : string; detail : string }
@@ -102,6 +103,13 @@ let fire_kill st disk =
     let m = st.sut.Sim_sut.machine in
     let total = Pdm.physical_disks m in
     if total > 0 then Pdm.kill_disk m (disk mod total)
+
+let fire_net st ~at pin =
+  match st.sut.Sim_sut.inject_net with
+  | Some inject -> inject pin
+  | None ->
+    diverge st ~at ~kind:"schedule"
+      "net event on an adapter without a transport"
 
 let fire_damage st nth =
   let m = st.sut.Sim_sut.machine in
@@ -243,6 +251,16 @@ let run (cfg : Sim_config.t) (schedule : Sim_schedule.t) ops =
         | Sim_schedule.Kill { at; disk } when at = i -> Some (`Kill disk)
         | Sim_schedule.Damage { at; nth } when at = i -> Some (`Damage nth)
         | Sim_schedule.Scrub { at } when at = i -> Some `Scrub
+        | Sim_schedule.Net_drop { at; shard } when at = i ->
+          Some (`Net { Transport.pin_shard = shard; kind = Transport.Pin_drop })
+        | Sim_schedule.Net_dup { at; shard } when at = i ->
+          Some (`Net { Transport.pin_shard = shard; kind = Transport.Pin_dup })
+        | Sim_schedule.Net_partition { at; shard; span; symmetric }
+          when at = i ->
+          Some
+            (`Net
+               { Transport.pin_shard = shard;
+                 kind = Transport.Pin_partition { span; symmetric } })
         | _ -> None)
       schedule
   in
@@ -279,7 +297,8 @@ let run (cfg : Sim_config.t) (schedule : Sim_schedule.t) ops =
         (function
           | `Kill disk -> fire_kill st disk
           | `Damage nth -> fire_damage st nth
-          | `Scrub -> fire_scrub st ~at)
+          | `Scrub -> fire_scrub st ~at
+          | `Net pin -> fire_net st ~at pin)
         (pre_events at);
       (* batch maximal runs of event-free consecutive lookups so the
          engine path sees real multi-request batches *)

@@ -5,11 +5,15 @@ type event =
   | Kill of { at : int; disk : int }
   | Damage of { at : int; nth : int }
   | Scrub of { at : int }
+  | Net_drop of { at : int; shard : int }
+  | Net_dup of { at : int; shard : int }
+  | Net_partition of { at : int; shard : int; span : int; symmetric : bool }
 
 type t = event list
 
 let at = function
-  | Crash { at; _ } | Kill { at; _ } | Damage { at; _ } | Scrub { at } -> at
+  | Crash { at; _ } | Kill { at; _ } | Damage { at; _ } | Scrub { at }
+  | Net_drop { at; _ } | Net_dup { at; _ } | Net_partition { at; _ } -> at
 
 let with_at event at =
   match event with
@@ -17,6 +21,9 @@ let with_at event at =
   | Kill k -> Kill { k with at }
   | Damage d -> Damage { d with at }
   | Scrub _ -> Scrub { at }
+  | Net_drop d -> Net_drop { d with at }
+  | Net_dup d -> Net_dup { d with at }
+  | Net_partition p -> Net_partition { p with at }
 
 let canonical events =
   let rank = function
@@ -24,6 +31,9 @@ let canonical events =
     | Kill _ -> 1
     | Damage _ -> 2
     | Scrub _ -> 3
+    | Net_drop _ -> 4
+    | Net_dup _ -> 5
+    | Net_partition _ -> 6
   in
   List.stable_sort
     (fun a b ->
@@ -71,6 +81,19 @@ let event_to_json = function
     J.Obj
       [ ("event", J.String "damage"); ("at", J.Int at); ("nth", J.Int nth) ]
   | Scrub { at } -> J.Obj [ ("event", J.String "scrub"); ("at", J.Int at) ]
+  | Net_drop { at; shard } ->
+    J.Obj
+      [ ("event", J.String "net_drop"); ("at", J.Int at);
+        ("shard", J.Int shard) ]
+  | Net_dup { at; shard } ->
+    J.Obj
+      [ ("event", J.String "net_dup"); ("at", J.Int at);
+        ("shard", J.Int shard) ]
+  | Net_partition { at; shard; span; symmetric } ->
+    J.Obj
+      [ ("event", J.String "net_partition"); ("at", J.Int at);
+        ("shard", J.Int shard); ("span", J.Int span);
+        ("symmetric", J.Bool symmetric) ]
 
 let event_of_json j =
   let ( let* ) o f = Option.bind o f in
@@ -88,6 +111,17 @@ let event_of_json j =
     let* nth = Option.bind (J.member "nth" j) J.get_int in
     Some (Damage { at; nth })
   | "scrub" -> Some (Scrub { at })
+  | "net_drop" ->
+    let* shard = Option.bind (J.member "shard" j) J.get_int in
+    Some (Net_drop { at; shard })
+  | "net_dup" ->
+    let* shard = Option.bind (J.member "shard" j) J.get_int in
+    Some (Net_dup { at; shard })
+  | "net_partition" ->
+    let* shard = Option.bind (J.member "shard" j) J.get_int in
+    let* span = Option.bind (J.member "span" j) J.get_int in
+    let* symmetric = Option.bind (J.member "symmetric" j) J.get_bool in
+    Some (Net_partition { at; shard; span; symmetric })
   | _ -> None
 
 let to_json events = J.List (List.map event_to_json (canonical events))
@@ -116,5 +150,11 @@ let describe events =
              Printf.sprintf "crash@%d=%s" at (point_to_string point)
            | Kill { at; disk } -> Printf.sprintf "kill@%d=d%d" at disk
            | Damage { at; nth } -> Printf.sprintf "damage@%d=#%d" at nth
-           | Scrub { at } -> Printf.sprintf "scrub@%d" at)
+           | Scrub { at } -> Printf.sprintf "scrub@%d" at
+           | Net_drop { at; shard } ->
+             Printf.sprintf "netdrop@%d=s%d" at shard
+           | Net_dup { at; shard } -> Printf.sprintf "netdup@%d=s%d" at shard
+           | Net_partition { at; shard; span; symmetric } ->
+             Printf.sprintf "netpart@%d=s%d+%d%s" at shard span
+               (if symmetric then "" else "(asym)"))
          events)

@@ -17,6 +17,16 @@ type event =
       (** Corrupt the [nth] allocated block (primary replica) before
           op [at] — a latent-sector-error model. *)
   | Scrub of { at : int }  (** Run a scrub/repair pass before op [at]. *)
+  | Net_drop of { at : int; shard : int }
+      (** Drop the first request op [at] sends to [shard] (cluster with
+          a transport only). *)
+  | Net_dup of { at : int; shard : int }
+      (** Duplicate op [at]'s first delivered write to [shard]; the
+          replay lands a bounded number of op windows later — the
+          at-most-once protocol must absorb it. *)
+  | Net_partition of { at : int; shard : int; span : int; symmetric : bool }
+      (** Cut the router off from [shard] for ops [at, at + span);
+          asymmetric partitions deliver requests but lose replies. *)
 
 type t = event list
 

@@ -9,6 +9,7 @@ module Cascade = Pdm_dictionary.Dynamic_cascade
 module Checksum = Pdm_dictionary.Codec.Checksum
 module Cluster = Pdm_cluster.Cluster
 module Topology = Pdm_cluster.Topology
+module Transport = Pdm_cluster.Transport
 
 type t = {
   name : string;
@@ -23,6 +24,10 @@ type t = {
       (** Cluster adapters: fail-stop shard [i mod shard count]. The
           runner routes schedule [Kill] events here when present
           (shard-level fail-stop), to the machine otherwise. *)
+  inject_net : (Transport.pin -> unit) option;
+      (** Cluster adapters with a transport: pin a message fault at the
+          next op. The runner routes [Net_*] schedule events here;
+          schedules carrying them are invalid for other adapters. *)
 }
 
 let basic_degree = 6
@@ -80,7 +85,7 @@ let build_basic (cfg : Sim_config.t) =
   let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 bcfg in
   { name = ""; machine; find = Basic.find d; find_batch = None;
     insert = Some (Basic.insert d); delete = Some (Basic.delete d);
-    set_crash = None; recover = None; kill_shard = None }
+    set_crash = None; recover = None; kill_shard = None; inject_net = None }
 
 let build_static (cfg : Sim_config.t) ~data =
   let scfg =
@@ -95,7 +100,7 @@ let build_static (cfg : Sim_config.t) ~data =
   let base =
     { name = ""; machine = Ops.machine t; find = Ops.find t; find_batch = None;
       insert = None; delete = None; set_crash = None; recover = None;
-      kill_shard = None }
+      kill_shard = None; inject_net = None }
   in
   if not cfg.engine then base
   else
@@ -124,7 +129,7 @@ let build_dynamic (cfg : Sim_config.t) =
       insert = Some (Opd.insert t); delete = Some (Opd.delete t);
       set_crash = (if cfg.journaled then Some (Opd.set_crash t) else None);
       recover = (if cfg.journaled then Some (fun () -> Opd.recover t) else None);
-      kill_shard = None }
+      kill_shard = None; inject_net = None }
   in
   if not cfg.engine then base
   else
@@ -155,7 +160,7 @@ let build_cascade (cfg : Sim_config.t) =
       set_crash = (if cfg.journaled then Some (Cascade.set_crash t) else None);
       recover =
         (if cfg.journaled then Some (fun () -> Cascade.recover t) else None);
-      kill_shard = None }
+      kill_shard = None; inject_net = None }
   in
   if not cfg.engine then base
   else
@@ -189,6 +194,19 @@ let build_cascade (cfg : Sim_config.t) =
    nearby client updates — brackets a live migration. *)
 let build_cluster (cfg : Sim_config.t) =
   let topo = Topology.standard ~shards:cfg.shards in
+  let net =
+    if not cfg.net then None
+    else
+      (* a generous retry budget: with drop <= 0.2 the chance a read
+         exhausts 6 attempts on its last candidate is negligible, so
+         clean explorations stay divergence-free on any seed *)
+      Some
+        (Transport.spec ~seed:cfg.seed ~drop:cfg.net_drop
+           ~duplicate:cfg.net_dup ~reorder_window:cfg.net_reorder
+           ~max_attempts:6
+           ~hedge_after:(if cfg.net_hedge then 1 else -1)
+           ~drop_tokens:cfg.buggy ())
+  in
   let ccfg =
     { Cluster.default_config with
       replicas = cfg.replicas;
@@ -196,7 +214,7 @@ let build_cluster (cfg : Sim_config.t) =
       shard_capacity = max 24 (3 * cfg.replicas * cfg.capacity / cfg.shards);
       universe = cfg.universe; block_words = cfg.block_words;
       value_bytes = cfg.value_bytes; journaled = cfg.journaled;
-      seed = cfg.seed }
+      seed = cfg.seed; net }
   in
   let c = Cluster.create ~config:ccfg topo in
   let ops_seen = ref 0 in
@@ -227,7 +245,9 @@ let build_cluster (cfg : Sim_config.t) =
           let ids = Cluster.shard_ids c in
           match List.nth_opt ids (i mod List.length ids) with
           | Some id -> Cluster.kill_shard c id
-          | None -> ()) }
+          | None -> ());
+    inject_net =
+      (if cfg.net then Some (Cluster.inject_net c) else None) }
 
 (* The deliberately buggy adapter: every third journaled update that is
    asked to survive a crash just past its commit point instead crashes
@@ -263,7 +283,14 @@ let build (cfg : Sim_config.t) ~data =
     | Sim_config.Dynamic_cascade -> build_cascade cfg
     | Sim_config.Cluster -> build_cluster cfg
   in
-  let base = if cfg.buggy then seeded_bug base else base in
+  (* on a cluster with a transport, [buggy] is the token-dropping
+     control wired directly into the transport spec — the journal
+     commit-dropping wrapper is the non-net seeded bug *)
+  let base =
+    if cfg.buggy && not (cfg.sut = Sim_config.Cluster && cfg.net) then
+      seeded_bug base
+    else base
+  in
   let base =
     if Sim_config.is_static cfg then base
     else

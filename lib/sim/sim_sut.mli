@@ -29,6 +29,10 @@ type t = {
   recover : (unit -> [ `Clean | `Discarded | `Replayed of int ]) option;
   kill_shard : (int -> unit) option;
       (** Cluster only: fail-stop shard [i mod shard count]. *)
+  inject_net : (Pdm_cluster.Transport.pin -> unit) option;
+      (** Cluster with a transport only: pin a message fault (drop,
+          duplicate, partition) at the next op index. The runner
+          routes [Net_*] schedule events here. *)
 }
 
 val build : Sim_config.t -> data:(int * Bytes.t) array -> t
@@ -44,5 +48,7 @@ val seeded_bug : t -> t
     record", so an update the checker was promised would survive
     recovery vanishes. Clean runs and non-crash schedules cannot see
     it. Applied automatically by {!build} when the config says
-    [buggy]; exposed for tests that wrap their own adapter. Raises
-    [Invalid_argument] on a non-journaled adapter. *)
+    [buggy] — except on a cluster with a transport, where [buggy]
+    instead drops idempotency tokens inside the transport spec (the
+    message-level seeded bug). Exposed for tests that wrap their own
+    adapter. Raises [Invalid_argument] on a non-journaled adapter. *)

@@ -1,0 +1,345 @@
+(* The deterministic message plane: transport fault injection,
+   suspicion-based failover, idempotent retries, hedged reads — unit
+   tests, qcheck properties, and the sim wiring. *)
+
+module Transport = Pdm_cluster.Transport
+module Detector = Pdm_cluster.Detector
+module Cluster = Pdm_cluster.Cluster
+module Topology = Pdm_cluster.Topology
+module Config = Pdm_simtest.Sim_config
+module Gen = Pdm_simtest.Sim_gen
+module Schedule = Pdm_simtest.Sim_schedule
+module Run = Pdm_simtest.Sim_run
+module Explore = Pdm_simtest.Sim_explore
+module Json = Pdm_simtest.Sim_json
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let val8 = Pdm_workload.Payload.value_bytes_of 8
+
+(* --- transport --- *)
+
+let faulty_spec ?(seed = 5) ?(drop = 0.1) ?(dup = 0.1) () =
+  Transport.spec ~seed ~drop ~duplicate:dup ~reorder_window:3
+    ~max_attempts:5 ~hedge_after:1 ()
+
+(* the same spec replays the same deliveries, tick for tick *)
+let test_transport_deterministic () =
+  let play () =
+    let tr = Transport.create (faulty_spec ()) in
+    let log = ref [] in
+    for op = 0 to 63 do
+      Transport.set_window tr ~start:op ~len:1;
+      for a = 0 to 2 do
+        let d = Transport.attempt tr ~shard:(op mod 3) ~write:(op mod 2 = 0)
+                  ~attempt:a in
+        log := (d.Transport.request_delivered, d.Transport.replied,
+                d.Transport.duplicate_lag, d.Transport.cost) :: !log
+      done
+    done;
+    (!log, Transport.ticks tr, Transport.stats tr)
+  in
+  let l1, t1, s1 = play () and l2, t2, s2 = play () in
+  checkb "same deliveries" true (l1 = l2);
+  check "same ticks" t1 t2;
+  checkb "same stats" true (s1 = s2);
+  checkb "some faults fired" true
+    (s1.Transport.drops > 0 || s1.Transport.timeouts > 0)
+
+let test_transport_perfect_is_noop () =
+  let tr = Transport.create Transport.perfect in
+  Transport.set_window tr ~start:0 ~len:4;
+  for a = 0 to 3 do
+    let d = Transport.attempt tr ~shard:1 ~write:true ~attempt:a in
+    checkb "delivered" true d.Transport.request_delivered;
+    checkb "replied" true d.Transport.replied;
+    checkb "no duplicate" true (d.Transport.duplicate_lag = None)
+  done
+
+let test_transport_pins () =
+  let tr = Transport.create Transport.perfect in
+  Transport.inject tr ~at:2
+    { Transport.pin_shard = 0; kind = Transport.Pin_drop };
+  Transport.inject tr ~at:4
+    { Transport.pin_shard = 1;
+      kind = Transport.Pin_partition { span = 3; symmetric = true } };
+  Transport.inject tr ~at:4
+    { Transport.pin_shard = 2;
+      kind = Transport.Pin_partition { span = 3; symmetric = false } };
+  (* before the pins: clean *)
+  Transport.set_window tr ~start:0 ~len:1;
+  let d = Transport.attempt tr ~shard:0 ~write:false ~attempt:0 in
+  checkb "clean before pin" true d.Transport.replied;
+  (* the pinned drop kills attempt 0's request, attempt 1 goes through *)
+  Transport.set_window tr ~start:2 ~len:1;
+  let d0 = Transport.attempt tr ~shard:0 ~write:false ~attempt:0 in
+  let d1 = Transport.attempt tr ~shard:0 ~write:false ~attempt:1 in
+  checkb "pinned drop loses request" false d0.Transport.request_delivered;
+  checkb "retry delivered" true d1.Transport.replied;
+  (* partitions open at their window and heal after the span *)
+  Transport.set_window tr ~start:4 ~len:1;
+  let sym = Transport.attempt tr ~shard:1 ~write:true ~attempt:0 in
+  checkb "symmetric loses request" false sym.Transport.request_delivered;
+  let asym = Transport.attempt tr ~shard:2 ~write:true ~attempt:0 in
+  checkb "asymmetric delivers request" true asym.Transport.request_delivered;
+  checkb "asymmetric loses reply" false asym.Transport.replied;
+  Transport.set_window tr ~start:7 ~len:1;
+  let healed = Transport.attempt tr ~shard:1 ~write:true ~attempt:0 in
+  checkb "healed" true healed.Transport.replied
+
+let test_transport_timeout_ladder () =
+  let spec = faulty_spec () in
+  let prev = ref 0 in
+  for a = 0 to 7 do
+    let t = Transport.timeout spec ~attempt:a in
+    checkb "ladder monotone" true (t >= !prev);
+    prev := t
+  done
+
+(* --- detector --- *)
+
+let test_detector_suspicion () =
+  let d = Detector.create () in
+  checkb "fresh" false (Detector.suspected d 3);
+  Detector.record_miss d 3;
+  checkb "one miss not suspected" false (Detector.suspected d 3);
+  Detector.record_miss d 3;
+  checkb "threshold crossed" true (Detector.suspected d 3);
+  check "one suspicion" 1 (Detector.suspicions d);
+  Detector.record_miss d 3;
+  check "still one suspicion" 1 (Detector.suspicions d);
+  Detector.record_miss d 7;
+  Detector.record_miss d 7;
+  checkb "suspects sorted" true (Detector.suspects d = [ 3; 7 ]);
+  Detector.record_reply d 3;
+  checkb "reply heals" false (Detector.suspected d 3);
+  check "heal counted" 1 (Detector.heals d);
+  (* a reply from an unsuspected shard is not a heal *)
+  Detector.record_miss d 9;
+  Detector.record_reply d 9;
+  check "no false heal" 1 (Detector.heals d);
+  Detector.forget d 7;
+  checkb "forgotten" true (Detector.suspects d = [])
+
+(* --- qcheck properties --- *)
+
+(* the backoff schedule is a pure function of (seed, op, attempt) *)
+let prop_backoff_deterministic =
+  QCheck.Test.make ~name:"backoff schedule deterministic per seed" ~count:200
+    QCheck.(triple (int_bound 9999) (int_bound 999) (int_bound 8))
+    (fun (seed, op, attempt) ->
+      let s1 = faulty_spec ~seed () and s2 = faulty_spec ~seed () in
+      let b = Transport.backoff s1 ~op ~attempt in
+      b = Transport.backoff s2 ~op ~attempt
+      && b >= Transport.timeout s1 ~attempt
+      && Transport.backoff s1 ~op ~attempt = b)
+
+(* no single exchange spends more than replicas * max_attempts
+   transport attempts, whatever the seed and loss rate throw at it *)
+let prop_retry_budget_bounded =
+  QCheck.Test.make ~name:"retry budget never exceeded" ~count:25
+    QCheck.(pair (int_bound 9999) (int_range 0 2))
+    (fun (seed, drop10) ->
+      let drop = float_of_int drop10 /. 10.0 in
+      let max_attempts = 5 in
+      let spec =
+        Transport.spec ~seed ~drop ~duplicate:0.1 ~reorder_window:3
+          ~max_attempts ~hedge_after:1 ()
+      in
+      let replicas = 2 in
+      let c =
+        Cluster.create
+          ~config:
+            { Cluster.default_config with
+              Cluster.replicas; shard_capacity = 256; seed;
+              net = Some spec }
+          (Topology.standard ~shards:3)
+      in
+      let budget_ok = ref true in
+      let attempts () =
+        match Cluster.transport_stats c with
+        | Some s -> s.Transport.attempts
+        | None -> 0
+      in
+      let bound = replicas * max_attempts in
+      for k = 0 to 63 do
+        let before = attempts () in
+        (try Cluster.insert c k (val8 k)
+         with Cluster.Retries_exhausted _ -> ());
+        if attempts () - before > bound then budget_ok := false
+      done;
+      for k = 0 to 63 do
+        let before = attempts () in
+        (try ignore (Cluster.find c k)
+         with Cluster.Retries_exhausted _ -> ());
+        if attempts () - before > bound then budget_ok := false
+      done;
+      !budget_ok)
+
+(* duplicated write delivery is invisible: idempotency tokens make a
+   cluster under heavy duplication answer bit-identically to one whose
+   network never duplicates *)
+let prop_duplicates_invisible =
+  QCheck.Test.make ~name:"duplicate write delivery leaves state bit-identical"
+    ~count:25
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let build dup =
+        let c =
+          Cluster.create
+            ~config:
+              { Cluster.default_config with
+                Cluster.replicas = 2; shard_capacity = 256; seed = 3;
+                net =
+                  Some
+                    (Transport.spec ~seed ~drop:0.0 ~duplicate:dup
+                       ~reorder_window:4 ~max_attempts:5 ~hedge_after:1 ()) }
+            (Topology.standard ~shards:3)
+        in
+        (* overwrites and deletes so a late duplicate of an older write
+           would be visible if it ever re-applied *)
+        for k = 0 to 47 do Cluster.insert c k (val8 k) done;
+        for k = 0 to 47 do
+          if k mod 3 = 0 then Cluster.insert c k (val8 (k + 1000))
+          else if k mod 3 = 1 then ignore (Cluster.delete c k)
+        done;
+        List.init 48 (fun k -> Cluster.find c k)
+      in
+      build 0.2 = build 0.0)
+
+(* --- sim wiring --- *)
+
+let net_cfg ~buggy ~seed =
+  { (Config.default Config.Cluster) with
+    Config.journaled = true; replicas = 2; shards = 3; seed; buggy;
+    net = true; net_drop = 0.05; net_dup = 0.05; net_reorder = 3;
+    net_hedge = true }
+
+let test_sim_net_config_json () =
+  let cfg = net_cfg ~buggy:false ~seed:11 in
+  (match Config.of_json (Config.to_json cfg) with
+   | Ok cfg' -> checkb "net config roundtrips" true (cfg = cfg')
+   | Error m -> Alcotest.fail m);
+  (* absent net fields parse as defaults: old repro headers stay valid *)
+  (match Config.to_json { cfg with Config.net = false } with
+   | Json.Obj fields ->
+     let stripped =
+       Json.Obj
+         (List.filter
+            (fun (k, _) -> not (String.length k >= 3 && String.sub k 0 3 = "net"))
+            fields)
+     in
+     (match Config.of_json stripped with
+      | Ok cfg' -> checkb "absent net fields default off" false cfg'.Config.net
+      | Error m -> Alcotest.fail m)
+   | _ -> Alcotest.fail "config json is not an object");
+  (* net demands a replicated cluster *)
+  checkb "net without replicas rejected" true
+    (Config.validate { cfg with Config.replicas = 1 } <> Ok ())
+
+let test_sim_net_schedule_json () =
+  let sched =
+    [ Schedule.Net_partition { at = 9; shard = 1; span = 8; symmetric = false };
+      Schedule.Net_dup { at = 7; shard = 2 };
+      Schedule.Net_drop { at = 3; shard = 0 } ]
+  in
+  (match Schedule.of_json (Schedule.to_json sched) with
+   | Ok s -> checkb "net schedule roundtrips" true (Schedule.canonical sched = s)
+   | Error m -> Alcotest.fail m);
+  let c = Schedule.canonical sched in
+  checkb "canonical sorts by op index" true
+    (List.map Schedule.at c = [ 3; 7; 9 ])
+
+let test_sim_net_clean_run () =
+  let cfg = net_cfg ~buggy:false ~seed:11 in
+  let ops = Gen.ops (Config.gen_spec ~count:96 cfg) in
+  let r = Run.run cfg [] (Array.to_seq ops) in
+  checkb "clean net run" true (Run.ok r);
+  (* pinned message faults on a correct cluster never diverge either *)
+  let sched =
+    [ Schedule.Net_drop { at = 5; shard = 0 };
+      Schedule.Net_dup { at = 11; shard = 1 };
+      Schedule.Net_partition { at = 20; shard = 2; span = 8; symmetric = true } ]
+  in
+  let r = Run.run cfg sched (Array.to_seq ops) in
+  checkb "faulted net run stays clean" true (Run.ok r)
+
+(* the seeded token-dropping control: duplicates re-apply without
+   dedup, and exploration must catch the divergence *)
+let test_sim_net_buggy_caught () =
+  let o = Explore.explore ~budget:120 ~count:80 (net_cfg ~buggy:true ~seed:11) in
+  checkb "token dropping caught" true (o.Explore.divergent <> []);
+  match o.Explore.shrunk with
+  | None -> Alcotest.fail "buggy net failure did not shrink"
+  | Some s ->
+    checkb "shrunk case still fails" false
+      (Run.ok s.Pdm_simtest.Sim_shrink.report)
+
+(* --- availability end to end (mini E21) --- *)
+
+let test_chaos_availability () =
+  let n = 256 in
+  let spec =
+    Transport.spec ~seed:42 ~drop:0.05 ~duplicate:0.05 ~reorder_window:3
+      ~max_attempts:6 ~hedge_after:1 ()
+  in
+  let c =
+    Cluster.create
+      ~config:
+        { Cluster.default_config with
+          Cluster.replicas = 2; shard_capacity = 512; seed = 42;
+          net = Some spec }
+      (Topology.standard ~shards:4)
+  in
+  for k = 0 to n - 1 do Cluster.insert c k (val8 k) done;
+  (* cut one shard off mid-sweep; hedged reads keep every answer *)
+  for k = 0 to n - 1 do
+    if k = n / 3 then
+      Cluster.inject_net c
+        { Transport.pin_shard = 0;
+          kind = Transport.Pin_partition { span = 60; symmetric = true } };
+    match Cluster.find c k with
+    | Some v -> checkb "value served" true (Bytes.equal v (val8 k))
+    | None -> Alcotest.fail (Printf.sprintf "key %d unavailable" k)
+  done;
+  let st = Cluster.stats c in
+  checkb "partition was noticed" true (st.Cluster.suspicions > 0);
+  checkb "suspicion healed" true (st.Cluster.heals > 0);
+  checkb "retries happened" true (st.Cluster.retries > 0);
+  (match Cluster.transport_stats c with
+   | Some ts ->
+     check "router charge = transport ticks" ts.Transport.ticks
+       st.Cluster.net_rounds
+   | None -> Alcotest.fail "no transport stats");
+  (* structured error payloads for the CLI guard *)
+  checkb "unavailable describes" true
+    (Cluster.describe (Cluster.Unavailable 5) <> None);
+  checkb "retries-exhausted describes" true
+    (Cluster.describe (Cluster.Retries_exhausted { key = 5; attempts = 7 })
+     <> None)
+
+let suite =
+  [ ( "chaos",
+      [ Alcotest.test_case "transport deterministic" `Quick
+          test_transport_deterministic;
+        Alcotest.test_case "perfect transport is a no-op" `Quick
+          test_transport_perfect_is_noop;
+        Alcotest.test_case "pins: drop + partitions" `Quick
+          test_transport_pins;
+        Alcotest.test_case "timeout ladder" `Quick
+          test_transport_timeout_ladder;
+        Alcotest.test_case "suspicion detector" `Quick test_detector_suspicion;
+        Alcotest.test_case "sim net config json" `Quick
+          test_sim_net_config_json;
+        Alcotest.test_case "sim net schedule json" `Quick
+          test_sim_net_schedule_json;
+        Alcotest.test_case "sim net clean + pinned-fault runs" `Quick
+          test_sim_net_clean_run;
+        Alcotest.test_case "sim net buggy control caught" `Slow
+          test_sim_net_buggy_caught;
+        Alcotest.test_case "availability under partition" `Quick
+          test_chaos_availability ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_backoff_deterministic; prop_retry_budget_bounded;
+            prop_duplicates_invisible ] ) ]

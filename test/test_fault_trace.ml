@@ -300,8 +300,9 @@ let test_dictionary_correct_under_faults () =
 
 (* --- trace ring buffer + JSONL --- *)
 
-let ev ?(shard = 0) ~round ~op ~per_disk ~retries ~degraded () =
-  { Trace.round; op; per_disk; retries; degraded; shard }
+let ev ?(shard = 0) ?(attempt = 0) ~round ~op ~per_disk ~retries ~degraded ()
+    =
+  { Trace.round; op; per_disk; retries; degraded; shard; attempt }
 
 let test_ring_buffer () =
   let t = Trace.create ~capacity:3 () in
