@@ -24,6 +24,38 @@ module Seeded = Pdm_expander.Seeded
 module Bipartite = Pdm_expander.Bipartite
 module Sampling = Pdm_util.Sampling
 module Prng = Pdm_util.Prng
+module Journal = Pdm_sim.Journal
+module Store = Pdm_io.Store
+
+let argv_opt flag =
+  let rec find = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+(* --backend mem|file|mmap rebuilds the core fixtures (unchanged
+   names) on real storage: the deterministic ios/rounds columns stay
+   identical to the mem baselines by the backend contract, so
+   bench-check still compares exactly, while the ns column becomes a
+   real wall-clock measurement. *)
+let backend_kind =
+  Option.value (argv_opt "--backend") ~default:"mem"
+
+let backend_factory : int Pdm_sim.Backend.factory option =
+  match String.lowercase_ascii backend_kind with
+  | "mem" -> None
+  | k -> (
+    match Store.factory_of_string k with
+    | Ok f -> Some f
+    | Error m -> invalid_arg ("bench: " ^ m))
+
+(* the always-on file fixtures, regardless of --backend *)
+let file_factory () =
+  match Store.factory_of_string "file" with
+  | Ok f -> f
+  | Error m -> invalid_arg ("bench: " ^ m)
 
 let print_experiments () =
   Format.printf "#### Part 1: paper reproduction (parallel-I/O tables) ####@.";
@@ -71,7 +103,7 @@ let basic_dict =
          ~value_bytes:8 ~seed:2 ()
      in
      let machine =
-       Pdm.create ~disks ~block_size:block_words
+       Pdm.create ?factory:backend_factory ~disks ~block_size:block_words
          ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
      in
      let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -85,7 +117,7 @@ let fragmented =
          ~sigma_bits:128 ~seed:3 ()
      in
      let machine =
-       Pdm.create ~disks ~block_size:block_words
+       Pdm.create ?factory:backend_factory ~disks ~block_size:block_words
          ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
      in
      let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -97,7 +129,7 @@ let fragmented =
 let cascade =
   lazy
     (let t =
-       Cascade.create ~block_words
+       Cascade.create ?factory:backend_factory ~block_words
          { Cascade.universe; capacity = n; degree = 15; sigma_bits = 128;
            epsilon = 1.0; v_factor = 3; seed = 4 }
      in
@@ -113,7 +145,7 @@ let hash_table =
          ~value_bytes:8 ~seed:5 ()
      in
      let machine =
-       Pdm.create ~disks ~block_size:block_words
+       Pdm.create ?factory:backend_factory ~disks ~block_size:block_words
          ~blocks_per_disk:cfg.Hash_table.superblocks ()
      in
      let h = Hash_table.create ~machine cfg in
@@ -127,7 +159,7 @@ let cuckoo =
          ~seed:6 ()
      in
      let machine =
-       Pdm.create ~disks ~block_size:block_words
+       Pdm.create ?factory:backend_factory ~disks ~block_size:block_words
          ~blocks_per_disk:cfg.Cuckoo.buckets ()
      in
      let c = Cuckoo.create ~machine cfg in
@@ -138,7 +170,8 @@ let btree =
   lazy
     (let superblocks = 4096 in
      let machine =
-       Pdm.create ~disks ~block_size:block_words ~blocks_per_disk:superblocks ()
+       Pdm.create ?factory:backend_factory ~disks ~block_size:block_words
+         ~blocks_per_disk:superblocks ()
      in
      let t =
        Btree.create ~machine
@@ -237,13 +270,13 @@ let engine_scale =
 let engine_ad =
   lazy
     (let data = Array.map (fun k -> (k, val8 k)) (Lazy.force keys) in
-     Adapters.engine_one_probe_static ~scale:engine_scale ~data ())
+     Adapters.engine_one_probe_static ~scale:engine_scale
+       ?factory:backend_factory ~data ())
 
 let engine_batch = 64
 
 (* One 64-request batch through a fresh (cache-less) engine. *)
-let engine_run_batch () =
-  let ad = Lazy.force engine_ad in
+let engine_run_batch_with ad =
   let eng =
     Engine.create
       ~config:
@@ -257,6 +290,8 @@ let engine_run_batch () =
   Engine.drain eng;
   ignore (Engine.take_outcomes eng);
   eng
+
+let engine_run_batch () = engine_run_batch_with (Lazy.force engine_ad)
 
 (* A persistent engine with a warm cache: created once (its cache
    registers a write listener on the machine, so one instance serves
@@ -294,6 +329,116 @@ let engine_tests =
            in
            ignore (Engine.submit eng (Engine.Lookup (next_key ())));
            Engine.drain eng)) ]
+
+(* --- real-I/O file-backend fixtures (always in the core group) ---
+
+   Measured regardless of --backend, so the checked-in BENCH_core.json
+   carries a wall-clock trajectory for a core dictionary pair, the
+   engine at saturation and the write-ahead journal on real storage.
+   The ios/rounds columns are identical to the mem rows by the backend
+   contract; only the ns column is a real file-I/O measurement. *)
+
+let basic_dict_file =
+  lazy
+    (let cfg =
+       Basic.plan ~universe ~capacity:n ~block_words ~degree:disks
+         ~value_bytes:8 ~seed:2 ()
+     in
+     let machine =
+       Pdm.create ~factory:(file_factory ()) ~disks ~block_size:block_words
+         ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
+     in
+     let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
+     Array.iter (fun k -> Basic.insert d k (val8 k)) (Lazy.force keys);
+     d)
+
+let cascade_file =
+  lazy
+    (let t =
+       Cascade.create ~factory:(file_factory ()) ~block_words
+         { Cascade.universe; capacity = n; degree = 15; sigma_bits = 128;
+           epsilon = 1.0; v_factor = 3; seed = 4 }
+     in
+     Array.iter
+       (fun k -> Cascade.insert t k (Common.sigma_payload ~sigma_bits:128 k))
+       (Lazy.force keys);
+     t)
+
+let engine_ad_file =
+  lazy
+    (let data = Array.map (fun k -> (k, val8 k)) (Lazy.force keys) in
+     Adapters.engine_one_probe_static ~scale:engine_scale
+       ~factory:(file_factory ()) ~data ())
+
+(* Journal fixtures: [jn_updates] full-block updates through the
+   write-ahead protocol, committed one at a time or all at once — the
+   unbatched/batched pair whose ns gap is the fsync-amortization story
+   E22 measures at larger scale. *)
+let jn_updates = 16
+let jn_capacity = 24
+
+let journal_fixture factory =
+  let jrows = Journal.rows ~disks ~capacity_blocks:jn_capacity in
+  let m =
+    Pdm.create ?factory ~disks ~block_size:block_words
+      ~blocks_per_disk:(jrows + ((jn_updates + disks - 1) / disks)) ()
+  in
+  let jn = Journal.create m ~block_offset:0 ~capacity_blocks:jn_capacity in
+  let target i = { Pdm.disk = i mod disks; block = jrows + (i / disks) } in
+  let payload i =
+    Array.init block_words (fun j -> Some (Pdm_util.Prng.hash2 ~seed:31 i j))
+  in
+  let batch lo hi =
+    List.init (hi - lo) (fun k -> (target (lo + k), payload (lo + k)))
+  in
+  (m, jn, batch)
+
+let journal_file = lazy (journal_fixture (Some (file_factory ())))
+let journal_replay_file = lazy (journal_fixture (Some (file_factory ())))
+
+let journal_commit ~per_commit (_, jn, batch) =
+  let i = ref 0 in
+  while !i < jn_updates do
+    let hi = min jn_updates (!i + per_commit) in
+    Journal.log_and_apply jn (batch !i hi);
+    i := hi
+  done
+
+(* Crash a committed-but-unapplied batch, then time the recovery
+   replay. A fresh handle per iteration (Journal.create is pure
+   validation); recovery leaves the region clean, so iterations are
+   self-contained. *)
+let journal_replay () =
+  let m, _, batch = Lazy.force journal_replay_file in
+  let jn = Journal.create m ~block_offset:0 ~capacity_blocks:jn_capacity in
+  (match
+     Journal.log_and_apply jn ~crash:Journal.After_commit (batch 0 jn_updates)
+   with
+  | () -> failwith "bench: injected crash did not fire"
+  | exception Journal.Crashed -> ());
+  match Journal.recover m ~block_offset:0 ~capacity_blocks:jn_capacity with
+  | `Replayed _ -> ()
+  | `Clean | `Discarded -> failwith "bench: recovery did not replay"
+
+let file_tests =
+  let open Bechamel in
+  [ Test.make ~name:"basic_dict.find_file"
+      (Staged.stage (fun () ->
+           ignore (Basic.find (Lazy.force basic_dict_file) (next_key ()))));
+    Test.make ~name:"cascade.find_file"
+      (Staged.stage (fun () ->
+           ignore (Cascade.find (Lazy.force cascade_file) (next_key ()))));
+    Test.make ~name:"engine.batch64_lookups_file"
+      (Staged.stage (fun () ->
+           ignore (engine_run_batch_with (Lazy.force engine_ad_file))));
+    Test.make ~name:"journal.commit_unbatched_file"
+      (Staged.stage (fun () ->
+           journal_commit ~per_commit:1 (Lazy.force journal_file)));
+    Test.make ~name:"journal.commit_batched_file"
+      (Staged.stage (fun () ->
+           journal_commit ~per_commit:jn_updates (Lazy.force journal_file)));
+    Test.make ~name:"journal.replay_file"
+      (Staged.stage journal_replay) ]
 
 (* --- sharded cluster fixtures --- *)
 
@@ -524,6 +669,51 @@ let io_probes () =
         let eng = engine_run_batch () in
         let s = Engine.stats eng in
         (s.Engine.blocks_fetched, s.Engine.rounds) );
+    (* file-backend probes: same deterministic operations on the
+       file-backed fixtures — the recorded ios/rounds must equal the
+       mem rows (the backend contract bench-check enforces) *)
+    find_probe "basic_dict.find_file" (fun () ->
+        Adapters.basic ~scale ~factory:(file_factory ()) ());
+    find_probe "cascade.find_file" (fun () ->
+        Adapters.cascade ~scale ~factory:(file_factory ()) ());
+    ( "engine.batch64_lookups_file",
+      fun () ->
+        let eng = engine_run_batch_with (Lazy.force engine_ad_file) in
+        let s = Engine.stats eng in
+        (s.Engine.blocks_fetched, s.Engine.rounds) );
+    ( "journal.commit_unbatched_file",
+      fun () ->
+        let ((m, _, _) as fx) = journal_fixture (Some (file_factory ())) in
+        let (), d =
+          Stats.measure (Pdm.stats m) (fun () ->
+              journal_commit ~per_commit:1 fx)
+        in
+        (d.Stats.block_reads + d.Stats.block_writes, Stats.parallel_ios d) );
+    ( "journal.commit_batched_file",
+      fun () ->
+        let ((m, _, _) as fx) = journal_fixture (Some (file_factory ())) in
+        let (), d =
+          Stats.measure (Pdm.stats m) (fun () ->
+              journal_commit ~per_commit:jn_updates fx)
+        in
+        (d.Stats.block_reads + d.Stats.block_writes, Stats.parallel_ios d) );
+    ( "journal.replay_file",
+      fun () ->
+        let m, jn, batch = journal_fixture (Some (file_factory ())) in
+        (match
+           Journal.log_and_apply jn ~crash:Journal.After_commit
+             (batch 0 jn_updates)
+         with
+        | () -> failwith "bench: injected crash did not fire"
+        | exception Journal.Crashed -> ());
+        let v, d =
+          Stats.measure (Pdm.stats m) (fun () ->
+              Journal.recover m ~block_offset:0 ~capacity_blocks:jn_capacity)
+        in
+        (match v with
+        | `Replayed _ -> ()
+        | `Clean | `Discarded -> failwith "bench: recovery did not replay");
+        (d.Stats.block_reads + d.Stats.block_writes, Stats.parallel_ios d) );
     (* cluster probes report honest parallel rounds (the shard
        machines' clocks); per-block I/O counts stay with the per-shard
        engines, so ios is not broken out here *)
@@ -620,14 +810,6 @@ let write_json path results =
   Format.printf "wrote %d benchmark records to %s@." (List.length records)
     path
 
-let argv_opt flag =
-  let rec find = function
-    | f :: v :: _ when f = flag -> Some v
-    | _ :: rest -> find rest
-    | [] -> None
-  in
-  find (Array.to_list Sys.argv)
-
 let json_path () = argv_opt "--json"
 
 (* --only core|cluster narrows the microbenchmark set — the checked-in
@@ -635,11 +817,11 @@ let json_path () = argv_opt "--json"
    group at a time so a cluster change does not churn the core file. *)
 let selected_tests () =
   match argv_opt "--only" with
-  | Some "core" -> op_tests @ engine_tests
+  | Some "core" -> op_tests @ engine_tests @ file_tests
   | Some "cluster" -> cluster_tests
   | Some g ->
     invalid_arg (Printf.sprintf "unknown --only group %S (core, cluster)" g)
-  | None -> op_tests @ engine_tests @ cluster_tests
+  | None -> op_tests @ engine_tests @ file_tests @ cluster_tests
 
 let () =
   match json_path () with

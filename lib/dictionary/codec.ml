@@ -99,19 +99,33 @@ module Checksum = struct
 
   (* Position-sensitive keyed fold, so swapped, rotated or altered
      cells all change the sum; empty and zero-valued cells are kept
-     distinct by the odd/even encoding. *)
-  let sum payload =
+     distinct by the odd/even encoding. Summing a prefix of a wider
+     array gives the same value as summing a copy of that prefix, so
+     [check] can verify before allocating the payload — this fold and
+     [seal] sit on the per-write sealing path of every checksummed
+     machine. *)
+  let sum_prefix stored n =
     let h = ref 0x5cab5 in
-    Array.iteri
-      (fun i cell ->
-        let enc =
-          match cell with None -> 0 | Some v -> (2 * Prng.mix64 v) + 1
-        in
-        h := Prng.hash2 ~seed:!h i enc)
-      payload;
+    for i = 0 to n - 1 do
+      let enc =
+        match stored.(i) with
+        | None -> 0
+        | Some v -> (2 * Prng.mix64 v) + 1
+      in
+      h := Prng.hash2 ~seed:!h i enc
+    done;
     !h
 
-  let seal payload = Array.append payload [| Some (sum payload) |]
+  let sum payload = sum_prefix payload (Array.length payload)
+
+  (* One allocation, no intermediate singleton (Array.append built —
+     and threw away — a [| Some (sum ...) |] per sealed block). *)
+  let seal payload =
+    let n = Array.length payload in
+    let out = Array.make (n + 1) None in
+    Array.blit payload 0 out 0 n;
+    out.(n) <- Some (sum payload);
+    out
 
   let check stored =
     let n = Array.length stored in
@@ -120,8 +134,9 @@ module Checksum = struct
       match stored.(n - 1) with
       | None -> None
       | Some c ->
-        let payload = Array.sub stored 0 (n - 1) in
-        if sum payload = c then Some payload else None
+        (* verify first: a damaged block costs no allocation *)
+        if sum_prefix stored (n - 1) = c then Some (Array.sub stored 0 (n - 1))
+        else None
 
   let integrity : int Pdm_sim.Pdm.integrity =
     { Pdm_sim.Pdm.tag = "keyed-checksum"; overhead; seal; check }

@@ -73,7 +73,8 @@ let journal_capacity cfg ~block_words =
   let entries = 1 + frag_count cfg in
   Imath.cdiv (entries * (block_words + 2)) block_words
 
-let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
+let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ?factory
+    ~block_words cfg =
   validate cfg;
   let d = cfg.degree in
   let field_bits = field_bits_of cfg in
@@ -100,7 +101,7 @@ let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
     else data_blocks
   in
   let machine =
-    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+    Pdm.create ?factory ~replicas ~spares ~disks ~block_size:block_words
       ~blocks_per_disk ()
   in
   let journal =

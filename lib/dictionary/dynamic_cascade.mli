@@ -42,6 +42,7 @@ exception Overflow of int
 
 val create :
   ?journaled:bool -> ?replicas:int -> ?spares:int ->
+  ?factory:int Pdm_sim.Backend.factory ->
   block_words:int -> config -> t
 (** Builds the machine (2d disks) and all levels. [journaled]
     (default false) reserves a write-ahead journal region
@@ -49,7 +50,8 @@ val create :
     update through it, making updates atomic across crashes at the
     cost of the journal's extra write rounds. [replicas] and [spares]
     (defaults 1 and 0) are forwarded to the machine so a batched
-    scheduler can spread reads over replica disks. *)
+    scheduler can spread reads over replica disks. [factory] selects
+    non-default storage for the machine (see {!Pdm_sim.Pdm.create}). *)
 
 val config : t -> config
 

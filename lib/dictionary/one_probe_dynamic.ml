@@ -49,7 +49,8 @@ let journal_capacity cfg ~block_words =
   let entries = 1 + frag_count cfg in
   Imath.cdiv (entries * (block_words + 2)) block_words
 
-let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
+let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ?factory
+    ~block_words cfg =
   if cfg.degree < 5 || 2 * frag_count cfg <= cfg.degree then
     invalid_arg "One_probe_dynamic: degree";
   if cfg.levels < 1 || cfg.levels > 254 then
@@ -82,7 +83,7 @@ let create ?(journaled = false) ?(replicas = 1) ?(spares = 0) ~block_words cfg =
     else data_blocks
   in
   let machine =
-    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+    Pdm.create ?factory ~replicas ~spares ~disks ~block_size:block_words
       ~blocks_per_disk ()
   in
   let journal =

@@ -35,13 +35,15 @@ exception Overflow of int
 
 val create :
   ?journaled:bool -> ?replicas:int -> ?spares:int ->
+  ?factory:int Pdm_sim.Backend.factory ->
   block_words:int -> config -> t
 (** [journaled] (default false) reserves a write-ahead journal region
     ({!Pdm_sim.Journal}) on the machine and routes every multi-block
     update through it, making updates atomic across crashes at the
     cost of the journal's extra write rounds. [replicas] and [spares]
     (defaults 1 and 0) are forwarded to the machine so a batched
-    scheduler can spread reads over replica disks. *)
+    scheduler can spread reads over replica disks. [factory] selects
+    non-default storage for the machine (see {!Pdm_sim.Pdm.create}). *)
 
 val config : t -> config
 

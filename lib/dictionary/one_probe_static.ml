@@ -211,7 +211,7 @@ let assign ~construction ~memory scratch graph m keys =
 
 let membership_value_bytes = 1 (* head pointer: stripe index < d <= 255 *)
 
-let build ?(construction = `Sorting) ?(replicas = 1) ?(spares = 0)
+let build ?(construction = `Sorting) ?(replicas = 1) ?(spares = 0) ?factory
     ~block_words cfg data =
   validate cfg;
   let n = Array.length data in
@@ -246,7 +246,7 @@ let build ?(construction = `Sorting) ?(replicas = 1) ?(spares = 0)
     | Some mc -> max field_blocks (Basic_dict.blocks_per_disk mc)
   in
   let machine =
-    Pdm.create ~replicas ~spares ~disks ~block_size:block_words
+    Pdm.create ?factory ~replicas ~spares ~disks ~block_size:block_words
       ~blocks_per_disk ()
   in
   let fields =

@@ -53,6 +53,7 @@ val build :
   ?construction:[ `Sorting | `Direct ] ->
   ?replicas:int ->
   ?spares:int ->
+  ?factory:int Pdm_sim.Backend.factory ->
   block_words:int -> config -> (int * Bytes.t) array -> t
 (** [build ~block_words cfg data] constructs the dictionary over its
     own machine. Keys must be distinct and in [0, universe); each

@@ -166,12 +166,6 @@ let rec settle tbl st =
       settle tbl (k (List.map (fun a -> (a, Hashtbl.find tbl a)) addrs))
     else st
 
-(* The disk of replica [j] of [a], after any spare remaps. *)
-let replica_disk m a j =
-  match List.nth_opt (Pdm.replica_disks m a) j with
-  | Some d -> d
-  | None -> invalid_arg "Engine: replica index out of range"
-
 (* One executor round: assign each wanted block to a free, healthy
    replica disk (least cumulative load wins); blocks whose healthy
    replicas are all busy wait for the next round. A block with no
@@ -186,12 +180,18 @@ let fetch_all t tbl wanted =
     let this_round = ref [] and defer = ref [] in
     List.iter
       (fun ((a, _p) as w) ->
-        let candidates = List.mapi (fun j d -> (j, d)) (Pdm.replica_disks m a) in
+        (* one replica_disks call per block per round — the chosen
+           disk rides along in the issue triple so the post-read load
+           accounting need not re-derive the replica list *)
+        let disks = Pdm.replica_disks m a in
+        let candidates = List.mapi (fun j d -> (j, d)) disks in
         let healthy =
           List.filter (fun (_, d) -> not (Pdm.disk_down m d)) candidates
         in
         match healthy with
-        | [] -> this_round := (w, 0) :: !this_round
+        | [] ->
+          let d0 = match disks with d :: _ -> d | [] -> a.disk in
+          this_round := (w, 0, d0) :: !this_round
         | _ -> (
           let free =
             List.filter (fun (_, d) -> not (Hashtbl.mem used d)) healthy
@@ -207,10 +207,10 @@ let fetch_all t tbl wanted =
                 (j0, d0) rest
             in
             Hashtbl.add used d ();
-            this_round := (w, j) :: !this_round))
+            this_round := (w, j, d) :: !this_round))
       !remaining;
     let issue = List.rev !this_round in
-    let assignment = List.map (fun ((a, _), j) -> (a, j)) issue in
+    let assignment = List.map (fun ((a, _), j, _) -> (a, j)) issue in
     let before = Pdm.rounds_total m in
     let fetched =
       try Pdm.read_preferring m assignment
@@ -230,13 +230,13 @@ let fetch_all t tbl wanted =
           let culprit =
             match
               List.find_opt
-                (fun ((a, _), _) ->
+                (fun ((a, _), _, _) ->
                   List.mem failing_disk (Pdm.replica_disks m a))
                 issue
             with
-            | Some ((_, p), _) -> Some p
+            | Some ((_, p), _, _) -> Some p
             | None ->
-              (match issue with ((_, p), _) :: _ -> Some p | [] -> None)
+              (match issue with ((_, p), _, _) :: _ -> Some p | [] -> None)
           in
           (match culprit with
            | None ->
@@ -254,9 +254,7 @@ let fetch_all t tbl wanted =
     t.blocks_fetched <- t.blocks_fetched + List.length fetched;
     t.util <- List.length fetched :: t.util;
     List.iter
-      (fun ((a, _), j) ->
-        let d = replica_disk m a j in
-        t.disk_load.(d) <- t.disk_load.(d) + 1)
+      (fun (_, _, d) -> t.disk_load.(d) <- t.disk_load.(d) + 1)
       issue;
     List.iter
       (fun (a, data) ->

@@ -34,13 +34,13 @@ let default_scale =
 
 let value_bytes = 8
 
-let basic ?(scale = default_scale) () =
+let basic ?(scale = default_scale) ?factory () =
   let cfg =
     Basic.plan ~universe:scale.universe ~capacity:scale.capacity
       ~block_words:scale.block_words ~degree:8 ~value_bytes ~seed:scale.seed ()
   in
   let machine =
-    Pdm.create ~disks:8 ~block_size:scale.block_words
+    Pdm.create ?factory ~disks:8 ~block_size:scale.block_words
       ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
   in
   let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -89,14 +89,14 @@ let parallel_instances ?(scale = default_scale) () =
     size = (fun () -> Par.size t); stats = Pdm.stats (Par.machine t);
     value_bytes }
 
-let fragmented ?(scale = default_scale) () =
+let fragmented ?(scale = default_scale) ?factory () =
   let sigma_bits = 8 * value_bytes in
   let cfg =
     Fragmented.plan ~universe:scale.universe ~capacity:scale.capacity
       ~block_words:scale.block_words ~degree:8 ~sigma_bits ~seed:scale.seed ()
   in
   let machine =
-    Pdm.create ~disks:8 ~block_size:scale.block_words
+    Pdm.create ?factory ~disks:8 ~block_size:scale.block_words
       ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
   in
   let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -106,9 +106,9 @@ let fragmented ?(scale = default_scale) () =
     size = (fun () -> Fragmented.size d); stats = Pdm.stats machine;
     value_bytes }
 
-let cascade ?(scale = default_scale) () =
+let cascade ?(scale = default_scale) ?factory () =
   let t =
-    Cascade.create ~block_words:scale.block_words
+    Cascade.create ?factory ~block_words:scale.block_words
       { Cascade.universe = scale.universe; capacity = scale.capacity;
         degree = 15; sigma_bits = 8 * value_bytes; epsilon = 1.0;
         v_factor = 3; seed = scale.seed }
@@ -118,9 +118,9 @@ let cascade ?(scale = default_scale) () =
     size = (fun () -> Cascade.size t); stats = Pdm.stats (Cascade.machine t);
     value_bytes }
 
-let one_probe_dynamic ?(scale = default_scale) () =
+let one_probe_dynamic ?(scale = default_scale) ?factory () =
   let t =
-    Opd.create ~block_words:scale.block_words
+    Opd.create ?factory ~block_words:scale.block_words
       { Opd.universe = scale.universe; capacity = scale.capacity; degree = 9;
         sigma_bits = 8 * value_bytes; levels = 8; v_factor = 3;
         seed = scale.seed }
@@ -144,14 +144,14 @@ let global_rebuild ?(scale = default_scale) () =
     value_bytes }
 
 let hash_table ?(scale = default_scale) ?(utilization = 0.5)
-    ?(value_bytes = value_bytes) () =
+    ?(value_bytes = value_bytes) ?factory () =
   let cfg =
     Hash_table.plan ~utilization ~universe:scale.universe
       ~capacity:scale.capacity ~block_words:scale.block_words ~disks:8
       ~value_bytes ~seed:scale.seed ()
   in
   let machine =
-    Pdm.create ~disks:8 ~block_size:scale.block_words
+    Pdm.create ?factory ~disks:8 ~block_size:scale.block_words
       ~blocks_per_disk:cfg.Hash_table.superblocks ()
   in
   let h = Hash_table.create ~machine cfg in
@@ -161,14 +161,14 @@ let hash_table ?(scale = default_scale) ?(utilization = 0.5)
     value_bytes }
 
 let cuckoo ?(scale = default_scale) ?(utilization = 0.4)
-    ?(value_bytes = value_bytes) () =
+    ?(value_bytes = value_bytes) ?factory () =
   let cfg =
     Cuckoo.plan ~utilization ~universe:scale.universe
       ~capacity:scale.capacity ~block_words:scale.block_words ~disks:8
       ~value_bytes ~seed:scale.seed ()
   in
   let machine =
-    Pdm.create ~disks:8 ~block_size:scale.block_words
+    Pdm.create ?factory ~disks:8 ~block_size:scale.block_words
       ~blocks_per_disk:cfg.Cuckoo.buckets ()
   in
   let c = Cuckoo.create ~machine cfg in
@@ -194,10 +194,10 @@ let two_level ?(scale = default_scale) () =
     size = (fun () -> Two_level.size d); stats = Pdm.stats machine;
     value_bytes }
 
-let btree ?(scale = default_scale) () =
+let btree ?(scale = default_scale) ?factory () =
   let superblocks = max 64 (8 * scale.capacity / scale.block_words) in
   let machine =
-    Pdm.create ~disks:8 ~block_size:scale.block_words
+    Pdm.create ?factory ~disks:8 ~block_size:scale.block_words
       ~blocks_per_disk:superblocks ()
   in
   let t =
@@ -220,13 +220,16 @@ type engine_adapter = {
 }
 
 let engine_one_probe_static ?(scale = default_scale) ?(replicas = 1)
-    ?(spares = 0) ?(degree = 16) ~data () =
+    ?(spares = 0) ?(degree = 16) ?factory ~data () =
   let cfg =
     { Ops.universe = scale.universe; capacity = Array.length data; degree;
       sigma_bits = 8 * value_bytes; v_factor = 3; case = Ops.Case_b;
       seed = scale.seed }
   in
-  let t = Ops.build ~replicas ~spares ~block_words:scale.block_words cfg data in
+  let t =
+    Ops.build ?factory ~replicas ~spares ~block_words:scale.block_words cfg
+      data
+  in
   let lookup key =
     Engine.Fetch
       ( Ops.probe_addresses t key,
@@ -238,9 +241,9 @@ let engine_one_probe_static ?(scale = default_scale) ?(replicas = 1)
     direct_find = Ops.find t }
 
 let engine_one_probe_dynamic ?(scale = default_scale) ?(replicas = 1)
-    ?(spares = 0) () =
+    ?(spares = 0) ?factory () =
   let t =
-    Opd.create ~replicas ~spares ~block_words:scale.block_words
+    Opd.create ?factory ~replicas ~spares ~block_words:scale.block_words
       { Opd.universe = scale.universe; capacity = scale.capacity; degree = 9;
         sigma_bits = 8 * value_bytes; levels = 8; v_factor = 3;
         seed = scale.seed }
@@ -255,9 +258,10 @@ let engine_one_probe_dynamic ?(scale = default_scale) ?(replicas = 1)
         lookup; insert = Some (Opd.insert t) };
     direct_find = Opd.find t }
 
-let engine_cascade ?(scale = default_scale) ?(replicas = 1) ?(spares = 0) () =
+let engine_cascade ?(scale = default_scale) ?(replicas = 1) ?(spares = 0)
+    ?factory () =
   let t =
-    Cascade.create ~replicas ~spares ~block_words:scale.block_words
+    Cascade.create ?factory ~replicas ~spares ~block_words:scale.block_words
       { Cascade.universe = scale.universe; capacity = scale.capacity;
         degree = 15; sigma_bits = 8 * value_bytes; epsilon = 1.0;
         v_factor = 3; seed = scale.seed }

@@ -25,20 +25,28 @@ type scale = {
 val default_scale : scale
 (** universe 2²², capacity 1000, B = 64 words, seed 42. *)
 
-val basic : ?scale:scale -> unit -> t
+(** Constructors below taking [?factory] pass it to {!Pdm_sim.Pdm.create}
+    so the structure's machine can run on a real-I/O storage backend
+    (see {!Pdm_io.Store.factory}); omitted, storage is in memory. *)
+
+val basic : ?scale:scale -> ?factory:int Pdm_sim.Backend.factory -> unit -> t
 val small_block : ?scale:scale -> unit -> t
 val cascade_b : ?scale:scale -> unit -> t
 val parallel_instances : ?scale:scale -> unit -> t
-val fragmented : ?scale:scale -> unit -> t
-val cascade : ?scale:scale -> unit -> t
-val one_probe_dynamic : ?scale:scale -> unit -> t
+val fragmented :
+  ?scale:scale -> ?factory:int Pdm_sim.Backend.factory -> unit -> t
+val cascade : ?scale:scale -> ?factory:int Pdm_sim.Backend.factory -> unit -> t
+val one_probe_dynamic :
+  ?scale:scale -> ?factory:int Pdm_sim.Backend.factory -> unit -> t
 val global_rebuild : ?scale:scale -> unit -> t
 val hash_table :
-  ?scale:scale -> ?utilization:float -> ?value_bytes:int -> unit -> t
+  ?scale:scale -> ?utilization:float -> ?value_bytes:int ->
+  ?factory:int Pdm_sim.Backend.factory -> unit -> t
 val cuckoo :
-  ?scale:scale -> ?utilization:float -> ?value_bytes:int -> unit -> t
+  ?scale:scale -> ?utilization:float -> ?value_bytes:int ->
+  ?factory:int Pdm_sim.Backend.factory -> unit -> t
 val two_level : ?scale:scale -> unit -> t
-val btree : ?scale:scale -> unit -> t
+val btree : ?scale:scale -> ?factory:int Pdm_sim.Backend.factory -> unit -> t
 
 val all : ?scale:scale -> unit -> t list
 (** Every structure at moderate settings. *)
@@ -57,15 +65,18 @@ type engine_adapter = {
 
 val engine_one_probe_static :
   ?scale:scale -> ?replicas:int -> ?spares:int -> ?degree:int ->
+  ?factory:int Pdm_sim.Backend.factory ->
   data:(int * Bytes.t) array -> unit -> engine_adapter
 (** Section 4.2 case (b) on [degree] (default 16) disks; static, so
     [insert = None]. *)
 
 val engine_one_probe_dynamic :
-  ?scale:scale -> ?replicas:int -> ?spares:int -> unit -> engine_adapter
+  ?scale:scale -> ?replicas:int -> ?spares:int ->
+  ?factory:int Pdm_sim.Backend.factory -> unit -> engine_adapter
 (** Section 6 exploration: one-probe plans, engine-served inserts. *)
 
 val engine_cascade :
-  ?scale:scale -> ?replicas:int -> ?spares:int -> unit -> engine_adapter
+  ?scale:scale -> ?replicas:int -> ?spares:int ->
+  ?factory:int Pdm_sim.Backend.factory -> unit -> engine_adapter
 (** Section 4.3: a two-step plan (membership + A₁, then the landing
     level) — exercises the engine's multi-round continuations. *)

@@ -40,8 +40,8 @@ let mk_row ~name ~paper_lookup ~paper_update ~bandwidth_bits ~disks
     update_avg = Common.avg ins; update_worst = Common.worst ins;
     bandwidth_bits; disks; deterministic }
 
-let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
-    =
+let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42)
+    ?factory () =
   let rng = Prng.create seed in
   let members = Sampling.distinct rng ~universe ~count:n in
   let val8 = Common.value_bytes_of 8 in
@@ -56,7 +56,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
        ~seed ()
    in
    let machine =
-     Pdm.create ~disks ~block_size:block_words
+     Pdm.create ?factory ~disks ~block_size:block_words
        ~blocks_per_disk:cfg.Hash_table.superblocks ()
    in
    let h = Hash_table.create ~machine cfg in
@@ -78,7 +78,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
        ~value_bytes:8 ~seed ()
    in
    let machine =
-     Pdm.create ~disks ~block_size:block_words
+     Pdm.create ?factory ~disks ~block_size:block_words
        ~blocks_per_disk:(Basic.blocks_per_disk cfg) ()
    in
    let d = Basic.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -101,7 +101,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
        ~block_words ~degree:disks ~sigma_bits ~seed ()
    in
    let machine =
-     Pdm.create ~disks ~block_size:block_words
+     Pdm.create ?factory ~disks ~block_size:block_words
        ~blocks_per_disk:(Fragmented.blocks_per_disk cfg) ()
    in
    let d = Fragmented.create ~machine ~disk_offset:0 ~block_offset:0 cfg in
@@ -124,7 +124,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
        ~value_bytes:8 ~seed ()
    in
    let machine =
-     Pdm.create ~disks ~block_size:block_words
+     Pdm.create ?factory ~disks ~block_size:block_words
        ~blocks_per_disk:cfg.Cuckoo.buckets ()
    in
    let c = Cuckoo.create ~machine cfg in
@@ -145,7 +145,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
        ~seed ()
    in
    let machine =
-     Pdm.create ~disks ~block_size:block_words
+     Pdm.create ?factory ~disks ~block_size:block_words
        ~blocks_per_disk:(Two_level.superblocks_needed cfg ~block_words ~disks)
        ()
    in
@@ -164,7 +164,7 @@ let run ?(n = 1000) ?(universe = 1 lsl 22) ?(block_words = 64) ?(seed = 42) ()
   (* Row: Section 4.3 cascade — 1+e / 2+e average, deterministic. *)
   (let sigma_bits = 512 and epsilon = 0.5 and degree = 24 in
    let t =
-     Cascade.create ~block_words
+     Cascade.create ?factory ~block_words
        { Cascade.universe; capacity = n; degree; sigma_bits; epsilon;
          v_factor = 3; seed }
    in

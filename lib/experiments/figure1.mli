@@ -29,8 +29,12 @@ type row = {
 type result = { rows : row list; n : int; block_words : int }
 
 val run :
-  ?n:int -> ?universe:int -> ?block_words:int -> ?seed:int -> unit -> result
-(** Defaults: n = 1000, universe = 2²², block_words = 64, seed 42. *)
+  ?n:int -> ?universe:int -> ?block_words:int -> ?seed:int ->
+  ?factory:int Pdm_sim.Backend.factory -> unit -> result
+(** Defaults: n = 1000, universe = 2²², block_words = 64, seed 42.
+    [factory] puts every row's machine on non-default storage (the
+    real-I/O backends of {!Pdm_io.Store}) — measured I/O counts are
+    identical by the backend contract; only wall time changes. *)
 
 val to_table : result -> Table.t
 

@@ -1,0 +1,45 @@
+(** E22: real I/O — the batched-vs-unbatched crossover, measured in
+    wall-clock time on the file backend.
+
+    The simulator's round counts predict that committing journal
+    batches amortizes the redo-log protocol; on real storage the same
+    batching also amortizes the fsync barriers, which is where actual
+    time goes. The experiment drives the same block updates through
+    the write-ahead journal four ways (mem/file x unbatched/batched),
+    checks all four end states are byte-identical, and reports the
+    file backend's round ratio next to its wall-clock ratio — the
+    measured crossover is that batching buys at least the order of
+    magnitude the round counts promise. A committed-but-unapplied
+    batch is then crashed, the directory reopened by a fresh machine,
+    and the recovery replay timed. *)
+
+type run = {
+  label : string;  (** ["unbatched"] or ["batched"] *)
+  backend : string;  (** ["mem"] or ["file"] *)
+  updates : int;
+  per_commit : int;  (** updates per [log_and_apply] call *)
+  rounds : int;  (** machine rounds charged *)
+  block_writes : int;
+  wall_s : float;
+  updates_per_s : float;
+}
+
+type result = {
+  updates : int;
+  batch : int;
+  runs : run list;  (** mem/file x unbatched/batched *)
+  states_agree : bool;  (** all four end states byte-identical *)
+  rounds_ratio : float;  (** file: unbatched rounds / batched rounds *)
+  wall_ratio : float;  (** file: unbatched wall / batched wall *)
+  crossover : bool;
+      (** [wall_ratio >= 10^floor(log10 rounds_ratio)] *)
+  replay_blocks : int;
+  replay_wall_s : float;
+  replay_ok : bool;  (** recovery replayed and the batch is applied *)
+}
+
+val run : ?updates:int -> ?batch:int -> ?seed:int -> unit -> result
+(** Defaults: 384 updates, 96 per batched commit, seed 42, 8 disks,
+    B = 16 words. *)
+
+val to_table : result -> Table.t

@@ -1,0 +1,112 @@
+(* Zero-copy block codec: the on-disk image of one PDM block.
+
+   Layout (little-endian, fixed offsets so every field can be encoded
+   or decoded in place — no intermediate Bytes):
+
+     bytes 0..7     word0: state magic (0 = absent, MAGIC = present)
+     bytes 8..15    word1: slot count (sanity-checked on decode)
+     bytes 16..     presence bitmap, ceil(slots/8) bytes
+     then           slots x 8-byte two's-complement cells
+     padding        up to the next 512-byte sector (O_DIRECT unit)
+
+   Absent cells still occupy their 8 bytes (zeroed) so every cell has
+   a fixed offset; a never-written block is all zeros, which is
+   exactly what a freshly preallocated (ftruncated) file reads as. *)
+
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external buf_addr : buf -> nativeint = "caml_pdm_io_buf_addr"
+
+let sector = 512
+
+(* "PDMBLK1\000" as a little-endian word. *)
+let magic = 0x00314b4c424d4450
+
+let header_bytes = 16
+
+let bitmap_bytes ~slots = (slots + 7) / 8
+
+let bytes_per_block ~slots =
+  if slots < 1 then invalid_arg "Block_codec.bytes_per_block: slots >= 1";
+  let raw = header_bytes + bitmap_bytes ~slots + (8 * slots) in
+  (raw + sector - 1) / sector * sector
+
+let alloc len = Bigarray.Array1.create Bigarray.Char Bigarray.c_layout len
+
+(* A buffer whose data pointer is [align]-aligned: over-allocate and
+   carve the aligned slice. O_DIRECT rejects unaligned user buffers. *)
+let aligned ?(align = sector) len =
+  let raw = alloc (len + align) in
+  let addr = Nativeint.to_int (buf_addr raw) in
+  let shift = (align - (addr mod align)) mod align in
+  Bigarray.Array1.sub raw shift len
+
+let get_word buf off =
+  let b i = Char.code (Bigarray.Array1.get buf (off + i)) in
+  b 0
+  lor (b 1 lsl 8)
+  lor (b 2 lsl 16)
+  lor (b 3 lsl 24)
+  lor (b 4 lsl 32)
+  lor (b 5 lsl 40)
+  lor (b 6 lsl 48)
+  lor (b 7 lsl 56)
+
+let set_word buf off v =
+  for i = 0 to 7 do
+    Bigarray.Array1.set buf (off + i)
+      (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let written buf ~off = get_word buf off = magic
+
+let erase buf ~off ~slots =
+  Bigarray.Array1.fill
+    (Bigarray.Array1.sub buf off (bytes_per_block ~slots))
+    '\000'
+
+let encode buf ~off ~slots payload =
+  match payload with
+  | None -> erase buf ~off ~slots
+  | Some cells ->
+    if Array.length cells <> slots then
+      invalid_arg "Block_codec.encode: payload has wrong slot count";
+    set_word buf off magic;
+    set_word buf (off + 8) slots;
+    let bmp = off + header_bytes in
+    let data = bmp + bitmap_bytes ~slots in
+    Bigarray.Array1.fill
+      (Bigarray.Array1.sub buf bmp (bitmap_bytes ~slots))
+      '\000';
+    for i = 0 to slots - 1 do
+      match cells.(i) with
+      | None -> set_word buf (data + (8 * i)) 0
+      | Some v ->
+        let bi = bmp + (i lsr 3) in
+        let bits = Char.code (Bigarray.Array1.get buf bi) in
+        Bigarray.Array1.set buf bi
+          (Char.unsafe_chr (bits lor (1 lsl (i land 7))));
+        set_word buf (data + (8 * i)) v
+    done
+
+let decode buf ~off ~slots =
+  if not (written buf ~off) then None
+  else begin
+    let stored = get_word buf (off + 8) in
+    if stored <> slots then
+      failwith
+        (Printf.sprintf
+           "Block_codec.decode: stored slot count %d, expected %d \
+            (geometry mismatch with an existing file?)"
+           stored slots);
+    let bmp = off + header_bytes in
+    let data = bmp + bitmap_bytes ~slots in
+    let cells = Array.make slots None in
+    for i = 0 to slots - 1 do
+      let bits = Char.code (Bigarray.Array1.get buf (bmp + (i lsr 3))) in
+      if bits land (1 lsl (i land 7)) <> 0 then
+        cells.(i) <- Some (get_word buf (data + (8 * i)))
+    done;
+    Some cells
+  end

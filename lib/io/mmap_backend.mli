@@ -1,0 +1,17 @@
+(** Memory-mapped storage backend for read-mostly workloads.
+
+    The whole disk file (same layout and file name as
+    {!File_backend}) is mapped shared: reads decode straight out of
+    the mapping — no syscall, no byte copy, the only allocation is the
+    payload array — and writes encode straight into it, left to the
+    kernel's writeback until a barrier. The barrier is [msync], so the
+    durability contract is identical to the file backend's [fsync].
+    Reopening an existing file rebuilds the written bitmap from the
+    mapped headers. *)
+
+val create :
+  dir:string -> disk:int -> blocks:int -> slots:int -> unit ->
+  int Pdm_sim.Backend.t
+(** Map (creating and preallocating if needed) this disk's file under
+    [dir]. Geometry must match any existing file — see
+    {!File_backend.create}. *)

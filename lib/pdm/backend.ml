@@ -44,7 +44,11 @@ type 'a t = {
   peek : int -> 'a option array option;
   poke : int -> 'a option array option -> unit;
   dump : unit -> 'a option array option array;
+  exists : int -> bool;
+  barrier : unit -> unit;
 }
+
+type 'a factory = blocks:int -> slots:int -> (int -> 'a t) option
 
 let of_store ~disk store =
   { name = "memory";
@@ -56,7 +60,9 @@ let of_store ~disk store =
     max_retries = 0;
     peek = (fun b -> store.(b));
     poke = (fun b slots -> store.(b) <- slots);
-    dump = (fun () -> store) }
+    dump = (fun () -> store);
+    exists = (fun b -> store.(b) <> None);
+    barrier = (fun () -> ()) }
 
 let memory ~disk ~blocks = of_store ~disk (Array.make blocks None)
 
@@ -73,4 +79,6 @@ let dead ~disk ~blocks =
     max_retries = 0;
     peek = (fun _ -> None);
     poke = (fun _ _ -> ());
-    dump = (fun () -> Array.make blocks None) }
+    dump = (fun () -> Array.make blocks None);
+    exists = (fun _ -> false);
+    barrier = (fun () -> ()) }

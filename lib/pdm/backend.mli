@@ -69,7 +69,23 @@ type 'a t = {
       (** Uncounted, fault-free raw store. *)
   dump : unit -> 'a option array option array;
       (** The raw block store, for persistence (live, do not mutate). *)
+  exists : int -> bool;
+      (** Uncounted "was this block ever written" test — cheaper than
+          [peek] on backends that would otherwise decode the block. *)
+  barrier : unit -> unit;
+      (** Durability barrier: returns once every preceding [write] and
+          [poke] is on stable storage ([fsync]/[msync] on real-I/O
+          backends, a no-op in memory). Uncounted — PDM rounds model
+          transfers, not flushes. *)
 }
+
+type 'a factory = blocks:int -> slots:int -> (int -> 'a t) option
+(** How machine constructors ask for non-default storage without
+    knowing its geometry up front: {!Pdm.create} calls the factory with
+    the physical blocks-per-disk and slots-per-block it computed
+    (including replica rows and integrity overhead) and uses the
+    returned per-disk constructor, or the built-in {!memory} disks when
+    the factory answers [None] (the "mem" factory). *)
 
 val memory : disk:int -> blocks:int -> 'a t
 (** Fresh all-empty in-memory backend — the default disk. *)

@@ -1,0 +1,37 @@
+(* Name-keyed registry of storage-backend factories.
+
+   The machine layer never depends on any concrete real-I/O backend;
+   providers (lib/io) register an [int Backend.factory] under a kind
+   name at module-init time, and front ends (CLI, bench, sim) resolve
+   "--backend <kind>" here. "mem" is built in and resolves to the
+   factory that always answers [None], i.e. the default memory disks. *)
+
+type entry = { doc : string; make : unit -> int Backend.factory }
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let mem_factory : int Backend.factory = fun ~blocks:_ ~slots:_ -> None
+
+let () =
+  Hashtbl.replace table "mem"
+    { doc = "in-memory arrays (the default PDM simulation store)";
+      make = (fun () -> mem_factory) }
+
+let register ~kind ~doc make =
+  let kind = String.lowercase_ascii kind in
+  if kind = "mem" then invalid_arg "Backend_registry.register: mem is built in";
+  Hashtbl.replace table kind { doc; make }
+
+let resolve kind =
+  match Hashtbl.find_opt table (String.lowercase_ascii kind) with
+  | Some e -> Ok (e.make ())
+  | None ->
+    let known =
+      Hashtbl.fold (fun k _ acc -> k :: acc) table []
+      |> List.sort String.compare |> String.concat ", "
+    in
+    Error (Printf.sprintf "unknown backend %S (known: %s)" kind known)
+
+let kinds () =
+  Hashtbl.fold (fun k e acc -> (k, e.doc) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,22 @@
+(** Name-keyed registry of storage-backend factories.
+
+    Decouples the machine layer from concrete real-I/O backends:
+    providers (the [pdm_io] library) register an [int]
+    {!Backend.factory} under a kind name at module-init time, and front
+    ends resolve a ["--backend <kind>"] string here. Machines are [int]
+    machines in practice, so the registry is monomorphic; polymorphic
+    callers pass a factory to {!Pdm.create} directly. *)
+
+val register :
+  kind:string -> doc:string -> (unit -> int Backend.factory) -> unit
+(** [register ~kind ~doc make] installs (or replaces) a factory
+    provider under [kind] (case-insensitive). [make] runs once per
+    {!resolve}, so each resolution can own fresh state (e.g. a fresh
+    scratch directory). Registering ["mem"] is an error — it is built
+    in and always resolves. *)
+
+val resolve : string -> (int Backend.factory, string) result
+(** Look up a kind name; the [Error] case lists known kinds. *)
+
+val kinds : unit -> (string * string) list
+(** Registered [(kind, doc)] pairs, sorted, ["mem"] included. *)

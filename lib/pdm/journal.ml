@@ -127,16 +127,25 @@ let log_and_apply t ?crash batch =
      List.iteri (fun i blk -> if i < k then Pdm.write machine [ blk ]) data;
      raise Crashed
    | _ -> if data <> [] then Pdm.write machine data);
+  (* barrier before the commit record: the log payload must be stable
+     before the header can claim it is replayable *)
+  Pdm.barrier machine;
   maybe_crash crash After_log;
   write_header t
     [| magic_committed; t.seq; nblocks; Array.length stream;
        checksum_stream stream |];
+  (* barrier on the commit point itself: once we start applying, a
+     crash must find the committed header on stable storage *)
+  Pdm.barrier machine;
   maybe_crash crash After_commit;
   (match crash with
    | Some (During_apply k) when k < List.length batch ->
      List.iteri (fun i blk -> if i < k then Pdm.write machine [ blk ]) batch;
      raise Crashed
    | _ -> if batch <> [] then Pdm.write machine batch);
+  (* barrier before the header clears: the applied state must be
+     stable before we discard the log that could rebuild it *)
+  Pdm.barrier machine;
   maybe_crash crash After_apply;
   clear_header t
 
@@ -188,6 +197,8 @@ let recover machine ~block_offset ~capacity_blocks =
       else begin
         let batch = decode_stream machine cells in
         if batch <> [] then Pdm.write machine batch;
+        (* replayed state must be stable before the log is discarded *)
+        Pdm.barrier machine;
         clear_header t;
         `Replayed (List.length batch)
       end

@@ -37,7 +37,7 @@ let physical_disks_of ~disks ~spares = disks + spares
 let physical_blocks_of ~replicas ~blocks_per_disk = replicas * blocks_per_disk
 
 let create ?(model = Independent_disks) ?stats ?trace ?faults ?backends
-    ?(replicas = 1) ?(spares = 0) ?integrity ~disks ~block_size
+    ?factory ?(replicas = 1) ?(spares = 0) ?integrity ~disks ~block_size
     ~blocks_per_disk () =
   if disks < 1 then invalid_arg "Pdm.create: disks must be >= 1";
   if block_size < 1 then invalid_arg "Pdm.create: block_size must be >= 1";
@@ -53,6 +53,21 @@ let create ?(model = Independent_disks) ?stats ?trace ?faults ?backends
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let phys_blocks = physical_blocks_of ~replicas ~blocks_per_disk in
   let phys_disks = physical_disks_of ~disks ~spares in
+  (* A factory is the geometry-blind form of [?backends]: we hand it
+     the physical blocks-per-disk and the sealed slot width (payload
+     plus integrity envelope) and it answers with per-disk constructors
+     — or [None], meaning "use the default memory disks". An explicit
+     [?backends] wins when both are given. *)
+  let backends =
+    match backends, factory with
+    | Some _, _ | None, None -> backends
+    | None, Some f ->
+      let slots =
+        block_size
+        + (match integrity with Some i -> i.overhead | None -> 0)
+      in
+      f ~blocks:phys_blocks ~slots
+  in
   let base d =
     match backends with
     | None -> Backend.memory ~disk:d ~blocks:phys_blocks
@@ -590,7 +605,7 @@ let seal t slots =
    allocation counter. *)
 let store_phys t p data =
   let bk = t.backends.(p.disk) in
-  let fresh = bk.Backend.peek p.block = None in
+  let fresh = not (bk.Backend.exists p.block) in
   bk.Backend.write p.block (Array.copy data);
   if fresh then t.allocated <- t.allocated + 1
 
@@ -669,7 +684,7 @@ let store_block t a slots =
   if Array.length slots <> t.block_size then
     invalid_arg "Pdm.write: block has wrong length";
   let bk = t.backends.(a.disk) in
-  if bk.Backend.peek a.block = None then t.allocated <- t.allocated + 1;
+  if not (bk.Backend.exists a.block) then t.allocated <- t.allocated + 1;
   bk.Backend.write a.block (Array.copy slots)
 
 let write t blocks =
@@ -742,9 +757,14 @@ let poke t a slots =
   for j = 0 to t.replicas - 1 do
     let p = phys t a j in
     let bk = t.backends.(p.disk) in
-    if bk.Backend.peek p.block = None then t.allocated <- t.allocated + 1;
+    if not (bk.Backend.exists p.block) then t.allocated <- t.allocated + 1;
     bk.Backend.poke p.block (Some (Array.copy data))
   done
+
+(* Durability barrier across every live disk (uncounted: PDM rounds
+   model block transfers, not flushes). The journal calls this at its
+   commit points so real-I/O backends are crash-consistent. *)
+let barrier t = Array.iter (fun bk -> bk.Backend.barrier ()) t.backends
 
 let allocated_blocks t = t.allocated
 
@@ -827,7 +847,7 @@ let raw_allocated t a =
     j < t.replicas
     &&
     let p = phys t a j in
-    t.backends.(p.disk).Backend.peek p.block <> None || go (j + 1)
+    t.backends.(p.disk).Backend.exists p.block || go (j + 1)
   in
   go 0
 

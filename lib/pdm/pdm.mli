@@ -96,6 +96,7 @@ val create :
   ?trace:Trace.t ->
   ?faults:Fault.spec ->
   ?backends:(int -> 'a Backend.t) ->
+  ?factory:'a Backend.factory ->
   ?replicas:int ->
   ?spares:int ->
   ?integrity:'a integrity ->
@@ -110,8 +111,12 @@ val create :
     envelope. [backends] supplies a custom backend per physical disk
     (there are [disks + spares] of them, each with [replicas *
     blocks_per_disk] blocks; capacity and disk index must match);
-    [faults] wraps whatever backend each disk has. [replicas] must be
-    between 1 and [disks] so the copies land on distinct disks. *)
+    [factory] is the geometry-blind form — [create] calls it with the
+    physical blocks-per-disk and sealed slot width it computed, and
+    falls back to memory disks when it answers [None] ([backends] wins
+    when both are given). [faults] wraps whatever backend each disk
+    has. [replicas] must be between 1 and [disks] so the copies land
+    on distinct disks. *)
 
 val disks : 'a t -> int
 (** Logical disk count D — the geometry dictionaries address. *)
@@ -216,6 +221,12 @@ val peek : 'a t -> addr -> 'a option array
 val poke : 'a t -> addr -> 'a option array -> unit
 (** Uncounted, fault-free write (of every replica, sealed) — tests
     and bulk initialisation only. *)
+
+val barrier : 'a t -> unit
+(** Durability barrier on every disk: returns once all preceding
+    writes are on stable storage (fsync/msync on real-I/O backends, a
+    no-op in memory). Uncounted — PDM rounds model block transfers,
+    not flushes. The journal issues this at its commit points. *)
 
 val allocated_blocks : 'a t -> int
 (** Number of {e physical} blocks ever written (space usage — an

@@ -26,6 +26,7 @@ type t = {
   net_dup : float;  (* per-delivered-write duplication probability *)
   net_reorder : int;  (* duplicate redelivery window bound *)
   net_hedge : bool;  (* hedged reads (fail over after 1 miss) *)
+  backend : string;  (* storage kind under the machine: mem|file|mmap *)
 }
 
 let sut_to_string = function
@@ -50,7 +51,7 @@ let default sut =
     straggle = 1; block_words = 32; universe = 1 lsl 14; capacity = 96;
     value_bytes = 8; seed = 1; shards = (if sut = Cluster then 3 else 0);
     migrate_at = -1; net = false; net_drop = 0.05; net_dup = 0.05;
-    net_reorder = 3; net_hedge = true }
+    net_reorder = 3; net_hedge = true; backend = "mem" }
 
 let is_static cfg = cfg.sut = One_probe_static
 
@@ -107,6 +108,12 @@ let validate cfg =
     err "net_dup must be in [0, 0.2]"
   else if cfg.net_reorder < 1 || cfg.net_reorder > 16 then
     err "net_reorder must be in [1, 16]"
+  else if not (List.mem cfg.backend [ "mem"; "file"; "mmap" ]) then
+    err "backend must be one of mem|file|mmap"
+  else if cfg.backend <> "mem" && cfg.sut = Cluster then
+    err
+      "real-I/O backends drive the single-machine suts; the cluster's \
+       shard machines stay in memory"
   else if cfg.capacity < 8 then err "capacity must be >= 8"
   else if cfg.universe < 4 * cfg.capacity then
     err "universe must be >= 4 * capacity"
@@ -122,6 +129,7 @@ let describe cfg =
          Printf.sprintf "+net(drop%g,dup%g%s)" cfg.net_drop cfg.net_dup
            (if cfg.net_hedge then "" else ",nohedge")
        else "");
+      (if cfg.backend <> "mem" then "+" ^ cfg.backend else "");
       (if cfg.engine then "+engine" else "");
       (if cfg.cache_blocks > 0 then
          Printf.sprintf "+cache%d" cfg.cache_blocks
@@ -159,7 +167,8 @@ let to_json cfg =
       ("net_drop", J.Float cfg.net_drop);
       ("net_dup", J.Float cfg.net_dup);
       ("net_reorder", J.Int cfg.net_reorder);
-      ("net_hedge", J.Bool cfg.net_hedge) ]
+      ("net_hedge", J.Bool cfg.net_hedge);
+      ("backend", J.String cfg.backend) ]
 
 let of_json j =
   let ( let* ) o f = Option.bind o f in
@@ -201,11 +210,17 @@ let of_json j =
     let* net_dup = opt_float "net_dup" ~default:0.05 in
     let* net_reorder = opt_int "net_reorder" ~default:3 in
     let* net_hedge = opt_bool "net_hedge" ~default:true in
+    let opt_string name ~default =
+      match J.member name j with
+      | None -> Some default
+      | Some v -> J.get_string v
+    in
+    let* backend = opt_string "backend" ~default:"mem" in
     Some
       { sut; engine; cache_blocks; journaled; replicas; spares; integrity;
         buggy; transient; straggle; block_words; universe; capacity;
         value_bytes; seed; shards; migrate_at; net; net_drop; net_dup;
-        net_reorder; net_hedge }
+        net_reorder; net_hedge; backend }
   with
   | Some cfg ->
     (match validate cfg with

@@ -50,6 +50,10 @@ type t = {
   net_hedge : bool;
       (** hedged reads: fall over to the next replica after one missed
           reply instead of burning the whole retry budget in place *)
+  backend : string;
+      (** storage under the machine: ["mem"] (default), ["file"] or
+          ["mmap"] — the {!Pdm_io} real-I/O backends, in a fresh
+          scratch directory per run. Single-machine suts only. *)
 }
 
 val default : sut -> t
@@ -78,8 +82,8 @@ val to_json : t -> Sim_json.t
 
 val of_json : Sim_json.t -> (t, string) result
 (** Fields introduced after the first repro format ([shards],
-    [migrate_at], the [net_*] family) default when absent, so old
-    repro files replay unchanged. *)
+    [migrate_at], the [net_*] family, [backend]) default when absent,
+    so old repro files replay unchanged. *)
 
 val gen_spec : ?count:int -> ?dist:Sim_gen.dist -> t -> Sim_gen.spec
 (** The workload-generator spec this config implies (population at

@@ -8,6 +8,7 @@ module Opd = Pdm_dictionary.One_probe_dynamic
 module Cascade = Pdm_dictionary.Dynamic_cascade
 module Checksum = Pdm_dictionary.Codec.Checksum
 module Cluster = Pdm_cluster.Cluster
+module Store = Pdm_io.Store
 module Topology = Pdm_cluster.Topology
 module Transport = Pdm_cluster.Transport
 
@@ -29,6 +30,15 @@ type t = {
           next op. The runner routes [Net_*] schedule events here;
           schedules carrying them are invalid for other adapters. *)
 }
+
+(* The machine-storage factory a config implies: "mem" resolves to
+   None inside the factory, so every construction site can thread it
+   unconditionally. Non-mem kinds get a fresh scratch directory per
+   machine (removed at process exit). *)
+let storage_factory (cfg : Sim_config.t) =
+  match Store.kind_of_string cfg.backend with
+  | Ok kind -> Store.factory (Store.spec kind)
+  | Error m -> invalid_arg ("Sim_sut: " ^ m)
 
 let basic_degree = 6
 let static_degree = 9
@@ -76,7 +86,7 @@ let build_basic (cfg : Sim_config.t) =
       ~value_bytes:cfg.value_bytes ~seed:cfg.seed ()
   in
   let machine =
-    Pdm.create ?faults:(fault_spec cfg)
+    Pdm.create ?faults:(fault_spec cfg) ~factory:(storage_factory cfg)
       ?integrity:(if cfg.integrity then Some Checksum.integrity else None)
       ~replicas:cfg.replicas ~spares:cfg.spares ~disks:basic_degree
       ~block_size:cfg.block_words ~blocks_per_disk:(Basic.blocks_per_disk bcfg)
@@ -95,7 +105,7 @@ let build_static (cfg : Sim_config.t) ~data =
   in
   let t =
     Ops.build ~replicas:cfg.replicas ~spares:cfg.spares
-      ~block_words:cfg.block_words scfg data
+      ~factory:(storage_factory cfg) ~block_words:cfg.block_words scfg data
   in
   let base =
     { name = ""; machine = Ops.machine t; find = Ops.find t; find_batch = None;
@@ -122,7 +132,8 @@ let build_dynamic (cfg : Sim_config.t) =
   in
   let t =
     Opd.create ~journaled:cfg.journaled ~replicas:cfg.replicas
-      ~spares:cfg.spares ~block_words:cfg.block_words dcfg
+      ~spares:cfg.spares ~factory:(storage_factory cfg)
+      ~block_words:cfg.block_words dcfg
   in
   let base =
     { name = ""; machine = Opd.machine t; find = Opd.find t; find_batch = None;
@@ -151,7 +162,8 @@ let build_cascade (cfg : Sim_config.t) =
   in
   let t =
     Cascade.create ~journaled:cfg.journaled ~replicas:cfg.replicas
-      ~spares:cfg.spares ~block_words:cfg.block_words ccfg
+      ~spares:cfg.spares ~factory:(storage_factory cfg)
+      ~block_words:cfg.block_words ccfg
   in
   let base =
     { name = ""; machine = Cascade.machine t; find = Cascade.find t;

@@ -9,3 +9,15 @@ let duration f =
   let t0 = now () in
   let r = f () in
   (r, now () -. t0)
+
+let wall () =
+  (* pdm-lint: allow R2 — the real-time companion to [now], for
+     reporting on the real-I/O backends where the interesting cost is
+     time spent *blocked* (fsync, pread) that processor time cannot
+     see. Reporting only; never branch on it. *)
+  Unix.gettimeofday ()
+
+let wall_duration f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)

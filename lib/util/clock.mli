@@ -14,3 +14,13 @@ val now : unit -> float
 val duration : (unit -> 'a) -> 'a * float
 (** [duration f] runs [f] and returns its result with the elapsed
     processor time in seconds. *)
+
+val wall : unit -> float
+(** Real time in seconds since the epoch. Processor time undercounts
+    the real-I/O backends, whose dominant cost is time spent blocked
+    in [fsync]/[pread]; wall-clock figures (E22, the bench ns columns
+    under [--backend file]) use this instead. Reporting only. *)
+
+val wall_duration : (unit -> 'a) -> 'a * float
+(** [wall_duration f] runs [f] and returns its result with the elapsed
+    real time in seconds. *)

@@ -1,19 +1,24 @@
 (* SplitMix64. State and arithmetic are Int64; outputs are truncated to
    the 62 low bits so they fit a non-negative OCaml int on 64-bit
-   platforms. *)
+   platforms.
+
+   The mixers sit on every probe's addressing path (and, via the
+   keyed checksum, on every sealed write), so the small functions are
+   marked [@inline]: inlined, the intermediate Int64s stay unboxed and
+   the per-probe hash allocates nothing. *)
 
 type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix64_i64 z =
+let[@inline] mix64_i64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let to_nonneg_int z = Int64.to_int z land max_int
+let[@inline] to_nonneg_int z = Int64.to_int z land max_int
 
-let mix64 x = to_nonneg_int (mix64_i64 (Int64.of_int x))
+let[@inline] mix64 x = to_nonneg_int (mix64_i64 (Int64.of_int x))
 
 let create seed = { state = mix64_i64 (Int64.of_int seed) }
 
@@ -56,7 +61,7 @@ let shuffle g a =
     a.(j) <- tmp
   done
 
-let hash2 ~seed a b =
+let[@inline] hash2 ~seed a b =
   let z = Int64.of_int seed in
   let z = mix64_i64 (Int64.add z (Int64.mul (Int64.of_int a) golden_gamma)) in
   let z = mix64_i64 (Int64.add z (Int64.mul (Int64.of_int b) 0xC2B2AE3D27D4EB4FL)) in

@@ -78,6 +78,23 @@ let test_r2_determinism () =
   checkb "plain Hashtbl.create is deterministic by default" false
     (has "R2" (lint "let h () : (int, int) Hashtbl.t = Hashtbl.create 16\n"))
 
+(* The audited Unix allowlist for the real-I/O component: exactly the
+   syscalls DESIGN.md Â§13 names, and only under lib/io. *)
+let test_r2_unix_io_allowlist () =
+  checkb "allowlisted syscall clean in lib/io" false
+    (has "R2"
+       (lint ~path:"lib/io/raw_file.ml"
+          "let f p = Unix.openfile p [ Unix.O_RDWR ] 0o600\n"));
+  checkb "fsync clean in lib/io" false
+    (has "R2" (lint ~path:"lib/io/raw_file.ml" "let f fd = Unix.fsync fd\n"));
+  checkb "non-allowlisted Unix call still flagged in lib/io" true
+    (has "R2"
+       (lint ~path:"lib/io/raw_file.ml" "let t () = Unix.gettimeofday ()\n"));
+  checkb "allowlisted syscall still flagged outside lib/io" true
+    (has "R2" (lint ~path:"lib/engine/engine.ml" "let f fd = Unix.fsync fd\n"));
+  checkb "allowlisted syscall still flagged in the default component" true
+    (has "R2" (lint "let f fd = Unix.fsync fd\n"))
+
 (* R3: partial functions in library code. *)
 
 let test_r3_totality () =
@@ -324,6 +341,8 @@ let suite =
      [ tc "R1 backend bypass" `Quick test_r1_backend_bypass;
        tc "R1 peek allowlist" `Quick test_r1_peek_allowlist;
        tc "R2 determinism" `Quick test_r2_determinism;
+       tc "R2 audited Unix allowlist (lib/io)" `Quick
+         test_r2_unix_io_allowlist;
        tc "R3 totality" `Quick test_r3_totality;
        tc "R4 interfaces" `Quick test_r4_interfaces ]);
     ("lint.suppressions",
