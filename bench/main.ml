@@ -9,6 +9,10 @@
    operation of each structure, plus one per experiment driver) so the
    implementation's constant factors are visible too. *)
 
+(* pdm-lint: allow R4 — the bench harness is the experiments library's
+   presentation layer and re-exports its E2..E10 drivers and shared
+   sizing constants wholesale; aliasing every name would only obscure
+   the tables *)
 open Pdm_experiments
 module Pdm = Pdm_sim.Pdm
 module Stats = Pdm_sim.Stats
@@ -192,6 +196,7 @@ let balancer =
    stay negligible next to any real structure operation. *)
 let ov_blocks = 256
 
+(* pdm-lint: allow R1 — construction-time bulk preload of the benchmark machine, completed before any measured phase starts *)
 let ov_machine : int Pdm.t Lazy.t =
   lazy
     (let m =
@@ -205,6 +210,7 @@ let ov_machine : int Pdm.t Lazy.t =
      done;
      m)
 
+(* pdm-lint: allow R1 — construction-time bulk preload of the benchmark machine, completed before any measured phase starts *)
 let ov_traced : int Pdm.t Lazy.t =
   lazy
     (let m =
@@ -220,6 +226,7 @@ let ov_traced : int Pdm.t Lazy.t =
      done;
      m)
 
+(* pdm-lint: allow R1 — construction-time bulk preload of the benchmark machine, completed before any measured phase starts *)
 let ov_replicated : int Pdm.t Lazy.t =
   lazy
     (let m =
@@ -234,6 +241,7 @@ let ov_replicated : int Pdm.t Lazy.t =
      done;
      m)
 
+(* pdm-lint: allow R1 — construction-time bulk preload of the benchmark machine, completed before any measured phase starts *)
 let ov_checksummed : int Pdm.t Lazy.t =
   lazy
     (let m =

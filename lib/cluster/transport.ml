@@ -107,6 +107,7 @@ let inject t ~at pin = t.pins <- (at, pin) :: t.pins
    covers its whole key span so schedule events pinned anywhere inside
    it take effect. Pinned partitions whose op falls in the window open
    here. *)
+(* pdm-lint: domain local — window bounds set between rounds by the router domain *)
 let set_window t ~start ~len =
   t.window_start <- start;
   t.window_len <- max 1 len;
@@ -172,6 +173,7 @@ type delivery = {
    float evaluation order; every call charges its cost into the
    transport's own tick counter — the independent total the cluster's
    sanitizer check compares its charged rounds against. *)
+(* pdm-lint: domain local — in-flight window and retry ledgers belong to the router's domain *)
 let attempt t ~shard ~write ~attempt:a =
   let s = t.spec in
   let msg = t.msg in
@@ -227,6 +229,7 @@ let attempt t ~shard ~write ~attempt:a =
     { request_delivered = true; replied; duplicate_lag; cost }
   end
 
+(* pdm-lint: domain local — backoff ledger owned by the router domain *)
 let charge_backoff t ~op ~attempt:a =
   let b = backoff t.spec ~op ~attempt:a in
   t.ticks <- t.ticks + b;

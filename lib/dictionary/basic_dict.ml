@@ -185,6 +185,7 @@ let find t key = find_in t key (fetch t key)
 
 let mem t key = find t key <> None
 
+(* pdm-lint: domain local — decode scratch buffer confined to the calling operation *)
 let record_of t key value =
   if Bytes.length value > t.cfg.value_bytes then
     invalid_arg "Basic_dict: value too large";
@@ -197,6 +198,7 @@ let bucket_load t image =
     (fun acc (_, block) -> acc + Codec.Slots.count block ~width:t.width)
     0 image
 
+(* pdm-lint: domain local — staged block edits on per-operation scratch copies *)
 let prepare_insert t key value blocks =
   let record = record_of t key value in
   let images =
@@ -310,6 +312,7 @@ let tombstone_record t =
   r.(0) <- t.cfg.universe;
   r
 
+(* pdm-lint: domain local — staged block edits on per-operation scratch copies *)
 let prepare_delete t key blocks =
   let rec over_buckets i =
     if i >= t.cfg.degree then None

@@ -10,6 +10,7 @@ let get_bit bytes i =
   if byte >= Bytes.length bytes then false
   else Char.code (Bytes.get bytes byte) land (0x80 lsr off) <> 0
 
+(* pdm-lint: domain local — codec writes target freshly decoded per-call scratch blocks *)
 let set_bit bytes i =
   let byte = i lsr 3 and off = i land 7 in
   Bytes.set bytes byte
@@ -56,6 +57,7 @@ module Slots = struct
              | Some w -> w
              | None -> invalid_arg "Codec.Slots.read: corrupt slot"))
 
+  (* pdm-lint: domain local — codec writes target freshly decoded per-call scratch blocks *)
   let write block ~width i record =
     let base = i * width in
     (match record with

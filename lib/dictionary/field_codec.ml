@@ -6,6 +6,7 @@ type encoded = (int * Bytes.t) list
 let field_bytes field_bits = Imath.cdiv field_bits 8
 
 (* Pad a writer's content out to exactly field_bits and return it. *)
+(* pdm-lint: domain local — field codec mutates per-call encode buffers *)
 let finish_field ~field_bits w =
   if Bitbuf.Writer.length_bits w > field_bits then
     invalid_arg "Field_codec: content exceeds field size";
@@ -150,6 +151,7 @@ let indices_a ~field_bits ~head get =
   in
   follow head [] 4096
 
+(* pdm-lint: domain local — field codec mutates per-call decode buffers *)
 let decode_a ~field_bits ~head ~sigma_bits get =
   let out = Bitbuf.Writer.create () in
   let rec follow idx guard =

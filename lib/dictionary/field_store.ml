@@ -122,6 +122,7 @@ let read_fields t ys =
   let blocks = Pdm.read t.machine addrs in
   List.map (fun y -> (y, field_in t blocks y)) ys
 
+(* pdm-lint: domain local — field codec mutates a per-call scratch copy of the block *)
 let poke_field t segs base = function
   | None ->
     List.iteri

@@ -113,6 +113,7 @@ let disks t = Pdm.disks t.machine
 let size t = t.size
 let journaled t = t.journal <> None
 
+(* pdm-lint: domain local — crash-injection toggle flipped only by the driving test harness *)
 let set_crash t crash =
   if t.journal = None && crash <> None then
     invalid_arg "One_probe_dynamic.set_crash: dictionary is not journaled";
@@ -193,6 +194,7 @@ let empty_stripes t level blocks key =
   let get = getter t level blocks key in
   List.filter (fun i -> get i = None) (List.init t.cfg.degree (fun i -> i))
 
+(* pdm-lint: domain local — dictionary bookkeeping mutated under the single-threaded engine loop *)
 let insert t key satellite =
   if 8 * Bytes.length satellite < t.cfg.sigma_bits then
     invalid_arg "One_probe_dynamic.insert: satellite shorter than sigma_bits";
@@ -256,6 +258,7 @@ let insert t key satellite =
     in
     place 1
 
+(* pdm-lint: domain local — dictionary bookkeeping mutated under the single-threaded engine loop *)
 let delete t key =
   let blocks = Pdm.read t.machine (all_addresses t key) in
   match Basic_dict.find_in t.membership key blocks with

@@ -123,11 +123,13 @@ let mean_utilization t =
   | l ->
     float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
 
+(* pdm-lint: domain local — outcome list swap on the engine's own state; one serving domain owns t *)
 let take_outcomes t =
   let r = List.rev t.outcomes in
   t.outcomes <- [];
   List.sort (fun (a : outcome) b -> compare a.id b.id) r
 
+(* pdm-lint: domain local — latency/served counters on t, mutated only from the owning round loop *)
 let complete t p value =
   let lat = t.round - p.submitted in
   t.served <- t.served + 1;
@@ -145,6 +147,7 @@ let wrap_failure ~id ~key error =
   | Some _ -> Request_failed { id; key; error }
   | None -> error
 
+(* pdm-lint: domain local — round counters on t, advanced only by the owning round loop *)
 let exec_insert t p key value =
   match t.dict.insert with
   | None -> invalid_arg "Engine: dictionary does not support insert"
@@ -172,6 +175,7 @@ let rec settle tbl st =
    healthy replica left is issued anyway on replica 0 so the machine's
    structured error surfaces — attributed to the oldest waiting
    request. *)
+(* pdm-lint: domain local — round/util counters and scratch tables owned by the engine's single domain *)
 let fetch_all t tbl wanted =
   let m = t.dict.machine in
   let remaining = ref wanted in
@@ -266,6 +270,7 @@ let fetch_all t tbl wanted =
     remaining := List.rev !defer
   done
 
+(* pdm-lint: domain local — batch bookkeeping on t; batches are formed and executed on one domain *)
 let run_batch t batch =
   t.batches <- t.batches + 1;
   (* Inserts first, serialized in submission order, so every lookup in
@@ -347,6 +352,7 @@ let run_batch t batch =
   in
   pass inflight
 
+(* pdm-lint: domain local — queue pop from t.queue; submit/take run on the same serving domain today *)
 let take_batch t =
   let rec go n acc =
     if n = 0 || Queue.is_empty t.queue then List.rev acc
@@ -369,10 +375,12 @@ let drain t =
     run_batch t (take_batch t)
   done
 
+(* pdm-lint: domain local — round counter on t, owned by the round loop *)
 let idle_round t =
   t.round <- t.round + 1;
   pump t
 
+(* pdm-lint: domain local — request id counter and queue push; single producer domain today *)
 let submit t request =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;

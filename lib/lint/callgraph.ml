@@ -1,0 +1,463 @@
+(* Whole-program call graph over the repository's parsetrees.
+
+   Resolution is module-qualified and good enough for this codebase's
+   style: every compilation unit is a module named after its file,
+   references are either local ([f]), alias-qualified ([P.f] after
+   [module P = Pdm_sim.Pdm]), wrapper-qualified ([Pdm_sim.Pdm.f]) or
+   nested ([Sub.f] for a module defined in the same file). Anything
+   else (stdlib, closures, functor tricks) resolves to nothing and
+   simply contributes no edge — the interprocedural rules stay
+   conservative where the graph is blind, and the per-file rules
+   (R1-R4) still see every direct use.
+
+   Besides edges, each definition carries the facts the v2 rules need:
+   direct nondeterminism sources (R5), shared-mutable-state writes with
+   a local/atomic pre-classification (R6), [Backend.read]/[write] call
+   sites and whether the body charges the round ledger (R7). *)
+
+type pos = { line : int; col : int }
+
+type guard = Guard_atomic | Guard_local | Guard_none
+
+type mutation = {
+  m_kind : string;      (* "setfield", "ref-assign", "hashtbl-mut", ... *)
+  m_target : string;    (* rendered subject, e.g. "t.served" *)
+  m_pos : pos;
+  m_guard : guard;
+}
+
+type def = {
+  id : int;
+  unit_name : string;   (* capitalized file basename, e.g. "Engine" *)
+  def_name : string;    (* "run_batch", or "Sub.f" for nested modules *)
+  file : string;
+  pos : pos;
+  component : string;   (* segment after lib/, "" elsewhere *)
+  sources : (string * pos) list;   (* direct taint sources, e.g. "Random.int" *)
+  charges : bool;       (* assigns a [rounds_done] field: round accounting *)
+  io_sites : (string * pos) list;  (* "Backend.read" / "Backend.write" *)
+  mutations : mutation list;
+  uses_mutex : bool;
+  calls : (int * pos) list;        (* resolved callee ids with call-site *)
+}
+
+type graph = {
+  defs : def array;
+  callers : int list array;           (* reverse edges, deduplicated *)
+  by_name : (string, int) Hashtbl.t;  (* "Unit.def" -> id *)
+}
+
+let qualified unit_name def_name = unit_name ^ "." ^ def_name
+
+let find g name = Hashtbl.find_opt g.by_name name
+
+let def_label d = qualified d.unit_name d.def_name
+
+let component_of_path path =
+  let rec after_lib = function
+    | [] -> ""
+    | "lib" :: comp :: _ -> comp
+    | _ :: rest -> after_lib rest
+  in
+  after_lib
+    (String.split_on_char '/'
+       (String.map
+          (fun c -> if c = Filename.dir_sep.[0] then '/' else c)
+          path))
+
+let module_of_path path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let pos_of loc =
+  let p = loc.Location.loc_start in
+  { line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol }
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: per-unit skeleton — aliases and named top-level bindings.   *)
+
+type raw_def = {
+  rd_name : string;
+  rd_pos : pos;
+  rd_expr : Parsetree.expression;
+}
+
+type raw_unit = {
+  ru_path : string;
+  ru_unit : string;
+  ru_component : string;
+  ru_aliases : (string, string list) Hashtbl.t;
+  mutable ru_defs : raw_def list;  (* reverse source order *)
+}
+
+let rec pattern_name (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (inner, _) -> pattern_name inner
+  | _ -> None
+
+let rec collect_items ru ~prefix items =
+  List.iter
+    (fun (it : Parsetree.structure_item) ->
+      match it.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let pos = pos_of vb.pvb_loc in
+            let name =
+              match pattern_name vb.pvb_pat with
+              | Some n -> prefix ^ n
+              | None -> Printf.sprintf "%s__item_%d" prefix pos.line
+            in
+            ru.ru_defs <-
+              { rd_name = name; rd_pos = pos; rd_expr = vb.pvb_expr }
+              :: ru.ru_defs)
+          vbs
+      | Pstr_module mb ->
+        let mname = Option.value mb.pmb_name.txt ~default:"_" in
+        (match mb.pmb_expr.pmod_desc with
+         | Pmod_structure items ->
+           collect_items ru ~prefix:(prefix ^ mname ^ ".") items
+         | Pmod_ident { txt; _ } ->
+           Hashtbl.replace ru.ru_aliases mname (flatten txt)
+         | _ -> ())
+      | _ -> ())
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Fact tables                                                         *)
+
+let taint_source parts =
+  match parts with
+  | "Random" :: _ :: _ -> Some (String.concat "." parts)
+  | [ "Hashtbl"; ("hash" | "seeded_hash") ]
+  | [ "Sys"; "time" ]
+  | [ "Unix"; ("gettimeofday" | "time" | "gmtime" | "localtime" | "times") ]
+    ->
+    Some (String.concat "." parts)
+  | _ -> None
+
+(* Module-level mutators of shared containers: (module, function) ->
+   mutation kind. [Atomic] members are recognized but classified as
+   guarded. *)
+let mutator_kind m f =
+  match m, f with
+  | "Hashtbl",
+    ( "add" | "replace" | "remove" | "reset" | "clear"
+    | "filter_map_inplace" ) ->
+    Some "hashtbl-mut"
+  | "Queue",
+    ("add" | "push" | "pop" | "take" | "clear" | "transfer" | "add_seq") ->
+    Some "queue-mut"
+  | "Stack", ("push" | "pop" | "clear") -> Some "stack-mut"
+  | "Buffer",
+    ( "add_char" | "add_string" | "add_bytes" | "add_substring" | "clear"
+    | "reset" | "truncate" ) ->
+    Some "buffer-mut"
+  | "Array",
+    ( "set" | "unsafe_set" | "fill" | "blit" | "sort" | "fast_sort"
+    | "stable_sort" ) ->
+    Some "array-set"
+  | "Bytes", ("set" | "unsafe_set" | "fill" | "blit" | "blit_string") ->
+    Some "bytes-set"
+  | ("Array1" | "Array2" | "Array3" | "Genarray"),
+    ("set" | "unsafe_set" | "fill" | "blit") ->
+    Some "bigarray-set"
+  | "Atomic",
+    ( "set" | "exchange" | "compare_and_set" | "fetch_and_add" | "incr"
+    | "decr" ) ->
+    Some "atomic"
+  | _ -> None
+
+(* RHS shapes that allocate fresh state: a mutation whose subject is a
+   let-bound allocation inside the same definition is function-local,
+   not shared. *)
+let allocator (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    (match flatten txt with
+     | [ "ref" ] -> true
+     | [ ("Hashtbl" | "Queue" | "Stack" | "Buffer"); "create" ] -> true
+     | [ "Array"; ("make" | "init" | "make_matrix" | "copy") ] -> true
+     | [ "Bytes"; ("create" | "make" | "copy") ] -> true
+     | _ -> false)
+  | _ -> false
+
+(* Render the mutated subject compactly: [t.served], [seen],
+   [t.backends[]], or [_] when the shape is out of reach. *)
+let rec subject (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (flatten txt)
+  | Pexp_field (b, { txt; _ }) ->
+    let f =
+      match List.rev (flatten txt) with f :: _ -> f | [] -> "_"
+    in
+    subject b ^ "." ^ f
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+    (match flatten txt with
+     | [ ("Array" | "Bytes" | "String"); "get" ] ->
+       (match args with
+        | (_, base) :: _ -> subject base ^ "[]"
+        | [] -> "_")
+     | _ -> "_")
+  | _ -> "_"
+
+let subject_head s =
+  match String.index_opt s '.' with
+  | Some i -> String.sub s 0 i
+  | None -> (match String.index_opt s '[' with
+             | Some i -> String.sub s 0 i
+             | None -> s)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: per-definition facts with cross-unit resolution.            *)
+
+type builder = {
+  mutable b_sources : (string * pos) list;
+  mutable b_charges : bool;
+  mutable b_io : (string * pos) list;
+  mutable b_mutations : mutation list;
+  mutable b_mutex : bool;
+  mutable b_calls : (int * pos) list;
+}
+
+let expand_alias aliases parts =
+  match parts with
+  | h :: rest ->
+    (match Hashtbl.find_opt aliases h with
+     | Some target -> target @ rest
+     | None -> parts)
+  | [] -> parts
+
+let strip_wrapper wrappers parts =
+  match parts with
+  | w :: (_ :: _ as rest) when List.mem w wrappers -> rest
+  | _ -> parts
+
+let resolve ~wrappers ~ids ~(ru : raw_unit) ~scope parts =
+  let parts = strip_wrapper wrappers (expand_alias ru.ru_aliases parts) in
+  let lookup name = Hashtbl.find_opt ids name in
+  match parts with
+  | [] -> None
+  | [ f ] ->
+    let scoped =
+      if scope = "" then None
+      else lookup (qualified ru.ru_unit (scope ^ f))
+    in
+    (match scoped with
+     | Some _ -> scoped
+     | None -> lookup (qualified ru.ru_unit f))
+  | m :: rest ->
+    let tail = String.concat "." rest in
+    (match lookup (qualified m tail) with
+     | Some _ as hit -> hit
+     | None -> lookup (qualified ru.ru_unit (m ^ "." ^ tail)))
+
+(* Collect the set of let-bound allocations in a definition body, so
+   mutations of them classify as local. Flat per definition — shadowing
+   across scopes is ignored, which errs toward "shared" only when a
+   local name shadows a parameter (rare in this tree). *)
+let collect_locals expr =
+  let locals = Hashtbl.create 8 in
+  let iter =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+           | Pexp_let (_, vbs, _) ->
+             List.iter
+               (fun (vb : Parsetree.value_binding) ->
+                 match pattern_name vb.pvb_pat with
+                 | Some n when allocator vb.pvb_expr ->
+                   Hashtbl.replace locals n ()
+                 | _ -> ())
+               vbs
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e) }
+  in
+  iter.expr iter expr;
+  locals
+
+let first_positional_arg args =
+  let positional =
+    List.filter_map
+      (fun (label, (a : Parsetree.expression)) ->
+        match label with
+        | Asttypes.Nolabel ->
+          (match a.pexp_desc with
+           | Pexp_fun _ | Pexp_function _ -> None
+           | _ -> Some a)
+        | _ -> None)
+      args
+  in
+  match positional with a :: _ -> Some a | [] -> None
+
+let collect_facts ~wrappers ~ids ~ru ~scope (rd : raw_def) =
+  let b =
+    { b_sources = []; b_charges = false; b_io = []; b_mutations = [];
+      b_mutex = false; b_calls = [] }
+  in
+  let locals = collect_locals rd.rd_expr in
+  let add_mutation ?(guard = Guard_none) ~kind ~target pos =
+    let guard =
+      if guard <> Guard_none then guard
+      else if Hashtbl.mem locals (subject_head target) then Guard_local
+      else Guard_none
+    in
+    b.b_mutations <-
+      { m_kind = kind; m_target = target; m_pos = pos; m_guard = guard }
+      :: b.b_mutations
+  in
+  let handle_path ~loc raw_parts =
+    let parts = expand_alias ru.ru_aliases raw_parts in
+    (match taint_source parts with
+     | Some src -> b.b_sources <- (src, pos_of loc) :: b.b_sources
+     | None -> ());
+    (match parts with
+     | "Mutex" :: _ -> b.b_mutex <- true
+     | _ -> ());
+    (match List.rev parts with
+     | f :: "Backend" :: _ when f = "read" || f = "write" ->
+       b.b_io <- ("Backend." ^ f, pos_of loc) :: b.b_io
+     | _ -> ());
+    match resolve ~wrappers ~ids ~ru ~scope raw_parts with
+    | Some callee -> b.b_calls <- (callee, pos_of loc) :: b.b_calls
+    | None -> ()
+  in
+  let handle_apply (fn : Parsetree.expression) args loc =
+    match fn.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+      let parts = strip_wrapper wrappers (expand_alias ru.ru_aliases
+                                            (flatten txt)) in
+      let mut =
+        match parts with
+        | [ ":=" ] -> Some ("ref-assign", Guard_none)
+        | [ ("incr" | "decr") ] -> Some ("ref-assign", Guard_none)
+        | [ m; f ] | [ "Bigarray"; m; f ] ->
+          (match mutator_kind m f with
+           | Some "atomic" -> Some ("atomic", Guard_atomic)
+           | Some kind -> Some (kind, Guard_none)
+           | None -> None)
+        | _ -> None
+      in
+      (match mut with
+       | None -> ()
+       | Some (kind, guard) ->
+         let target =
+           match first_positional_arg args with
+           | Some a -> subject a
+           | None -> "_"
+         in
+         add_mutation ~guard ~kind ~target (pos_of loc))
+    | _ -> ()
+  in
+  let iter =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+           | Pexp_ident { txt; loc } -> handle_path ~loc (flatten txt)
+           | Pexp_field (_, { txt; loc }) ->
+             (match List.rev (flatten txt) with
+              | f :: "Backend" :: _ when f = "read" || f = "write" ->
+                b.b_io <- ("Backend." ^ f, pos_of loc) :: b.b_io
+              | _ -> ())
+           | Pexp_setfield (base, { txt; loc }, _) ->
+             let field =
+               match List.rev (flatten txt) with f :: _ -> f | [] -> "_"
+             in
+             if field = "rounds_done" then b.b_charges <- true;
+             add_mutation ~kind:"setfield"
+               ~target:(subject base ^ "." ^ field)
+               (pos_of loc)
+           | Pexp_apply (fn, args) -> handle_apply fn args e.pexp_loc
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e) }
+  in
+  iter.expr iter rd.rd_expr;
+  b
+
+(* ------------------------------------------------------------------ *)
+
+let scope_of_name name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name 0 (i + 1)
+  | None -> ""
+
+let build ~wrappers units =
+  let raw_units =
+    List.map
+      (fun (path, structure) ->
+        let ru =
+          { ru_path = path;
+            ru_unit = module_of_path path;
+            ru_component = component_of_path path;
+            ru_aliases = Hashtbl.create 8;
+            ru_defs = [] }
+        in
+        collect_items ru ~prefix:"" structure;
+        ru.ru_defs <- List.rev ru.ru_defs;
+        ru)
+      units
+  in
+  let ids = Hashtbl.create 256 in
+  let flat = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun ru ->
+      List.iter
+        (fun rd ->
+          let id = !n in
+          incr n;
+          Hashtbl.replace ids (qualified ru.ru_unit rd.rd_name) id;
+          flat := (id, ru, rd) :: !flat)
+        ru.ru_defs)
+    raw_units;
+  let flat = List.rev !flat in
+  let defs =
+    Array.make (max 1 !n)
+      { id = 0; unit_name = ""; def_name = ""; file = ""; component = "";
+        pos = { line = 0; col = 0 }; sources = []; charges = false;
+        io_sites = []; mutations = []; uses_mutex = false; calls = [] }
+  in
+  List.iter
+    (fun (id, ru, rd) ->
+      let scope = scope_of_name rd.rd_name in
+      let b = collect_facts ~wrappers ~ids ~ru ~scope rd in
+      defs.(id) <-
+        { id;
+          unit_name = ru.ru_unit;
+          def_name = rd.rd_name;
+          file = ru.ru_path;
+          pos = rd.rd_pos;
+          component = ru.ru_component;
+          sources = List.rev b.b_sources;
+          charges = b.b_charges;
+          io_sites = List.rev b.b_io;
+          mutations = List.rev b.b_mutations;
+          uses_mutex = b.b_mutex;
+          calls = List.rev b.b_calls })
+    flat;
+  let total = !n in
+  let callers = Array.make (max 1 total) [] in
+  let seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun caller d ->
+      if caller < total then
+        List.iter
+          (fun (callee, _) ->
+            if not (Hashtbl.mem seen (caller, callee)) then begin
+              Hashtbl.replace seen (caller, callee) ();
+              callers.(callee) <- caller :: callers.(callee)
+            end)
+          d.calls)
+    defs;
+  Array.iteri
+    (fun i cs -> callers.(i) <- List.sort compare cs)
+    callers;
+  { defs = (if total = 0 then [||] else Array.sub defs 0 total);
+    callers = (if total = 0 then [||] else Array.sub callers 0 total);
+    by_name = ids }

@@ -1,0 +1,66 @@
+(** Whole-program call graph over the repository's parsetrees, with the
+    per-definition facts the interprocedural rules (R5/R6/R7) consume.
+
+    Resolution is module-qualified: unit-local names, nested modules,
+    [module P = Lib.Unit] aliases, and dune library wrappers
+    ([Pdm_sim.Pdm.f] resolves to unit [Pdm]). Unresolvable references
+    contribute no edge, so the downstream analyses are conservative
+    exactly where the graph is blind. *)
+
+type pos = { line : int; col : int }
+
+type guard =
+  | Guard_atomic  (** mutation through [Atomic] — safe by construction *)
+  | Guard_local   (** subject is a let-bound allocation in the same def *)
+  | Guard_none    (** needs a mutex, or a reasoned domain-local annotation *)
+
+type mutation = {
+  m_kind : string;    (** "setfield", "ref-assign", "hashtbl-mut", ... *)
+  m_target : string;  (** rendered subject, e.g. ["t.served"] *)
+  m_pos : pos;
+  m_guard : guard;
+}
+
+type def = {
+  id : int;
+  unit_name : string;  (** capitalized file basename, e.g. ["Engine"] *)
+  def_name : string;   (** ["run_batch"], or ["Sub.f"] for nested modules *)
+  file : string;
+  pos : pos;
+  component : string;  (** path segment after [lib/]; [""] elsewhere *)
+  sources : (string * pos) list;
+      (** direct nondeterminism sources, e.g. [("Random.int", pos)] *)
+  charges : bool;      (** body assigns a [rounds_done] field *)
+  io_sites : (string * pos) list;
+      (** ["Backend.read"] / ["Backend.write"] use sites *)
+  mutations : mutation list;
+  uses_mutex : bool;
+  calls : (int * pos) list;  (** resolved callee ids with call position *)
+}
+
+type graph = {
+  defs : def array;
+  callers : int list array;  (** reverse edges, deduplicated and sorted *)
+  by_name : (string, int) Hashtbl.t;  (** "Unit.def" -> id *)
+}
+
+val qualified : string -> string -> string
+(** [qualified unit def] is ["Unit.def"]. *)
+
+val find : graph -> string -> int option
+(** Look up a definition id by its qualified ["Unit.def"] name. *)
+
+val def_label : def -> string
+(** ["Unit.def"] display form of a definition. *)
+
+val module_of_path : string -> string
+(** Capitalized basename: the unit name dune gives the file. *)
+
+val component_of_path : string -> string
+(** Path segment after [lib/], or [""] for bin/bench/examples/test. *)
+
+val build :
+  wrappers:string list -> (string * Parsetree.structure) list -> graph
+(** [build ~wrappers units] constructs the graph from
+    [(path, parsetree)] pairs. [wrappers] are dune wrapper-module names
+    whose qualification prefix is stripped during resolution. *)

@@ -1,0 +1,140 @@
+(* Fixpoint passes over the call graph. All three analyses are simple
+   monotone closures, so plain worklist BFS reaches the least fixpoint;
+   graph sizes here are a few hundred definitions, so no indexing
+   cleverness is needed. *)
+
+type witness = {
+  w_origin : string;   (* the concrete source, e.g. "Random.int" *)
+  w_via : int option;  (* tainted callee the taint arrived through *)
+}
+
+(* Taint: a definition is tainted if it contains a direct source or
+   calls a tainted definition. Propagates from sources up the caller
+   edges; each newly tainted def records one witness (first discovery
+   wins — deterministic because seeds and caller lists are in fixed
+   order). *)
+let taint (g : Callgraph.graph) =
+  let n = Array.length g.defs in
+  let w = Array.make n None in
+  let queue = Queue.create () in
+  Array.iter
+    (fun (d : Callgraph.def) ->
+      match d.sources with
+      | (origin, _) :: _ ->
+        w.(d.id) <- Some { w_origin = origin; w_via = None };
+        Queue.add d.id queue
+      | [] -> ())
+    g.defs;
+  while not (Queue.is_empty queue) do
+    let id = Queue.take queue in
+    let origin =
+      match w.(id) with Some x -> x.w_origin | None -> "?"
+    in
+    List.iter
+      (fun caller ->
+        if w.(caller) = None then begin
+          w.(caller) <- Some { w_origin = origin; w_via = Some id };
+          Queue.add caller queue
+        end)
+      g.callers.(id)
+  done;
+  w
+
+(* Render the taint chain "Engine.f -> Helper.g -> Random.int" for a
+   tainted definition. *)
+let chain (g : Callgraph.graph) w id =
+  let buf = Buffer.create 64 in
+  let rec follow id depth =
+    Buffer.add_string buf (Callgraph.def_label g.defs.(id));
+    match w.(id) with
+    | Some { w_via = Some next; _ } when depth < 32 ->
+      Buffer.add_string buf " -> ";
+      follow next (depth + 1)
+    | Some { w_origin; _ } ->
+      Buffer.add_string buf " -> ";
+      Buffer.add_string buf w_origin
+    | None -> ()
+  in
+  follow id 0;
+  Buffer.contents buf
+
+(* Forward reachability along call edges from a set of entry points. *)
+let reachable (g : Callgraph.graph) ~entries =
+  let n = Array.length g.defs in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun id ->
+      if id >= 0 && id < n && not seen.(id) then begin
+        seen.(id) <- true;
+        Queue.add id queue
+      end)
+    entries;
+  while not (Queue.is_empty queue) do
+    let id = Queue.take queue in
+    List.iter
+      (fun (callee, _) ->
+        if not seen.(callee) then begin
+          seen.(callee) <- true;
+          Queue.add callee queue
+        end)
+      g.defs.(id).Callgraph.calls
+  done;
+  seen
+
+(* R7 coverage. A definition is covered when every execution of its
+   body is accounted against the round ledger:
+
+     covered(f) = reaches_charger(f)
+                \/ (callers(f) <> [] /\ forall c in callers(f). covered(c))
+
+   where reaches_charger holds when f transitively calls a definition
+   that assigns [rounds_done] (f charges on its own behalf — the
+   scheduled-I/O paths, whose perform closures run under [schedule]),
+   and the second disjunct covers helpers that never charge themselves
+   but are only ever invoked from covered code. Iterated to the least
+   fixpoint; an uncalled, non-charging definition stays uncovered, which
+   is the conservative answer for entry points. *)
+let covered (g : Callgraph.graph) =
+  let n = Array.length g.defs in
+  let chargers =
+    Array.to_list g.defs
+    |> List.filter_map (fun (d : Callgraph.def) ->
+           if d.charges then Some d.id else None)
+  in
+  (* Backward BFS from chargers over caller edges marks everything that
+     transitively calls a charger. *)
+  let reaches = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun id ->
+      reaches.(id) <- true;
+      Queue.add id queue)
+    chargers;
+  while not (Queue.is_empty queue) do
+    let id = Queue.take queue in
+    List.iter
+      (fun caller ->
+        if not reaches.(caller) then begin
+          reaches.(caller) <- true;
+          Queue.add caller queue
+        end)
+      g.callers.(id)
+  done;
+  let cov = Array.copy reaches in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (d : Callgraph.def) ->
+        if not cov.(d.id) then begin
+          let callers = g.callers.(d.id) in
+          if callers <> [] && List.for_all (fun c -> cov.(c)) callers
+          then begin
+            cov.(d.id) <- true;
+            changed := true
+          end
+        end)
+      g.defs
+  done;
+  cov

@@ -1,0 +1,24 @@
+(** Fixpoint dataflow passes over the {!Callgraph}. *)
+
+type witness = {
+  w_origin : string;   (** the concrete source, e.g. ["Random.int"] *)
+  w_via : int option;  (** tainted callee the taint arrived through;
+                           [None] when the source is in this def *)
+}
+
+val taint : Callgraph.graph -> witness option array
+(** Least fixpoint of "contains a nondeterminism source or calls a
+    tainted definition", indexed by definition id. Each tainted def
+    carries one witness for chain rendering. *)
+
+val chain : Callgraph.graph -> witness option array -> int -> string
+(** Render ["Engine.f -> Helper.g -> Random.int"] for a tainted def. *)
+
+val reachable : Callgraph.graph -> entries:int list -> bool array
+(** Forward reachability along call edges from the given entry ids. *)
+
+val covered : Callgraph.graph -> bool array
+(** R7 charge coverage: a def is covered when it transitively calls a
+    round-charging definition, or when it has callers and all of them
+    are covered. Least fixpoint; uncalled non-charging defs stay
+    uncovered. *)

@@ -1,14 +1,24 @@
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
-let all_rules = [ R1; R2; R3; R4 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
 
-let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
 
 let rule_name = function
   | R1 -> "no-pdm-bypass"
   | R2 -> "determinism"
   | R3 -> "totality"
   | R4 -> "interface-hygiene"
+  | R5 -> "determinism-taint"
+  | R6 -> "domain-safety"
+  | R7 -> "charge-completeness"
 
 let rule_of_string s =
   match String.lowercase_ascii s with
@@ -16,13 +26,16 @@ let rule_of_string s =
   | "r2" | "determinism" -> Some R2
   | "r3" | "totality" -> Some R3
   | "r4" | "interface-hygiene" -> Some R4
+  | "r5" | "determinism-taint" -> Some R5
+  | "r6" | "domain-safety" -> Some R6
+  | "r7" | "charge-completeness" -> Some R7
   | _ -> None
 
 type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (* "R1".."R4", or "syntax" / "parse" for meta findings *)
+  rule : string;  (* "R1".."R7", or "syntax" / "parse" for meta findings *)
   name : string;
   message : string;
 }
@@ -31,6 +44,10 @@ type config = {
   enabled : rule list;
   peek_allowlist : string list;
       (* module basenames allowed to call Pdm.peek / Pdm.poke *)
+  library_wrappers : string list;
+      (* dune wrapper modules; R4 open-hygiene and call resolution *)
+  r6_entries : string list;
+      (* "Unit.def" roots of the R6 reachability pass *)
 }
 
 (* Modules whose uncounted Pdm.peek/poke uses are sanctioned
@@ -43,8 +60,30 @@ let default_peek_allowlist =
     "dynamic_cascade"; "field_store"; "fragmented"; "hash_table";
     "head_model_dict"; "one_probe_dynamic"; "small_block_dict" ]
 
+(* Fallback wrapper-module list for callers that lint source strings
+   with no dune files in sight (fixtures, tests). The path-based driver
+   derives the live list from the dune files and unions it with this
+   one, so a new library cannot silently skip the hygiene checks. *)
+let default_library_wrappers =
+  [ "Pdm_util"; "Pdm_sim"; "Pdm_expander"; "Pdm_loadbalance";
+    "Pdm_dictionary"; "Pdm_engine"; "Pdm_baselines"; "Pdm_extsort";
+    "Pdm_fs"; "Pdm_workload"; "Pdm_simtest"; "Pdm_cluster"; "Pdm_experiments";
+    "Pdm_lint_core"; "Pdm_io" ]
+
+(* The engine round loop and the router scatter-gather path: the code
+   that a multicore pdm-serve would drive from several domains at once
+   (ROADMAP item 3). Everything call-reachable from here is in scope
+   for the R6 shared-state inventory. *)
+let default_r6_entries =
+  [ "Engine.submit"; "Engine.pump"; "Engine.drain"; "Engine.idle_round";
+    "Engine.run_batch"; "Cluster.find"; "Cluster.find_batch";
+    "Cluster.insert"; "Cluster.delete"; "Cluster.execute_plan" ]
+
 let default_config =
-  { enabled = all_rules; peek_allowlist = default_peek_allowlist }
+  { enabled = all_rules;
+    peek_allowlist = default_peek_allowlist;
+    library_wrappers = default_library_wrappers;
+    r6_entries = default_r6_entries }
 
 (* Directories whose code must be bit-for-bit deterministic: the
    simulator itself and everything whose placements or costs the paper
@@ -65,15 +104,6 @@ let unix_io_allowlist =
   [ "openfile"; "close"; "ftruncate"; "fsync"; "map_file"; "getpid";
     "error_message" ]
 
-(* Library wrapper modules generated by dune for each sub-library.
-   [open]ing one (or a module inside one) from another library couples
-   the two namespaces invisibly; alias instead (module P = Pdm_sim.Pdm). *)
-let library_wrappers =
-  [ "Pdm_util"; "Pdm_sim"; "Pdm_expander"; "Pdm_loadbalance";
-    "Pdm_dictionary"; "Pdm_engine"; "Pdm_baselines"; "Pdm_extsort";
-    "Pdm_fs"; "Pdm_workload"; "Pdm_simtest"; "Pdm_cluster"; "Pdm_experiments";
-    "Pdm_lint_core"; "Pdm_io" ]
-
 (* The Backend record fields / constructors that move or expose raw
    block data. Calling these outside lib/pdm bypasses the scheduler's
    round charging. Error-shaped members (describe, the exception
@@ -83,32 +113,33 @@ let backend_io_members =
   [ "read"; "write"; "poke"; "peek"; "dump"; "of_store"; "memory"; "dead";
     "wrap" ]
 
-let component_of_path path =
-  let rec after_lib = function
-    | [] -> ""
-    | "lib" :: comp :: _ -> comp
-    | _ :: rest -> after_lib rest
-  in
-  after_lib (String.split_on_char '/' (String.map (function
-      | c when c = Filename.dir_sep.[0] -> '/'
-      | c -> c)
-      path))
+let component_of_path = Callgraph.component_of_path
 
 let module_of_path path = Filename.remove_extension (Filename.basename path)
 
 (* ------------------------------------------------------------------ *)
-(* Suppressions: an allow-comment names a rule and gives a reason.     *)
+(* Suppressions and domain-local annotations.                          *)
 
 type suppression = {
   s_rule : string;
   s_reason : string;
   s_line_start : int;
-  s_line_end : int;  (* inclusive; one line past the comment close *)
+  mutable s_line_end : int;
+      (* inclusive; seeded one line past the comment close, then widened
+         to the end of any multi-line expression starting in range *)
   mutable s_used : bool;
+}
+
+type annotation = {
+  a_reason : string;
+  a_line_start : int;
+  mutable a_line_end : int;  (* same widening as suppressions *)
+  mutable a_used : bool;
 }
 
 (* Concatenated so the scanner never matches this file's own literals. *)
 let marker = "pdm-lint: " ^ "allow"
+let marker_domain = "pdm-lint: " ^ "domain local"
 
 let line_starts source =
   let starts = ref [ 0 ] in
@@ -154,6 +185,17 @@ let clean_reason s =
   in
   String.trim s
 
+(* End offset of the comment enclosing [from] (first close; the
+   annotation comments do not nest). *)
+let comment_close source from =
+  let n = String.length source in
+  let rec find i =
+    if i + 2 > n then n
+    else if source.[i] = '*' && i + 1 < n && source.[i + 1] = ')' then i
+    else find (i + 1)
+  in
+  find from
+
 let scan_suppressions ~path source =
   let starts = line_starts source in
   let bad = ref [] in
@@ -177,16 +219,7 @@ let scan_suppressions ~path source =
           incr tok_end
         done;
         let token = String.sub source !tok_start (!tok_end - !tok_start) in
-        (* end of the enclosing comment (first close after the marker;
-           the annotation comments do not nest) *)
-        let close =
-          let rec find i =
-            if i + 2 > n then n
-            else if source.[i] = '*' && i + 1 < n && source.[i + 1] = ')' then i
-            else find (i + 1)
-          in
-          find !tok_end
-        in
+        let close = comment_close source !tok_end in
         let close_line = line_of_offset starts (min close (n - 1)) in
         let reason =
           clean_reason (String.sub source !tok_end (close - !tok_end))
@@ -198,7 +231,7 @@ let scan_suppressions ~path source =
               name = "bad-suppression";
               message =
                 Printf.sprintf
-                  "suppression names unknown rule %S (expected R1-R4)" token }
+                  "suppression names unknown rule %S (expected R1-R7)" token }
             :: !bad;
           None
         | Some r ->
@@ -222,8 +255,95 @@ let scan_suppressions ~path source =
   in
   (sups, List.rev !bad)
 
+let scan_annotations ~path source =
+  let starts = line_starts source in
+  let bad = ref [] in
+  let anns =
+    List.filter_map
+      (fun off ->
+        let line = line_of_offset starts off in
+        let after = off + String.length marker_domain in
+        let n = String.length source in
+        let close = comment_close source after in
+        let close_line = line_of_offset starts (min close (n - 1)) in
+        let reason = clean_reason (String.sub source after (close - after)) in
+        if reason = "" then begin
+          bad :=
+            { file = path; line; col = 0; rule = "syntax";
+              name = "bad-annotation";
+              message =
+                Printf.sprintf
+                  "domain-local annotation has no reason; write (* %s — why \
+                   this state stays single-domain *)"
+                  marker_domain }
+            :: !bad;
+          None
+        end
+        else
+          Some
+            { a_reason = reason; a_line_start = line;
+              a_line_end = close_line + 1; a_used = false })
+      (find_all source marker_domain)
+  in
+  (anns, List.rev !bad)
+
+(* Multi-line expression spans, for widening comment ranges: a
+   suppression above a multi-line [let] must cover the whole binding,
+   not just its first line. [Pexp_let]/[Pexp_sequence] (and friends)
+   are excluded because their spans run to the end of the enclosing
+   body — covering the rest of a function from one comment would be far
+   too broad; the tight per-binding spans come from [value_binding]. *)
+let multiline_spans structure =
+  let spans = ref [] in
+  let add loc =
+    let s = loc.Location.loc_start.Lexing.pos_lnum in
+    let e = loc.Location.loc_end.Lexing.pos_lnum in
+    if e > s then spans := (s, e) :: !spans
+  in
+  let iter =
+    { Ast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          add vb.Parsetree.pvb_loc;
+          Ast_iterator.default_iterator.value_binding self vb);
+      case =
+        (fun self c ->
+          add c.Parsetree.pc_rhs.pexp_loc;
+          Ast_iterator.default_iterator.case self c);
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+           | Pexp_let _ | Pexp_sequence _ | Pexp_letmodule _
+           | Pexp_letexception _ | Pexp_open _ -> ()
+           | _ -> add e.pexp_loc);
+          Ast_iterator.default_iterator.expr self e) }
+  in
+  iter.structure iter structure;
+  List.sort_uniq compare !spans
+
+(* Widen [stop] over every span chain starting inside the range. Spans
+   are sorted by start line, so one left-to-right pass reaches the
+   fixpoint. *)
+let widen spans ~start ~stop =
+  List.fold_left
+    (fun acc (s, e) -> if s >= start && s <= acc then max acc e else acc)
+    stop spans
+
+let widen_ranges structure sups anns =
+  let spans = multiline_spans structure in
+  if spans <> [] then begin
+    List.iter
+      (fun s ->
+        s.s_line_end <- widen spans ~start:s.s_line_start ~stop:s.s_line_end)
+      sups;
+    List.iter
+      (fun a ->
+        a.a_line_end <- widen spans ~start:a.a_line_start ~stop:a.a_line_end)
+      anns
+  end
+
 (* ------------------------------------------------------------------ *)
-(* AST checks                                                          *)
+(* AST checks (the per-file rules R1-R4)                               *)
 
 let flatten lid = try Longident.flatten lid with _ -> []
 
@@ -375,7 +495,7 @@ let check_ast ~config ~path ~component ~module_name structure =
     match od.popen_expr.pmod_desc with
     | Pmod_ident { txt; loc } ->
       (match flatten txt with
-       | head :: _ when List.mem head library_wrappers ->
+       | head :: _ when List.mem head config.library_wrappers ->
          add R4 ~loc (rule_name R4)
            (Printf.sprintf
               "open of another library's module (%s); alias it instead \
@@ -399,7 +519,20 @@ let check_ast ~config ~path ~component ~module_name structure =
   List.rev !findings
 
 (* ------------------------------------------------------------------ *)
-(* Per-file driver                                                     *)
+(* Whole-tree analysis: parse every unit, run the per-file rules, build
+   the call graph, run the interprocedural rules, then apply each
+   file's suppressions to the merged finding set. *)
+
+type source_unit = {
+  u_path : string;
+  u_source : string;
+  u_has_mli : bool;
+}
+
+type analysis = {
+  a_findings : finding list;
+  a_report : string option;  (* shared-state JSON when R6 ran *)
+}
 
 let parse_structure ~path source =
   let lexbuf = Lexing.from_string source in
@@ -407,27 +540,21 @@ let parse_structure ~path source =
     { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
   Parse.implementation lexbuf
 
-let apply_suppressions sups findings =
-  List.filter
-    (fun f ->
-      match
-        List.find_opt
-          (fun s ->
-            s.s_rule = f.rule && s.s_line_start <= f.line
-            && f.line <= s.s_line_end)
-          sups
-      with
-      | Some s ->
-        s.s_used <- true;
-        false
-      | None -> true)
-    findings
+type parsed = {
+  p_path : string;
+  p_sups : suppression list;
+  p_anns : annotation list;
+  p_pre : finding list;  (* meta + per-file findings, pre-suppression *)
+  p_structure : Parsetree.structure option;
+}
 
-let check_source ?(config = default_config) ?(has_mli = true) ~path source =
+let parse_unit ~config u =
+  let path = u.u_path in
   let component = component_of_path path in
   let module_name = module_of_path path in
-  let sups, bad_sups = scan_suppressions ~path source in
-  match parse_structure ~path source with
+  let sups, bad_sups = scan_suppressions ~path u.u_source in
+  let anns, bad_anns = scan_annotations ~path u.u_source in
+  match parse_structure ~path u.u_source with
   | exception exn ->
     let line, msg =
       match exn with
@@ -436,14 +563,20 @@ let check_source ?(config = default_config) ?(has_mli = true) ~path source =
         (fst (pos_of loc), "syntax error")
       | _ -> (1, Printexc.to_string exn)
     in
-    [ { file = path; line; col = 0; rule = "parse"; name = "parse-error";
-        message = msg } ]
+    { p_path = path; p_sups = []; p_anns = [];
+      p_pre =
+        [ { file = path; line; col = 0; rule = "parse";
+            name = "parse-error"; message = msg } ];
+      p_structure = None }
   | structure ->
+    widen_ranges structure sups anns;
     let ast_findings =
       check_ast ~config ~path ~component ~module_name structure
     in
     let mli_findings =
-      if List.mem R4 config.enabled && not has_mli then
+      if
+        List.mem R4 config.enabled && component <> "" && not u.u_has_mli
+      then
         [ { file = path; line = 1; col = 0; rule = rule_id R4;
             name = rule_name R4;
             message =
@@ -451,51 +584,33 @@ let check_source ?(config = default_config) ?(has_mli = true) ~path source =
                its interface" } ]
       else []
     in
-    let kept = apply_suppressions sups (ast_findings @ mli_findings) in
-    let unused =
-      List.filter_map
-        (fun s ->
-          match rule_of_string s.s_rule with
-          | Some r when List.mem r config.enabled && not s.s_used ->
-            Some
-              { file = path; line = s.s_line_start; col = 0; rule = "syntax";
-                name = "unused-suppression";
-                message =
-                  Printf.sprintf
-                    "suppression of %s matches no finding on lines %d-%d; \
-                     delete it"
-                    s.s_rule s.s_line_start s.s_line_end }
-          | _ -> None)
-        sups
-    in
-    bad_sups @ kept @ unused
+    { p_path = path; p_sups = sups; p_anns = anns;
+      p_pre = bad_sups @ bad_anns @ ast_findings @ mli_findings;
+      p_structure = Some structure }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let name_of_rule_string r =
+  match rule_of_string r with Some r -> rule_name r | None -> r
 
-let check_file ?(config = default_config) path =
-  match read_file path with
-  | exception Sys_error msg ->
-    [ { file = path; line = 1; col = 0; rule = "parse"; name = "io-error";
-        message = msg } ]
-  | source ->
-    let has_mli =
-      Sys.file_exists (Filename.remove_extension path ^ ".mli")
-    in
-    check_source ~config ~has_mli ~path source
+let convert_v (vf : Rules_v2.v_finding) =
+  { file = vf.vf_file; line = vf.vf_line; col = vf.vf_col;
+    rule = vf.vf_rule; name = name_of_rule_string vf.vf_rule;
+    message = vf.vf_message }
 
-let rec ml_files_under path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.concat_map (fun entry ->
-        if String.length entry = 0 || entry.[0] = '.' || entry = "_build"
-        then []
-        else ml_files_under (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
+let apply_suppressions sups_of findings =
+  List.filter
+    (fun f ->
+      match
+        List.find_opt
+          (fun s ->
+            s.s_rule = f.rule && s.s_line_start <= f.line
+            && f.line <= s.s_line_end)
+          (sups_of f.file)
+      with
+      | Some s ->
+        s.s_used <- true;
+        false
+      | None -> true)
+    findings
 
 let sort_findings fs =
   List.sort
@@ -505,6 +620,233 @@ let sort_findings fs =
       | c -> c)
     fs
 
+let analyze ?(config = default_config) units =
+  let enabled r = List.mem r config.enabled in
+  let parsed = List.map (parse_unit ~config) units in
+  let graph_units =
+    List.filter_map
+      (fun p ->
+        match p.p_structure with
+        | Some st -> Some (p.p_path, st)
+        | None -> None)
+      parsed
+  in
+  let need_graph = enabled R5 || enabled R6 || enabled R7 in
+  let v_findings = ref [] in
+  let report = ref None in
+  if need_graph then begin
+    let g = Callgraph.build ~wrappers:config.library_wrappers graph_units in
+    if enabled R5 then begin
+      let taint = Dataflow.taint g in
+      v_findings :=
+        !v_findings @ Rules_v2.r5 g taint ~deterministic_components
+    end;
+    if enabled R6 then begin
+      let anns_by_file = Hashtbl.create 16 in
+      List.iter
+        (fun p -> Hashtbl.replace anns_by_file p.p_path p.p_anns)
+        parsed;
+      let annotated ~file ~line =
+        match Hashtbl.find_opt anns_by_file file with
+        | None -> None
+        | Some anns ->
+          (match
+             List.find_opt
+               (fun a -> a.a_line_start <= line && line <= a.a_line_end)
+               anns
+           with
+           | Some a ->
+             a.a_used <- true;
+             Some a.a_reason
+           | None -> None)
+      in
+      let sites, v6, entry_points =
+        Rules_v2.r6 g ~entries:config.r6_entries ~annotated
+      in
+      report := Some (Rules_v2.report ~entry_points sites);
+      v_findings := !v_findings @ v6
+    end;
+    if enabled R7 then
+      v_findings := !v_findings @ Rules_v2.r7 g (Dataflow.covered g)
+  end;
+  let all =
+    List.concat_map (fun p -> p.p_pre) parsed
+    @ List.map convert_v !v_findings
+  in
+  let sups_by_file = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Hashtbl.replace sups_by_file p.p_path p.p_sups)
+    parsed;
+  let sups_of file =
+    Option.value (Hashtbl.find_opt sups_by_file file) ~default:[]
+  in
+  let kept = apply_suppressions sups_of all in
+  let unused =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun s ->
+            match rule_of_string s.s_rule with
+            | Some r when List.mem r config.enabled && not s.s_used ->
+              Some
+                { file = p.p_path; line = s.s_line_start; col = 0;
+                  rule = "syntax"; name = "unused-suppression";
+                  message =
+                    Printf.sprintf
+                      "suppression of %s (%S) matches no finding on lines \
+                       %d-%d; delete it"
+                      s.s_rule s.s_reason s.s_line_start s.s_line_end }
+            | _ -> None)
+          p.p_sups)
+      parsed
+  in
+  { a_findings = sort_findings (kept @ unused); a_report = !report }
+
+(* ------------------------------------------------------------------ *)
+(* Single-unit compatibility wrappers                                  *)
+
+let check_source ?(config = default_config) ?(has_mli = true) ~path source =
+  (analyze ~config
+     [ { u_path = path; u_source = source; u_has_mli = has_mli } ])
+    .a_findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let unit_of_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | source ->
+    Ok
+      { u_path = path; u_source = source;
+        u_has_mli =
+          Sys.file_exists (Filename.remove_extension path ^ ".mli") }
+
+let check_file ?(config = default_config) path =
+  match unit_of_file path with
+  | Error msg ->
+    [ { file = path; line = 1; col = 0; rule = "parse"; name = "io-error";
+        message = msg } ]
+  | Ok u -> (analyze ~config [ u ]).a_findings
+
+let rec files_under ~keep path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+        if String.length entry = 0 || entry.[0] = '.' || entry = "_build"
+        then []
+        else files_under ~keep (Filename.concat path entry))
+  else if keep path then [ path ]
+  else []
+
+let ml_files_under path =
+  files_under ~keep:(fun p -> Filename.check_suffix p ".ml") path
+
+(* ------------------------------------------------------------------ *)
+(* Wrapper-module discovery from the dune files (satellite of the v2
+   pass: the hygiene list must not be hand-maintained).               *)
+
+type sexp = SAtom of string | SList of sexp list
+
+(* Minimal s-expression reader, good enough for dune files: atoms,
+   parens, "..." strings, and ; comments. Unbalanced input yields what
+   was read — a truncated list never crashes the lint. *)
+let parse_sexps src =
+  let n = String.length src in
+  let rec skip i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | ';' ->
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip (eol i)
+      | _ -> i
+  in
+  let atom i =
+    let rec go j =
+      if j >= n then j
+      else
+        match src.[j] with
+        | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' -> j
+        | _ -> go (j + 1)
+    in
+    let j = go i in
+    (SAtom (String.sub src i (j - i)), j)
+  in
+  let rec one i =
+    match src.[i] with
+    | '(' ->
+      let items, j = many (i + 1) [] in
+      (SList items, j)
+    | '"' ->
+      let rec str j =
+        if j >= n then j
+        else if src.[j] = '"' && src.[j - 1] <> '\\' then j + 1
+        else str (j + 1)
+      in
+      let j = str (i + 1) in
+      (SAtom (String.sub src i (j - i)), j)
+    | _ -> atom i
+  and many i acc =
+    let i = skip i in
+    if i >= n then (List.rev acc, i)
+    else if src.[i] = ')' then (List.rev acc, i + 1)
+    else
+      let s, j = one i in
+      many j (s :: acc)
+  in
+  fst (many 0 [])
+
+let library_names_of_dune src =
+  List.concat_map
+    (function
+      | SList (SAtom "library" :: fields) ->
+        List.filter_map
+          (function
+            | SList [ SAtom "name"; SAtom nm ] ->
+              Some (String.capitalize_ascii nm)
+            | _ -> None)
+          fields
+      | _ -> [])
+    (parse_sexps src)
+
+let wrappers_from_dune paths =
+  paths
+  |> List.concat_map
+       (files_under ~keep:(fun p -> Filename.basename p = "dune"))
+  |> List.concat_map (fun p ->
+         match read_file p with
+         | exception Sys_error _ -> []
+         | src -> library_names_of_dune src)
+  |> List.sort_uniq compare
+
+let analyze_paths ?(config = default_config) paths =
+  let wrappers =
+    List.sort_uniq compare
+      (config.library_wrappers @ wrappers_from_dune paths)
+  in
+  let config = { config with library_wrappers = wrappers } in
+  let io_errors = ref [] in
+  let units =
+    List.concat_map ml_files_under paths
+    |> List.filter_map (fun path ->
+           match unit_of_file path with
+           | Ok u -> Some u
+           | Error msg ->
+             io_errors :=
+               { file = path; line = 1; col = 0; rule = "parse";
+                 name = "io-error"; message = msg }
+               :: !io_errors;
+             None)
+  in
+  let result = analyze ~config units in
+  { result with
+    a_findings = sort_findings (!io_errors @ result.a_findings) }
+
 (* ------------------------------------------------------------------ *)
 (* Output                                                              *)
 
@@ -512,21 +854,7 @@ let to_text f =
   Printf.sprintf "%s:%d:%d: [%s %s] %s" f.file f.line f.col f.rule f.name
     f.message
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Rules_v2.json_escape
 
 let to_json findings =
   let one f =

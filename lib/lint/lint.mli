@@ -1,7 +1,9 @@
 (** pdm-lint — AST-based honesty and determinism checker.
 
     Parses every [.ml] under a directory with compiler-libs and enforces
-    the repository's simulator-honesty rules:
+    the repository's simulator-honesty rules. R1-R4 are per-file; R5-R7
+    are interprocedural, running fixpoint passes over a whole-program
+    call graph ({!Callgraph}, {!Dataflow}, {!Rules_v2}):
 
     - {b R1 no-pdm-bypass}: outside [lib/pdm], no direct [Backend.*] I/O
       and no [Pdm.backend]; [Pdm.peek]/[Pdm.poke] only in allowlisted
@@ -9,33 +11,49 @@
     - {b R2 determinism}: no [Random.*], [Hashtbl.hash],
       [Hashtbl.create ~random:true], [Sys.time] or [Unix.*] in the
       deterministic components ([lib/pdm], [lib/expander],
-      [lib/loadbalance], [lib/dictionary], [lib/engine]); [Sys.time]
-      and [Unix.*] are flagged everywhere (the one sanctioned clock is
-      [Pdm_util.Clock]).
+      [lib/loadbalance], [lib/dictionary], [lib/engine], [lib/sim],
+      [lib/cluster], [lib/io]); [Sys.time] and [Unix.*] are flagged
+      everywhere (the one sanctioned clock is [Pdm_util.Clock]).
     - {b R3 totality}: flags [List.hd], [List.nth], [Option.get],
       [Array.unsafe_*] and [assert false] in library code.
-    - {b R4 interface hygiene}: every library [.ml] has an [.mli]; no
-      [open] of another library's wrapper module.
+    - {b R4 interface hygiene}: every [lib/] module has an [.mli]; no
+      [open] of another library's wrapper module (list derived from the
+      dune files by {!analyze_paths}).
+    - {b R5 determinism-taint}: nondeterminism sources propagate through
+      the call graph; a deterministic-component call site whose callee
+      transitively reaches one is flagged with the witness chain.
+    - {b R6 domain-safety}: every shared-mutable write reachable from
+      the engine round loop / router scatter-gather entry points must
+      be [Atomic], function-local, mutex-guarded, or carry a reasoned
+      domain-local annotation; the full inventory is emitted as a
+      byte-stable JSON report (the multicore-server precondition
+      artifact, ROADMAP item 3).
+    - {b R7 charge-completeness}: every [Backend.read]/[write] call site
+      must live in a definition dominated by round accounting (a path
+      through a [rounds_done]-charging scheduler entry point).
 
     Findings are suppressed inline with
     [(* pdm-lint: allow <rule> — reason *)]; the reason is mandatory and
-    the suppression covers the comment through one line past its close.
-    Unused or malformed suppressions are themselves reported. *)
+    the suppression covers the comment through one line past its close,
+    widened to the end of a multi-line expression starting in range.
+    R6 sites are annotated with [(* pdm-lint: domain local — reason *)]
+    under the same range rules. Unused or malformed suppressions are
+    themselves reported, quoting their reason. *)
 
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 val all_rules : rule list
 val rule_id : rule -> string
 val rule_name : rule -> string
 
 val rule_of_string : string -> rule option
-(** Accepts "R1".."R4" (any case) or the long names. *)
+(** Accepts "R1".."R7" (any case) or the long names. *)
 
 type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** "R1".."R4", or "syntax"/"parse" for meta findings *)
+  rule : string;  (** "R1".."R7", or "syntax"/"parse" for meta findings *)
   name : string;
   message : string;
 }
@@ -44,16 +62,51 @@ type config = {
   enabled : rule list;
   peek_allowlist : string list;
       (** module basenames allowed to call [Pdm.peek]/[Pdm.poke] *)
+  library_wrappers : string list;
+      (** dune wrapper modules for R4 hygiene and call resolution;
+          {!analyze_paths} unions this with the dune-derived list *)
+  r6_entries : string list;
+      (** ["Unit.def"] roots of the R6 reachability pass *)
 }
 
 val default_config : config
 val default_peek_allowlist : string list
+val default_library_wrappers : string list
+val default_r6_entries : string list
+
+type source_unit = {
+  u_path : string;
+  u_source : string;
+  u_has_mli : bool;
+}
+
+type analysis = {
+  a_findings : finding list;  (** sorted, suppressions applied *)
+  a_report : string option;   (** shared-state JSON when R6 ran *)
+}
+
+val analyze : ?config:config -> source_unit list -> analysis
+(** Lint a set of compilation units as one program: per-file rules on
+    each unit, then the interprocedural rules over the whole-program
+    call graph, then suppressions. *)
+
+val analyze_paths : ?config:config -> string list -> analysis
+(** [analyze] over every [.ml] under the given paths, with the wrapper
+    list derived from the [dune] files found there (unioned with
+    [config.library_wrappers]). Unreadable files become ["parse"]
+    findings. *)
+
+val wrappers_from_dune : string list -> string list
+(** Capitalized [(library (name ...))] values from every [dune] file
+    under the given paths, sorted and deduplicated. *)
 
 val check_source :
   ?config:config -> ?has_mli:bool -> path:string -> string -> finding list
 (** Lint one compilation unit given as a string. [path] determines the
     component (the segment after [lib/]) and module name; [has_mli]
-    (default [true]) feeds the R4 missing-interface check. *)
+    (default [true]) feeds the R4 missing-interface check, which only
+    applies to [lib/] paths. The interprocedural rules run over the
+    single-unit graph. *)
 
 val check_file : ?config:config -> string -> finding list
 (** Read, then [check_source]; the sibling [.mli]'s existence is probed

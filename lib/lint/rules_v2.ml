@@ -1,0 +1,220 @@
+(* The interprocedural rules (R5/R6/R7) on top of Callgraph/Dataflow.
+   This module returns plain records; Lint converts them into findings
+   and applies suppressions, keeping the finding/suppression machinery
+   in one place. *)
+
+type v_finding = {
+  vf_file : string;
+  vf_line : int;
+  vf_col : int;
+  vf_rule : string;  (* "R5" | "R6" | "R7" *)
+  vf_message : string;
+}
+
+type site = {
+  st_file : string;
+  st_line : int;
+  st_col : int;
+  st_unit : string;
+  st_def : string;
+  st_kind : string;
+  st_target : string;
+  st_status : string;  (* "atomic" | "local" | "mutex" | "annotated"
+                          | "unguarded" *)
+  st_reason : string option;  (* annotation reason when annotated *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* R5: determinism taint frontier.
+
+   A definition in a deterministic component whose callee transitively
+   reaches a nondeterminism source is flagged at the call site — but
+   only when the callee lives *outside* the deterministic components.
+   Sources inside deterministic code are R2's per-file findings (and a
+   deterministic-component callee on the path is itself flagged at its
+   own frontier), so each escape is reported exactly once, where the
+   taint crosses the boundary. *)
+let r5 (g : Callgraph.graph) taint ~deterministic_components =
+  let det c = List.mem c deterministic_components in
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  Array.iter
+    (fun (d : Callgraph.def) ->
+      if det d.component then
+        List.iter
+          (fun (callee, (pos : Callgraph.pos)) ->
+            let cd = g.Callgraph.defs.(callee) in
+            if
+              (not (det cd.component))
+              && taint.(callee) <> None
+              && not (Hashtbl.mem seen (d.id, callee))
+            then begin
+              Hashtbl.replace seen (d.id, callee) ();
+              out :=
+                { vf_file = d.file; vf_line = pos.line; vf_col = pos.col;
+                  vf_rule = "R5";
+                  vf_message =
+                    Printf.sprintf
+                      "deterministic code calls %s, which reaches a \
+                       nondeterminism source: %s; thread a seeded \
+                       Pdm_util.Prng through instead"
+                      (Callgraph.def_label cd)
+                      (Dataflow.chain g taint callee) }
+                :: !out
+            end)
+          d.calls)
+    g.defs;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* R6: domain-safety inventory of shared mutable state reachable from
+   the round-loop / scatter-gather entry points.
+
+   Guard precedence: atomic > local > mutex > annotated > unguarded.
+   Only unguarded sites become findings; everything reachable lands in
+   the report either way, because the report is the precondition
+   artifact for the multicore server. *)
+let r6 (g : Callgraph.graph) ~entries ~annotated =
+  let entry_ids =
+    List.filter_map (fun name -> Callgraph.find g name) entries
+  in
+  let resolved =
+    List.sort_uniq compare
+      (List.map
+         (fun id -> Callgraph.def_label g.Callgraph.defs.(id))
+         entry_ids)
+  in
+  let reach = Dataflow.reachable g ~entries:entry_ids in
+  let sites = ref [] in
+  let findings = ref [] in
+  Array.iter
+    (fun (d : Callgraph.def) ->
+      if reach.(d.id) then
+        List.iter
+          (fun (m : Callgraph.mutation) ->
+            let status, reason =
+              match m.m_guard with
+              | Callgraph.Guard_atomic -> ("atomic", None)
+              | Callgraph.Guard_local -> ("local", None)
+              | Callgraph.Guard_none ->
+                if d.uses_mutex then ("mutex", None)
+                else (
+                  match annotated ~file:d.file ~line:m.m_pos.line with
+                  | Some why -> ("annotated", Some why)
+                  | None -> ("unguarded", None))
+            in
+            sites :=
+              { st_file = d.file; st_line = m.m_pos.line;
+                st_col = m.m_pos.col; st_unit = d.unit_name;
+                st_def = d.def_name; st_kind = m.m_kind;
+                st_target = m.m_target; st_status = status;
+                st_reason = reason }
+              :: !sites;
+            if status = "unguarded" then
+              findings :=
+                { vf_file = d.file; vf_line = m.m_pos.line;
+                  vf_col = m.m_pos.col; vf_rule = "R6";
+                  vf_message =
+                    Printf.sprintf
+                      "shared mutable write (%s to %s in %s) reachable \
+                       from a round-loop entry point without a guard; \
+                       use Atomic/Mutex or annotate (* pdm-lint: %s — \
+                       why single-domain *)"
+                      m.m_kind m.m_target (Callgraph.def_label d)
+                      ("domain" ^ " local") }
+                :: !findings)
+          d.mutations)
+    g.defs;
+  let order (a : site) (b : site) =
+    match compare a.st_file b.st_file with
+    | 0 -> compare (a.st_line, a.st_col, a.st_target)
+             (b.st_line, b.st_col, b.st_target)
+    | c -> c
+  in
+  (List.sort order !sites, List.rev !findings, resolved)
+
+(* ------------------------------------------------------------------ *)
+(* R7: charge completeness. Every Backend.read/write site must live in
+   a definition covered by round accounting (see Dataflow.covered). *)
+let r7 (g : Callgraph.graph) cov =
+  let out = ref [] in
+  Array.iter
+    (fun (d : Callgraph.def) ->
+      if not cov.(d.id) then
+        List.iter
+          (fun (what, (pos : Callgraph.pos)) ->
+            out :=
+              { vf_file = d.file; vf_line = pos.line; vf_col = pos.col;
+                vf_rule = "R7";
+                vf_message =
+                  Printf.sprintf
+                    "%s in %s is not dominated by round accounting (no \
+                     path from a rounds_done-charging entry point); \
+                     route it through Pdm.read/write or a charging \
+                     scheduler path"
+                    what (Callgraph.def_label d) }
+              :: !out)
+          d.io_sites)
+    g.defs;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Shared-state report: the machine-readable artifact for ROADMAP
+   item 3. Byte-stable: sites are sorted, counts are derived from the
+   sorted list, and no hash-table iteration order leaks into the
+   output. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report ~entry_points sites =
+  let count status =
+    List.length (List.filter (fun s -> s.st_status = status) sites)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"version\": 1,\n  \"entry_points\": [";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun e -> Printf.sprintf "\"%s\"" (json_escape e))
+          entry_points));
+  Buffer.add_string buf "],\n  \"summary\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun st -> Printf.sprintf "\"%s\": %d" st (count st))
+          [ "atomic"; "local"; "mutex"; "annotated"; "unguarded" ]));
+  Buffer.add_string buf
+    (Printf.sprintf ", \"total\": %d},\n  \"sites\": [\n" (List.length sites));
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"unit\": \
+            \"%s\", \"def\": \"%s\", \"kind\": \"%s\", \"target\": \
+            \"%s\", \"status\": \"%s\"%s}"
+           (json_escape s.st_file) s.st_line s.st_col
+           (json_escape s.st_unit) (json_escape s.st_def)
+           (json_escape s.st_kind) (json_escape s.st_target)
+           (json_escape s.st_status)
+           (match s.st_reason with
+            | Some why ->
+              Printf.sprintf ", \"reason\": \"%s\"" (json_escape why)
+            | None -> "")))
+    sites;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** The interprocedural rules (R5 determinism taint, R6 domain safety,
+    R7 charge completeness) over {!Callgraph} and {!Dataflow}. Returns
+    plain records; {!Lint} converts them into findings and applies
+    suppressions. *)
+
+type v_finding = {
+  vf_file : string;
+  vf_line : int;
+  vf_col : int;
+  vf_rule : string;  (** "R5" | "R6" | "R7" *)
+  vf_message : string;
+}
+
+type site = {
+  st_file : string;
+  st_line : int;
+  st_col : int;
+  st_unit : string;
+  st_def : string;
+  st_kind : string;
+  st_target : string;
+  st_status : string;
+      (** "atomic" | "local" | "mutex" | "annotated" | "unguarded" *)
+  st_reason : string option;
+}
+
+val r5 :
+  Callgraph.graph ->
+  Dataflow.witness option array ->
+  deterministic_components:string list ->
+  v_finding list
+(** Flag each call site where a deterministic-component definition calls
+    a tainted callee outside the deterministic components — the point
+    where hidden nondeterminism crosses the boundary. Direct sources
+    are R2's per-file findings. One finding per (caller, callee). *)
+
+val r6 :
+  Callgraph.graph ->
+  entries:string list ->
+  annotated:(file:string -> line:int -> string option) ->
+  site list * v_finding list * string list
+(** Inventory every shared-mutable write reachable from the entry
+    points ("Unit.def" names; unresolved ones are ignored). [annotated]
+    reports (and marks used) a domain-local annotation covering a line.
+    Returns (sorted sites, findings for unguarded sites, resolved entry
+    labels sorted). *)
+
+val r7 : Callgraph.graph -> bool array -> v_finding list
+(** Given {!Dataflow.covered}, flag every [Backend.read]/[write] site
+    in an uncovered definition. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal. *)
+
+val report : entry_points:string list -> site list -> string
+(** Render the shared-state JSON report. Byte-stable for a fixed input:
+    sorted sites, derived summary counts, no hash-order dependence. *)

@@ -28,10 +28,12 @@ let hits t = t.hits
 let misses t = t.misses
 let resident t = Hashtbl.length t.table
 
+(* pdm-lint: domain local — LRU stamps on the engine-owned cache, touched only from its round loop *)
 let touch t e =
   t.clock <- t.clock + 1;
   e.stamp <- t.clock
 
+(* pdm-lint: domain local — cache table owned by one engine; eviction runs in its round loop *)
 let evict_to_capacity t =
   while Hashtbl.length t.table > t.capacity do
     let victim = ref None in
@@ -46,6 +48,7 @@ let evict_to_capacity t =
     | None -> ()
   done
 
+(* pdm-lint: domain local — cache table owned by one engine; inserts run in its round loop *)
 let insert t addr data =
   let e = { data; stamp = 0 } in
   touch t e;
@@ -84,6 +87,7 @@ let read_one t addr =
        request always yields a singleton. *)
     assert false
 
+(* pdm-lint: domain local — hit/miss counters on the engine-owned cache *)
 let find_cached t addr =
   match Hashtbl.find_opt t.table addr with
   | Some e ->

@@ -81,6 +81,9 @@ let mangle = function
     if n < 2 then Some slots
     else Some (Array.init n (fun i -> slots.((i + n - 1) mod n)))
 
+(* pdm-lint: allow R7 — the wrapped read/write closures only ever run
+   inside the scheduler's perform step, which charges every attempt
+   against the round ledger before invoking them *)
 let wrap s (b : 'a Backend.t) : 'a Backend.t =
   let f = disk_fault s b.Backend.disk in
   let disk = b.Backend.disk in

@@ -104,6 +104,7 @@ let write_header t cells =
 let clear_header t =
   write_header t [| magic_empty; t.seq |]
 
+(* pdm-lint: domain local — journal sequence advanced only by the owning scheduler thread *)
 let log_and_apply t ?crash batch =
   maybe_crash crash Before_log;
   let machine = t.machine in

@@ -257,6 +257,7 @@ let sanitize_round t ~round_id ~channels ~touched ~performs ~accounted
              touched.(d)))
     per_disk
 
+(* pdm-lint: domain local — scheduler round ledger and per-disk queues; one scheduler per simulation, never shared *)
 let schedule t ~op ~addrs ~perform ~on_fail =
   let channels = physical_disks t in
   let queues =
@@ -404,6 +405,7 @@ let read_phys_batch t paddrs =
    candidate list per address is normally [0; 1; ...; r-1]; a caller
    that planned its own replica placement (the query engine) passes a
    rotated list so its chosen replica is tried first. *)
+(* pdm-lint: domain local — down-disk mask on t, owned by the scheduler *)
 let scheduled_read_candidates t with_candidates =
   let results = ref [] in
   let delivered = ref 0 in
@@ -500,6 +502,7 @@ let sanitize_fast_charges ~what ~blocks ~rounds_delta ~blocks_delta ~rounds =
          "%s of %d blocks / %d rounds charged %d blocks / %d rounds" what
          blocks rounds blocks_delta rounds_delta)
 
+(* pdm-lint: domain local — fast-path round charge on t, owned by the scheduler *)
 let read t addrs =
   List.iter (check_addr t) addrs;
   let addrs = dedup addrs in
@@ -603,6 +606,7 @@ let seal t slots =
 (* Store already-sealed data at one physical address. Raises
    [Backend.Disk_failed] on a dead disk before touching the
    allocation counter. *)
+(* pdm-lint: domain local — allocation high-water mark on t, owned by the scheduler *)
 let store_phys t p data =
   let bk = t.backends.(p.disk) in
   let fresh = not (bk.Backend.exists p.block) in
@@ -632,6 +636,7 @@ let write_phys_one t p data =
    landing on a disk that is (or turns out to be) dead is skipped —
    the block survives as long as one replica is stored; only when all
    r replicas fail does the write raise. *)
+(* pdm-lint: domain local — down-disk mask on t, owned by the scheduler *)
 let scheduled_write t blocks =
   let sealed = Hashtbl.create 16 in
   let owner = Hashtbl.create 16 in
@@ -680,6 +685,7 @@ let scheduled_write t blocks =
   Stats.add_write_round t.stats ~blocks:!stored ~rounds
 
 (* Fast-path store (identical to the seed simulator). *)
+(* pdm-lint: domain local — allocation high-water mark on t, owned by the scheduler *)
 let store_block t a slots =
   if Array.length slots <> t.block_size then
     invalid_arg "Pdm.write: block has wrong length";
@@ -687,6 +693,7 @@ let store_block t a slots =
   if not (bk.Backend.exists a.block) then t.allocated <- t.allocated + 1;
   bk.Backend.write a.block (Array.copy slots)
 
+(* pdm-lint: domain local — fast-path round charge on t, owned by the scheduler *)
 let write t blocks =
   List.iter (fun (a, _) -> check_addr t a) blocks;
   let addrs = List.map fst blocks in

@@ -28,6 +28,7 @@ let reset t =
   Array.fill t.d_reads 0 (Array.length t.d_reads) 0;
   Array.fill t.d_writes 0 (Array.length t.d_writes) 0
 
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let grow a n =
   if Array.length a >= n then a
   else begin
@@ -38,24 +39,29 @@ let grow a n =
 
 (* The per-disk arrays grow to the highest disk index seen, so one
    stats object can serve machines of different widths. *)
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let ensure t disk =
   if Array.length t.d_reads <= disk then begin
     t.d_reads <- grow t.d_reads (disk + 1);
     t.d_writes <- grow t.d_writes (disk + 1)
   end
 
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let add_read_round t ~blocks ~rounds =
   t.r_blocks <- t.r_blocks + blocks;
   t.r_rounds <- t.r_rounds + rounds
 
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let add_write_round t ~blocks ~rounds =
   t.w_blocks <- t.w_blocks + blocks;
   t.w_rounds <- t.w_rounds + rounds
 
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let add_disk_read t ~disk ~blocks =
   ensure t disk;
   t.d_reads.(disk) <- t.d_reads.(disk) + blocks
 
+(* pdm-lint: domain local — per-simulation I/O counters owned by the scheduler's domain *)
 let add_disk_write t ~disk ~blocks =
   ensure t disk;
   t.d_writes.(disk) <- t.d_writes.(disk) + blocks

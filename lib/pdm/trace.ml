@@ -32,6 +32,7 @@ let length t = min t.count (capacity t)
 
 let dropped t = t.count - length t
 
+(* pdm-lint: domain local — trace ring buffer is per-run diagnostics with a single writer *)
 let record t e =
   t.buf.(t.next) <- Some { e with shard = t.shard };
   t.next <- (t.next + 1) mod capacity t;

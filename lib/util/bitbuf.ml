@@ -5,6 +5,7 @@ module Writer = struct
 
   let length_bits w = w.bits
 
+  (* pdm-lint: domain local — writer cursor is stack-local codec state, never shared *)
   let ensure w extra_bits =
     let needed = Imath.cdiv (w.bits + extra_bits) 8 in
     let cap = Bytes.length w.buf in
@@ -15,6 +16,7 @@ module Writer = struct
       w.buf <- buf'
     end
 
+  (* pdm-lint: domain local — writer cursor is stack-local codec state, never shared *)
   let add_bit w b =
     ensure w 1;
     if b then begin
@@ -65,6 +67,7 @@ module Reader = struct
 
   let remaining r = r.len_bits - r.pos
 
+  (* pdm-lint: domain local — reader cursor is stack-local codec state, never shared *)
   let read_bit r =
     if r.pos >= r.len_bits then invalid_arg "Bitbuf.read_bit: end of buffer";
     let byte = r.pos lsr 3 and off = r.pos land 7 in

@@ -227,17 +227,256 @@ let test_text_rendering () =
       (String.sub (Lint.to_text f) 0 (String.length "lib/dictionary/sample.ml:1:10:"))
   | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
 
-(* The real tree must be lint-clean — the CI gate, run from the test
-   binary too so `dune runtest` alone catches a regression. dune copies
-   the library sources next to the test directory in _build. *)
+(* --- the interprocedural rules (R5/R6/R7) ------------------------- *)
+
+let has_substr needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let unit_ path src = { Lint.u_path = path; u_source = src; u_has_mli = true }
+
+(* R5: the acceptance-criteria fixture. A deterministic-component
+   function reaches Random.int three calls deep, across a module alias
+   and a library wrapper — the old per-file R2 provably cannot see it
+   (the helpers live in lib/experiments, where Random is legal), but
+   the taint pass flags the frontier call site at its exact line. *)
+let taint_units =
+  [ unit_ "lib/engine/sample_round.ml"
+      "module H = Pdm_experiments.Helper_a\nlet tick () = H.jitter 3\n";
+    unit_ "lib/experiments/helper_a.ml"
+      "let jitter n = Helper_b.noise n + 1\n";
+    unit_ "lib/experiments/helper_b.ml" "let noise n = Random.int n\n" ]
+
+let test_r5_indirect_taint () =
+  let fs = (Lint.analyze taint_units).Lint.a_findings in
+  checkb "R2 is clean on the deterministic file (the gap R5 closes)" false
+    (List.exists
+       (fun f ->
+         f.Lint.rule = "R2" && f.Lint.file = "lib/engine/sample_round.ml")
+       fs);
+  checkb "R2 is clean everywhere (helpers may use Random)" false
+    (has "R2" fs);
+  (match find_rule "R5" fs with
+   | Some f ->
+     Alcotest.(check string) "flagged in the deterministic unit"
+       "lib/engine/sample_round.ml" f.Lint.file;
+     check "at the frontier call's line" 2 f.Lint.line;
+     checkb "witness chain names the intermediate hop" true
+       (has_substr "Helper_a.jitter" f.Lint.message);
+     checkb "witness chain ends at the source" true
+       (has_substr "Random.int" f.Lint.message)
+   | None -> Alcotest.fail "expected an R5 finding");
+  check "exactly one finding overall" 1 (List.length fs)
+
+let test_r5_clean_helper () =
+  let fs =
+    (Lint.analyze
+       [ unit_ "lib/engine/sample_round.ml"
+           "module H = Pdm_experiments.Helper_a\nlet tick () = H.jitter 3\n";
+         unit_ "lib/experiments/helper_a.ml" "let jitter n = n + 1\n" ])
+      .Lint.a_findings
+  in
+  Alcotest.(check (list string)) "deterministic helper chain is clean" []
+    (rules fs)
+
+let test_r5_suppressible () =
+  let det =
+    "module H = Pdm_experiments.Helper_a\n"
+    ^ "(* pdm-lint: allow R5 — jitter is only used for report pacing *)\n"
+    ^ "let tick () = H.jitter 3\n"
+  in
+  let fs =
+    (Lint.analyze
+       [ unit_ "lib/engine/sample_round.ml" det;
+         unit_ "lib/experiments/helper_a.ml" "let jitter n = Random.int n\n" ])
+      .Lint.a_findings
+  in
+  Alcotest.(check (list string)) "reasoned allowance silences R5" []
+    (rules fs)
+
+(* R6: shared-state inventory over custom entry points. *)
+
+let r6_config entries =
+  { Lint.default_config with r6_entries = entries }
+
+let r6_analyze src =
+  Lint.analyze
+    ~config:(r6_config [ "Sample_engine.loop" ])
+    [ unit_ "lib/engine/sample_engine.ml" src ]
+
+let test_r6_unguarded_flagged () =
+  let src =
+    "type t = { mutable count : int }\n\
+     let bump t = t.count <- t.count + 1\n\
+     let loop t = bump t\n"
+  in
+  let a = r6_analyze src in
+  (match find_rule "R6" a.Lint.a_findings with
+   | Some f ->
+     check "at the mutation's line" 2 f.Lint.line;
+     checkb "names the target" true (has_substr "t.count" f.Lint.message)
+   | None -> Alcotest.fail "expected an R6 finding");
+  match a.Lint.a_report with
+  | Some r -> checkb "report lists it unguarded" true
+                (has_substr "\"unguarded\": 1" r)
+  | None -> Alcotest.fail "expected a shared-state report"
+
+let test_r6_not_reachable_not_flagged () =
+  (* Same mutation, but nothing reaches it from the entry points: no
+     finding — the inventory is scoped to the round loop, not global. *)
+  let src =
+    "type t = { mutable count : int }\n\
+     let bump t = t.count <- t.count + 1\n\
+     let loop (_ : t) = ()\n"
+  in
+  checkb "unreachable mutation not flagged" false
+    (has "R6" (r6_analyze src).Lint.a_findings)
+
+let test_r6_guard_statuses () =
+  let src =
+    "type t = { mutable count : int; gauge : int Atomic.t }\n\
+     (* pdm-lint: domain local — counter owned by the loop's domain *)\n\
+     let bump t = t.count <- t.count + 1\n\
+     let publish t = Atomic.set t.gauge 1\n\
+     let scratch () =\n\
+    \  let h = Hashtbl.create 8 in\n\
+    \  Hashtbl.replace h 1 2;\n\
+    \  Hashtbl.length h\n\
+     let loop t = bump t; publish t; scratch ()\n"
+  in
+  let a = r6_analyze src in
+  Alcotest.(check (list string)) "all three guard shapes lint clean" []
+    (rules a.Lint.a_findings);
+  match a.Lint.a_report with
+  | Some r ->
+    checkb "annotated status with its reason" true
+      (has_substr "\"status\": \"annotated\"" r
+       && has_substr "counter owned by the loop's domain" r);
+    checkb "atomic status" true (has_substr "\"status\": \"atomic\"" r);
+    checkb "local status for let-bound allocation" true
+      (has_substr "\"status\": \"local\"" r);
+    checkb "nothing unguarded" true (has_substr "\"unguarded\": 0" r)
+  | None -> Alcotest.fail "expected a shared-state report"
+
+let test_r6_report_byte_stable () =
+  let src =
+    "type t = { mutable a : int; mutable b : int }\n\
+     (* pdm-lint: domain local — loop-owned counters *)\n\
+     let bump t = t.a <- t.a + 1; t.b <- t.b + 1\n\
+     let loop t = bump t\n"
+  in
+  match (r6_analyze src).Lint.a_report, (r6_analyze src).Lint.a_report with
+  | Some r1, Some r2 -> Alcotest.(check string) "byte-identical" r1 r2
+  | _ -> Alcotest.fail "expected shared-state reports"
+
+(* R7: charge completeness. *)
+
+let test_r7_uncharged_io_flagged () =
+  let fs =
+    (Lint.analyze
+       [ unit_ "lib/pdm/sample_store.ml"
+           "let raw b = Backend.read b ~attempt:0 3\n" ])
+      .Lint.a_findings
+  in
+  match find_rule "R7" fs with
+  | Some f ->
+    Alcotest.(check string) "in the fixture file" "lib/pdm/sample_store.ml"
+      f.Lint.file;
+    check "at the I/O site's line" 1 f.Lint.line;
+    checkb "names the uncovered definition" true
+      (has_substr "Sample_store.raw" f.Lint.message)
+  | None -> Alcotest.fail "expected an R7 finding"
+
+let test_r7_charging_path_clean () =
+  (* The definition charges the round ledger itself, and a helper that
+     never charges is covered because its only caller does. *)
+  let src =
+    "type t = { mutable rounds_done : int }\n\
+     let helper b = Backend.write b 0 [||]\n\
+     let schedule t b =\n\
+    \  t.rounds_done <- t.rounds_done + 1;\n\
+    \  ignore (Backend.read b ~attempt:0 3);\n\
+    \  helper b\n"
+  in
+  let fs =
+    (Lint.analyze [ unit_ "lib/pdm/sample_store.ml" src ]).Lint.a_findings
+  in
+  checkb "charging entry point and covered helper are clean" false
+    (has "R7" fs)
+
+let test_r7_uncovered_caller_taints_helper () =
+  (* One charging caller is not enough when another caller is never
+     covered: the helper stays uncovered. *)
+  let src =
+    "type t = { mutable rounds_done : int }\n\
+     let helper b = Backend.write b 0 [||]\n\
+     let schedule t b = t.rounds_done <- t.rounds_done + 1; helper b\n\
+     let stray b = helper b\n"
+  in
+  let fs =
+    (Lint.analyze [ unit_ "lib/pdm/sample_store.ml" src ]).Lint.a_findings
+  in
+  checkb "helper flagged while one caller is uncovered" true
+    (has "R7" ~line:2 fs)
+
+(* Suppression-range widening over multi-line expressions (the PR 4
+   matcher only covered the first line of a multi-line binding). *)
+
+let test_suppression_covers_multiline_binding () =
+  let src =
+    allow "R3" "— the accumulator is provably non-empty here"
+    ^ "\nlet f l =\n  let x = 1 in\n  List.hd l + x\n"
+  in
+  Alcotest.(check (list string)) "violation on the binding's last line" []
+    (rules (lint src))
+
+let test_unused_suppression_quotes_reason () =
+  let fs = lint (allow "R3" "— stale excuse, should be visible") in
+  match find_rule "syntax" fs with
+  | Some f ->
+    checkb "unused-suppression names it" true
+      (f.Lint.name = "unused-suppression");
+    checkb "reason text quoted in the message" true
+      (has_substr "stale excuse, should be visible" f.Lint.message)
+  | None -> Alcotest.fail "expected an unused-suppression finding"
+
+(* Wrapper discovery from the dune files (no hand-maintained list). *)
+
+let test_wrappers_from_dune () =
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
+    let ws = Lint.wrappers_from_dune [ "../lib" ] in
+    List.iter
+      (fun w ->
+        checkb (w ^ " discovered") true (List.mem w ws))
+      [ "Pdm_sim"; "Pdm_io"; "Pdm_lint_core"; "Pdm_cluster" ];
+    checkb "sorted and deduplicated" true
+      (ws = List.sort_uniq compare ws)
+  end
+
+(* The real tree must be lint-clean under all seven rules — the CI
+   gate, run from the test binary too so `dune runtest` alone catches a
+   regression. dune copies the sources next to the test directory in
+   _build; bin/bench/examples ride along with lib since PR 9. *)
 let test_tree_is_clean () =
   if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
-    let findings =
-      Lint.sort_findings
-        (List.concat_map Lint.check_file (Lint.ml_files_under "../lib"))
+    let paths =
+      List.filter
+        (fun p -> Sys.file_exists p && Sys.is_directory p)
+        [ "../lib"; "../bin"; "../bench"; "../examples" ]
     in
-    Alcotest.(check (list string)) "lib/ lints clean" []
-      (List.map Lint.to_text findings)
+    let a = Lint.analyze_paths paths in
+    Alcotest.(check (list string)) "tree lints clean under R1-R7" []
+      (List.map Lint.to_text a.Lint.a_findings);
+    let b = Lint.analyze_paths paths in
+    match a.Lint.a_report, b.Lint.a_report with
+    | Some r1, Some r2 ->
+      Alcotest.(check string) "shared-state report is byte-stable" r1 r2;
+      checkb "no unguarded shared state in the tree" true
+        (has_substr "\"unguarded\": 0" r1);
+      checkb "report covers the engine round loop" true
+        (has_substr "Engine.run_batch" r1)
+    | _ -> Alcotest.fail "expected a shared-state report"
   end
 
 (* --- runtime sanitizer -------------------------------------------- *)
@@ -345,19 +584,37 @@ let suite =
          test_r2_unix_io_allowlist;
        tc "R3 totality" `Quick test_r3_totality;
        tc "R4 interfaces" `Quick test_r4_interfaces ]);
+    ("lint.interprocedural",
+     [ tc "R5 indirect taint (R2-invisible)" `Quick test_r5_indirect_taint;
+       tc "R5 clean helper chain" `Quick test_r5_clean_helper;
+       tc "R5 suppressible with a reason" `Quick test_r5_suppressible;
+       tc "R6 unguarded reachable write" `Quick test_r6_unguarded_flagged;
+       tc "R6 scoped to entry reachability" `Quick
+         test_r6_not_reachable_not_flagged;
+       tc "R6 guard statuses in the report" `Quick test_r6_guard_statuses;
+       tc "R6 report byte-stable" `Quick test_r6_report_byte_stable;
+       tc "R7 uncharged backend I/O" `Quick test_r7_uncharged_io_flagged;
+       tc "R7 charging path clean" `Quick test_r7_charging_path_clean;
+       tc "R7 one uncovered caller taints" `Quick
+         test_r7_uncovered_caller_taints_helper ]);
     ("lint.suppressions",
      [ tc "valid allowance" `Quick test_suppression_valid;
        tc "reason required" `Quick test_suppression_needs_reason;
        tc "unknown rule" `Quick test_suppression_unknown_rule;
        tc "unused reported" `Quick test_suppression_unused;
        tc "range is tight" `Quick test_suppression_range_is_tight;
-       tc "wrong rule does not mask" `Quick test_suppression_wrong_rule ]);
+       tc "wrong rule does not mask" `Quick test_suppression_wrong_rule;
+       tc "multi-line binding covered" `Quick
+         test_suppression_covers_multiline_binding;
+       tc "unused quotes its reason" `Quick
+         test_unused_suppression_quotes_reason ]);
     ("lint.cli_contract",
      [ tc "rule toggles" `Quick test_rule_toggle;
        tc "rule naming round-trip" `Quick test_rule_names;
        tc "json output" `Quick test_json_output;
        tc "exit codes" `Quick test_exit_codes;
        tc "text rendering" `Quick test_text_rendering;
+       tc "wrappers derived from dune files" `Quick test_wrappers_from_dune;
        tc "whole tree is clean" `Quick test_tree_is_clean ]);
     ("sanitize",
      [ tc "cost parity on/off" `Quick test_sanitize_cost_parity;
