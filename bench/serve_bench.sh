@@ -1,0 +1,55 @@
+#!/bin/bash
+# Regenerate the BENCH_serve.json trajectory: four deterministic
+# single-connection scenarios (uniform / Zipf / adversarial closed
+# loops, plus a Zipf run with a disk kill + scrub mid-stream), each
+# against a fresh pdm-serve (4 shards, 2 domains, seed 42). With one
+# connection the daemon replays exactly the generator's op order, so
+# the ios/rounds columns are exact run-to-run and bench-check gates
+# them at 0% tolerance; the ns column is the measured p999 and is
+# informational. Usage: bench/serve_bench.sh [OUT.json]
+set -e
+SERVE=${SERVE:-_build/default/bin/pdm_serve.exe}
+LOADGEN=${LOADGEN:-_build/default/bin/pdm_loadgen.exe}
+OUT=${1:-bench-serve.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_scenario() {
+  name="$1"; shift
+  "$SERVE" --shards 4 --domains 2 --seed 42 > "$tmp/$name.log" 2>&1 &
+  pid=$!
+  port=""
+  for _ in $(seq 1 200); do
+    port=$(sed -n 's/pdm-serve listening on \([0-9]*\).*/\1/p' "$tmp/$name.log")
+    [ -n "$port" ] && break
+    sleep 0.05
+  done
+  [ -n "$port" ] || { echo "$name: daemon did not come up" >&2; exit 1; }
+  "$LOADGEN" --port "$port" --name "$name" --conns 1 --requests 1024 \
+    --keys 256 --json "$tmp/$name.json" "$@" > /dev/null
+  # graceful shutdown must drain and exit 0 — the trajectory doubles
+  # as a SIGTERM regression check
+  kill -TERM "$pid"
+  wait "$pid"
+  grep -q 'pdm-serve stopped' "$tmp/$name.log"
+  sed '1d;$d' "$tmp/$name.json" > "$tmp/$name.record"
+}
+
+run_scenario closed_uniform --dist uniform --seed 1
+run_scenario closed_zipf --dist zipf:1.1 --seed 2
+run_scenario closed_adversarial --dist adversarial --seed 3
+run_scenario chaos_kill_scrub --dist zipf:1.1 --seed 4 \
+  --kill 341:1:0 --scrub 682:1
+
+{
+  echo "["
+  sep=""
+  for name in closed_uniform closed_zipf closed_adversarial \
+    chaos_kill_scrub; do
+    printf '%s%s' "$sep" "$(cat "$tmp/$name.record")"
+    sep=",
+"
+  done
+  printf '\n]\n'
+} > "$OUT"
+echo "wrote $OUT"

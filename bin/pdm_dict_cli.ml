@@ -133,7 +133,11 @@ let experiments =
     { id = "realio"; doc = "Real I/O: batched-vs-unbatched crossover (E22)";
       exec =
         (fun ~n ~block_words:_ ~seed ~factory:_ ->
-          print_table (Realio_exp.to_table (Realio_exp.run ?updates:n ?seed ()))) } ]
+          print_table (Realio_exp.to_table (Realio_exp.run ?updates:n ?seed ()))) };
+    { id = "daemon"; doc = "pdm-serve daemon under chaos (E23)";
+      exec =
+        (fun ~n ~block_words:_ ~seed ~factory:_ ->
+          print_table (Serve_exp.to_table (Serve_exp.run ?n ?seed ()))) } ]
 
 (* Storage and cluster failures escape as exceptions with structured
    context (disk, block, round; key, retry budget); render them as
@@ -760,7 +764,8 @@ let run_serve dict n queries clients batch deadline duty insert_frac cache
         (fun o ->
           match o.Engine.request with
           | Engine.Lookup k -> o.Engine.value = ad.Adapters.direct_find k
-          | Engine.Insert (k, v) -> ad.Adapters.direct_find k = Some v)
+          | Engine.Insert (k, v) -> ad.Adapters.direct_find k = Some v
+          | Engine.Delete k -> ad.Adapters.direct_find k = None)
         outcomes
     in
     let lats =
@@ -818,6 +823,42 @@ let run_serve dict n queries clients batch deadline duty insert_frac cache
 
 module Cluster = Pdm_cluster.Cluster
 module Topology = Pdm_cluster.Topology
+module Placement = Pdm_cluster.Placement
+
+(* Both serve paths report failures through [serve_guard]: the engine
+   path raises [Engine.Request_failed] on its own, the cluster path
+   wraps each per-request call here so a failed request surfaces with
+   its id and key instead of dissolving into an anonymous batch
+   error. *)
+let guard_request ~id ~key f =
+  Engine.guard ~id ~key ~describe:describe_failure f
+
+(* A batch failure is attributed to the oldest request in the round
+   whose replica set contains the unavailable shard (falling back to
+   the round's first request), mirroring the engine's oldest-waiter
+   attribution. *)
+let guard_batch ~topo ~seed ~replicas reqs f =
+  try f ()
+  with e -> (
+    match describe_failure e with
+    | None -> raise e
+    | Some _ ->
+      let failing_shard =
+        match e with Cluster.Unavailable sid -> Some sid | _ -> None
+      in
+      let culprit =
+        match failing_shard with
+        | Some sid ->
+          List.find_opt
+            (fun (_, k) ->
+              List.mem sid (Placement.replicas topo ~seed ~r:replicas k))
+            reqs
+        | None -> None
+      in
+      (match (culprit, reqs) with
+       | Some (id, key), _ | None, (id, key) :: _ ->
+         raise (Engine.Request_failed { id; key; error = e })
+       | None, [] -> raise e))
 
 let run_serve_cluster shards n queries clients duty insert_frac replicas
     kill seed =
@@ -836,7 +877,8 @@ let run_serve_cluster shards n queries clients duty insert_frac replicas
         shard_capacity = max 256 (3 * n * replicas / shards);
         seed }
     in
-    let c = Cluster.create ~config (Topology.standard ~shards) in
+    let topo = Topology.standard ~shards in
+    let c = Cluster.create ~config topo in
     let members, _ =
       Sampling.disjoint_pair (Prng.create seed)
         ~universe:config.Cluster.universe ~count:n
@@ -859,25 +901,32 @@ let run_serve_cluster shards n queries clients duty insert_frac replicas
       let round_keys = ref [] in
       for _ = 1 to clients do
         if !submitted < queries && Prng.float rng 1.0 < duty then begin
+          let id = !submitted in
           incr submitted;
           match !fresh with
           | k :: rest when Prng.float rng 1.0 < insert_frac ->
             fresh := rest;
             incr inserts;
-            Cluster.insert c k (payload k);
+            guard_request ~id ~key:k (fun () ->
+                Cluster.insert c k (payload k));
             Hashtbl.replace reference k (payload k)
           | _ ->
             incr lookups;
             round_keys :=
-              prepop.(Prng.int rng (Array.length prepop)) :: !round_keys
+              (id, prepop.(Prng.int rng (Array.length prepop)))
+              :: !round_keys
         end
       done;
-      let keys = List.rev !round_keys in
+      let reqs = List.rev !round_keys in
+      let keys = List.map snd reqs in
+      let answers =
+        guard_batch ~topo ~seed:config.Cluster.seed ~replicas reqs
+          (fun () -> Cluster.find_batch c keys)
+      in
       List.iter2
-        (fun k got ->
+        (fun (_, k) got ->
           if got <> Hashtbl.find_opt reference k then verified := false)
-        keys
-        (Cluster.find_batch c keys)
+        reqs answers
     done;
     let st = Cluster.stats c in
     let i = Table.icell in

@@ -1,0 +1,162 @@
+(* pdm-loadgen: drive a running pdm-serve with a seeded workload
+   (uniform / Zipf / adversarial churn via Pdm_simtest.Sim_gen),
+   closed- or open-loop, and report wall-clock p50/p99/p999 plus the
+   deterministic ios/rounds ledgers. --json writes bench-check records
+   (the BENCH_serve.json trajectory); --kill/--scrub inject chaos at a
+   fixed op index so single-connection runs stay replayable. *)
+
+module Loadgen = Pdm_server.Loadgen
+module Sim_gen = Pdm_simtest.Sim_gen
+
+open Cmdliner
+
+let parse_event kind spec =
+  match (kind, List.map int_of_string_opt (String.split_on_char ':' spec)) with
+  | `Kill, [ Some at; Some shard; Some disk ] ->
+    Ok (at, Loadgen.Kill_disk { shard; disk })
+  | `Scrub, [ Some at; Some shard ] -> Ok (at, Loadgen.Scrub { shard })
+  | `Kill, _ -> Error (Printf.sprintf "--kill %S: expected AT:SHARD:DISK" spec)
+  | `Scrub, _ -> Error (Printf.sprintf "--scrub %S: expected AT:SHARD" spec)
+
+let run_loadgen port name requests keys universe dist conns rate seed
+    lookup_frac delete_frac value_bytes kills scrubs json_path =
+  if port = 0 then `Error (false, "--port is required (see pdm-serve output)")
+  else
+    match Sim_gen.dist_of_string dist with
+    | None -> `Error (false, Printf.sprintf "unknown distribution %S" dist)
+    | Some dist -> (
+      let events =
+        List.fold_left
+          (fun acc (kind, specs) ->
+            List.fold_left
+              (fun acc spec ->
+                match acc with
+                | Error _ as e -> e
+                | Ok evs -> (
+                  match parse_event kind spec with
+                  | Ok ev -> Ok (ev :: evs)
+                  | Error m -> Error m))
+              acc specs)
+          (Ok [])
+          [ (`Kill, kills); (`Scrub, scrubs) ]
+      in
+      match events with
+      | Error m -> `Error (false, m)
+      | Ok events ->
+        let spec =
+          { Sim_gen.default with
+            Sim_gen.seed; universe; key_count = keys; count = requests;
+            dist; value_bytes;
+            lookup_fraction = lookup_frac; delete_fraction = delete_frac }
+        in
+        let mode =
+          if rate > 0.0 then Loadgen.Open_rate rate else Loadgen.Closed
+        in
+        let scenario = { Loadgen.spec; conns; mode; events } in
+        let r = Loadgen.run ~name ~port scenario in
+        Printf.printf
+          "loadgen %s: %d requests over %d conns (%s)\n\
+          \  wrong %d, busy %d, unavailable %d, protocol errors %d\n\
+          \  latency p50 %.1fus  p99 %.1fus  p999 %.1fus\n\
+          \  ledgers: rounds %d, ios %d, digest %s\n%!"
+          r.Loadgen.name r.Loadgen.requests conns
+          (match mode with
+           | Loadgen.Closed -> "closed loop"
+           | Loadgen.Open_rate rate ->
+             Printf.sprintf "open loop, %.0f req/s" rate)
+          r.Loadgen.wrong r.Loadgen.busy r.Loadgen.unavailable
+          r.Loadgen.proto_errors r.Loadgen.p50_us r.Loadgen.p99_us
+          r.Loadgen.p999_us r.Loadgen.rounds r.Loadgen.ios
+          r.Loadgen.answers_digest;
+        (match json_path with
+         | None -> ()
+         | Some path ->
+           let json = Loadgen.to_bench_json [ r ] in
+           if path = "-" then print_string json
+           else begin
+             let oc = open_out path in
+             output_string oc json;
+             close_out oc
+           end);
+        if r.Loadgen.wrong > 0 then
+          `Error (false, Printf.sprintf "%d wrong answers" r.Loadgen.wrong)
+        else `Ok ())
+
+let port_arg =
+  Arg.(value & opt int 0
+       & info [ "port" ] ~docv:"PORT" ~doc:"pdm-serve port on loopback.")
+
+let name_arg =
+  Arg.(value & opt string "adhoc"
+       & info [ "name" ] ~docv:"NAME" ~doc:"Scenario name for the report.")
+
+let requests_arg =
+  Arg.(value & opt int 1024
+       & info [ "q"; "requests" ] ~docv:"Q" ~doc:"Data operations to send.")
+
+let keys_arg =
+  Arg.(value & opt int 256
+       & info [ "keys" ] ~docv:"K" ~doc:"Key population size.")
+
+let universe_arg =
+  Arg.(value & opt int (1 lsl 20)
+       & info [ "universe" ] ~docv:"U" ~doc:"Key universe size.")
+
+let dist_arg =
+  Arg.(value & opt string "uniform"
+       & info [ "dist" ] ~docv:"DIST"
+           ~doc:"Distribution: $(b,uniform), $(b,zipf:S) or \
+                 $(b,adversarial).")
+
+let conns_arg =
+  Arg.(value & opt int 1
+       & info [ "conns" ] ~docv:"C" ~doc:"Concurrent TCP connections.")
+
+let rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Open-loop arrival rate in requests/second; 0 (default) \
+                 runs closed-loop.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let lookup_arg =
+  Arg.(value & opt float 0.6
+       & info [ "lookup-frac" ] ~docv:"F" ~doc:"Fraction of ops that read.")
+
+let delete_arg =
+  Arg.(value & opt float 0.2
+       & info [ "delete-frac" ] ~docv:"F"
+           ~doc:"Of the non-lookup remainder, fraction that delete.")
+
+let value_bytes_arg =
+  Arg.(value & opt int 8
+       & info [ "value-bytes" ] ~docv:"B" ~doc:"Payload bytes per record.")
+
+let kill_arg =
+  Arg.(value & opt_all string []
+       & info [ "kill" ] ~docv:"AT:SHARD:DISK"
+           ~doc:"Inject a disk kill just before op AT (repeatable).")
+
+let scrub_arg =
+  Arg.(value & opt_all string []
+       & info [ "scrub" ] ~docv:"AT:SHARD"
+           ~doc:"Inject a scrub just before op AT (repeatable).")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the bench-check record to PATH ($(b,-) = stdout).")
+
+let cmd =
+  let doc = "generate load against a running pdm-serve" in
+  Cmd.v
+    (Cmd.info "pdm-loadgen" ~version:"%%VERSION%%" ~doc)
+    Term.(ret
+            (const run_loadgen $ port_arg $ name_arg $ requests_arg
+             $ keys_arg $ universe_arg $ dist_arg $ conns_arg $ rate_arg
+             $ seed_arg $ lookup_arg $ delete_arg $ value_bytes_arg
+             $ kill_arg $ scrub_arg $ json_arg))
+
+let () = exit (Cmd.eval cmd)

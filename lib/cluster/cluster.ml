@@ -141,7 +141,7 @@ let make_state cfg (s : Topology.shard) =
             Engine.Fetch
               ( Opd.probe_addresses dict key,
                 fun blocks -> Engine.Done (Opd.find_in dict key blocks) ));
-        insert = Some (Opd.insert dict) }
+        insert = Some (Opd.insert dict); delete = Some (Opd.delete dict) }
   in
   { id = s.id; dict; engine; alive = true; applied = IntMap.empty;
     repairs = [] }

@@ -15,11 +15,12 @@ type dict = {
   machine : int Pdm.t;
   lookup : int -> step;
   insert : (int -> Bytes.t -> unit) option;
+  delete : (int -> bool) option;
 }
 
-type request = Lookup of int | Insert of int * Bytes.t
+type request = Lookup of int | Insert of int * Bytes.t | Delete of int
 
-let request_key = function Lookup k -> k | Insert (k, _) -> k
+let request_key = function Lookup k -> k | Insert (k, _) -> k | Delete k -> k
 
 type config = {
   max_batch : int;
@@ -147,18 +148,44 @@ let wrap_failure ~id ~key error =
   | Some _ -> Request_failed { id; key; error }
   | None -> error
 
+let guard ~id ~key ?(describe = Backend.describe) f =
+  try f ()
+  with e -> (
+    match describe e with
+    | Some _ -> raise (Request_failed { id; key; error = e })
+    | None -> raise e)
+
+(* A removed key answers the empty value, an absent one answers
+   [None] — so delete outcomes carry their found/not-found bit through
+   the same [value] channel lookups use. *)
+let deleted_value removed = if removed then Some Bytes.empty else None
+
 (* pdm-lint: domain local — round counters on t, advanced only by the owning round loop *)
-let exec_insert t p key value =
-  match t.dict.insert with
-  | None -> invalid_arg "Engine: dictionary does not support insert"
-  | Some ins ->
-    let before = Pdm.rounds_total t.dict.machine in
-    (try ins key value
-     with e -> raise (wrap_failure ~id:p.id ~key e));
-    let delta = Pdm.rounds_total t.dict.machine - before in
-    t.round <- t.round + delta;
-    t.insert_rounds <- t.insert_rounds + delta;
-    complete t p None
+let exec_update t p =
+  let key = request_key p.request in
+  let before = Pdm.rounds_total t.dict.machine in
+  let value =
+    match p.request with
+    | Insert (k, v) -> (
+      match t.dict.insert with
+      | None -> invalid_arg "Engine: dictionary does not support insert"
+      | Some ins ->
+        (try ins k v with e -> raise (wrap_failure ~id:p.id ~key e));
+        None)
+    | Delete k -> (
+      match t.dict.delete with
+      | None -> invalid_arg "Engine: dictionary does not support delete"
+      | Some del ->
+        let removed =
+          try del k with e -> raise (wrap_failure ~id:p.id ~key e)
+        in
+        deleted_value removed)
+    | Lookup _ -> invalid_arg "Engine: exec_update on a lookup"
+  in
+  let delta = Pdm.rounds_total t.dict.machine - before in
+  t.round <- t.round + delta;
+  t.insert_rounds <- t.insert_rounds + delta;
+  complete t p value
 
 (* Advance a step as far as the fetched blocks allow. *)
 let rec settle tbl st =
@@ -273,21 +300,15 @@ let fetch_all t tbl wanted =
 (* pdm-lint: domain local — batch bookkeeping on t; batches are formed and executed on one domain *)
 let run_batch t batch =
   t.batches <- t.batches + 1;
-  (* Inserts first, serialized in submission order, so every lookup in
-     the batch observes all of the batch's writes. *)
-  let inserts, lookups =
-    List.partition (fun p -> match p.request with Insert _ -> true | _ -> false)
+  (* Updates first, serialized in submission order, so every lookup in
+     the batch observes all of the batch's writes and removals. *)
+  let updates, lookups =
+    List.partition
+      (fun p ->
+        match p.request with Insert _ | Delete _ -> true | Lookup _ -> false)
       batch
   in
-  List.iter
-    (fun p ->
-      match p.request with
-      | Insert (k, v) -> exec_insert t p k v
-      | Lookup _ ->
-        (* pdm-lint: allow R3 — unreachable: [inserts] is the
-           [Insert]-side of the partition directly above. *)
-        assert false)
-    inserts;
+  List.iter (fun p -> exec_update t p) updates;
   let tbl : (addr, int option array) Hashtbl.t = Hashtbl.create 64 in
   let inflight =
     List.map (fun p -> (p, ref (t.dict.lookup (request_key p.request)))) lookups

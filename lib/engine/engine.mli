@@ -42,12 +42,17 @@ type dict = {
   machine : int Pdm_sim.Pdm.t;
   lookup : int -> step;
   insert : (int -> Bytes.t -> unit) option;
-      (** [None] for static structures. Inserts run serialized at the
-          front of each batch (their machine rounds are charged to the
-          engine clock), so a batch's lookups observe its inserts. *)
+      (** [None] for static structures. Updates (inserts and deletes)
+          run serialized at the front of each batch (their machine
+          rounds are charged to the engine clock), so a batch's
+          lookups observe its updates. *)
+  delete : (int -> bool) option;
+      (** [None] for structures without removal. Returns whether the
+          key was present. Serialized with inserts at the front of
+          each batch, in submission order. *)
 }
 
-type request = Lookup of int | Insert of int * Bytes.t
+type request = Lookup of int | Insert of int * Bytes.t | Delete of int
 
 val request_key : request -> int
 
@@ -63,7 +68,10 @@ val default_config : config
 type outcome = {
   id : int;                (** ticket from {!submit} *)
   request : request;
-  value : Bytes.t option;  (** lookup answer; [None] for inserts *)
+  value : Bytes.t option;
+      (** lookup answer; [None] for inserts; for deletes, the empty
+          value when the key was present and removed, [None] when it
+          was absent *)
   submitted : int;         (** engine round at admission *)
   completed : int;         (** engine round when served *)
 }
@@ -76,6 +84,21 @@ exception Request_failed of { id : int; key : int; error : exn }
     [Corrupt_block], [Retries_exhausted]) surfaced while serving
     request [id]; [error] is the underlying exception. Requests of the
     interrupted batch that were not yet completed are dropped. *)
+
+val guard :
+  id:int -> key:int -> ?describe:(exn -> string option) ->
+  (unit -> 'a) -> 'a
+(** [guard ~id ~key f] runs [f], re-raising any exception that
+    [describe] recognizes (default {!Pdm_sim.Backend.describe}) as
+    {!Request_failed} carrying the request's [id] and [key] — the one
+    reporting path for every serving loop, whether requests go through
+    an engine, a cluster, or a direct dictionary call. Unrecognized
+    exceptions propagate untouched. *)
+
+val deleted_value : bool -> Bytes.t option
+(** How delete outcomes encode their found/not-found bit in
+    [outcome.value]: [Some Bytes.empty] for a removed key, [None] for
+    an absent one. *)
 
 type t
 

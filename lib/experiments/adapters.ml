@@ -237,7 +237,7 @@ let engine_one_probe_static ?(scale = default_scale) ?(replicas = 1)
   in
   { engine_dict =
       { Engine.name = "one-probe static (4.2)"; machine = Ops.machine t;
-        lookup; insert = None };
+        lookup; insert = None; delete = None };
     direct_find = Ops.find t }
 
 let engine_one_probe_dynamic ?(scale = default_scale) ?(replicas = 1)
@@ -255,7 +255,7 @@ let engine_one_probe_dynamic ?(scale = default_scale) ?(replicas = 1)
   in
   { engine_dict =
       { Engine.name = "one-probe dynamic (6)"; machine = Opd.machine t;
-        lookup; insert = Some (Opd.insert t) };
+        lookup; insert = Some (Opd.insert t); delete = Some (Opd.delete t) };
     direct_find = Opd.find t }
 
 let engine_cascade ?(scale = default_scale) ?(replicas = 1) ?(spares = 0)
@@ -286,7 +286,7 @@ let engine_cascade ?(scale = default_scale) ?(replicas = 1) ?(spares = 0)
   in
   { engine_dict =
       { Engine.name = "cascade (4.3)"; machine = Cascade.machine t; lookup;
-        insert = Some (Cascade.insert t) };
+        insert = Some (Cascade.insert t); delete = Some (Cascade.delete t) };
     direct_find = Cascade.find t }
 
 let all ?(scale = default_scale) () =

@@ -1,0 +1,50 @@
+(** E23: the pdm-serve daemon under chaos — tail latency, availability
+    and multi-domain determinism over real sockets.
+
+    An in-process daemon ({!Pdm_server.Server.start}) on an ephemeral
+    loopback port serves a seeded open-loop workload (Zipf key
+    popularity, fixed arrival rate, one connection so every shard sees
+    the generator's op order) across 4 shards while a disk of one
+    shard is killed a third of the way in and scrubbed back at two
+    thirds. The run must answer every op correctly — replication
+    inside the shard absorbs the kill — and the whole experiment is
+    executed twice, with 1 and with 2 worker domains: because each
+    shard is owned by exactly one domain and mailboxes are FIFO, the
+    answer stream digests and the per-shard round ledgers must be
+    byte-identical. Wall-clock p50/p99/p999 are reported (the
+    BENCH_serve.json numbers) but never gated. *)
+
+type variant = {
+  domains : int;
+  wrong : int;          (** replies disagreeing with the replay model *)
+  busy : int;
+  unavailable : int;
+  proto_errors : int;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  rounds : int;         (** summed per-shard parallel-round ledgers *)
+  ios : int;            (** summed blocks fetched *)
+  peak_depth : int;     (** deepest any worker mailbox got *)
+  digest : string;      (** hex digest of the reply stream in op order *)
+  shard_stats : Pdm_server.Wire.shard_stat list;
+}
+
+type result = {
+  requests : int;
+  shards : int;
+  rate : float;         (** open-loop arrivals per second *)
+  kill_at : int;        (** op index of the disk kill *)
+  scrub_at : int;       (** op index of the scrub *)
+  chaos_shard : int;
+  single : variant;     (** 1 worker domain *)
+  multi : variant;      (** 2 worker domains *)
+  zero_wrong : bool;
+  answers_identical : bool;   (** digests equal across domain counts *)
+  ledgers_identical : bool;   (** per-shard ledgers equal *)
+}
+
+val run : ?n:int -> ?seed:int -> unit -> result
+(** Defaults: 1200 ops, seed 1. *)
+
+val to_table : result -> Table.t

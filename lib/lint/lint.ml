@@ -77,7 +77,12 @@ let default_library_wrappers =
 let default_r6_entries =
   [ "Engine.submit"; "Engine.pump"; "Engine.drain"; "Engine.idle_round";
     "Engine.run_batch"; "Cluster.find"; "Cluster.find_batch";
-    "Cluster.insert"; "Cluster.delete"; "Cluster.execute_plan" ]
+    "Cluster.insert"; "Cluster.delete"; "Cluster.execute_plan";
+    (* pdm-serve: the listener event loop and the per-domain worker
+       loop are the roots that actually run on different domains at
+       once; everything they reach (mailboxes, completion queue,
+       shard engines) is shared-state inventory. *)
+    "Server.run"; "Server.worker_loop"; "Data_plane.execute" ]
 
 let default_config =
   { enabled = all_rules;
@@ -94,15 +99,27 @@ let deterministic_components =
   [ "pdm"; "expander"; "loadbalance"; "dictionary"; "engine"; "sim";
     "cluster"; "io" ]
 
-(* The single audited Unix allowlist: lib/io is the storage subsystem
-   and must open, size, sync and map its disk files — nothing else
-   (pread/pwrite are C stubs, not Unix calls). Time, environment,
-   process and network access stay banned even there, and any Unix.*
-   outside lib/io is flagged unconditionally. Audited in DESIGN.md
-   §13; extend only with a written justification there. *)
+(* Audited per-component Unix allowlists. lib/io is the storage
+   subsystem and must open, size, sync and map its disk files —
+   nothing else (pread/pwrite are C stubs, not Unix calls). lib/server
+   is the daemon shell and may touch exactly the socket and event-loop
+   syscalls its accept/select loop needs — the deterministic data
+   plane behind it never sees a file descriptor. Time, environment and
+   process control stay banned in both, and any Unix.* outside these
+   two components is flagged unconditionally. Audited in DESIGN.md
+   §13 (io) and §15 (server); extend only with a written justification
+   there. *)
 let unix_io_allowlist =
   [ "openfile"; "close"; "ftruncate"; "fsync"; "map_file"; "getpid";
     "error_message" ]
+
+let unix_server_allowlist =
+  [ "socket"; "setsockopt"; "bind"; "listen"; "accept"; "connect";
+    "getsockname"; "select"; "read"; "write"; "close"; "shutdown";
+    "pipe"; "set_nonblock"; "inet_addr_loopback"; "error_message" ]
+
+let unix_component_allowlists =
+  [ ("io", unix_io_allowlist); ("server", unix_server_allowlist) ]
 
 (* The Backend record fields / constructors that move or expose raw
    block data. Calling these outside lib/pdm bypasses the scheduler's
@@ -403,18 +420,25 @@ let check_ast ~config ~path ~component ~module_name structure =
           seeded Pdm_util.Prng"
      | "Unix" :: _ ->
        let allowed =
-         component = "io"
-         && (match last2 parts with
-             | Some ("Unix", f) -> List.mem f unix_io_allowlist
-             | _ -> false)
+         match List.assoc_opt component unix_component_allowlists with
+         | None -> false
+         | Some fns -> (
+           match last2 parts with
+           | Some ("Unix", f) -> List.mem f fns
+           | _ -> false)
        in
        if not allowed then
          add R2 ~loc (rule_name R2)
-           (if component = "io" then
+           (match component with
+            | "io" ->
               "Unix.* outside the audited lib/io storage allowlist \
                (openfile/close/ftruncate/fsync/map_file/getpid; see \
                DESIGN.md §13)"
-            else
+            | "server" ->
+              "Unix.* outside the audited lib/server socket allowlist \
+               (socket/bind/listen/accept/connect/select/read/write/...; \
+               see DESIGN.md §15)"
+            | _ ->
               "Unix.* reads ambient system state; simulated results must \
                not depend on it")
      | _ -> ());

@@ -370,6 +370,8 @@ let verify t (d : 'a option array option) =
 (* Counted read of physical addresses with no replica failover: each
    address resolves to [Ok payload] or [Error reason]. Used by scrub,
    which wants per-replica verdicts rather than one healthy answer. *)
+(* pdm-lint: domain local — machine state; every machine belongs to
+   one shard, driven by that shard's single owning domain *)
 let read_phys_batch t paddrs =
   let results = Hashtbl.create 16 in
   let delivered = ref 0 in
@@ -615,6 +617,8 @@ let store_phys t p data =
 
 (* Single-block counted write used by repair; false when the target
    disk turns out to be dead. *)
+(* pdm-lint: domain local — machine state; every machine belongs to
+   one shard, driven by that shard's single owning domain *)
 let write_phys_one t p data =
   let ok = ref false in
   let perform p ~attempt:_ =
@@ -790,6 +794,8 @@ let iter_allocated t f =
 (* ------------------------------------------------------------------ *)
 (* Failure, damage and repair                                          *)
 
+(* pdm-lint: domain local — machine state; every machine belongs to
+   one shard, driven by that shard's single owning domain *)
 let kill_disk t d =
   if d < 0 || d >= physical_disks t then
     invalid_arg "Pdm.kill_disk: disk out of range";
@@ -828,6 +834,8 @@ type scrub_report = {
 
 (* Next free block on a healthy spare disk, or None when the spare
    budget is exhausted. *)
+(* pdm-lint: domain local — machine state; every machine belongs to
+   one shard, driven by that shard's single owning domain *)
 let alloc_spare t =
   let rec go s =
     if s >= t.spares then None
@@ -866,6 +874,8 @@ let raw_allocated t a =
    not. Every verification read and repair write is charged through
    the normal scheduler, so the report's round counts are the honest
    repair I/O budget. *)
+(* pdm-lint: domain local — machine state; every machine belongs to
+   one shard, driven by that shard's single owning domain *)
 let scrub t =
   let scanned = ref 0 and intact = ref 0 and corrupt = ref 0 in
   let missing = ref 0 and repaired = ref 0 and remapped = ref 0 in

@@ -1,0 +1,38 @@
+(** A small blocking/pipelined client for the pdm-serve wire protocol.
+
+    One [t] per TCP connection; request ids are assigned by the client
+    (starting at 1 — the server reserves rid 0 for protocol errors on
+    undecodable frames) and replies are matched by rid, so pipelined
+    requests may complete out of order when they touch different
+    shards. Not domain-safe: use one client per domain. *)
+
+type t
+
+val connect : port:int -> t
+(** Connect to pdm-serve on loopback. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** For [select]-driven callers (the load generator). *)
+
+val send : t -> Wire.request -> int
+(** Write one request frame, returning its rid. Pipelining-safe. *)
+
+val send_raw : t -> Bytes.t -> unit
+(** Write arbitrary bytes (the malformed-frame fuzzer's entry). *)
+
+val drain : t -> (int * Wire.reply) list
+(** One blocking read, then every complete reply frame buffered so
+    far, in arrival order. [[]] only at end-of-stream. Raises
+    [Failure] on an undecodable reply. *)
+
+val wait : t -> int -> Wire.reply
+(** Block until the reply with this rid arrives (buffering others).
+    Raises [Not_found] at end-of-stream. *)
+
+val call : t -> Wire.request -> Wire.reply
+(** [send] + [wait]. *)
+
+val pending : t -> int
+(** Replies received but not yet {!wait}ed for. *)

@@ -1,0 +1,232 @@
+module Sim_gen = Pdm_simtest.Sim_gen
+module Trace = Pdm_workload.Trace
+module Clock = Pdm_util.Clock
+
+type event =
+  | Kill_disk of { shard : int; disk : int }
+  | Scrub of { shard : int }
+
+type mode = Closed | Open_rate of float
+
+type scenario = {
+  spec : Sim_gen.spec;
+  conns : int;
+  mode : mode;
+  events : (int * event) list;
+}
+
+type report = {
+  name : string;
+  requests : int;
+  wrong : int;
+  busy : int;
+  unavailable : int;
+  proto_errors : int;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  rounds : int;
+  ios : int;
+  shard_stats : Wire.shard_stat list;
+  answers_digest : string;
+}
+
+let wire_of_trace = function
+  | Trace.Lookup k -> Wire.Get k
+  | Trace.Insert (k, v) -> Wire.Insert (k, v)
+  | Trace.Delete k -> Wire.Delete k
+
+let reply_repr = function
+  | Wire.Result (Wire.Found v) -> "F:" ^ Bytes.to_string v
+  | Wire.Result Wire.Absent -> "A"
+  | Wire.Result Wire.Inserted -> "I"
+  | Wire.Result (Wire.Deleted p) -> if p then "D1" else "D0"
+  | Wire.Results _ -> "batch"
+  | Wire.Busy -> "busy"
+  | Wire.Unavailable _ -> "unavailable"
+  | Wire.Proto_error _ -> "proto-error"
+  | Wire.Pong | Wire.Admin_ok | Wire.Stats_reply _ -> "ctl"
+
+(* Exact sequential check, valid when one connection preserves the
+   generator's total order: replay the ops against a model, skipping
+   ops whose reply shows they were never applied. *)
+let count_wrong_sequential ops replies =
+  let model = Hashtbl.create 256 in
+  let wrong = ref 0 in
+  Array.iteri
+    (fun i op ->
+      match replies.(i) with
+      | None | Some (Wire.Busy | Wire.Unavailable _) -> ()
+      | Some reply ->
+        let expected =
+          match op with
+          | Trace.Lookup k -> (
+            match Hashtbl.find_opt model k with
+            | Some v -> Wire.Result (Wire.Found v)
+            | None -> Wire.Result Wire.Absent)
+          | Trace.Insert (k, v) ->
+            Hashtbl.replace model k v;
+            Wire.Result Wire.Inserted
+          | Trace.Delete k ->
+            let present = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            Wire.Result (Wire.Deleted present)
+        in
+        if reply <> expected then incr wrong)
+    ops;
+  !wrong
+
+(* Concurrent-connection check: a [Found] must carry bytes some insert
+   of the trace actually wrote for that key — no fabricated values. *)
+let count_wrong_concurrent ops replies =
+  let valid = Hashtbl.create 256 in
+  Array.iter
+    (function
+      | Trace.Insert (k, v) -> Hashtbl.add valid k (Bytes.to_string v)
+      | Trace.Lookup _ | Trace.Delete _ -> ())
+    ops;
+  let wrong = ref 0 in
+  Array.iteri
+    (fun i op ->
+      match (op, replies.(i)) with
+      | Trace.Lookup k, Some (Wire.Result (Wire.Found v)) ->
+        if not (List.mem (Bytes.to_string v) (Hashtbl.find_all valid k))
+        then incr wrong
+      | _ -> ())
+    ops;
+  !wrong
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let event_request = function
+  | Kill_disk { shard; disk } -> Wire.Kill_disk { shard; disk }
+  | Scrub { shard } -> Wire.Scrub { shard }
+
+let run ~name ~port scenario =
+  (match Sim_gen.validate scenario.spec with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("Loadgen: " ^ m));
+  if scenario.conns < 1 then invalid_arg "Loadgen: conns must be >= 1";
+  let ops = Sim_gen.ops scenario.spec in
+  let n_ops = Array.length ops in
+  let conns = scenario.conns in
+  let clients = Array.init conns (fun _ -> Client.connect ~port) in
+  let events_at = Hashtbl.create 8 in
+  List.iter
+    (fun (i, ev) ->
+      Hashtbl.replace events_at i
+        (ev :: Option.value ~default:[] (Hashtbl.find_opt events_at i)))
+    scenario.events;
+  (* (conn, rid) -> op index; admin frames are tracked with index -1 *)
+  let meta = Hashtbl.create (n_ops * 2) in
+  let replies = Array.make n_ops None in
+  let sent_at = Array.make n_ops 0.0 in
+  let lat_us = Array.make n_ops 0.0 in
+  let outstanding = Array.make conns 0 in
+  let completed = ref 0 and next = ref 0 in
+  let busy = ref 0 and unavailable = ref 0 and proto = ref 0 in
+  let start = Clock.wall () in
+  let due i =
+    match scenario.mode with
+    | Closed -> outstanding.(i mod conns) = 0
+    | Open_rate rate ->
+      Clock.wall () -. start >= float_of_int i /. rate
+  in
+  let send_op i =
+    let c = i mod conns in
+    List.iter
+      (fun ev ->
+        let rid = Client.send clients.(c) (event_request ev) in
+        Hashtbl.replace meta (c, rid) (-1))
+      (List.rev (Option.value ~default:[] (Hashtbl.find_opt events_at i)));
+    sent_at.(i) <- Clock.wall ();
+    let rid = Client.send clients.(c) (Wire.Op (wire_of_trace ops.(i))) in
+    Hashtbl.replace meta (c, rid) i;
+    outstanding.(c) <- outstanding.(c) + 1
+  in
+  let receive c (rid, rep) =
+    match Hashtbl.find_opt meta (c, rid) with
+    | None -> ()
+    | Some i ->
+      Hashtbl.remove meta (c, rid);
+      if i >= 0 then begin
+        replies.(i) <- Some rep;
+        lat_us.(i) <- (Clock.wall () -. sent_at.(i)) *. 1_000_000.0;
+        outstanding.(c) <- outstanding.(c) - 1;
+        incr completed;
+        match rep with
+        | Wire.Busy -> incr busy
+        | Wire.Unavailable _ -> incr unavailable
+        | Wire.Proto_error _ -> incr proto
+        | _ -> ()
+      end
+  in
+  while !completed < n_ops do
+    while !next < n_ops && due !next do
+      send_op !next;
+      incr next
+    done;
+    let fds = Array.to_list (Array.map Client.fd clients) in
+    let readable, _, _ =
+      try Unix.select fds [] [] 0.05
+      with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+    in
+    Array.iteri
+      (fun c client ->
+        if List.mem (Client.fd client) readable then
+          List.iter (receive c) (Client.drain client))
+      clients
+  done;
+  let shard_stats =
+    match Client.call clients.(0) Wire.Stats with
+    | Wire.Stats_reply ss -> ss
+    | _ -> []
+  in
+  Array.iter Client.close clients;
+  let wrong =
+    if conns = 1 then count_wrong_sequential ops replies
+    else count_wrong_concurrent ops replies
+  in
+  let digest =
+    let b = Buffer.create (n_ops * 4) in
+    Array.iteri
+      (fun i r ->
+        Buffer.add_string b (string_of_int i);
+        Buffer.add_char b '=';
+        Buffer.add_string b
+          (match r with Some rep -> reply_repr rep | None -> "?");
+        Buffer.add_char b ';')
+      replies;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  let sorted = Array.copy lat_us in
+  Array.sort compare sorted;
+  { name;
+    requests = n_ops;
+    wrong;
+    busy = !busy;
+    unavailable = !unavailable;
+    proto_errors = !proto;
+    p50_us = percentile sorted 0.50;
+    p99_us = percentile sorted 0.99;
+    p999_us = percentile sorted 0.999;
+    rounds =
+      List.fold_left (fun acc s -> acc + s.Wire.rounds) 0 shard_stats;
+    ios = List.fold_left (fun acc s -> acc + s.Wire.fetched) 0 shard_stats;
+    shard_stats;
+    answers_digest = digest }
+
+let to_bench_json reports =
+  let record r =
+    Printf.sprintf
+      "  {\"name\": \"serve.%s\", \"ios\": %d, \"rounds\": %d, \
+       \"ns\": %.1f,\n   \"p50_us\": %.1f, \"p99_us\": %.1f, \
+       \"p999_us\": %.1f,\n   \"requests\": %d, \"wrong\": %d, \
+       \"busy\": %d, \"unavailable\": %d,\n   \"digest\": \"%s\"}"
+      r.name r.ios r.rounds (r.p999_us *. 1000.0) r.p50_us r.p99_us
+      r.p999_us r.requests r.wrong r.busy r.unavailable r.answers_digest
+  in
+  "[\n" ^ String.concat ",\n" (List.map record reports) ^ "\n]\n"

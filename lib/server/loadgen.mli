@@ -1,0 +1,61 @@
+(** Closed- and open-loop load generation against a running pdm-serve,
+    reusing the seeded workload generator ({!Pdm_simtest.Sim_gen}:
+    uniform / Zipf / adversarial churn) so every run is replayable.
+
+    Op [i] of the stream goes to connection [i mod conns], so with one
+    connection the server replays exactly the generator's op order and
+    every per-shard ledger is deterministic — those are the scenarios
+    BENCH_serve.json gates on ios/rounds. With several connections the
+    interleave is scheduling-dependent; correctness then degrades to
+    the no-fabricated-bytes check (every [Found] value must be one the
+    trace actually wrote for that key).
+
+    Latency is measured with {!Pdm_util.Clock.wall} per request,
+    send-to-reply, and reported as p50/p99/p999 — reporting only,
+    never branched on. *)
+
+type event =
+  | Kill_disk of { shard : int; disk : int }
+  | Scrub of { shard : int }
+
+type mode =
+  | Closed          (** one outstanding request per connection *)
+  | Open_rate of float  (** arrivals per second, pipelined per connection *)
+
+type scenario = {
+  spec : Pdm_simtest.Sim_gen.spec;
+  conns : int;
+  mode : mode;
+  events : (int * event) list;
+      (** fired on op [i]'s connection just before op [i] is sent —
+          with one connection that pins the event's position in every
+          shard's op sequence *)
+}
+
+type report = {
+  name : string;
+  requests : int;       (** data ops sent (admin frames excluded) *)
+  wrong : int;          (** replies failing the scenario's check *)
+  busy : int;           (** typed [Busy] replies received *)
+  unavailable : int;    (** typed [Unavailable] replies received *)
+  proto_errors : int;   (** [Proto_error] replies (should be 0) *)
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  rounds : int;         (** sum of per-shard [rounds_total] at the end *)
+  ios : int;            (** sum of per-shard blocks fetched *)
+  shard_stats : Wire.shard_stat list;  (** final ledgers, shard order *)
+  answers_digest : string;
+      (** hex digest over the reply stream in op-index order — the
+          byte-identical-answers witness of the determinism tests *)
+}
+
+val run : name:string -> port:int -> scenario -> report
+(** Drive the daemon and collect a report. Raises [Invalid_argument]
+    on an invalid spec or [conns < 1]. *)
+
+val to_bench_json : report list -> string
+(** The BENCH_serve.json payload: one bench-check record per report —
+    [name]/[ios]/[rounds] gated exactly, [ns] (the p999 in
+    nanoseconds) informational, plus the tail-latency and error
+    tallies as extra fields bench-check ignores. *)

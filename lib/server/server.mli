@@ -1,0 +1,72 @@
+(** pdm-serve: the TCP daemon over the deterministic data plane.
+
+    Architecture (DESIGN.md §15): one listener thread runs a
+    [select]-based event loop — accepting connections, assembling
+    {!Wire} frames, routing operations by {!Data_plane.shard_of_key}
+    — and [W] worker domains each own the shards [s] with
+    [s mod W = w]. Work travels through per-worker mailboxes
+    (mutex + condition), answers come back through a completion queue
+    and a self-pipe that wakes the listener. Because a shard is only
+    ever touched by its owning domain and mailboxes are FIFO, each
+    shard sees the same op sequence whatever the domain count — the
+    multi-domain determinism the tests pin down.
+
+    Backpressure is explicit: each mailbox holds at most [queue_cap]
+    jobs; a frame that would overflow any target mailbox is answered
+    with a typed {!Wire.Busy} immediately and enqueues nothing — the
+    daemon never hangs an admission and never silently drops one.
+    Storage failures surface as typed {!Wire.Unavailable} replies.
+    Malformed frames get structured {!Wire.Proto_error} replies and
+    keep the connection (only an oversized length prefix closes it,
+    the frame boundary being lost). *)
+
+type config = {
+  plane : Data_plane.config;
+  domains : int;    (** worker domains, >= 1 *)
+  queue_cap : int;  (** max jobs queued per worker mailbox, >= 1 *)
+}
+
+val default_config : config
+(** [Data_plane.default_config], 1 domain, 1024-job mailboxes. *)
+
+type t
+
+val create : ?port:int -> config -> t
+(** Bind a loopback TCP socket ([port] 0, the default, picks an
+    ephemeral port) and spawn the worker domains. The listener loop is
+    not yet running: call {!run} (blocking) or {!start}. *)
+
+val port : t -> int
+
+val run : t -> unit
+(** Run the listener event loop in the calling thread until
+    {!request_stop}. On return every accepted frame has been answered,
+    worker domains are joined and all sockets are closed. *)
+
+val start : ?port:int -> config -> t
+(** {!create} + {!run} in a spawned domain — the in-process harness
+    the tests and experiments drive. Pair with {!stop}. *)
+
+val request_stop : t -> unit
+(** Signal-safe graceful-stop trigger: flips the stop flag and wakes
+    the listener through the self-pipe. Safe from a SIGTERM handler. *)
+
+val stop : t -> unit
+(** {!request_stop}, then join the listener (if {!start}ed) and
+    worker domains. Idempotent. *)
+
+val plane : t -> Data_plane.t
+(** The data plane — read its ledgers only at quiescence (after
+    {!stop}, or with no in-flight requests). *)
+
+type counters = {
+  conns : int;         (** connections accepted *)
+  frames : int;        (** well-formed frames admitted *)
+  busy : int;          (** typed [Busy] replies (admission overflow) *)
+  unavailable : int;   (** typed [Unavailable] replies *)
+  proto_errors : int;  (** structured protocol-error replies *)
+  peak_depth : int;    (** deepest any worker mailbox ever got *)
+}
+
+val counters : t -> counters
+(** Live snapshot (atomics — safe from any thread). *)

@@ -121,7 +121,7 @@ let build_static (cfg : Sim_config.t) ~data =
             Engine.Fetch
               ( Ops.probe_addresses t key,
                 fun blocks -> Engine.Done (Ops.find_in t key blocks) ));
-        insert = None }
+        insert = None; delete = None }
       base
 
 let build_dynamic (cfg : Sim_config.t) =
@@ -151,7 +151,7 @@ let build_dynamic (cfg : Sim_config.t) =
             Engine.Fetch
               ( Opd.probe_addresses t key,
                 fun blocks -> Engine.Done (Opd.find_in t key blocks) ));
-        insert = Some (Opd.insert t) }
+        insert = Some (Opd.insert t); delete = Some (Opd.delete t) }
       base
 
 let build_cascade (cfg : Sim_config.t) =
@@ -193,7 +193,7 @@ let build_cascade (cfg : Sim_config.t) =
                         fun blocks2 ->
                           Engine.Done
                             (Cascade.decode_in t key ~level ~head blocks2) ) ));
-        insert = Some (Cascade.insert t) }
+        insert = Some (Cascade.insert t); delete = Some (Cascade.delete t) }
       base
 
 (* The sharded cluster: one journaled one-probe-dynamic dictionary +

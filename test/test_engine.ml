@@ -49,7 +49,8 @@ let synthetic ?(replicas = 1) ?(disks = 8) ?(blocks = 8) ~plan () =
       (plan k, fun bs -> Engine.Done (Some (Bytes.of_string (string_of_int (decode bs)))))
   in
   ( m,
-    { Engine.name = "synthetic"; machine = m; lookup; insert = None },
+    { Engine.name = "synthetic"; machine = m; lookup; insert = None;
+      delete = None },
     fun k -> Bytes.of_string (string_of_int (decode_plan plan k)) )
 
 let one_batch_config q =
@@ -376,6 +377,68 @@ let test_engine_experiment_small () =
   checkb "beats unbatched" true
     (r.Engine_exp.engine_rounds < r.Engine_exp.unbatched_rounds)
 
+(* Deletes run with the batch's updates, before its lookups, and
+   encode their found/not-found bit through [Engine.deleted_value]. *)
+let test_delete_through_engine () =
+  let scale =
+    { Adapters.default_scale with universe = 1 lsl 18; capacity = 64; seed = 11 }
+  in
+  let ad = Adapters.engine_cascade ~scale () in
+  let eng =
+    Engine.create ~config:(one_batch_config 8) ad.Adapters.engine_dict
+  in
+  let v = Pdm_experiments.Common.value_bytes_of 8 42 in
+  ignore (Engine.submit eng (Engine.Insert (42, v)));
+  Engine.drain eng;
+  ignore (Engine.take_outcomes eng);
+  ignore (Engine.submit eng (Engine.Lookup 42));
+  ignore (Engine.submit eng (Engine.Delete 42));
+  ignore (Engine.submit eng (Engine.Delete 43));
+  Engine.drain eng;
+  (match Engine.take_outcomes eng with
+   | [ lookup; del_present; del_absent ] ->
+     checkb "same-batch lookup sees the delete" true
+       (lookup.Engine.value = None);
+     checkb "delete of a present key" true
+       (del_present.Engine.value = Engine.deleted_value true);
+     checkb "delete of an absent key" true
+       (del_absent.Engine.value = Engine.deleted_value false);
+     checkb "direct find agrees" true (ad.Adapters.direct_find 42 = None)
+   | outs -> Alcotest.failf "expected 3 outcomes, got %d" (List.length outs));
+  checkb "deleted_value present" true
+    (Engine.deleted_value true = Some Bytes.empty);
+  checkb "deleted_value absent" true (Engine.deleted_value false = None)
+
+(* Engine.guard is the one per-request failure-reporting path the CLI
+   serve loops (single machine and cluster) share: structured storage
+   errors become Request_failed carrying the request's id and key;
+   anything unrecognized propagates untouched. *)
+let test_guard_unifies_failure_reporting () =
+  let storage =
+    Backend.Disk_failed { Backend.disk = 3; block = 7; round = 1 }
+  in
+  (match Engine.guard ~id:9 ~key:1234 (fun () -> raise storage) with
+   | _ -> Alcotest.fail "expected Request_failed"
+   | exception Engine.Request_failed { id; key; error } ->
+     check "request id" 9 id;
+     check "request key" 1234 key;
+     checkb "carries the storage error" true (error == storage));
+  (match Engine.guard ~id:0 ~key:0 (fun () -> raise Exit) with
+   | _ -> Alcotest.fail "expected Exit"
+   | exception Exit -> ()
+   | exception _ -> Alcotest.fail "unrecognized exceptions must propagate");
+  check "guard passes values through" 7
+    (Engine.guard ~id:1 ~key:2 (fun () -> 7));
+  (* a custom describe widens recognition — the cluster path wraps
+     Unavailable/Retries_exhausted the same way *)
+  match
+    Engine.guard ~id:4 ~key:5 ~describe:(fun _ -> Some "recognized")
+      (fun () -> raise Exit)
+  with
+  | _ -> Alcotest.fail "expected Request_failed via custom describe"
+  | exception Engine.Request_failed { id = 4; key = 5; error = Exit } -> ()
+  | exception e -> raise e
+
 let suite =
   [ ("engine.coalescing",
      [ tc "all-same-key batch" `Quick test_all_same_key_coalesces;
@@ -394,7 +457,11 @@ let suite =
        tc "insert visible to same-batch lookup" `Quick
          test_insert_visible_to_same_batch_lookup;
        tc "cascade two-phase lookups" `Quick
-         test_cascade_two_phase_through_engine ]);
+         test_cascade_two_phase_through_engine;
+       tc "delete semantics through the engine" `Quick
+         test_delete_through_engine;
+       tc "guard unifies failure reporting" `Quick
+         test_guard_unifies_failure_reporting ]);
     ("pdm.read_preferring",
      [ tc "uses the requested replica" `Quick
          test_read_preferring_uses_requested_replica;

@@ -95,6 +95,32 @@ let test_r2_unix_io_allowlist () =
   checkb "allowlisted syscall still flagged in the default component" true
     (has "R2" (lint "let f fd = Unix.fsync fd\n"))
 
+(* The audited Unix allowlist for the TCP daemon: socket-lifecycle
+   syscalls (DESIGN.md §15), and only under lib/server. *)
+let test_r2_unix_server_allowlist () =
+  checkb "socket clean in lib/server" false
+    (has "R2"
+       (lint ~path:"lib/server/server.ml"
+          "let f () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n"));
+  checkb "select clean in lib/server" false
+    (has "R2"
+       (lint ~path:"lib/server/server.ml"
+          "let f r = Unix.select r [] [] 0.2\n"));
+  checkb "connect clean in lib/server client" false
+    (has "R2"
+       (lint ~path:"lib/server/client.ml"
+          "let f fd a = Unix.connect fd a\n"));
+  checkb "gettimeofday still flagged in lib/server" true
+    (has "R2"
+       (lint ~path:"lib/server/server.ml"
+          "let t () = Unix.gettimeofday ()\n"));
+  checkb "io-only syscall (fsync) flagged in lib/server" true
+    (has "R2" (lint ~path:"lib/server/server.ml" "let f fd = Unix.fsync fd\n"));
+  checkb "socket flagged outside lib/server" true
+    (has "R2"
+       (lint ~path:"lib/engine/engine.ml"
+          "let f () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n"))
+
 (* R3: partial functions in library code. *)
 
 let test_r3_totality () =
@@ -582,6 +608,8 @@ let suite =
        tc "R2 determinism" `Quick test_r2_determinism;
        tc "R2 audited Unix allowlist (lib/io)" `Quick
          test_r2_unix_io_allowlist;
+       tc "R2 audited Unix allowlist (lib/server)" `Quick
+         test_r2_unix_server_allowlist;
        tc "R3 totality" `Quick test_r3_totality;
        tc "R4 interfaces" `Quick test_r4_interfaces ]);
     ("lint.interprocedural",
